@@ -1,0 +1,33 @@
+//! Regenerates Figure 10: battery-casing (E2) runs — normalized energy of
+//! each boot mode against the full_throttle boot, large workload, all
+//! systems.
+
+use ent_bench::{fig10, mode_name, render_table, system_label};
+
+fn main() {
+    let repeats = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("Figure 10: battery-casing (E2) runs ({repeats} runs averaged)\n");
+    let rows: Vec<Vec<String>> = fig10::rows(repeats)
+        .into_iter()
+        .map(|r| {
+            vec![
+                system_label(r.system).to_string(),
+                r.benchmark.to_string(),
+                mode_name(r.boot).to_string(),
+                format!("{:.1}", r.energy_j),
+                format!("{:.3}", r.normalized),
+                format!("{:.2}%", r.savings_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Sys", "benchmark", "boot mode", "energy (J)", "normalized", "% saved vs full"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates Figure 11: temperature-casing (E3) runs — CPU temperature
+//! traces of the ENT and Java variants for the five System A benchmarks.
+
+use ent_bench::{fig11, sparkline};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    println!("Figure 11: System A temperature-casing (E3) runs (seed {seed})");
+    println!("Thresholds: hot at 60 °C, overheating at 65 °C; sleep mcase 0/250/1000 ms.\n");
+    for series in fig11::series(seed) {
+        let summarize = |trace: &[(f64, f64)]| -> (f64, f64, Vec<f64>) {
+            let temps: Vec<f64> = trace.iter().map(|(_, c)| *c).collect();
+            let peak = temps.iter().copied().fold(f64::MIN, f64::max);
+            let last_half: Vec<f64> = temps[temps.len() / 2..].to_vec();
+            let avg = last_half.iter().sum::<f64>() / last_half.len().max(1) as f64;
+            // Downsample to 60 columns for the sparkline.
+            let step = (temps.len() / 60).max(1);
+            let sampled: Vec<f64> = temps.iter().step_by(step).copied().collect();
+            (peak, avg, sampled)
+        };
+        let (ent_peak, ent_avg, ent_line) = summarize(&series.ent);
+        let (java_peak, java_avg, java_line) = summarize(&series.java);
+        println!("== {} ==", series.benchmark);
+        println!(
+            "  ent  [{}] peak {ent_peak:.1} °C, steady ~{ent_avg:.1} °C",
+            sparkline(&ent_line, 42.0, 80.0)
+        );
+        println!(
+            "  java [{}] peak {java_peak:.1} °C, steady ~{java_avg:.1} °C",
+            sparkline(&java_line, 42.0, 80.0)
+        );
+        println!();
+    }
+    println!("(Sparkline scale: 42–80 °C. The ENT runs hover near the hot threshold;");
+    println!(" the Java runs climb toward thermal saturation, as in the paper.)");
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 6: benchmark descriptions, statistics, and the
+//! percentage energy overhead of ENT's runtime versus a no-op baseline.
+
+use ent_bench::{fig6, render_table};
+
+fn main() {
+    let repeats = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("Figure 6: ENT benchmark descriptions and statistics ({repeats} runs averaged)\n");
+    let rows: Vec<Vec<String>> = fig6::rows(repeats)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.description.to_string(),
+                r.systems,
+                r.cloc.to_string(),
+                r.ent_changes.to_string(),
+                format!("{:+.2}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["name", "description", "System", "CLOC", "ENT Changes", "% Energy Overhead"],
+            &rows,
+        )
+    );
+    println!("(CLOC and ENT-change counts reproduce the paper's table for context;");
+    println!(" the overhead column is measured on this reproduction's runtime.)");
+}

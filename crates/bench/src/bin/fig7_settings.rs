@@ -1,0 +1,41 @@
+//! Regenerates Figure 7: the per-benchmark workload attribution and QoS
+//! settings.
+
+use ent_bench::{fig7, render_table};
+
+fn main() {
+    println!("Figure 7: ENT benchmark settings\n");
+    let rows: Vec<Vec<String>> = fig7::rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.workload_attr.to_string(),
+                r.workload[0].clone(),
+                r.workload[1].clone(),
+                r.workload[2].clone(),
+                r.qos_knob.to_string(),
+                r.qos[0].clone(),
+                r.qos[1].clone(),
+                r.qos[2].clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "name",
+                "workload attribution by",
+                "energy_saver",
+                "managed",
+                "full_throttle",
+                "QoS adjustment",
+                "energy_saver",
+                "default (managed)",
+                "full_throttle",
+            ],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figure 8: the System A battery-exception (E1) grid — all
+//! nine boot × workload combinations per benchmark, with silent
+//! counterparts.
+
+use ent_bench::{fig8, mode_name, render_table};
+
+fn main() {
+    let repeats = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("Figure 8: System A battery-exception (E1) runs ({repeats} runs averaged)\n");
+    let rows = fig8::rows(repeats);
+    let mut current = "";
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for r in &rows {
+        if r.benchmark != current && !table.is_empty() {
+            print_benchmark(current, &table);
+            table.clear();
+        }
+        current = r.benchmark;
+        table.push(vec![
+            mode_name(r.workload).to_string(),
+            mode_name(r.boot).to_string(),
+            if r.silent { "silent" } else { "ent" }.to_string(),
+            format!("{:.1}", r.energy_j),
+            if r.exception { "EnergyException" } else { "-" }.to_string(),
+        ]);
+    }
+    if !table.is_empty() {
+        print_benchmark(current, &table);
+    }
+}
+
+fn print_benchmark(name: &str, table: &[Vec<String>]) {
+    println!("== {name} ==");
+    println!(
+        "{}",
+        render_table(
+            &["workload mode", "boot mode", "runtime", "energy (J)", "violation"],
+            table,
+        )
+    );
+}

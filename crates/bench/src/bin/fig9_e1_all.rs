@@ -1,0 +1,36 @@
+//! Regenerates Figure 9: E1 normalized energy over the boot/workload
+//! combinations where EnergyExceptions are thrown, on Systems A, B, and C,
+//! with the percentage savings of ENT versus the silent counterpart.
+
+use ent_bench::{fig9, mode_name, render_table, system_label};
+
+fn main() {
+    let repeats = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!(
+        "Figure 9: battery-exception (E1) runs on Systems A/B/C ({repeats} runs averaged)"
+    );
+    println!("Normalized against the silent full_throttle-boot run of the same workload.\n");
+    let rows: Vec<Vec<String>> = fig9::rows(repeats)
+        .into_iter()
+        .map(|r| {
+            vec![
+                system_label(r.system).to_string(),
+                r.benchmark.to_string(),
+                format!("{}/{}", mode_name(r.boot), mode_name(r.workload)),
+                format!("{:.3}", r.ent_normalized),
+                format!("{:.3}", r.silent_normalized),
+                format!("{:.2}%", r.savings_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Sys", "benchmark", "boot/workload", "ENT (norm.)", "silent (norm.)", "% saved"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,43 @@
+//! Convenience driver: regenerates every figure and the two ablations,
+//! writing each to `results/<name>.txt` (and echoing progress).
+//!
+//! ```sh
+//! cargo run --release -p ent-bench --bin fig_all [repeats]
+//! ```
+
+use std::fs;
+use std::process::Command;
+
+fn main() {
+    let repeats = std::env::args().nth(1).unwrap_or_else(|| "5".to_string());
+    fs::create_dir_all("results").expect("create results/");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let bins: &[(&str, bool)] = &[
+        ("fig6_overhead", true),
+        ("fig7_settings", false),
+        ("fig8_e1_system_a", true),
+        ("fig9_e1_all", true),
+        ("fig10_e2", true),
+        ("fig11_e3_thermal", false),
+        ("ablation_snapshots", false),
+        ("ablation_governor", false),
+        ("data_collection_rsd", true),
+    ];
+    for (bin, takes_repeats) in bins {
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if *takes_repeats {
+            cmd.arg(&repeats);
+        }
+        let out = cmd.output().unwrap_or_else(|e| panic!("running {bin}: {e}"));
+        assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+        let path = format!("results/{bin}.txt");
+        fs::write(&path, &out.stdout).expect("write result file");
+        println!("wrote {path} ({} bytes)", out.stdout.len());
+    }
+    println!("\nAll figures and ablations regenerated.");
+}

@@ -1,0 +1,558 @@
+//! The ENT experiment harness: drivers that regenerate every table and
+//! figure of the paper's evaluation (§6) against the simulated platforms.
+//!
+//! Each `figN` module produces structured rows; the `fig*` binaries print
+//! them as the paper's tables/series. Absolute joule values differ from
+//! the paper (the substrate is a simulator, not the authors' testbed), but
+//! the *shapes* are the reproduction targets:
+//!
+//! * Figure 6 — per-benchmark runtime overhead of tagging/snapshots is
+//!   small, occasionally negative under noise;
+//! * Figure 8 — E1 exceptions fire in exactly the 3 of 9 boot×workload
+//!   combinations where the workload mode exceeds the boot mode, and the
+//!   exception path saves energy versus the silent counterpart;
+//! * Figure 9 — those savings hold on all three systems, with smaller
+//!   percentages on the time-fixed System B/C benchmarks;
+//! * Figure 10 — E2 energy is battery-proportional
+//!   (energy_saver < managed < full_throttle);
+//! * Figure 11 — E3 traces: ENT hovers near the `hot` threshold while the
+//!   Java runs climb.
+
+use ent_energy::PlatformKind;
+use ent_workloads::{
+    all_benchmarks, benchmark, e3_benchmarks, run_e1, run_e2, run_e3, run_overhead_pair,
+    BenchmarkSpec,
+};
+
+/// Benchmarks per system in the E1/E2 figures (Figures 8–10). `jython` and
+/// `xalan` appear only in the overhead table and the E3 runs, as in the
+/// paper.
+pub fn e_benchmarks(system: PlatformKind) -> Vec<BenchmarkSpec> {
+    let names: &[&str] = match system {
+        PlatformKind::SystemA => {
+            &["batik", "crypto", "findbugs", "jspider", "pagerank", "sunflow"]
+        }
+        PlatformKind::SystemB => &["camera", "crypto", "javaboy", "sunflow", "video"],
+        PlatformKind::SystemC => {
+            &["duckduckgo", "materiallife", "newpipe", "soundrecorder"]
+        }
+    };
+    names
+        .iter()
+        .map(|n| benchmark(n).expect("benchmark exists"))
+        .collect()
+}
+
+/// The three boot/workload combinations where the waterfall is violated
+/// (Figure 9's bars): `(boot, workload)` indices.
+pub const VIOLATING_COMBOS: [(usize, usize); 3] = [(1, 2), (0, 1), (0, 2)];
+
+/// Averages a measurement over several seeds, discarding the first run
+/// (the paper's JIT-warmup discipline).
+pub fn average_runs(repeats: usize, mut f: impl FnMut(u64) -> f64) -> f64 {
+    let repeats = repeats.max(1);
+    let _warmup = f(0);
+    let total: f64 = (1..=repeats as u64).map(&mut f).sum();
+    total / repeats as f64
+}
+
+/// Figure 6: benchmark statistics and the percentage energy overhead of
+/// ENT's runtime (tagging + snapshot metadata) versus the no-op baseline.
+pub mod fig6 {
+    use super::*;
+
+    /// One table row.
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// Benchmark name.
+        pub name: &'static str,
+        /// Description from Figure 6.
+        pub description: &'static str,
+        /// Systems (A/B/C) it runs on.
+        pub systems: String,
+        /// CLOC of the original Java code base (paper's column; context).
+        pub cloc: u32,
+        /// Lines changed for the ENT port (paper's column; context).
+        pub ent_changes: u32,
+        /// Measured energy overhead, in percent.
+        pub overhead_pct: f64,
+    }
+
+    /// Runs the overhead experiment for every benchmark.
+    pub fn rows(repeats: usize) -> Vec<Row> {
+        all_benchmarks()
+            .into_iter()
+            .map(|spec| {
+                let system = spec.primary_platform();
+                // Mix the benchmark name into the seed so each row draws an
+                // independent noise sample, as distinct physical runs would.
+                let name_salt: u64 = spec
+                    .name
+                    .bytes()
+                    .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+                let overhead_pct = average_runs(repeats, |seed| {
+                    let (tagged, baseline) =
+                        run_overhead_pair(&spec, system, seed * 31 + 7 + name_salt);
+                    (tagged - baseline) / baseline * 100.0
+                });
+                let systems = spec
+                    .systems
+                    .iter()
+                    .map(|s| match s {
+                        PlatformKind::SystemA => "A",
+                        PlatformKind::SystemB => "B",
+                        PlatformKind::SystemC => "C",
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                Row {
+                    name: spec.name,
+                    description: spec.description,
+                    systems,
+                    cloc: spec.cloc,
+                    ent_changes: spec.ent_changes,
+                    overhead_pct,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Figure 7: the benchmark settings table (pure data; no runs).
+pub mod fig7 {
+    use super::*;
+
+    /// One settings row, mirroring Figure 7's columns.
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// Benchmark name.
+        pub name: &'static str,
+        /// What the workload attributor inspects.
+        pub workload_attr: &'static str,
+        /// Workload labels per workload mode.
+        pub workload: [String; 3],
+        /// The QoS knob.
+        pub qos_knob: &'static str,
+        /// QoS labels per boot mode.
+        pub qos: [String; 3],
+    }
+
+    /// Every benchmark's settings.
+    pub fn rows() -> Vec<Row> {
+        all_benchmarks()
+            .into_iter()
+            .map(|b| Row {
+                name: b.name,
+                workload_attr: b.workload_attr,
+                workload: b.workload_labels.map(str::to_string),
+                qos_knob: b.qos_knob,
+                qos: b.qos_labels.map(str::to_string),
+            })
+            .collect()
+    }
+}
+
+/// Figure 8: the full 9-combination battery-exception grid on System A,
+/// with silent counterparts.
+pub mod fig8 {
+    use super::*;
+
+    /// One bar of the figure.
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// Benchmark name.
+        pub benchmark: &'static str,
+        /// Workload mode index (0–2).
+        pub workload: usize,
+        /// Boot mode index (0–2).
+        pub boot: usize,
+        /// Whether this is the silent counterpart.
+        pub silent: bool,
+        /// Average energy in joules.
+        pub energy_j: f64,
+        /// Whether the waterfall was violated during the run.
+        pub exception: bool,
+    }
+
+    /// Runs the grid for the six System A benchmarks.
+    pub fn rows(repeats: usize) -> Vec<Row> {
+        let mut out = Vec::new();
+        for spec in e_benchmarks(PlatformKind::SystemA) {
+            for workload in 0..3 {
+                for boot in 0..3 {
+                    for silent in [false, true] {
+                        let mut exception = false;
+                        let energy_j = average_runs(repeats, |seed| {
+                            let o = run_e1(
+                                &spec,
+                                PlatformKind::SystemA,
+                                boot,
+                                workload,
+                                silent,
+                                seed * 131 + 3,
+                            );
+                            exception = o.exception;
+                            o.energy_j
+                        });
+                        out.push(Row {
+                            benchmark: spec.name,
+                            workload,
+                            boot,
+                            silent,
+                            energy_j,
+                            exception,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Figure 9: E1 normalized energy and percentage savings for the three
+/// violating combinations, on all systems.
+pub mod fig9 {
+    use super::*;
+
+    /// One bar pair (ENT + silent).
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// Which system.
+        pub system: PlatformKind,
+        /// Benchmark name.
+        pub benchmark: &'static str,
+        /// Boot mode index.
+        pub boot: usize,
+        /// Workload mode index.
+        pub workload: usize,
+        /// ENT energy (joules).
+        pub ent_j: f64,
+        /// Silent counterpart energy (joules).
+        pub silent_j: f64,
+        /// ENT energy normalized against the silent full_throttle-boot run
+        /// of the same workload.
+        pub ent_normalized: f64,
+        /// Silent energy, same normalization.
+        pub silent_normalized: f64,
+        /// Percentage savings of ENT versus its silent counterpart.
+        pub savings_pct: f64,
+    }
+
+    /// Runs the violating combinations for every system.
+    pub fn rows(repeats: usize) -> Vec<Row> {
+        let mut out = Vec::new();
+        for system in [PlatformKind::SystemA, PlatformKind::SystemB, PlatformKind::SystemC] {
+            for spec in e_benchmarks(system) {
+                for (boot, workload) in VIOLATING_COMBOS {
+                    let ent_j = average_runs(repeats, |seed| {
+                        run_e1(&spec, system, boot, workload, false, seed * 17 + 1).energy_j
+                    });
+                    let silent_j = average_runs(repeats, |seed| {
+                        run_e1(&spec, system, boot, workload, true, seed * 17 + 5003).energy_j
+                    });
+                    let reference = average_runs(repeats, |seed| {
+                        run_e1(&spec, system, 2, workload, true, seed * 17 + 9001).energy_j
+                    });
+                    out.push(Row {
+                        system,
+                        benchmark: spec.name,
+                        boot,
+                        workload,
+                        ent_j,
+                        silent_j,
+                        ent_normalized: ent_j / reference,
+                        silent_normalized: silent_j / reference,
+                        savings_pct: (1.0 - ent_j / silent_j) * 100.0,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Figure 10: E2 battery-casing normalized energy per boot mode, large
+/// workload.
+pub mod fig10 {
+    use super::*;
+
+    /// One bar.
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// Which system.
+        pub system: PlatformKind,
+        /// Benchmark name.
+        pub benchmark: &'static str,
+        /// Boot mode index.
+        pub boot: usize,
+        /// Average energy (joules).
+        pub energy_j: f64,
+        /// Normalized against the full_throttle boot.
+        pub normalized: f64,
+        /// Percentage saved versus the full_throttle boot.
+        pub savings_pct: f64,
+    }
+
+    /// Runs the casing experiment for every system and benchmark.
+    pub fn rows(repeats: usize) -> Vec<Row> {
+        let mut out = Vec::new();
+        for system in [PlatformKind::SystemA, PlatformKind::SystemB, PlatformKind::SystemC] {
+            for spec in e_benchmarks(system) {
+                let ft = average_runs(repeats, |seed| {
+                    run_e2(&spec, system, 2, 2, seed * 23 + 5).energy_j
+                });
+                for boot in 0..3 {
+                    let energy_j = if boot == 2 {
+                        ft
+                    } else {
+                        average_runs(repeats, |seed| {
+                            run_e2(&spec, system, boot, 2, seed * 23 + 5).energy_j
+                        })
+                    };
+                    out.push(Row {
+                        system,
+                        benchmark: spec.name,
+                        boot,
+                        energy_j,
+                        normalized: energy_j / ft,
+                        savings_pct: (1.0 - energy_j / ft) * 100.0,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Figure 11: E3 temperature traces, ENT versus Java, on System A.
+pub mod fig11 {
+    use super::*;
+
+    /// One benchmark's pair of traces.
+    #[derive(Clone, Debug)]
+    pub struct Series {
+        /// Benchmark name.
+        pub benchmark: &'static str,
+        /// `(normalized time, °C)` for the ENT run.
+        pub ent: Vec<(f64, f64)>,
+        /// `(normalized time, °C)` for the Java run.
+        pub java: Vec<(f64, f64)>,
+    }
+
+    fn normalize(trace: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+        let end = trace.last().map(|(t, _)| *t).unwrap_or(1.0).max(1e-9);
+        trace.into_iter().map(|(t, c)| (t / end, c)).collect()
+    }
+
+    /// Runs the five E3 benchmarks.
+    pub fn series(seed: u64) -> Vec<Series> {
+        e3_benchmarks()
+            .into_iter()
+            .map(|(name, tasks, task_seconds)| {
+                let spec = benchmark(name).expect("E3 benchmark exists");
+                Series {
+                    benchmark: name,
+                    ent: normalize(run_e3(&spec, tasks, task_seconds, true, seed)),
+                    java: normalize(run_e3(&spec, tasks, task_seconds, false, seed)),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Renders a simple fixed-width text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact ASCII sparkline for temperature traces.
+pub fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|v| {
+            let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            LEVELS[(t * (LEVELS.len() - 1) as f64).round() as usize]
+        })
+        .collect()
+}
+
+/// Human-readable mode names for boot/workload indices.
+pub fn mode_name(i: usize) -> &'static str {
+    ["energy_saver", "managed", "full_throttle"][i.min(2)]
+}
+
+/// Short system label.
+pub fn system_label(system: PlatformKind) -> &'static str {
+    match system {
+        PlatformKind::SystemA => "A",
+        PlatformKind::SystemB => "B",
+        PlatformKind::SystemC => "C",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e_benchmark_lists_match_the_paper() {
+        assert_eq!(e_benchmarks(PlatformKind::SystemA).len(), 6);
+        assert_eq!(e_benchmarks(PlatformKind::SystemB).len(), 5);
+        assert_eq!(e_benchmarks(PlatformKind::SystemC).len(), 4);
+    }
+
+    #[test]
+    fn fig7_has_all_benchmarks() {
+        assert_eq!(fig7::rows().len(), 15);
+    }
+
+    #[test]
+    fn fig8_grid_shape() {
+        let rows = fig8::rows(1);
+        // 6 benchmarks × 3 workloads × 3 boots × {ent, silent}.
+        assert_eq!(rows.len(), 6 * 3 * 3 * 2);
+        // Exceptions exactly where workload > boot.
+        for r in &rows {
+            assert_eq!(r.exception, r.workload > r.boot, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig9_savings_are_positive_everywhere() {
+        for r in fig9::rows(2) {
+            assert!(
+                r.savings_pct > 0.0,
+                "{} {:?} boot {} workload {}: {:.2}%",
+                r.benchmark,
+                r.system,
+                r.boot,
+                r.workload,
+                r.savings_pct
+            );
+            assert!(r.ent_normalized <= r.silent_normalized);
+        }
+    }
+
+    #[test]
+    fn fig9_system_a_savings_sit_in_the_paper_band() {
+        // The paper's System A savings range roughly 14–58 %; with the
+        // QoS-degradation handler the reproduction should land in a
+        // comparable (not pathological) band.
+        let rows = fig9::rows(2);
+        for r in rows.iter().filter(|r| r.system == PlatformKind::SystemA) {
+            assert!(
+                r.savings_pct > 10.0 && r.savings_pct < 80.0,
+                "{} boot {} workload {}: {:.2}%",
+                r.benchmark,
+                r.boot,
+                r.workload,
+                r.savings_pct
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_time_fixed_systems_save_less_than_batch_system_a() {
+        let rows = fig9::rows(2);
+        let avg = |system: PlatformKind, time_fixed: bool| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| {
+                    r.system == system
+                        && benchmark(r.benchmark).unwrap().is_time_fixed() == time_fixed
+                })
+                .map(|r| r.savings_pct)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let a_batch = avg(PlatformKind::SystemA, false);
+        let b_fixed = avg(PlatformKind::SystemB, true);
+        let c_fixed = avg(PlatformKind::SystemC, true);
+        assert!(a_batch > b_fixed, "A batch {a_batch} vs B fixed {b_fixed}");
+        assert!(a_batch > c_fixed, "A batch {a_batch} vs C fixed {c_fixed}");
+    }
+
+    #[test]
+    fn fig10_is_battery_proportional() {
+        let rows = fig10::rows(2);
+        for system in [PlatformKind::SystemA, PlatformKind::SystemB, PlatformKind::SystemC] {
+            for spec in e_benchmarks(system) {
+                let g = |boot: usize| {
+                    rows.iter()
+                        .find(|r| r.system == system && r.benchmark == spec.name && r.boot == boot)
+                        .unwrap()
+                        .energy_j
+                };
+                assert!(
+                    g(0) < g(1) && g(1) < g(2),
+                    "{}: {} < {} < {}",
+                    spec.name,
+                    g(0),
+                    g(1),
+                    g(2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_ent_hovers_java_climbs() {
+        for series in fig11::series(3) {
+            let peak = |t: &[(f64, f64)]| t.iter().map(|(_, c)| *c).fold(0.0, f64::max);
+            assert!(
+                peak(&series.java) > peak(&series.ent),
+                "{}: java should peak higher",
+                series.benchmark
+            );
+            assert!(peak(&series.java) > 65.0, "{}", series.benchmark);
+        }
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("long-name"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn sparkline_maps_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0], 0.0, 1.0);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+}

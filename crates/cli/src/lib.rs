@@ -1,0 +1,433 @@
+//! Implementation of the `ent` command-line driver.
+//!
+//! Subcommands:
+//!
+//! * `ent check <file.ent>` — parse and typecheck; print diagnostics with
+//!   source locations. With `--energy-types`, additionally reject the
+//!   dynamic features the static predecessor system cannot express.
+//! * `ent run <file.ent>` — compile and run `Main.main()` on a simulated
+//!   platform, printing the program output, the result, and the energy
+//!   measurement. Options: `--platform a|b|c`, `--battery <0..1>`,
+//!   `--seed <n>`, `--silent`, `--trace`.
+//! * `ent fmt <file.ent>` — parse and pretty-print to canonical form.
+//!
+//! The library half exists so integration tests can drive the CLI without
+//! spawning processes.
+
+use std::fmt::Write as _;
+
+use ent_baselines::{check_energy_types, EnergyTypesResult};
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{run, RuntimeConfig};
+use ent_syntax::{parse_program, print_program};
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// The subcommand.
+    pub command: Command,
+    /// The `.ent` source path.
+    pub path: String,
+    /// Platform: "a", "b", or "c".
+    pub platform: String,
+    /// Initial battery level.
+    pub battery: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Run silent (suppress ENT runtime errors).
+    pub silent: bool,
+    /// Print a temperature trace after the run.
+    pub trace: bool,
+    /// Print the structured energy-event log after the run (§6.3's
+    /// debugging view).
+    pub events: bool,
+    /// Apply the Energy Types (static-only) restriction in `check`.
+    pub energy_types: bool,
+}
+
+/// The CLI subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Parse + typecheck.
+    Check,
+    /// Compile + run.
+    Run,
+    /// Pretty-print.
+    Fmt,
+    /// Evaluate a single expression (the argument is the expression, not
+    /// a path).
+    Eval,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: ent <command> <file.ent> [options]
+
+commands:
+  check    parse and typecheck the program
+  run      compile and run Main.main() on a simulated platform
+  fmt      parse and pretty-print to canonical form
+  eval     evaluate one expression, e.g. ent eval '1 + 2 * 3'
+
+options:
+  --platform <a|b|c>   simulated platform (default: a, the Intel laptop)
+  --battery <0..1>     initial battery level (default: 1.0)
+  --seed <n>           simulator seed (default: 0)
+  --silent             suppress ENT runtime errors (the paper's silent mode)
+  --trace              print a temperature trace after the run
+  --events             print the energy-event log (snapshots, modes, failures)
+  --energy-types       (check) also enforce the static-only Energy Types subset
+";
+
+/// Parses command-line arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a usage-style message for unknown commands or malformed
+/// options.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        Some("check") => Command::Check,
+        Some("run") => Command::Run,
+        Some("fmt") => Command::Fmt,
+        Some("eval") => Command::Eval,
+        Some(other) => return Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    };
+    let Some(path) = it.next() else {
+        return Err(format!("missing <file.ent>\n\n{USAGE}"));
+    };
+    let mut options = Options {
+        command,
+        path: path.clone(),
+        platform: "a".to_string(),
+        battery: 1.0,
+        seed: 0,
+        silent: false,
+        trace: false,
+        events: false,
+        energy_types: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--platform" => {
+                let v = it.next().ok_or("--platform needs a value")?;
+                if !matches!(v.as_str(), "a" | "b" | "c") {
+                    return Err(format!("unknown platform `{v}` (expected a, b, or c)"));
+                }
+                options.platform = v.clone();
+            }
+            "--battery" => {
+                let v = it.next().ok_or("--battery needs a value")?;
+                options.battery = v
+                    .parse()
+                    .map_err(|_| format!("malformed battery level `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                options.seed = v.parse().map_err(|_| format!("malformed seed `{v}`"))?;
+            }
+            "--silent" => options.silent = true,
+            "--trace" => options.trace = true,
+            "--events" => options.events = true,
+            "--energy-types" => options.energy_types = true,
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Runs the CLI against already-loaded source text, returning
+/// `(exit_code, output)`.
+pub fn execute(options: &Options, src: &str) -> (i32, String) {
+    let mut out = String::new();
+    match options.command {
+        Command::Eval => {
+            // Wrap the expression in a scratch program; string
+            // concatenation renders any value kind.
+            let program = format!(
+                "class Main {{ unit main() {{ IO.print(\"\" + ({src})); return {{}}; }} }}"
+            );
+            let compiled = match compile(&program) {
+                Ok(c) => c,
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                    return (1, out);
+                }
+            };
+            let config = RuntimeConfig {
+                battery_level: options.battery,
+                seed: options.seed,
+                ..RuntimeConfig::default()
+            };
+            let result = run(&compiled, Platform::system_a(), config);
+            match &result.value {
+                Ok(_) => {
+                    for line in &result.output {
+                        let _ = writeln!(out, "{line}");
+                    }
+                    (0, out)
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "runtime error: {e}");
+                    (1, out)
+                }
+            }
+        }
+        Command::Fmt => match parse_program(src) {
+            Ok(program) => {
+                out.push_str(&print_program(&program));
+                (0, out)
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {}", e.render(src));
+                (1, out)
+            }
+        },
+        Command::Check => {
+            if options.energy_types {
+                match check_energy_types(src) {
+                    EnergyTypesResult::Static(_) => {
+                        let _ = writeln!(out, "ok: well-typed under Energy Types (fully static)");
+                        (0, out)
+                    }
+                    EnergyTypesResult::RequiresEnt(features) => {
+                        let _ = writeln!(
+                            out,
+                            "requires ENT: the program is well-typed but uses dynamic features:"
+                        );
+                        for f in features {
+                            let _ = writeln!(out, "  - {f}");
+                        }
+                        (2, out)
+                    }
+                    EnergyTypesResult::Rejected(e) => {
+                        let _ = writeln!(out, "error: {}", e.render(src));
+                        (1, out)
+                    }
+                }
+            } else {
+                match compile(src) {
+                    Ok(compiled) => {
+                        let _ = writeln!(
+                            out,
+                            "ok: {} classes, {} modes",
+                            compiled.program.classes.len(),
+                            compiled.program.mode_table.modes().len()
+                        );
+                        (0, out)
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "error: {}", e.render(src));
+                        (1, out)
+                    }
+                }
+            }
+        }
+        Command::Run => {
+            let compiled = match compile(src) {
+                Ok(c) => c,
+                Err(e) => {
+                    let _ = writeln!(out, "error: {}", e.render(src));
+                    return (1, out);
+                }
+            };
+            let platform = match options.platform.as_str() {
+                "b" => Platform::system_b(),
+                "c" => Platform::system_c(),
+                _ => Platform::system_a(),
+            };
+            let config = RuntimeConfig {
+                silent: options.silent,
+                battery_level: options.battery,
+                seed: options.seed,
+                trace_interval_s: options.trace.then_some(1.0),
+                ..RuntimeConfig::default()
+            };
+            let result = run(&compiled, platform, config);
+            for line in &result.output {
+                let _ = writeln!(out, "{line}");
+            }
+            let code = match &result.value {
+                Ok(v) => {
+                    let pretty = result.value_pretty.clone().unwrap_or_else(|| v.to_string());
+                    let _ = writeln!(out, "result: {pretty}");
+                    0
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "runtime error: {e}");
+                    1
+                }
+            };
+            let m = &result.measurement;
+            let _ = writeln!(
+                out,
+                "energy: {:.2} J over {:.2} s (peak {:.1} °C, battery {:.0}%)",
+                m.energy_j,
+                m.time_s,
+                m.peak_temp_c,
+                m.battery_level * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "runtime: {} snapshots, {} copies, {} EnergyExceptions, {} dynamic allocations",
+                result.stats.snapshots,
+                result.stats.copies,
+                result.stats.energy_exceptions,
+                result.stats.dynamic_allocs
+            );
+            if options.events {
+                let _ = writeln!(out, "events:");
+                for event in &result.events {
+                    use ent_runtime::EnergyEvent::*;
+                    match event {
+                        DynamicAlloc { at_s, class } => {
+                            let _ = writeln!(out, "  [{at_s:8.3}s] alloc dynamic {class}");
+                        }
+                        Snapshot { at_s, class, mode, bounds, copied, failed } => {
+                            let status = if *failed {
+                                "FAILED CHECK"
+                            } else if *copied {
+                                "copied"
+                            } else {
+                                "tagged in place"
+                            };
+                            let _ = writeln!(
+                                out,
+                                "  [{at_s:8.3}s] snapshot {class} -> {mode} in [{}, {}] ({status})",
+                                bounds.0, bounds.1
+                            );
+                        }
+                        DfallFailure { at_s, target, receiver_mode, sender_mode } => {
+                            let _ = writeln!(
+                                out,
+                                "  [{at_s:8.3}s] waterfall violation at {target}: receiver {receiver_mode} > sender {sender_mode}"
+                            );
+                        }
+                    }
+                }
+            }
+            if options.trace && !result.trace.is_empty() {
+                let temps: Vec<f64> = result.trace.iter().map(|(_, c)| *c).collect();
+                let _ = writeln!(out, "trace (°C): {}", summarize_trace(&temps));
+            }
+            (code, out)
+        }
+    }
+}
+
+fn summarize_trace(temps: &[f64]) -> String {
+    let chunked: Vec<String> = temps
+        .chunks((temps.len() / 20).max(1))
+        .map(|c| format!("{:.0}", c.iter().sum::<f64>() / c.len() as f64))
+        .collect();
+    chunked.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_defaults() {
+        let o = parse_args(&args(&["run", "x.ent"])).unwrap();
+        assert_eq!(o.command, Command::Run);
+        assert_eq!(o.platform, "a");
+        assert_eq!(o.battery, 1.0);
+        assert!(!o.silent);
+    }
+
+    #[test]
+    fn parse_args_options() {
+        let o = parse_args(&args(&[
+            "run", "x.ent", "--platform", "b", "--battery", "0.4", "--seed", "9", "--silent",
+            "--trace",
+        ]))
+        .unwrap();
+        assert_eq!(o.platform, "b");
+        assert_eq!(o.battery, 0.4);
+        assert_eq!(o.seed, 9);
+        assert!(o.silent && o.trace);
+    }
+
+    #[test]
+    fn parse_args_rejects_unknowns() {
+        assert!(parse_args(&args(&["frobnicate", "x.ent"])).is_err());
+        assert!(parse_args(&args(&["run"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--wat"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--platform", "z"])).is_err());
+    }
+
+    const HELLO: &str = "class Main { int main() { IO.print(\"hi\"); return 41 + 1; } }";
+
+    #[test]
+    fn check_reports_ok() {
+        let o = parse_args(&args(&["check", "x.ent"])).unwrap();
+        let (code, out) = execute(&o, HELLO);
+        assert_eq!(code, 0);
+        assert!(out.contains("ok:"));
+    }
+
+    #[test]
+    fn check_reports_errors_with_locations() {
+        let o = parse_args(&args(&["check", "x.ent"])).unwrap();
+        let (code, out) = execute(&o, "class Main { int main() { return true; } }");
+        assert_eq!(code, 1);
+        assert!(out.contains("1:"));
+    }
+
+    #[test]
+    fn run_prints_output_result_and_measurement() {
+        let o = parse_args(&args(&["run", "x.ent"])).unwrap();
+        let (code, out) = execute(&o, HELLO);
+        assert_eq!(code, 0);
+        assert!(out.contains("hi"));
+        assert!(out.contains("result: 42"));
+        assert!(out.contains("energy:"));
+    }
+
+    #[test]
+    fn fmt_roundtrips() {
+        let o = parse_args(&args(&["fmt", "x.ent"])).unwrap();
+        let (code, out) = execute(&o, HELLO);
+        assert_eq!(code, 0);
+        // The formatted output must parse again.
+        assert!(parse_program(&out).is_ok());
+    }
+
+    #[test]
+    fn eval_evaluates_expressions() {
+        let o = parse_args(&args(&["eval", "1 + 2 * 3"])).unwrap();
+        let (code, out) = execute(&o, "1 + 2 * 3");
+        assert_eq!(code, 0);
+        assert_eq!(out.trim(), "7");
+
+        let (code, out) = execute(&o, "Str.sub(\"snapshot\", 0, 4)");
+        assert_eq!(code, 0, "{out}");
+        assert_eq!(out.trim(), "snap");
+
+        let (code, out) = execute(&o, "1 +");
+        assert_eq!(code, 1);
+        assert!(out.contains("error"));
+    }
+
+    #[test]
+    fn energy_types_check_distinguishes_static_from_dynamic() {
+        let o = parse_args(&args(&["check", "x.ent", "--energy-types"])).unwrap();
+        let (code, _) = execute(&o, HELLO);
+        assert_eq!(code, 0);
+
+        let dynamic = "modes { low <= high; }
+            class D@mode<?> { attributor { return low; } }
+            class Main { unit main() { let d = new D(); return {}; } }";
+        let (code, out) = execute(&o, dynamic);
+        assert_eq!(code, 2);
+        assert!(out.contains("requires ENT"));
+    }
+}

@@ -1,0 +1,30 @@
+//! The `ent` command-line driver. See [`ent_cli`] for the implementation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match ent_cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    // `eval` takes the expression text itself; the other commands read a
+    // file.
+    let src = if options.command == ent_cli::Command::Eval {
+        options.path.clone()
+    } else {
+        match std::fs::read_to_string(&options.path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read `{}`: {e}", options.path);
+                return ExitCode::from(1);
+            }
+        }
+    };
+    let (code, output) = ent_cli::execute(&options, &src);
+    print!("{output}");
+    ExitCode::from(code as u8)
+}

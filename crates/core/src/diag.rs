@@ -1,0 +1,114 @@
+//! Type-error diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+use ent_syntax::{LineMap, Span};
+
+/// The category of a type error — useful for tests and tooling that assert
+/// on *why* a program was rejected, mirroring the paper's discussion of
+/// "energy bugs" surfaced at compile time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TypeErrorKind {
+    /// A message send violates the static waterfall invariant
+    /// (`sfall(T, Γ(this), K)` fails): the receiver's mode is not known to
+    /// be at or below the sender's mode.
+    WaterfallViolation,
+    /// A message was sent directly to an object with the dynamic mode `?`
+    /// (it must be `snapshot`-ted first).
+    MessagedDynamic,
+    /// Reference to an unknown class.
+    UnknownClass,
+    /// Reference to an unknown variable, field, or method.
+    UnknownMember,
+    /// An expression's type does not match what the context requires.
+    Mismatch,
+    /// A mode annotation is malformed: wrong arity, wrong dynamicness, an
+    /// out-of-scope mode variable, or unsatisfied mode bounds.
+    BadModeInstantiation,
+    /// A `snapshot` of something that is not a dynamic object.
+    BadSnapshot,
+    /// A mode case that does not cover every declared mode, or an
+    /// elimination with no mode available.
+    BadModeCase,
+    /// A cast between unrelated types (statically doomed).
+    BadCast,
+    /// Wrong number of arguments.
+    Arity,
+    /// A structural problem with a declaration (override mismatch, missing
+    /// `Main`, constructor parameter mentioning a hidden internal mode, …).
+    BadDeclaration,
+}
+
+impl fmt::Display for TypeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeErrorKind::WaterfallViolation => "waterfall violation",
+            TypeErrorKind::MessagedDynamic => "message to dynamic object",
+            TypeErrorKind::UnknownClass => "unknown class",
+            TypeErrorKind::UnknownMember => "unknown member",
+            TypeErrorKind::Mismatch => "type mismatch",
+            TypeErrorKind::BadModeInstantiation => "bad mode instantiation",
+            TypeErrorKind::BadSnapshot => "bad snapshot",
+            TypeErrorKind::BadModeCase => "bad mode case",
+            TypeErrorKind::BadCast => "bad cast",
+            TypeErrorKind::Arity => "arity mismatch",
+            TypeErrorKind::BadDeclaration => "bad declaration",
+        })
+    }
+}
+
+/// A type error with its source span and a human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeError {
+    /// The category of the error.
+    pub kind: TypeErrorKind,
+    /// What went wrong, in terms of the program's names and modes.
+    pub message: String,
+    /// Where it happened.
+    pub span: Span,
+}
+
+impl TypeError {
+    /// Creates a type error.
+    pub fn new(kind: TypeErrorKind, message: impl Into<String>, span: Span) -> Self {
+        TypeError { kind, message: message.into(), span }
+    }
+
+    /// Renders the error with `line:col` resolved against the source text.
+    pub fn render(&self, src: &str) -> String {
+        let map = LineMap::new(src);
+        format!("{}: {}: {}", map.describe(self.span), self.kind, self.message)
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_location_kind_and_message() {
+        let e = TypeError::new(
+            TypeErrorKind::WaterfallViolation,
+            "receiver mode `full_throttle` exceeds sender mode `managed`",
+            Span::new(2, 3),
+        );
+        let rendered = e.render("a\nbc");
+        assert!(rendered.starts_with("2:1: waterfall violation"));
+        assert!(rendered.contains("full_throttle"));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = TypeError::new(TypeErrorKind::Mismatch, "int vs string", Span::DUMMY);
+        assert!(e.to_string().contains("int vs string"));
+    }
+}

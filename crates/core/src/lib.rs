@@ -1,0 +1,57 @@
+//! The ENT mixed type system and compiler pipeline.
+//!
+//! This crate is the primary contribution of the reproduced paper,
+//! "Proactive and Adaptive Energy-Aware Programming with Mixed Typechecking"
+//! (Canino & Liu, PLDI 2017): a type system that combines *static* mode
+//! qualifiers (proactive energy management — the programmer characterizes a
+//! component's energy behavior at compile time) with *dynamic* mode types
+//! (adaptive energy management — the mode is decided at run time by an
+//! attributor), unified so that the waterfall invariant holds across the
+//! static/dynamic boundary.
+//!
+//! # The waterfall invariant
+//!
+//! An object may only message objects whose mode is at or below its own:
+//! a component booted for `energy_saver` can never accidentally drive a
+//! `full_throttle` workload. Statically-typed sends are checked at compile
+//! time ([`typecheck`]); dynamically-typed objects must be `snapshot`-ted —
+//! which evaluates their attributor, checks the declared bounds, and yields
+//! a static existential type — before they can be messaged.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ent_core::compile;
+//!
+//! let compiled = compile(
+//!     "modes { energy_saver <= managed; managed <= full_throttle; }
+//!      class Agent@mode<? <= X> {
+//!        attributor {
+//!          if (Ext.battery() >= 0.75) { return full_throttle; }
+//!          else if (Ext.battery() >= 0.50) { return managed; }
+//!          else { return energy_saver; }
+//!        }
+//!        mcase<int> depth = mcase{ energy_saver: 1; managed: 2; full_throttle: 3; };
+//!        int work(int units) { return units * (this.depth <| X); }
+//!      }
+//!      class Main {
+//!        int main() {
+//!          let da = new Agent();
+//!          let a = snapshot da [_, _];
+//!          return a.work(10);
+//!        }
+//!      }",
+//! )?;
+//! assert_eq!(compiled.program.mode_table.modes().len(), 3);
+//! # Ok::<(), ent_core::CompileError>(())
+//! ```
+
+mod diag;
+mod pipeline;
+mod subtype;
+mod typeck;
+
+pub use diag::{TypeError, TypeErrorKind};
+pub use pipeline::{compile, compile_unchecked, CompileError, CompiledProgram};
+pub use subtype::{ancestor_args, is_subtype, mode_eq_static};
+pub use typeck::typecheck;

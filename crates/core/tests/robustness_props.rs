@@ -1,0 +1,74 @@
+//! Robustness fuzzing: the pipeline must never panic, whatever bytes it is
+//! fed — malformed programs produce diagnostics, not crashes.
+
+use ent_core::compile;
+use ent_syntax::{lex, parse_program};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the lexer.
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_program(&input);
+    }
+
+    /// Token-soup built from the language's own vocabulary never panics
+    /// the full pipeline (these inputs get much deeper into the parser and
+    /// typechecker than random characters do).
+    #[test]
+    fn pipeline_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "class", "extends", "modes", "attributor", "snapshot", "mcase",
+                "new", "let", "if", "else", "return", "try", "catch", "this",
+                "true", "false", "bot", "top", "int", "unit", "Main", "Agent",
+                "x", "f", "m1", "m2", "@", "mode", "<", ">", "<=", "(", ")",
+                "{", "}", "[", "]", ",", ";", ":", ".", "=", "==", "+", "-",
+                "*", "/", "!", "&&", "||", "<|", "_", "?", "0", "1", "3.5",
+                "\"s\"",
+            ]),
+            0..60,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = compile(&input);
+    }
+
+    /// Mutations of a valid program — random single-token deletions —
+    /// never panic, and either compile or produce diagnostics.
+    #[test]
+    fn pipeline_survives_mutations(cut in 0usize..400) {
+        let src = "modes { low <= high; }
+            class Agent@mode<? <= X> {
+              mcase<int> depth = mcase{ low: 1; high: 2; };
+              attributor {
+                if (Ext.battery() >= 0.5) { return high; } else { return low; }
+              }
+              int work(int n) { return n * (this.depth <| X); }
+            }
+            class Main {
+              int main() {
+                let da = new Agent();
+                let Agent a = snapshot da [_, _];
+                return a.work(10);
+              }
+            }";
+        let bytes = src.as_bytes();
+        if cut >= bytes.len() {
+            return Ok(());
+        }
+        // Remove one character (keeping UTF-8 validity: the source is ASCII).
+        let mut mutated = String::with_capacity(src.len());
+        mutated.push_str(&src[..cut]);
+        mutated.push_str(&src[cut + 1..]);
+        let _ = compile(&mutated);
+    }
+}

@@ -1,0 +1,502 @@
+//! Edge cases and corner behaviors of the mixed type system, beyond the
+//! paper-listing scenarios in `typeck_scenarios.rs`.
+
+use ent_core::{compile, CompileError, TypeErrorKind};
+
+fn kinds(src: &str) -> Vec<TypeErrorKind> {
+    match compile(src) {
+        Ok(_) => Vec::new(),
+        Err(CompileError::Type(errors)) => errors.iter().map(|e| e.kind).collect(),
+        Err(other) => panic!("expected type errors or success, got: {other}"),
+    }
+}
+
+fn assert_ok(src: &str) {
+    if let Err(e) = compile(src) {
+        panic!("expected the program to typecheck, got:\n{}", e.render(src));
+    }
+}
+
+fn assert_kind(src: &str, kind: TypeErrorKind) {
+    let found = kinds(src);
+    assert!(found.contains(&kind), "expected {kind:?}, found {found:?}");
+}
+
+const MODES: &str = "modes { energy_saver <= managed; managed <= full_throttle; }\n";
+
+#[test]
+fn local_shadowing_uses_the_innermost_binding() {
+    assert_ok(
+        "class Main {
+           int main() {
+             let x = 1;
+             let y = {
+               let x = \"shadow\";
+               Str.len(x)
+             };
+             return x + y;
+           }
+         }",
+    );
+}
+
+#[test]
+fn a_typo_in_a_mode_name_is_an_unscoped_variable_error() {
+    // `managd` parses as a mode *variable* (not a declared constant), and
+    // no such variable is in scope.
+    let src = format!(
+        "{MODES}
+        class S@mode<X> {{ }}
+        class Main {{
+          unit main() {{
+            let s = new S@mode<managd>();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadModeInstantiation);
+}
+
+#[test]
+fn classes_with_multiple_mode_parameters() {
+    let src = format!(
+        "{MODES}
+        class Channel@mode<X, Y> {{
+          Producer@mode<Y> producer;
+          Producer@mode<Y> get() {{ return this.producer; }}
+        }}
+        class Producer@mode<P> {{ }}
+        class Main {{
+          unit main() {{
+            let c = new Channel@mode<full_throttle, energy_saver>(
+              new Producer@mode<energy_saver>());
+            let p = c.get();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+
+    // Wrong arity is caught.
+    let bad = format!(
+        "{MODES}
+        class Channel@mode<X, Y> {{ }}
+        class Main {{
+          unit main() {{
+            let c = new Channel@mode<managed>();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&bad, TypeErrorKind::BadModeInstantiation);
+}
+
+#[test]
+fn arrays_of_moded_objects_are_covariant() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class DepthRule@mode<X> extends Rule@mode<X> {{ }}
+        class Main {{
+          unit main() {{
+            let Rule@mode<managed>[] rules =
+              [new DepthRule@mode<managed>(), new Rule@mode<managed>()];
+            let first = Arr.get(rules, 0);
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+
+    // But modes stay invariant inside the element type.
+    let bad = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class Main {{
+          unit main() {{
+            let Rule@mode<managed>[] rules = [new Rule@mode<full_throttle>()];
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&bad, TypeErrorKind::Mismatch);
+}
+
+#[test]
+fn mcase_of_objects_and_nested_mcase_types() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class C@mode<X> {{
+          mcase<Rule@mode<X>> pick = mcase{{
+            energy_saver: new Rule@mode<X>();
+            managed: new Rule@mode<X>();
+            full_throttle: new Rule@mode<X>();
+          }};
+          Rule@mode<X> choose() {{ return this.pick <| X; }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+#[test]
+fn snapshot_of_a_snapshot_result_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class D@mode<? <= X> {{ attributor {{ return managed; }} }}
+        class Main {{
+          unit main() {{
+            let d = new D();
+            let D s = snapshot d [_, _];
+            let D t = snapshot s [_, _];
+            return {{}};
+          }}
+        }}"
+    );
+    // The first snapshot's result has a static (existential) mode; the
+    // second snapshot therefore fails T-Snapshot.
+    assert_kind(&src, TypeErrorKind::BadSnapshot);
+}
+
+#[test]
+fn method_mode_parameter_shadowing_class_parameter_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class C@mode<X> {{
+          int f<X>(int n) {{ return n; }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadDeclaration);
+}
+
+#[test]
+fn three_level_waterfall_chain() {
+    // high → mid → low is fine; a low link calling upward is not.
+    let ok = format!(
+        "{MODES}
+        class Low@mode<L> {{ int go() {{ return 1; }} }}
+        class Mid@mode<energy_saver <= M <= full_throttle> {{
+          Low@mode<energy_saver> low;
+          int go() {{ return this.low.go(); }}
+        }}
+        class High@mode<full_throttle> {{
+          Mid@mode<managed> mid;
+          int go() {{ return this.mid.go(); }}
+        }}"
+    );
+    assert_ok(&ok);
+
+    let bad = format!(
+        "{MODES}
+        class Low@mode<L> {{
+          High@mode<full_throttle> up;
+          int go() {{ return this.up.go(); }}
+        }}
+        class High@mode<full_throttle> {{ int go() {{ return 2; }} }}"
+    );
+    assert_kind(&bad, TypeErrorKind::WaterfallViolation);
+}
+
+#[test]
+fn dynamic_class_with_bounded_internal_parameter() {
+    let src = format!(
+        "{MODES}
+        class D@mode<? <= X <= managed> {{
+          attributor {{ return energy_saver; }}
+          int f() {{ return 1; }}
+        }}
+        class Booter@mode<managed> {{
+          int go() {{
+            let d = new D();
+            // The internal upper bound makes this snapshot statically safe
+            // to message from a managed context.
+            let D s = snapshot d [_, managed];
+            return s.f();
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+#[test]
+fn calls_on_this_inside_a_dynamic_class_use_the_internal_view() {
+    let src = format!(
+        "{MODES}
+        class D@mode<? <= X> {{
+          attributor {{ return managed; }}
+          int outer() {{ return this.inner() + 1; }}
+          int inner() {{ return 1; }}
+        }}
+        class Main {{
+          int main() {{
+            let d = new D();
+            let D s = snapshot d [_, _];
+            return s.outer();
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+#[test]
+fn trailing_expression_is_the_block_value() {
+    assert_ok(
+        "class Main {
+           int main() {
+             let v = { 1; 2; 3 };
+             return v;
+           }
+         }",
+    );
+}
+
+#[test]
+fn return_type_checking_through_all_paths() {
+    let src = "class Main {
+        int main() {
+          if (true) { return 1; }
+          return \"two\";
+        }
+      }";
+    assert_kind(src, TypeErrorKind::Mismatch);
+}
+
+#[test]
+fn generic_method_call_on_moded_receiver_checks_waterfall() {
+    // The generic method's *receiver* still obeys the waterfall even when
+    // the method itself has mode parameters.
+    let src = format!(
+        "{MODES}
+        class Factory@mode<full_throttle> {{
+          Rule@mode<s> make<s>() {{ return new Rule@mode<s>(); }}
+        }}
+        class Rule@mode<R> {{ }}
+        class Booter@mode<energy_saver> {{
+          unit go() {{
+            let f = new Factory();
+            let r = f.make@mode<energy_saver>();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::WaterfallViolation);
+}
+
+#[test]
+fn mode_arguments_resolve_through_generic_contexts() {
+    // X flows from the instantiating context into a nested generic use.
+    let src = format!(
+        "{MODES}
+        class Inner@mode<I> {{ }}
+        class Outer@mode<X> {{
+          Inner@mode<X> make() {{ return new Inner@mode<X>(); }}
+        }}
+        class Main {{
+          unit main() {{
+            let o = new Outer@mode<managed>();
+            let Inner@mode<managed> i = o.make();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+
+    // ...and the result's mode is precise, not forgettable:
+    let bad = format!(
+        "{MODES}
+        class Inner@mode<I> {{ }}
+        class Outer@mode<X> {{
+          Inner@mode<X> make() {{ return new Inner@mode<X>(); }}
+        }}
+        class Main {{
+          unit main() {{
+            let o = new Outer@mode<managed>();
+            let Inner@mode<full_throttle> i = o.make();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&bad, TypeErrorKind::Mismatch);
+}
+
+#[test]
+fn unit_returning_method_accepts_empty_block() {
+    assert_ok("class C { unit nop() { return {}; } unit nop2() { } }");
+}
+
+#[test]
+fn attributor_can_inspect_own_fields_of_dynamic_this() {
+    let src = format!(
+        "{MODES}
+        class D@mode<? <= X> {{
+          int size;
+          attributor {{
+            if (this.size > 10) {{ return full_throttle; }}
+            else {{ return energy_saver; }}
+          }}
+        }}
+        class Main {{
+          unit main() {{
+            let d = new D(50);
+            let D s = snapshot d [_, _];
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+#[test]
+fn string_concatenation_accepts_mixed_operands() {
+    assert_ok(
+        "class Main {
+           string main() {
+             return \"n=\" + Str.ofInt(3) + \"; b=\" + Str.ofDouble(2.5);
+           }
+         }",
+    );
+}
+
+#[test]
+fn division_type_rules() {
+    assert_ok("class Main { int main() { return 7 / 2 % 3; } }");
+    assert_kind(
+        "class Main { double main() { return 7 / 2.0; } }",
+        TypeErrorKind::Mismatch,
+    );
+}
+
+#[test]
+fn new_infers_mode_arguments_from_the_expected_type() {
+    let src = format!(
+        "{MODES}
+        class Site@mode<S> {{ int n; }}
+        class Main {{
+          unit main() {{
+            let Site@mode<managed> s = new Site(10);
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+
+    // Without an expected instantiation it is still an error.
+    let bad = format!(
+        "{MODES}
+        class Site@mode<S> {{ int n; }}
+        class Main {{
+          unit main() {{
+            let s = new Site(10);
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&bad, TypeErrorKind::BadModeInstantiation);
+}
+
+#[test]
+fn new_inference_checks_the_inferred_bounds() {
+    let src = format!(
+        "{MODES}
+        class Bounded@mode<managed <= B <= full_throttle> {{ }}
+        class Main {{
+          unit main() {{
+            let Bounded@mode<energy_saver> b = new Bounded();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadModeInstantiation);
+}
+
+#[test]
+fn multiple_errors_are_all_reported() {
+    let src = format!(
+        "{MODES}
+        class Heavy@mode<full_throttle> {{ int run() {{ return 1; }} }}
+        class Booter@mode<energy_saver> {{
+          int a() {{ let h = new Heavy(); return h.run(); }}   // waterfall
+          int b() {{ return \"no\"; }}                          // mismatch
+          int c() {{ return this.nope(); }}                     // unknown member
+        }}"
+    );
+    let found = kinds(&src);
+    assert!(found.contains(&TypeErrorKind::WaterfallViolation), "{found:?}");
+    assert!(found.contains(&TypeErrorKind::Mismatch), "{found:?}");
+    assert!(found.contains(&TypeErrorKind::UnknownMember), "{found:?}");
+    assert!(found.len() >= 3);
+}
+
+#[test]
+fn diamond_lattice_programs_work_end_to_end() {
+    // A non-linear lattice: io and cpu are incomparable siblings between
+    // idle and busy. Waterfall checks follow the partial order.
+    let src = "modes { idle <= io; idle <= cpu; io <= busy; cpu <= busy; }
+        class IoWorker@mode<W> { int run() { return 1; } }
+        class Boss@mode<busy> {
+          int go() {
+            let w = new IoWorker@mode<io>();
+            return w.run();
+          }
+        }
+        class CpuBoss@mode<cpu> {
+          IoWorker@mode<io> w;
+          // io and cpu are incomparable: calling across is a violation.
+          int bad() { return this.w.run(); }
+        }";
+    let found = kinds(src);
+    // Exactly one violation: CpuBoss.bad (Boss.go is fine, busy ≥ io).
+    assert_eq!(
+        found,
+        vec![TypeErrorKind::WaterfallViolation],
+        "only the cross-sibling call violates"
+    );
+}
+
+#[test]
+fn method_attributor_with_named_internal_view() {
+    // Listing 3's saveImages: the method's own mode is decided at run
+    // time; the named view X is usable inside the body.
+    let src = format!(
+        "{MODES}
+        class JPEGWriter@mode<W> {{
+          mcase<int> quality = mcase{{ energy_saver: 30; managed: 60; full_throttle: 95; }};
+          int write() {{ return this.quality <| W; }}
+        }}
+        class Saver@mode<V> {{
+          int parsedimgs;
+          int saveImages<X>()
+            attributor {{
+              if (this.parsedimgs > 20) {{ return full_throttle; }}
+              else if (this.parsedimgs > 10) {{ return managed; }}
+              else {{ return energy_saver; }}
+            }}
+          {{
+            let writer = new JPEGWriter@mode<X>();
+            return writer.write();
+          }}
+        }}
+        class Main {{
+          int main() {{
+            let s = new Saver@mode<full_throttle>(25);
+            return s.saveImages();
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+#[test]
+fn method_attributor_view_must_not_leak_into_the_signature() {
+    let src = format!(
+        "{MODES}
+        class W@mode<M> {{ }}
+        class Saver@mode<V> {{
+          int n;
+          W@mode<X> make<X>()
+            attributor {{ return managed; }}
+          {{ return new W@mode<X>(); }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadDeclaration);
+}

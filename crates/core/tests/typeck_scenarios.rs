@@ -1,0 +1,679 @@
+//! Typechecker scenarios mirroring the paper's listings and discussion.
+
+use ent_core::{compile, CompileError, TypeErrorKind};
+
+fn kinds(src: &str) -> Vec<TypeErrorKind> {
+    match compile(src) {
+        Ok(_) => Vec::new(),
+        Err(CompileError::Type(errors)) => errors.iter().map(|e| e.kind).collect(),
+        Err(other) => panic!("expected type errors or success, got: {other}"),
+    }
+}
+
+fn assert_ok(src: &str) {
+    if let Err(e) = compile(src) {
+        panic!("expected the program to typecheck, got:\n{}", e.render(src));
+    }
+}
+
+fn assert_kind(src: &str, kind: TypeErrorKind) {
+    let found = kinds(src);
+    assert!(
+        found.contains(&kind),
+        "expected a {kind:?} error, found {found:?}"
+    );
+}
+
+const MODES: &str = "modes { energy_saver <= managed; managed <= full_throttle; }\n";
+
+/// The paper's Listing 1, adapted to the reproduction's concrete syntax:
+/// a dynamic Agent with an attributor, a dynamic Site, bounded snapshots,
+/// and a depth mode case.
+#[test]
+fn listing1_web_crawler_typechecks() {
+    let src = format!(
+        "{MODES}
+        class Site@mode<? <= S> {{
+          int resources;
+          attributor {{
+            if (this.resources > 200) {{ return full_throttle; }}
+            else if (this.resources > 50) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int crawl(int depth) {{ return this.resources * depth; }}
+        }}
+        class Agent@mode<? <= X> {{
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          attributor {{
+            if (Ext.battery() >= 0.75) {{ return full_throttle; }}
+            else if (Ext.battery() >= 0.50) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int work(int resources) {{
+            let ds = new Site(resources);
+            let Site s = snapshot ds [_, X];
+            return s.crawl(this.depth <| X);
+          }}
+        }}
+        class Main {{
+          int main() {{
+            let da = new Agent();
+            let Agent a = snapshot da [_, _];
+            return a.work(100);
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Forgetting the `[_, X]` bound on the inner snapshot makes the crawl call
+/// unprovable: the snapshot's fresh mode is unbounded above, so it is not
+/// known to sit below the Agent's mode X. This is exactly the debugging
+/// scenario of §6.3.
+#[test]
+fn missing_snapshot_bound_is_a_waterfall_violation() {
+    let src = format!(
+        "{MODES}
+        class Site@mode<? <= S> {{
+          int resources;
+          attributor {{ return managed; }}
+          int crawl(int depth) {{ return this.resources * depth; }}
+        }}
+        class Agent@mode<? <= X> {{
+          attributor {{ return managed; }}
+          int work(int resources) {{
+            let ds = new Site(resources);
+            let Site s = snapshot ds [_, _];
+            return s.crawl(2);
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::WaterfallViolation);
+}
+
+/// Listing 3: `mediaCrawl` is annotated `@mode<full_throttle>`, so calling
+/// it from a generically-moded Agent is a compile-time error.
+#[test]
+fn method_mode_override_enforces_waterfall() {
+    let src = format!(
+        "{MODES}
+        class Site@mode<S> {{
+          int resources;
+          int crawl(int depth) {{ return this.resources * depth; }}
+          @mode<full_throttle> int mediaCrawl() {{ return this.resources * 10; }}
+        }}
+        class Agent@mode<X> {{
+          int work() {{
+            let s = new Site@mode<X>(10);
+            return s.mediaCrawl();
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::WaterfallViolation);
+}
+
+/// But booting from full_throttle makes the same call fine.
+#[test]
+fn method_mode_override_allows_full_throttle_sender() {
+    let src = format!(
+        "{MODES}
+        class Site@mode<S> {{
+          int resources;
+          @mode<full_throttle> int mediaCrawl() {{ return this.resources * 10; }}
+        }}
+        class Agent@mode<full_throttle> {{
+          int work() {{
+            let s = new Site@mode<full_throttle>(10);
+            return s.mediaCrawl();
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Messaging a dynamic object directly is rejected (T-Msg forbids `?` on
+/// the receiver).
+#[test]
+fn messaging_dynamic_object_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class Agent@mode<?> {{
+          attributor {{ return managed; }}
+          int work() {{ return 1; }}
+        }}
+        class Main {{
+          int main() {{
+            let da = new Agent();
+            return da.work();
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::MessagedDynamic);
+}
+
+/// Reading fields of a dynamic object (other than `this`) is rejected too.
+#[test]
+fn reading_fields_of_dynamic_object_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class Agent@mode<?> {{
+          int cached;
+          attributor {{ return managed; }}
+        }}
+        class Main {{
+          int main() {{
+            let da = new Agent(5);
+            return da.cached;
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::MessagedDynamic);
+}
+
+/// Static waterfall between concrete modes: an energy_saver boot cannot
+/// call a full_throttle-moded object.
+#[test]
+fn concrete_waterfall_violation() {
+    let src = format!(
+        "{MODES}
+        class Heavy@mode<H> {{ int run() {{ return 1; }} }}
+        class Booter@mode<energy_saver> {{
+          int go() {{
+            let h = new Heavy@mode<full_throttle>();
+            return h.run();
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::WaterfallViolation);
+}
+
+/// The opposite direction obeys the waterfall: full_throttle may call
+/// energy_saver.
+#[test]
+fn downward_calls_are_allowed() {
+    let src = format!(
+        "{MODES}
+        class Light@mode<L> {{ int run() {{ return 1; }} }}
+        class Booter@mode<full_throttle> {{
+          int go() {{
+            let l = new Light@mode<energy_saver>();
+            return l.run();
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Listing 2's co-adaptation: a dynamic Agent instantiates Site and Rules
+/// at its internal generic mode X, so all parties share one mode.
+#[test]
+fn listing2_co_adaptation_typechecks() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class DepthRule@mode<X> extends Rule@mode<X> {{
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+        }}
+        class MaxResourcesRule@mode<X> extends Rule@mode<X> {{
+          mcase<int> maxresources = mcase{{ energy_saver: 50; managed: 100; full_throttle: 200; }};
+        }}
+        class Site@mode<S> {{
+          int resources;
+          int crawl(Rule@mode<S> r1, Rule@mode<S> r2) {{ return this.resources; }}
+        }}
+        class Agent@mode<? <= X> {{
+          attributor {{
+            if (Ext.battery() >= 0.75) {{ return full_throttle; }}
+            else if (Ext.battery() >= 0.50) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int work(int n) {{
+            let s = new Site@mode<X>(n);
+            return s.crawl(new DepthRule@mode<X>(), new MaxResourcesRule@mode<X>());
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Generic method modes with call-site inference (Listing 3's
+/// `generateRules`).
+#[test]
+fn generic_method_mode_inference() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class Site@mode<S> {{
+          int resources;
+          int crawl(Rule@mode<S> r) {{ return this.resources; }}
+        }}
+        class Agent@mode<X> {{
+          Rule@mode<s> generateRules<s>(Site@mode<s> site) {{
+            return new Rule@mode<s>();
+          }}
+          int work() {{
+            let site = new Site@mode<X>(10);
+            let r = this.generateRules(site);
+            return site.crawl(r);
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Explicit method-mode arguments are also accepted.
+#[test]
+fn explicit_method_mode_arguments() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class Factory@mode<F> {{
+          Rule@mode<s> make<s>() {{ return new Rule@mode<s>(); }}
+        }}
+        class Main {{
+          unit main() {{
+            let f = new Factory@mode<managed>();
+            let r = f.make@mode<energy_saver>();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Uninferable method modes are reported.
+#[test]
+fn uninferable_method_mode_is_an_error() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class Factory@mode<F> {{
+          Rule@mode<s> make<s>() {{ return new Rule@mode<s>(); }}
+        }}
+        class Main {{
+          unit main() {{
+            let f = new Factory@mode<managed>();
+            let r = f.make();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadModeInstantiation);
+}
+
+/// A mode case must cover every declared mode (T-MCase).
+#[test]
+fn incomplete_mode_case_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class C@mode<X> {{
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; }};
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadModeCase);
+}
+
+/// Duplicate arms are rejected.
+#[test]
+fn duplicate_mode_case_arm_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class C@mode<X> {{
+          mcase<int> depth =
+            mcase{{ energy_saver: 1; energy_saver: 9; managed: 2; full_throttle: 3; }};
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadModeCase);
+}
+
+/// Implicit elimination `<| _` needs an enclosing mode-carrying class.
+#[test]
+fn implicit_elim_in_neutral_class_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class C {{
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          int get() {{ return this.depth <| _; }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadModeCase);
+}
+
+/// Snapshot of a statically-moded object is rejected.
+#[test]
+fn snapshot_of_static_object_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class S@mode<X> {{ }}
+        class Main {{
+          unit main() {{
+            let s = new S@mode<managed>();
+            let t = snapshot s [_, _];
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadSnapshot);
+}
+
+/// Instantiating a dynamic class with a concrete mode is rejected (T-New's
+/// dynamicness agreement).
+#[test]
+fn dynamic_class_needs_dynamic_instantiation() {
+    let src = format!(
+        "{MODES}
+        class D@mode<?> {{ attributor {{ return managed; }} }}
+        class Main {{
+          unit main() {{
+            let d = new D@mode<managed>();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadModeInstantiation);
+}
+
+/// And vice versa: a static class cannot be instantiated with `?`.
+#[test]
+fn static_class_rejects_dynamic_instantiation() {
+    let src = format!(
+        "{MODES}
+        class S@mode<X> {{ }}
+        class Main {{
+          unit main() {{
+            let s = new S@mode<?>();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadModeInstantiation);
+}
+
+/// Mode bounds on generic classes are enforced at instantiation.
+#[test]
+fn bounded_generic_instantiation() {
+    let ok = format!(
+        "{MODES}
+        class Bounded@mode<energy_saver <= X <= managed> {{ }}
+        class Main {{
+          unit main() {{
+            let b = new Bounded@mode<managed>();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&ok);
+
+    let bad = format!(
+        "{MODES}
+        class Bounded@mode<energy_saver <= X <= managed> {{ }}
+        class Main {{
+          unit main() {{
+            let b = new Bounded@mode<full_throttle>();
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&bad, TypeErrorKind::BadModeInstantiation);
+}
+
+/// A pinned-mode class may be referenced bare; the mode is normalized.
+#[test]
+fn pinned_class_reference_normalizes() {
+    let src = format!(
+        "{MODES}
+        class Writer@mode<full_throttle> {{ int write() {{ return 1; }} }}
+        class Main {{
+          int main() {{
+            let w = new Writer();
+            return w.write();
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Method-level attributors make the method dynamically moded: calls are
+/// not statically waterfall-checked.
+#[test]
+fn method_level_attributor_permits_dynamic_calls() {
+    let src = format!(
+        "{MODES}
+        class Saver@mode<S> {{
+          int parsedimgs;
+          int saveImages(int n)
+            attributor {{
+              if (this.parsedimgs > 20) {{ return full_throttle; }}
+              else if (this.parsedimgs > 10) {{ return managed; }}
+              else {{ return energy_saver; }}
+            }}
+          {{ return n * this.parsedimgs; }}
+        }}
+        class Booter@mode<energy_saver> {{
+          int go() {{
+            let s = new Saver@mode<energy_saver>(30);
+            return s.saveImages(2);
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Casts between unrelated classes are statically rejected.
+#[test]
+fn unrelated_cast_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class A@mode<X> {{ }}
+        class B@mode<Y> {{ }}
+        class Main {{
+          unit main() {{
+            let a = new A@mode<managed>();
+            let b = (B@mode<managed>)a;
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadCast);
+}
+
+/// Downcasts are allowed statically (checked at run time).
+#[test]
+fn downcast_is_allowed() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class DepthRule@mode<X> extends Rule@mode<X> {{ }}
+        class Main {{
+          unit main() {{
+            let Rule@mode<managed> r = new DepthRule@mode<managed>();
+            let d = (DepthRule@mode<managed>)r;
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Overrides must preserve the signature including the method-level mode.
+#[test]
+fn incompatible_override_is_rejected() {
+    let src = format!(
+        "{MODES}
+        class A@mode<X> {{ int f(int n) {{ return n; }} }}
+        class B@mode<Y> extends A@mode<Y> {{ string f(int n) {{ return \"no\"; }} }}"
+    );
+    assert_kind(&src, TypeErrorKind::BadDeclaration);
+}
+
+/// mcase values flow implicitly into primitive positions (auto-elim).
+#[test]
+fn mcase_auto_elimination_in_operands() {
+    let src = format!(
+        "{MODES}
+        class C@mode<X> {{
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          int doubled() {{ return this.depth * 2; }}
+          int viaArg() {{ return this.take(this.depth); }}
+          int take(int d) {{ return d; }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// Mode constants are first-class only as attributor results: an attributor
+/// returning a non-mode is rejected.
+#[test]
+fn attributor_must_return_a_mode() {
+    let src = format!(
+        "{MODES}
+        class D@mode<?> {{
+          attributor {{ return 42; }}
+        }}"
+    );
+    assert_kind(&src, TypeErrorKind::Mismatch);
+}
+
+/// Unknown classes, members, variables.
+#[test]
+fn unknown_references_are_reported() {
+    assert_kind(
+        "class Main { unit main() { let x = new Ghost(); return {}; } }",
+        TypeErrorKind::UnknownClass,
+    );
+    assert_kind(
+        "class A { } class Main { int main() { let a = new A(); return a.nope(); } }",
+        TypeErrorKind::UnknownMember,
+    );
+    assert_kind(
+        "class Main { int main() { return nope; } }",
+        TypeErrorKind::UnknownMember,
+    );
+}
+
+/// Arity errors for constructors and methods.
+#[test]
+fn arity_errors() {
+    assert_kind(
+        "class A { int x; } class Main { unit main() { let a = new A(); return {}; } }",
+        TypeErrorKind::Arity,
+    );
+    assert_kind(
+        "class A { int f(int n) { return n; } }
+         class Main { int main() { let a = new A(); return a.f(); } }",
+        TypeErrorKind::Arity,
+    );
+}
+
+/// Branch type joining through subtyping.
+#[test]
+fn if_branches_join_through_subtyping() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class DepthRule@mode<X> extends Rule@mode<X> {{ }}
+        class MaxRule@mode<Y> extends Rule@mode<Y> {{ }}
+        class Main {{
+          unit main() {{
+            let Rule@mode<managed> r = if (true) {{ new DepthRule@mode<managed>() }}
+                                       else {{ new Rule@mode<managed>() }};
+            return {{}};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+
+    let bad = format!(
+        "{MODES}
+        class Main {{
+          unit main() {{
+            let x = if (true) {{ 1 }} else {{ \"two\" }};
+            return {{}};
+          }}
+        }}"
+    );
+    assert_kind(&bad, TypeErrorKind::Mismatch);
+}
+
+/// Builtin signatures are enforced.
+#[test]
+fn builtin_signature_errors() {
+    assert_kind(
+        "class Main { unit main() { Sim.work(3, 4.0); return {}; } }",
+        TypeErrorKind::Mismatch,
+    );
+    assert_kind(
+        "class Main { unit main() { Ext.battery(1.0); return {}; } }",
+        TypeErrorKind::Arity,
+    );
+    assert_kind(
+        "class Main { unit main() { Sim.unknownOp(); return {}; } }",
+        TypeErrorKind::UnknownMember,
+    );
+}
+
+/// Arrays: literals check against annotations; Arr builtins are generic.
+#[test]
+fn arrays_and_builtins() {
+    assert_ok(
+        "class Main {
+           int main() {
+             let int[] xs = [1, 2, 3];
+             let ys = Arr.push(xs, 4);
+             let int[] zs = Arr.sub(ys, 0, 2);
+             return Arr.get(zs, 0) + Arr.len(ys);
+           }
+         }",
+    );
+    assert_kind(
+        "class Main { unit main() { let int[] xs = [1, \"two\"]; return {}; } }",
+        TypeErrorKind::Mismatch,
+    );
+    assert_kind(
+        "class Main { unit main() { let xs = []; return {}; } }",
+        TypeErrorKind::Mismatch,
+    );
+}
+
+/// Snapshot bounds participate in the waterfall: a snapshot bounded above
+/// by `managed` may be messaged from a `managed` sender.
+#[test]
+fn bounded_snapshot_enables_static_call() {
+    let src = format!(
+        "{MODES}
+        class Worker@mode<? <= W> {{
+          attributor {{ return energy_saver; }}
+          int run() {{ return 1; }}
+        }}
+        class Boss@mode<managed> {{
+          int go() {{
+            let dw = new Worker();
+            let Worker w = snapshot dw [_, managed];
+            return w.run();
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}
+
+/// try/catch joins its branch types like if.
+#[test]
+fn try_catch_typing() {
+    let src = format!(
+        "{MODES}
+        class Worker@mode<? <= W> {{
+          attributor {{ return full_throttle; }}
+          int run() {{ return 10; }}
+        }}
+        class Main {{
+          int main() {{
+            let dw = new Worker();
+            return try {{
+              let Worker w = snapshot dw [_, managed];
+              w.run()
+            }} catch {{ 0 }};
+          }}
+        }}"
+    );
+    assert_ok(&src);
+}

@@ -1,0 +1,113 @@
+//! A simple battery model: finite capacity in joules, drained by consumed
+//! energy, queried by ENT attributors through `Ext.battery()`.
+//!
+//! The paper's System B (Raspberry Pi) has no battery interface at all, so
+//! its battery level was *simulated* in the original evaluation too — this
+//! model is the faithful substitute on every platform.
+
+/// A battery with a capacity in joules and a current charge.
+///
+/// # Example
+///
+/// ```
+/// use ent_energy::BatteryModel;
+///
+/// let mut b = BatteryModel::new(1000.0);
+/// assert_eq!(b.level(), 1.0);
+/// b.drain(250.0);
+/// assert!((b.level() - 0.75).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatteryModel {
+    capacity_j: f64,
+    charge_j: f64,
+}
+
+impl BatteryModel {
+    /// Creates a fully charged battery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_j` is not positive.
+    pub fn new(capacity_j: f64) -> Self {
+        assert!(capacity_j > 0.0, "battery capacity must be positive");
+        BatteryModel { capacity_j, charge_j: capacity_j }
+    }
+
+    /// The state of charge as a fraction in `[0, 1]`.
+    pub fn level(&self) -> f64 {
+        (self.charge_j / self.capacity_j).clamp(0.0, 1.0)
+    }
+
+    /// Sets the state of charge (fraction in `[0, 1]`), as the experiment
+    /// harness does to pin the boot mode.
+    pub fn set_level(&mut self, fraction: f64) {
+        self.charge_j = self.capacity_j * fraction.clamp(0.0, 1.0);
+    }
+
+    /// Removes `joules` of charge (floored at empty).
+    pub fn drain(&mut self, joules: f64) {
+        self.charge_j = (self.charge_j - joules.max(0.0)).max(0.0);
+    }
+
+    /// Remaining charge in joules.
+    pub fn charge_joules(&self) -> f64 {
+        self.charge_j
+    }
+
+    /// Total capacity in joules.
+    pub fn capacity_joules(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Whether the battery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.charge_j <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = BatteryModel::new(100.0);
+        assert_eq!(b.level(), 1.0);
+        b.drain(30.0);
+        assert!((b.level() - 0.7).abs() < 1e-12);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn drain_floors_at_zero() {
+        let mut b = BatteryModel::new(10.0);
+        b.drain(100.0);
+        assert_eq!(b.level(), 0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn negative_drain_is_ignored() {
+        let mut b = BatteryModel::new(10.0);
+        b.drain(-5.0);
+        assert_eq!(b.level(), 1.0);
+    }
+
+    #[test]
+    fn set_level_clamps() {
+        let mut b = BatteryModel::new(100.0);
+        b.set_level(0.4);
+        assert!((b.level() - 0.4).abs() < 1e-12);
+        b.set_level(1.5);
+        assert_eq!(b.level(), 1.0);
+        b.set_level(-0.1);
+        assert_eq!(b.level(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        BatteryModel::new(0.0);
+    }
+}

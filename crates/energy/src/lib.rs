@@ -1,0 +1,38 @@
+//! Simulated energy-conscious platforms for the ENT reproduction.
+//!
+//! The paper evaluates ENT on three physical systems: an Intel i5 laptop
+//! measured with jRAPL (System A), a Raspberry Pi 2 measured with a
+//! Watts Up? Pro (System B), and a Nexus 5X queried through Android's
+//! `BatteryManager` (System C). This crate substitutes faithful simulators:
+//! a virtual clock, calibrated power curves, a battery model, a
+//! Newton's-law thermal model, and per-run measurement noise matching the
+//! relative standard deviations the paper reports.
+//!
+//! The simulator is the *substrate* ENT programs execute against: the
+//! runtime's `Ext.battery()` / `Ext.temperature()` builtins read it, and
+//! `Sim.work` / `Sim.sleepMs` drive it.
+//!
+//! # Example
+//!
+//! ```
+//! use ent_energy::{EnergySim, Platform, WorkKind};
+//!
+//! // Crawl a 1000-resource site on the laptop, then idle briefly.
+//! let mut sim = EnergySim::new(Platform::system_a(), 7);
+//! sim.set_battery_level(0.9);
+//! sim.do_work(WorkKind::Net, 1000.0 * 1.0e6);
+//! sim.sleep_ms(200.0);
+//! let m = sim.finish();
+//! assert!(m.energy_j > 0.0);
+//! assert!(m.battery_level < 0.9);
+//! ```
+
+mod battery;
+mod platform;
+mod sim;
+mod thermal;
+
+pub use battery::BatteryModel;
+pub use platform::{Governor, Platform, PlatformKind, ThermalParams, WorkKind};
+pub use sim::{EnergySim, Measurement, RaplMeter, WattsUpMeter};
+pub use thermal::ThermalModel;

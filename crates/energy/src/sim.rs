@@ -1,0 +1,365 @@
+//! The energy simulator: a virtual clock plus power, battery, and thermal
+//! integration. This is the substitute for the paper's physical testbeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::battery::BatteryModel;
+use crate::platform::{Platform, WorkKind};
+use crate::thermal::ThermalModel;
+
+/// A point-in-time reading produced when a run finishes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Total energy consumed, in joules, including measurement noise.
+    pub energy_j: f64,
+    /// Virtual wall-clock duration of the run, in seconds.
+    pub time_s: f64,
+    /// Peak CPU temperature observed, in °C.
+    pub peak_temp_c: f64,
+    /// Battery level at the end of the run.
+    pub battery_level: f64,
+}
+
+/// The core simulator: executes abstract work and idle periods against a
+/// [`Platform`], integrating energy, battery drain, and CPU temperature on
+/// a virtual clock.
+///
+/// Runs are deterministic for a given seed; the per-run measurement noise
+/// (the paper's relative standard deviation) is applied when reading the
+/// final [`Measurement`].
+///
+/// # Example
+///
+/// ```
+/// use ent_energy::{EnergySim, Platform, WorkKind};
+///
+/// let mut sim = EnergySim::new(Platform::system_a(), 42);
+/// sim.do_work(WorkKind::Cpu, 2.0e9); // ~1 s of full-speed CPU work
+/// sim.sleep_ms(500.0);
+/// let m = sim.finish();
+/// assert!(m.time_s > 1.4 && m.time_s < 1.6);
+/// assert!(m.energy_j > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EnergySim {
+    platform: Platform,
+    time_s: f64,
+    energy_j: f64,
+    battery: BatteryModel,
+    thermal: ThermalModel,
+    peak_temp_c: f64,
+    rng: StdRng,
+    trace_interval_s: Option<f64>,
+    next_sample_s: f64,
+    trace: Vec<(f64, f64)>,
+}
+
+/// Default battery capacity: a laptop-scale 50 Wh pack, in joules. The
+/// experiment harness overrides the *level*, not the capacity.
+const DEFAULT_BATTERY_J: f64 = 50.0 * 3600.0;
+
+impl EnergySim {
+    /// Creates a simulator for a platform with a given RNG seed.
+    pub fn new(platform: Platform, seed: u64) -> Self {
+        let thermal = ThermalModel::new(platform.thermal);
+        let peak = thermal.temperature_c();
+        EnergySim {
+            platform,
+            time_s: 0.0,
+            energy_j: 0.0,
+            battery: BatteryModel::new(DEFAULT_BATTERY_J),
+            thermal,
+            peak_temp_c: peak,
+            rng: StdRng::seed_from_u64(seed),
+            trace_interval_s: None,
+            next_sample_s: 0.0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The platform being simulated.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Enables periodic `(time, temperature)` trace sampling (used by the
+    /// E3 temperature experiments).
+    pub fn enable_trace(&mut self, interval_s: f64) {
+        self.trace_interval_s = Some(interval_s.max(1e-3));
+        self.next_sample_s = self.time_s;
+        self.trace.clear();
+    }
+
+    /// The sampled temperature trace.
+    pub fn trace(&self) -> &[(f64, f64)] {
+        &self.trace
+    }
+
+    /// Pins the battery level (fraction), as the harness does before each
+    /// experiment to select the boot mode.
+    pub fn set_battery_level(&mut self, fraction: f64) {
+        self.battery.set_level(fraction);
+    }
+
+    /// The battery level queried by `Ext.battery()`.
+    pub fn battery_level(&self) -> f64 {
+        self.battery.level()
+    }
+
+    /// The CPU temperature queried by `Ext.temperature()`.
+    pub fn temperature_c(&self) -> f64 {
+        self.thermal.temperature_c()
+    }
+
+    /// The virtual clock, in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Cumulative energy so far (noise-free; the meter abstractions and
+    /// [`EnergySim::finish`] add measurement noise).
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Executes `units` of work of the given kind at full utilization.
+    pub fn do_work(&mut self, kind: WorkKind, units: f64) {
+        let dt = self.platform.seconds_for(kind, units);
+        self.advance(dt, 1.0);
+    }
+
+    /// Idles for a number of milliseconds (the ENT `Sim.sleepMs` builtin).
+    pub fn sleep_ms(&mut self, ms: f64) {
+        self.advance(ms.max(0.0) / 1000.0, 0.0);
+    }
+
+    /// Runs for `duration_s` at a fractional utilization — the model for
+    /// time-fixed workloads (video capture, emulation, Apps) whose energy
+    /// differences come from *power*, not runtime.
+    pub fn run_duty_cycle(&mut self, duration_s: f64, utilization: f64) {
+        self.advance(duration_s, utilization);
+    }
+
+    /// A uniform random double in `[0, 1)` (the ENT `Sim.rand` builtin) —
+    /// drawn from the seeded stream so runs stay reproducible.
+    pub fn rand(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Advances the clock by `dt` seconds at the given utilization,
+    /// integrating power, battery, temperature, and the trace.
+    fn advance(&mut self, dt: f64, utilization: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let watts = self.platform.power_at(utilization);
+        // Integrate in sub-steps so traces and thermal dynamics resolve.
+        let mut remaining = dt;
+        while remaining > 0.0 {
+            let h = remaining.min(0.25);
+            self.thermal.step(watts, h);
+            self.peak_temp_c = self.peak_temp_c.max(self.thermal.temperature_c());
+            self.energy_j += watts * h;
+            self.battery.drain(watts * h);
+            self.time_s += h;
+            if let Some(interval) = self.trace_interval_s {
+                while self.time_s >= self.next_sample_s {
+                    self.trace.push((self.next_sample_s, self.thermal.temperature_c()));
+                    self.next_sample_s += interval;
+                }
+            }
+            remaining -= h;
+        }
+    }
+
+    /// Finishes the run: applies the platform's per-run measurement noise
+    /// and returns the final [`Measurement`]. The simulator may continue to
+    /// be used afterwards (e.g. between iterations); `finish` is
+    /// non-destructive.
+    pub fn finish(&mut self) -> Measurement {
+        let noise: f64 = 1.0 + self.platform.noise_rsd * self.sample_standard_normal();
+        Measurement {
+            energy_j: self.energy_j * noise.max(0.5),
+            time_s: self.time_s,
+            peak_temp_c: self.peak_temp_c,
+            battery_level: self.battery.level(),
+        }
+    }
+
+    /// Box–Muller standard normal from the seeded stream.
+    fn sample_standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// A jRAPL-style energy meter: records the counter at construction and
+/// reports the delta, the way the paper instruments System A.
+///
+/// # Example
+///
+/// ```
+/// use ent_energy::{EnergySim, Platform, RaplMeter, WorkKind};
+///
+/// let mut sim = EnergySim::new(Platform::system_a(), 1);
+/// let meter = RaplMeter::start(&sim);
+/// sim.do_work(WorkKind::Cpu, 1.0e9);
+/// assert!(meter.joules(&sim) > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RaplMeter {
+    start_j: f64,
+}
+
+impl RaplMeter {
+    /// Starts a measurement window.
+    pub fn start(sim: &EnergySim) -> Self {
+        RaplMeter { start_j: sim.energy_j() }
+    }
+
+    /// Energy consumed since the window opened.
+    pub fn joules(&self, sim: &EnergySim) -> f64 {
+        sim.energy_j() - self.start_j
+    }
+}
+
+/// A Watts Up? Pro-style wall power meter: like [`RaplMeter`] but measures
+/// whole-device energy *including idle draw over elapsed time* — which is
+/// what makes time-fixed workloads register savings only through power.
+#[derive(Clone, Copy, Debug)]
+pub struct WattsUpMeter {
+    start_j: f64,
+    start_s: f64,
+}
+
+impl WattsUpMeter {
+    /// Starts a measurement window.
+    pub fn start(sim: &EnergySim) -> Self {
+        WattsUpMeter { start_j: sim.energy_j(), start_s: sim.time_s() }
+    }
+
+    /// Whole-device energy consumed since the window opened.
+    pub fn joules(&self, sim: &EnergySim) -> f64 {
+        sim.energy_j() - self.start_j
+    }
+
+    /// Average power over the window.
+    pub fn average_watts(&self, sim: &EnergySim) -> f64 {
+        let dt = sim.time_s() - self.start_s;
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.joules(sim) / dt
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_advances_time_and_energy() {
+        let mut sim = EnergySim::new(Platform::system_a(), 7);
+        sim.do_work(WorkKind::Cpu, 2.0e9);
+        assert!((sim.time_s() - 1.0).abs() < 1e-9);
+        assert!((sim.energy_j() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sleep_draws_idle_power() {
+        let mut sim = EnergySim::new(Platform::system_a(), 7);
+        sim.sleep_ms(1000.0);
+        assert!((sim.energy_j() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duty_cycle_power_is_between_idle_and_active() {
+        let mut sim = EnergySim::new(Platform::system_b(), 7);
+        sim.run_duty_cycle(10.0, 0.5);
+        let avg_w = sim.energy_j() / sim.time_s();
+        let p = Platform::system_b();
+        assert!(avg_w > p.idle_watts && avg_w < p.active_watts);
+    }
+
+    #[test]
+    fn battery_drains_with_consumption() {
+        let mut sim = EnergySim::new(Platform::system_a(), 7);
+        sim.set_battery_level(0.5);
+        let before = sim.battery_level();
+        sim.do_work(WorkKind::Cpu, 2.0e10); // 10 s at 30 W = 300 J
+        assert!(sim.battery_level() < before);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_measurements() {
+        let run = |seed| {
+            let mut sim = EnergySim::new(Platform::system_c(), seed);
+            sim.do_work(WorkKind::Encode, 5.0e8);
+            sim.finish()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).energy_j, run(100).energy_j);
+    }
+
+    #[test]
+    fn noise_stays_within_a_few_percent() {
+        let raw = {
+            let mut sim = EnergySim::new(Platform::system_a(), 3);
+            sim.do_work(WorkKind::Cpu, 2.0e9);
+            sim.energy_j()
+        };
+        for seed in 0..50 {
+            let mut sim = EnergySim::new(Platform::system_a(), seed);
+            sim.do_work(WorkKind::Cpu, 2.0e9);
+            let m = sim.finish();
+            let rel = (m.energy_j - raw).abs() / raw;
+            assert!(rel < 0.08, "noise too large: {rel}");
+        }
+    }
+
+    #[test]
+    fn trace_sampling_collects_points() {
+        let mut sim = EnergySim::new(Platform::system_a(), 7);
+        sim.enable_trace(0.5);
+        sim.do_work(WorkKind::Cpu, 4.0e9); // 2 s
+        assert!(sim.trace().len() >= 4);
+        // Times strictly increasing:
+        for w in sim.trace().windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn peak_temperature_is_tracked() {
+        let mut sim = EnergySim::new(Platform::system_a(), 7);
+        sim.do_work(WorkKind::Cpu, 6.0e10); // 30 s full load
+        let m = sim.finish();
+        assert!(m.peak_temp_c > Platform::system_a().thermal.ambient_c);
+    }
+
+    #[test]
+    fn meters_report_window_deltas() {
+        let mut sim = EnergySim::new(Platform::system_b(), 5);
+        sim.do_work(WorkKind::Cpu, 3.0e8); // pre-window
+        let rapl = RaplMeter::start(&sim);
+        let wu = WattsUpMeter::start(&sim);
+        sim.do_work(WorkKind::Cpu, 3.0e8); // 1 s active
+        sim.sleep_ms(1000.0);
+        assert!((rapl.joules(&sim) - wu.joules(&sim)).abs() < 1e-9);
+        let avg = wu.average_watts(&sim);
+        let p = Platform::system_b();
+        assert!(avg > p.idle_watts && avg < p.active_watts);
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let mut a = EnergySim::new(Platform::system_a(), 11);
+        let mut b = EnergySim::new(Platform::system_a(), 11);
+        for _ in 0..10 {
+            assert_eq!(a.rand(), b.rand());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Errors raised while validating a `modes { ... }` declaration.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ModeName;
+
+/// An error produced while building a [`crate::ModeTable`].
+///
+/// A program's mode declaration `D` must form a partial order whose
+/// `⊥`/`⊤`-completion is a lattice; these variants describe each way the
+/// declaration can fail that requirement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModeTableError {
+    /// The declared `≤` edges form a cycle through the named mode, so the
+    /// order is not antisymmetric.
+    Cycle(ModeName),
+    /// Two modes have no *least* upper bound: both candidates are minimal
+    /// upper bounds and incomparable.
+    NoLub(ModeName, ModeName),
+    /// Two modes have no *greatest* lower bound among the declared modes and
+    /// the lattice ends.
+    NoGlb(ModeName, ModeName),
+    /// The declaration uses the reserved names `bot`/`top` (the lattice ends
+    /// are implicit and may not be redeclared).
+    ReservedName(ModeName),
+    /// The declaration block is empty; a mode-based program needs at least
+    /// one mode.
+    Empty,
+}
+
+impl fmt::Display for ModeTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModeTableError::Cycle(m) => {
+                write!(f, "mode declaration is cyclic through `{m}`")
+            }
+            ModeTableError::NoLub(a, b) => {
+                write!(f, "modes `{a}` and `{b}` have no least upper bound")
+            }
+            ModeTableError::NoGlb(a, b) => {
+                write!(f, "modes `{a}` and `{b}` have no greatest lower bound")
+            }
+            ModeTableError::ReservedName(m) => {
+                write!(f, "mode name `{m}` is reserved for the implicit lattice end")
+            }
+            ModeTableError::Empty => f.write_str("mode declaration block is empty"),
+        }
+    }
+}
+
+impl Error for ModeTableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModeTableError::Cycle(ModeName::new("m"));
+        assert!(e.to_string().contains("cyclic"));
+        let e = ModeTableError::NoLub(ModeName::new("a"), ModeName::new("b"));
+        assert!(e.to_string().contains("least upper bound"));
+        let e = ModeTableError::Empty;
+        assert!(e.to_string().contains("empty"));
+    }
+}

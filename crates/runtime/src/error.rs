@@ -1,0 +1,85 @@
+//! Runtime errors and control flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime error.
+///
+/// `EnergyException` is the paper's catchable error: a failed snapshot
+/// bound check (`bad check`) or a dynamic waterfall violation from a
+/// method-level attributor. The rest terminate the program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtError {
+    /// A `bad check`: a snapshot's attributor produced a mode outside the
+    /// declared `[lo, hi]` bounds, or a method attributor produced a mode
+    /// above the caller's. Catchable with `try { } catch { }`.
+    EnergyException(String),
+    /// A `bad cast`: a `(T)e` cast failed at run time.
+    BadCast(String),
+    /// A mode case had no arm at or below the eliminating mode.
+    NoSuchArm(String),
+    /// The dynamic waterfall invariant was violated at a message send.
+    /// Corollary 1 guarantees this never fires for well-typed programs; it
+    /// exists for programs run through `compile_unchecked`.
+    DfallViolation(String),
+    /// The interpreter's gas limit was exhausted (the reproduction's stand
+    /// in for divergence).
+    OutOfGas,
+    /// The ENT call stack exceeded the interpreter's depth limit.
+    StackOverflow,
+    /// A builtin failed (index out of bounds, division by zero, …).
+    Native(String),
+    /// The program has no `Main` class with a zero-argument `main` method.
+    NoMain,
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::EnergyException(s) => write!(f, "EnergyException: {s}"),
+            RtError::BadCast(s) => write!(f, "bad cast: {s}"),
+            RtError::NoSuchArm(s) => write!(f, "mode case elimination failed: {s}"),
+            RtError::DfallViolation(s) => write!(f, "dynamic waterfall violation: {s}"),
+            RtError::OutOfGas => f.write_str("execution exceeded the gas limit"),
+            RtError::StackOverflow => f.write_str("call depth exceeded the interpreter limit"),
+            RtError::Native(s) => write!(f, "runtime error: {s}"),
+            RtError::NoMain => f.write_str("program has no Main.main() entry point"),
+        }
+    }
+}
+
+impl Error for RtError {}
+
+/// Non-local control flow inside the evaluator: early `return` or an error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Flow {
+    /// `return e` unwinding to the enclosing method or attributor.
+    Return(crate::Value),
+    /// A runtime error propagating outward.
+    Error(RtError),
+}
+
+impl From<RtError> for Flow {
+    fn from(e: RtError) -> Self {
+        Flow::Error(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RtError::EnergyException("mode full_throttle above bound managed".into());
+        assert!(e.to_string().starts_with("EnergyException"));
+        assert!(RtError::OutOfGas.to_string().contains("gas"));
+        assert!(RtError::NoMain.to_string().contains("Main"));
+    }
+
+    #[test]
+    fn flow_from_error() {
+        let f: Flow = RtError::OutOfGas.into();
+        assert_eq!(f, Flow::Error(RtError::OutOfGas));
+    }
+}

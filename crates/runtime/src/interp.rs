@@ -1,0 +1,1214 @@
+//! The ENT interpreter: the paper's operational semantics (§4.2) extended
+//! with the practical expression forms, executing against the simulated
+//! energy platform.
+//!
+//! The ENT-specific runtime machinery:
+//!
+//! * **Mode tagging** — every object carries a mode tag; dynamic objects
+//!   are untagged (`?`) until snapshotted.
+//! * **Snapshot** — evaluates the object's attributor, performs the `check`
+//!   against the declared bounds (throwing the catchable
+//!   [`RtError::EnergyException`] on a *bad check*), and produces a
+//!   statically-moded copy. Copying is lazy, as in the paper's compiler: the
+//!   first snapshot tags the object in place; only subsequent snapshots
+//!   physically (shallowly) copy.
+//! * **dfall** — the dynamic waterfall invariant is re-checked at every
+//!   message send; for well-typed programs it never fires (Corollary 1),
+//!   which the soundness tests verify.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ent_core::CompiledProgram;
+use ent_energy::{EnergySim, Measurement, Platform, WorkKind};
+use ent_modes::{Mode, ModeName, ModeTable, ModeVar, StaticMode};
+use ent_syntax::{
+    BinOp, ClassName, ClassTable, Expr, ExprKind, Ident, Lit, MethodDecl, Program, Stmt, UnOp,
+};
+
+use crate::error::{Flow, RtError};
+use crate::value::{ObjRef, RtMode, Value};
+
+/// Configuration for a single program run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Suppress ENT's runtime errors (failed checks proceed as if they had
+    /// passed). This is the paper's "silent" configuration for the E1
+    /// experiments: tagging stays in place, exceptions are never thrown.
+    pub silent: bool,
+    /// Model the runtime cost of mode tagging and snapshot copying as
+    /// simulator work (disable for the no-op baseline of Figure 6).
+    pub tagging: bool,
+    /// Initial battery level fraction.
+    pub battery_level: f64,
+    /// Gas limit: abstract evaluation steps before [`RtError::OutOfGas`].
+    pub gas_limit: u64,
+    /// Seed for the simulator's noise and `Sim.rand`.
+    pub seed: u64,
+    /// Sample a `(time, temperature)` trace at this interval, in seconds.
+    pub trace_interval_s: Option<f64>,
+    /// Ablation: copy on *every* snapshot instead of the paper's lazy
+    /// strategy (first snapshot tags in place).
+    pub eager_copy: bool,
+    /// Ablation: deep-copy the object graph on snapshot instead of the
+    /// paper's shallow copy (§6.3 discusses this design choice).
+    pub deep_copy: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            silent: false,
+            tagging: true,
+            battery_level: 1.0,
+            gas_limit: 200_000_000,
+            seed: 0,
+            trace_interval_s: None,
+            eager_copy: false,
+            deep_copy: false,
+        }
+    }
+}
+
+/// A structured runtime event, timestamped on the virtual clock — the
+/// raw material of the paper's §6.3 energy-debugging workflow (which
+/// object was assigned which mode, when, and which checks failed).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EnergyEvent {
+    /// An object of a dynamic class was allocated (untagged).
+    DynamicAlloc {
+        /// Virtual time in seconds.
+        at_s: f64,
+        /// The class.
+        class: String,
+    },
+    /// A snapshot assigned a mode.
+    Snapshot {
+        /// Virtual time in seconds.
+        at_s: f64,
+        /// The class.
+        class: String,
+        /// The mode the attributor produced.
+        mode: String,
+        /// The declared bounds.
+        bounds: (String, String),
+        /// Whether a physical copy was made (lazy copying).
+        copied: bool,
+        /// Whether the check failed (an EnergyException was or would have
+        /// been raised).
+        failed: bool,
+    },
+    /// A dynamic waterfall check failed at a message send (method-level
+    /// attributors; impossible for statically-checked sends).
+    DfallFailure {
+        /// Virtual time in seconds.
+        at_s: f64,
+        /// `Class.method` of the receiver.
+        target: String,
+        /// The receiver-side mode.
+        receiver_mode: String,
+        /// The sender's mode.
+        sender_mode: String,
+    },
+}
+
+/// Statistics gathered during a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Abstract evaluation steps executed.
+    pub steps: u64,
+    /// Snapshot expressions evaluated.
+    pub snapshots: u64,
+    /// Physical object copies made by snapshots (lazy copying makes this
+    /// less than or equal to `snapshots`).
+    pub copies: u64,
+    /// `EnergyException`s raised (including caught ones).
+    pub energy_exceptions: u64,
+    /// Objects allocated with a dynamic mode (the tagged portion of the
+    /// heap).
+    pub dynamic_allocs: u64,
+    /// Total objects allocated.
+    pub allocs: u64,
+}
+
+/// The result of running an ENT program.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The value `main` returned, or the error that stopped the program.
+    pub value: Result<Value, RtError>,
+    /// A deep, heap-resolved rendering of the result value (objects print
+    /// as `Class@mode{field=…}`), for display and for differential tests
+    /// against the formal machine. `None` when the run failed.
+    pub value_pretty: Option<String>,
+    /// The simulator's final measurement (energy, time, peak temperature).
+    pub measurement: Measurement,
+    /// Lines produced by `IO.print`.
+    pub output: Vec<String>,
+    /// Runtime statistics.
+    pub stats: RunStats,
+    /// The sampled temperature trace, if tracing was enabled.
+    pub trace: Vec<(f64, f64)>,
+    /// Structured energy events, in order (§6.3 debugging).
+    pub events: Vec<EnergyEvent>,
+}
+
+/// Runs a compiled program's `Main.main()` on a simulated platform.
+///
+/// # Example
+///
+/// ```
+/// use ent_core::compile;
+/// use ent_energy::Platform;
+/// use ent_runtime::{run, RuntimeConfig, Value};
+///
+/// let compiled = compile(
+///     "class Main { int main() { return 6 * 7; } }",
+/// ).unwrap();
+/// let result = run(&compiled, Platform::system_a(), RuntimeConfig::default());
+/// assert_eq!(result.value.unwrap(), Value::Int(42));
+/// ```
+pub fn run(compiled: &CompiledProgram, platform: Platform, config: RuntimeConfig) -> RunResult {
+    // ENT iteration is recursion-based, and the evaluator is recursive, so
+    // deep-but-legitimate programs need far more stack than a default test
+    // thread provides. Run the interpreter on a dedicated big-stack thread
+    // (the explicit call-depth guard below turns true runaway recursion
+    // into `RtError::StackOverflow` long before this stack is exhausted).
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("ent-interp".into())
+            .stack_size(512 * 1024 * 1024)
+            .spawn_scoped(scope, || run_on_current_thread(compiled, platform, config))
+            .expect("spawning the interpreter thread")
+            .join()
+            .expect("interpreter thread panicked")
+    })
+}
+
+fn run_on_current_thread(
+    compiled: &CompiledProgram,
+    platform: Platform,
+    config: RuntimeConfig,
+) -> RunResult {
+    let mut sim = EnergySim::new(platform, config.seed);
+    sim.set_battery_level(config.battery_level);
+    if let Some(interval) = config.trace_interval_s {
+        sim.enable_trace(interval);
+    }
+    let mut interp = Interp {
+        program: &compiled.program,
+        table: &compiled.table,
+        modes: &compiled.program.mode_table,
+        heap: Vec::new(),
+        sim,
+        config,
+        output: Vec::new(),
+        stats: RunStats::default(),
+        field_index: HashMap::new(),
+        method_index: HashMap::new(),
+        depth: 0,
+        events: Vec::new(),
+    };
+    let value = interp.run_main();
+    let value_pretty = value.as_ref().ok().map(|v| interp.render_deep(v, 0));
+    let measurement = interp.sim.finish();
+    let trace = interp.sim.trace().to_vec();
+    RunResult {
+        value,
+        value_pretty,
+        measurement,
+        output: interp.output,
+        stats: interp.stats,
+        trace,
+        events: interp.events,
+    }
+}
+
+/// Maximum ENT call depth before [`RtError::StackOverflow`].
+const MAX_CALL_DEPTH: usize = 50_000;
+
+/// Simulator work charged per snapshot (attributor dispatch + metadata).
+const SNAPSHOT_OVERHEAD_OPS: f64 = 1.2e4;
+/// Simulator work charged per physical snapshot copy.
+const COPY_OVERHEAD_OPS: f64 = 3.0e4;
+/// Simulator work charged per dynamic (tagged) allocation.
+const TAG_OVERHEAD_OPS: f64 = 2.0e3;
+
+/// A cached method resolution: the declaring class plus its declaration.
+type ResolvedMethodEntry = Option<(ClassName, Arc<MethodDecl>)>;
+
+/// A heap object.
+#[derive(Clone, Debug)]
+struct ObjData {
+    class: ClassName,
+    mode: RtMode,
+    /// Ground bindings for the class's mode parameters (the internal
+    /// parameter of a dynamic object is bound at snapshot time).
+    mode_env: HashMap<ModeVar, StaticMode>,
+    fields: Vec<Value>,
+    /// Lazy-copy metadata: whether this dynamic object has been
+    /// snapshotted before (paper §5, "Implementation").
+    snapshotted: bool,
+}
+
+/// A call frame.
+#[derive(Clone, Debug)]
+struct Frame {
+    locals: Vec<(Ident, Value)>,
+    this_ref: Option<ObjRef>,
+    /// The current closure mode `m` of `cl(m, e)`.
+    mode: StaticMode,
+    /// Ground bindings for mode variables visible in the executing body.
+    mode_env: HashMap<ModeVar, StaticMode>,
+}
+
+struct Interp<'a> {
+    #[allow(dead_code)]
+    program: &'a Program,
+    table: &'a ClassTable,
+    modes: &'a ModeTable,
+    heap: Vec<ObjData>,
+    sim: EnergySim,
+    config: RuntimeConfig,
+    output: Vec<String>,
+    stats: RunStats,
+    /// Cache: class → ordered field names (inherited first).
+    field_index: HashMap<ClassName, Arc<Vec<Ident>>>,
+    /// Cache: (class, method) → declaring class + declaration, so hot
+    /// dispatch loops skip the chain walk.
+    method_index: HashMap<(ClassName, Ident), ResolvedMethodEntry>,
+    /// Current ENT call depth (for the stack guard).
+    depth: usize,
+    /// Structured event log.
+    events: Vec<EnergyEvent>,
+}
+
+type EvalResult = Result<Value, Flow>;
+
+impl<'a> Interp<'a> {
+    fn run_main(&mut self) -> Result<Value, RtError> {
+        let main_class = ClassName::new("Main");
+        let Some(decl) = self.table.class(&main_class) else {
+            return Err(RtError::NoMain);
+        };
+        let Some(_) = decl.method(&Ident::new("main")) else {
+            return Err(RtError::NoMain);
+        };
+        // boot(P) = cl(⊤, main-body) on a fresh Main object.
+        let this_ref = match self.allocate(&main_class, Vec::new(), RtMode::Ground(StaticMode::Top), HashMap::new()) {
+            Ok(r) => r,
+            Err(Flow::Error(e)) => return Err(e),
+            Err(Flow::Return(_)) => unreachable!("allocation cannot return"),
+        };
+        match self.invoke(this_ref, &Ident::new("main"), Vec::new(), &[], StaticMode::Top) {
+            Ok(v) => Ok(v),
+            Err(Flow::Return(v)) => Ok(v),
+            Err(Flow::Error(e)) => Err(e),
+        }
+    }
+
+    fn gas(&mut self) -> Result<(), Flow> {
+        self.stats.steps += 1;
+        if self.stats.steps > self.config.gas_limit {
+            Err(RtError::OutOfGas.into())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Deep, heap-resolved rendering of a value (bounded recursion depth
+    /// to stay safe on cyclic heaps).
+    fn render_deep(&mut self, v: &Value, depth: usize) -> String {
+        if depth > 16 {
+            return "…".to_string();
+        }
+        match v {
+            Value::Obj(r) => {
+                let data = &self.heap[*r];
+                let class = data.class.clone();
+                let mode = data.mode.clone();
+                let fields = data.fields.clone();
+                let names = self.field_names(&class);
+                let parts: Vec<String> = names
+                    .iter()
+                    .zip(&fields)
+                    .map(|(n, fv)| format!("{n}={}", self.render_deep(fv, depth + 1)))
+                    .collect();
+                format!("{class}@{mode}{{{}}}", parts.join(","))
+            }
+            Value::MCase(arms) => {
+                let parts: Vec<String> = arms
+                    .iter()
+                    .map(|(m, av)| format!("{m}:{}", self.render_deep(av, depth + 1)))
+                    .collect();
+                format!("mcase{{{}}}", parts.join(";"))
+            }
+            Value::Array(items) => {
+                let parts: Vec<String> = items
+                    .iter()
+                    .map(|iv| self.render_deep(iv, depth + 1))
+                    .collect();
+                format!("[{}]", parts.join(", "))
+            }
+            other => other.to_string(),
+        }
+    }
+
+    // ---- modes -----------------------------------------------------------
+
+    /// Resolves a static mode expression to a ground mode using the frame's
+    /// mode environment.
+    fn resolve_mode(&self, frame: &Frame, m: &StaticMode) -> Result<StaticMode, Flow> {
+        match m {
+            StaticMode::Var(v) => match frame.mode_env.get(v) {
+                Some(g) => Ok(g.clone()),
+                None => Err(RtError::Native(format!("unbound mode variable `{v}`")).into()),
+            },
+            ground => Ok(ground.clone()),
+        }
+    }
+
+    fn mode_le(&self, a: &StaticMode, b: &StaticMode) -> bool {
+        self.modes.le_ground(a, b)
+    }
+
+    // ---- heap -------------------------------------------------------------
+
+    fn field_names(&mut self, class: &ClassName) -> Arc<Vec<Ident>> {
+        if let Some(names) = self.field_index.get(class) {
+            return Arc::clone(names);
+        }
+        let mut names = Vec::new();
+        for anc in self.table.superclass_chain(class) {
+            if let Some(decl) = self.table.class(&anc) {
+                for f in &decl.fields {
+                    names.push(f.name.clone());
+                }
+            }
+        }
+        let names = Arc::new(names);
+        self.field_index.insert(class.clone(), Arc::clone(&names));
+        names
+    }
+
+    fn allocate(
+        &mut self,
+        class: &ClassName,
+        ctor_vals: Vec<Value>,
+        mode: RtMode,
+        mode_env: HashMap<ModeVar, StaticMode>,
+    ) -> Result<ObjRef, Flow> {
+        self.stats.allocs += 1;
+        if matches!(mode, RtMode::Dynamic) {
+            self.stats.dynamic_allocs += 1;
+            if self.config.tagging {
+                self.sim.do_work(WorkKind::Cpu, TAG_OVERHEAD_OPS);
+            }
+            self.events.push(EnergyEvent::DynamicAlloc {
+                at_s: self.sim.time_s(),
+                class: class.to_string(),
+            });
+        }
+        let names = self.field_names(class);
+        let obj_ref = self.heap.len();
+        self.heap.push(ObjData {
+            class: class.clone(),
+            mode,
+            mode_env,
+            fields: vec![Value::Unit; names.len()],
+            snapshotted: false,
+        });
+
+        // Positional constructor values fill uninitialized fields in
+        // declaration order; initializer fields are evaluated afterwards,
+        // each in its owning class's context.
+        let mut ctor_iter = ctor_vals.into_iter();
+        let chain = self.table.superclass_chain(class);
+        let mut index = 0usize;
+        // First pass: positional fields.
+        let mut init_jobs: Vec<(usize, ClassName, Expr)> = Vec::new();
+        for anc in &chain {
+            let decl = self.table.class(anc).expect("validated chain");
+            for f in &decl.fields {
+                if let Some(init) = &f.init {
+                    init_jobs.push((index, anc.clone(), init.clone()));
+                } else {
+                    let v = ctor_iter.next().ok_or_else(|| {
+                        Flow::Error(RtError::Native(format!(
+                            "missing constructor argument for field `{}` of `{class}`",
+                            f.name
+                        )))
+                    })?;
+                    self.heap[obj_ref].fields[index] = v;
+                }
+                index += 1;
+            }
+        }
+        // Second pass: initializers, with `this` bound and the owner's
+        // mode environment.
+        for (index, owner, init) in init_jobs {
+            let mode_env = self.owner_mode_env(obj_ref, &owner)?;
+            let mode = match &self.heap[obj_ref].mode {
+                RtMode::Ground(m) => m.clone(),
+                RtMode::Dynamic => StaticMode::Top,
+            };
+            let mut frame = Frame {
+                locals: Vec::new(),
+                this_ref: Some(obj_ref),
+                mode,
+                mode_env,
+            };
+            let v = self.eval(&mut frame, &init)?;
+            self.heap[obj_ref].fields[index] = v;
+        }
+        Ok(obj_ref)
+    }
+
+    /// Computes the ground mode environment for an ancestor `owner` of the
+    /// object's class, by threading superclass instantiations.
+    fn owner_mode_env(
+        &self,
+        obj: ObjRef,
+        owner: &ClassName,
+    ) -> Result<HashMap<ModeVar, StaticMode>, Flow> {
+        let data = &self.heap[obj];
+        let mut cur = data.class.clone();
+        let mut env = data.mode_env.clone();
+        while &cur != owner {
+            let decl = self
+                .table
+                .class(&cur)
+                .ok_or_else(|| Flow::Error(RtError::Native(format!("unknown class `{cur}`"))))?;
+            let sup = decl.superclass.clone();
+            let sup_decl = self
+                .table
+                .class(&sup)
+                .ok_or_else(|| Flow::Error(RtError::Native(format!("unknown class `{sup}`"))))?;
+            let sup_params = sup_decl.mode_params.params();
+            let args: Vec<StaticMode> = if decl.super_args.is_empty() {
+                sup_decl.mode_params.bounds.iter().map(|b| b.lo.clone()).collect()
+            } else {
+                decl.super_args
+                    .iter()
+                    .map(|m| match m {
+                        StaticMode::Var(v) => env
+                            .get(v)
+                            .cloned()
+                            .unwrap_or_else(|| StaticMode::Var(v.clone())),
+                        g => g.clone(),
+                    })
+                    .collect()
+            };
+            env = sup_params.into_iter().zip(args).collect();
+            cur = sup;
+        }
+        Ok(env)
+    }
+
+    // ---- invocation --------------------------------------------------------
+
+    fn find_method(&mut self, class: &ClassName, name: &Ident) -> ResolvedMethodEntry {
+        let key = (class.clone(), name.clone());
+        if let Some(cached) = self.method_index.get(&key) {
+            return cached.clone();
+        }
+        let mut cur = class.clone();
+        let resolved = loop {
+            let Some(decl) = self.table.class(&cur) else { break None };
+            if let Some(m) = decl.method(name) {
+                break Some((cur.clone(), Arc::new(m.clone())));
+            }
+            if decl.superclass == ClassName::object() {
+                break None;
+            }
+            cur = decl.superclass.clone();
+        };
+        self.method_index.insert(key, resolved.clone());
+        resolved
+    }
+
+    /// Invokes `recv.method(args)` from a sender executing at
+    /// `sender_mode`, enforcing the dynamic waterfall invariant.
+    fn invoke(
+        &mut self,
+        recv: ObjRef,
+        method: &Ident,
+        args: Vec<Value>,
+        mode_args: &[StaticMode],
+        sender_mode: StaticMode,
+    ) -> EvalResult {
+        self.depth += 1;
+        if self.depth > MAX_CALL_DEPTH {
+            self.depth -= 1;
+            return Err(RtError::StackOverflow.into());
+        }
+        let result = self.invoke_inner(recv, method, args, mode_args, sender_mode);
+        self.depth -= 1;
+        result
+    }
+
+    fn invoke_inner(
+        &mut self,
+        recv: ObjRef,
+        method: &Ident,
+        args: Vec<Value>,
+        mode_args: &[StaticMode],
+        sender_mode: StaticMode,
+    ) -> EvalResult {
+        let class = self.heap[recv].class.clone();
+        let Some((owner, decl)) = self.find_method(&class, method) else {
+            return Err(RtError::Native(format!("class `{class}` has no method `{method}`")).into());
+        };
+        let mut mode_env = self.owner_mode_env(recv, &owner)?;
+
+        // Bind explicit generic method-mode arguments (inferred ones were
+        // already resolved statically into the same ground modes, so the
+        // runtime only needs explicit bindings; inferred generic modes are
+        // recovered from the receiver's environment by variable lookup).
+        for (bound, arg) in decl.mode_params.iter().zip(mode_args) {
+            mode_env.insert(bound.var.clone(), arg.clone());
+        }
+
+        // Receiver-side mode for dfall: the object's tag, overridden by a
+        // method-level mode or attributor.
+        let receiver_mode = match (&decl.attributor, &decl.mode) {
+            (Some(attributor), _) => {
+                // Method-level attributor: evaluate it now to characterize
+                // this invocation.
+                let mut aframe = Frame {
+                    locals: decl
+                        .params
+                        .iter()
+                        .map(|(_, n)| n.clone())
+                        .zip(args.iter().cloned())
+                        .collect(),
+                    this_ref: Some(recv),
+                    mode: sender_mode.clone(),
+                    mode_env: mode_env.clone(),
+                };
+                let m = self.eval_attributor_body(&mut aframe, &attributor.body)?;
+                let produced = StaticMode::Const(m);
+                // The method's internal view (its first declared mode
+                // parameter, if any) is bound to the attributed mode.
+                if let Some(bound) = decl.mode_params.first() {
+                    mode_env.insert(bound.var.clone(), produced.clone());
+                }
+                Some(produced)
+            }
+            (None, Some(m)) => {
+                // Method-level static override, resolved in the owner's env.
+                let resolved = match m {
+                    StaticMode::Var(v) => mode_env.get(v).cloned().unwrap_or_else(|| m.clone()),
+                    g => g.clone(),
+                };
+                Some(resolved)
+            }
+            (None, None) => self.heap[recv].mode.ground().cloned(),
+        };
+
+        // dfall(o, m): the receiver mode must be ≤ the sender (closure)
+        // mode. Untagged dynamic receivers are only reachable via `this`,
+        // which keeps the sender's mode.
+        let frame_mode = match receiver_mode {
+            Some(m) => {
+                if !self.mode_le(&m, &sender_mode) {
+                    self.stats.energy_exceptions += 1;
+                    self.events.push(EnergyEvent::DfallFailure {
+                        at_s: self.sim.time_s(),
+                        target: format!("{class}.{method}"),
+                        receiver_mode: m.to_string(),
+                        sender_mode: sender_mode.to_string(),
+                    });
+                    if !self.config.silent {
+                        return Err(RtError::EnergyException(format!(
+                            "dynamic waterfall violation: `{class}.{method}` runs at mode `{m}` but the caller is at `{sender_mode}`"
+                        ))
+                        .into());
+                    }
+                }
+                m
+            }
+            None => sender_mode,
+        };
+
+        let mut frame = Frame {
+            locals: decl
+                .params
+                .iter()
+                .map(|(_, n)| n.clone())
+                .zip(args)
+                .collect(),
+            this_ref: Some(recv),
+            mode: frame_mode,
+            mode_env,
+        };
+        match self.eval(&mut frame, &decl.body) {
+            Ok(v) => Ok(v),
+            Err(Flow::Return(v)) => Ok(v),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Evaluates an attributor body to a mode constant.
+    fn eval_attributor_body(&mut self, frame: &mut Frame, body: &Expr) -> Result<ModeName, Flow> {
+        let v = match self.eval(frame, body) {
+            Ok(v) => v,
+            Err(Flow::Return(v)) => v,
+            Err(e) => return Err(e),
+        };
+        match v {
+            Value::Mode(m) => Ok(m),
+            other => Err(RtError::Native(format!(
+                "attributor returned a {} instead of a mode",
+                other.kind()
+            ))
+            .into()),
+        }
+    }
+
+    // ---- snapshot ------------------------------------------------------------
+
+    /// The paper's snapshot/check reduction: evaluate the attributor, check
+    /// the bounds, produce a statically-moded (lazily copied) object.
+    fn snapshot(
+        &mut self,
+        frame: &Frame,
+        obj: ObjRef,
+        lo: &StaticMode,
+        hi: &StaticMode,
+    ) -> EvalResult {
+        self.stats.snapshots += 1;
+        if self.config.tagging {
+            self.sim.do_work(WorkKind::Cpu, SNAPSHOT_OVERHEAD_OPS);
+        }
+        let class = self.heap[obj].class.clone();
+        let Some(decl) = self.table.class(&class) else {
+            return Err(RtError::Native(format!("unknown class `{class}`")).into());
+        };
+        let Some(attributor) = &decl.attributor else {
+            return Err(RtError::Native(format!(
+                "class `{class}` has no attributor; only dynamic objects can be snapshotted"
+            ))
+            .into());
+        };
+        let mode_env = self.heap[obj].mode_env.clone();
+        let mut aframe = Frame {
+            locals: Vec::new(),
+            this_ref: Some(obj),
+            mode: frame.mode.clone(),
+            mode_env,
+        };
+        let body = attributor.body.clone();
+        let mode = self.eval_attributor_body(&mut aframe, &body)?;
+        let mode = StaticMode::Const(mode);
+
+        // check(m, m1, m2, o): bad check throws the catchable
+        // EnergyException unless running silent.
+        let lo = self.resolve_mode(frame, lo)?;
+        let hi = self.resolve_mode(frame, hi)?;
+        let failed = !(self.mode_le(&lo, &mode) && self.mode_le(&mode, &hi));
+        let will_copy = self.heap[obj].snapshotted || self.config.eager_copy;
+        self.events.push(EnergyEvent::Snapshot {
+            at_s: self.sim.time_s(),
+            class: class.to_string(),
+            mode: mode.to_string(),
+            bounds: (lo.to_string(), hi.to_string()),
+            copied: !failed && will_copy,
+            failed,
+        });
+        if failed {
+            self.stats.energy_exceptions += 1;
+            if !self.config.silent {
+                return Err(RtError::EnergyException(format!(
+                    "snapshot of `{class}` produced mode `{mode}` outside bounds [{lo}, {hi}]"
+                ))
+                .into());
+            }
+        }
+
+        // Bind the class's internal mode parameter to the produced mode.
+        let internal = decl.mode_params.bounds.first().map(|b| b.var.clone());
+
+        if !self.heap[obj].snapshotted && !self.config.eager_copy {
+            // Lazy copy: tag in place on first snapshot.
+            let data = &mut self.heap[obj];
+            data.snapshotted = true;
+            data.mode = RtMode::Ground(mode.clone());
+            if let Some(v) = internal {
+                data.mode_env.insert(v, mode);
+            }
+            Ok(Value::Obj(obj))
+        } else {
+            // Subsequent snapshots copy (shallow by default; the deep-copy
+            // ablation clones the reachable object graph).
+            self.stats.copies += 1;
+            if self.config.tagging {
+                self.sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS);
+            }
+            self.heap[obj].snapshotted = true;
+            let copy = if self.config.deep_copy {
+                self.deep_copy_obj(obj, &mut HashMap::new())
+            } else {
+                let data = self.heap[obj].clone();
+                let copy = self.heap.len();
+                self.heap.push(data);
+                copy
+            };
+            let data = &mut self.heap[copy];
+            data.mode = RtMode::Ground(mode.clone());
+            if let Some(v) = internal {
+                data.mode_env.insert(v, mode);
+            }
+            data.snapshotted = true;
+            Ok(Value::Obj(copy))
+        }
+    }
+
+    /// The deep-copy ablation: clones the object graph reachable from
+    /// `obj`, preserving sharing and cycles via the `seen` map. Each
+    /// cloned object is charged the copy overhead.
+    fn deep_copy_obj(&mut self, obj: ObjRef, seen: &mut HashMap<ObjRef, ObjRef>) -> ObjRef {
+        if let Some(&copy) = seen.get(&obj) {
+            return copy;
+        }
+        let copy = self.heap.len();
+        seen.insert(obj, copy);
+        let data = self.heap[obj].clone();
+        self.heap.push(data);
+        let field_count = self.heap[copy].fields.len();
+        for i in 0..field_count {
+            let field = self.heap[copy].fields[i].clone();
+            if let Value::Obj(r) = field {
+                if self.config.tagging {
+                    self.sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS);
+                }
+                let cloned = self.deep_copy_obj(r, seen);
+                self.heap[copy].fields[i] = Value::Obj(cloned);
+            }
+        }
+        copy
+    }
+
+    // ---- mode cases -------------------------------------------------------------
+
+    /// Eliminates a mode case at a target mode: the arm whose mode is the
+    /// largest at or below the target.
+    fn eliminate(&self, arms: &[(ModeName, Value)], target: &StaticMode) -> Result<Value, Flow> {
+        let mut best: Option<(&ModeName, &Value)> = None;
+        for (m, v) in arms {
+            let am = StaticMode::Const(m.clone());
+            if self.mode_le(&am, target) {
+                let better = match best {
+                    None => true,
+                    Some((bm, _)) => {
+                        self.mode_le(&StaticMode::Const(bm.clone()), &am)
+                    }
+                };
+                if better {
+                    best = Some((m, v));
+                }
+            }
+        }
+        match best {
+            Some((_, v)) => Ok(v.clone()),
+            None => Err(RtError::NoSuchArm(format!(
+                "no mode case arm at or below `{target}`"
+            ))
+            .into()),
+        }
+    }
+
+    /// Auto-eliminates a value if it is a mode case flowing into a
+    /// primitive position (the implicit projection of the paper's concrete
+    /// syntax).
+    fn force(&self, frame: &Frame, v: Value) -> Result<Value, Flow> {
+        match v {
+            Value::MCase(arms) => self.eliminate(&arms, &frame.mode),
+            other => Ok(other),
+        }
+    }
+
+    // ---- evaluation ---------------------------------------------------------------
+
+    fn eval(&mut self, frame: &mut Frame, e: &Expr) -> EvalResult {
+        self.gas()?;
+        match &e.kind {
+            ExprKind::Lit(l) => Ok(match l {
+                Lit::Int(n) => Value::Int(*n),
+                Lit::Double(x) => Value::Double(*x),
+                Lit::Bool(b) => Value::Bool(*b),
+                Lit::Str(s) => Value::str(s),
+                Lit::Unit => Value::Unit,
+            }),
+            ExprKind::ModeConst(m) => Ok(Value::Mode(m.clone())),
+            ExprKind::This => match frame.this_ref {
+                Some(r) => Ok(Value::Obj(r)),
+                None => Err(RtError::Native("`this` outside an object context".into()).into()),
+            },
+            ExprKind::Var(x) => frame
+                .locals
+                .iter()
+                .rev()
+                .find(|(n, _)| n == x)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| RtError::Native(format!("unbound variable `{x}`")).into()),
+            ExprKind::Field { recv, name } => {
+                let rv = self.eval(frame, recv)?;
+                let Value::Obj(r) = rv else {
+                    return Err(RtError::Native(format!(
+                        "field access on a {}",
+                        rv.kind()
+                    ))
+                    .into());
+                };
+                let class = self.heap[r].class.clone();
+                let names = self.field_names(&class);
+                match names.iter().position(|n| n == name) {
+                    Some(i) => Ok(self.heap[r].fields[i].clone()),
+                    None => Err(RtError::Native(format!(
+                        "class `{class}` has no field `{name}`"
+                    ))
+                    .into()),
+                }
+            }
+            ExprKind::New { class, args, ctor_args } => {
+                let mut vals = Vec::with_capacity(ctor_args.len());
+                for a in ctor_args {
+                    vals.push(self.eval(frame, a)?);
+                }
+                let decl = self
+                    .table
+                    .class(class)
+                    .ok_or_else(|| Flow::Error(RtError::Native(format!("unknown class `{class}`"))))?;
+                let params = decl.mode_params.params();
+                let (mode, mode_env) = match args {
+                    Some(margs) if margs.is_dynamic() => {
+                        let mut env = HashMap::new();
+                        for (var, m) in params.iter().skip(1).zip(&margs.rest) {
+                            env.insert(var.clone(), self.resolve_mode(frame, m)?);
+                        }
+                        (RtMode::Dynamic, env)
+                    }
+                    Some(margs) => {
+                        let mut env = HashMap::new();
+                        let mut flat = Vec::new();
+                        if let Mode::Static(m) = &margs.mode {
+                            flat.push(self.resolve_mode(frame, m)?);
+                        }
+                        flat.extend(
+                            margs
+                                .rest
+                                .iter()
+                                .map(|m| self.resolve_mode(frame, m))
+                                .collect::<Result<Vec<_>, _>>()?,
+                        );
+                        for (var, m) in params.iter().zip(flat.iter()) {
+                            env.insert(var.clone(), m.clone());
+                        }
+                        let mode = flat
+                            .first()
+                            .cloned()
+                            .unwrap_or(StaticMode::Bot);
+                        (RtMode::Ground(mode), env)
+                    }
+                    None => {
+                        if decl.mode_params.dynamic {
+                            (RtMode::Dynamic, HashMap::new())
+                        } else if decl.mode_params.bounds.is_empty() {
+                            (RtMode::Ground(StaticMode::Bot), HashMap::new())
+                        } else {
+                            // Pinned-mode default instantiation.
+                            let mut env = HashMap::new();
+                            for b in &decl.mode_params.bounds {
+                                env.insert(b.var.clone(), b.lo.clone());
+                            }
+                            (RtMode::Ground(decl.mode_params.bounds[0].lo.clone()), env)
+                        }
+                    }
+                };
+                let r = self.allocate(class, vals, mode, mode_env)?;
+                Ok(Value::Obj(r))
+            }
+            ExprKind::Call { recv, method, mode_args, args } => {
+                let rv = self.eval(frame, recv)?;
+                let Value::Obj(r) = rv else {
+                    return Err(RtError::Native(format!(
+                        "method call on a {}",
+                        rv.kind()
+                    ))
+                    .into());
+                };
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(frame, a)?);
+                }
+                let resolved_mode_args = mode_args
+                    .iter()
+                    .map(|m| self.resolve_mode(frame, m))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.invoke(r, method, vals, &resolved_mode_args, frame.mode.clone())
+            }
+            ExprKind::Builtin { ns, name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = self.eval(frame, a)?;
+                    vals.push(self.force(frame, v)?);
+                }
+                self.builtin(ns.as_str(), name.as_str(), vals)
+            }
+            ExprKind::Cast { ty, expr } => {
+                let v = self.eval(frame, expr)?;
+                // Only object downcasts can fail at run time.
+                if let (Value::Obj(r), ent_syntax::Type::Object { class, .. }) = (&v, ty) {
+                    let actual = &self.heap[*r].class;
+                    if !self.table.is_subclass(actual, class) {
+                        return Err(RtError::BadCast(format!(
+                            "object of class `{actual}` is not a `{class}`"
+                        ))
+                        .into());
+                    }
+                }
+                Ok(v)
+            }
+            ExprKind::Snapshot { expr, lo, hi } => {
+                let v = self.eval(frame, expr)?;
+                let Value::Obj(r) = v else {
+                    return Err(RtError::Native(format!(
+                        "snapshot of a {}",
+                        v.kind()
+                    ))
+                    .into());
+                };
+                self.snapshot(frame, r, lo, hi)
+            }
+            ExprKind::MCase { ty: _, arms } => {
+                let mut vals = Vec::with_capacity(arms.len());
+                for (m, arm) in arms {
+                    vals.push((m.clone(), self.eval(frame, arm)?));
+                }
+                Ok(Value::MCase(Arc::new(vals)))
+            }
+            ExprKind::Elim { expr, mode } => {
+                let v = self.eval(frame, expr)?;
+                let Value::MCase(arms) = v else {
+                    return Err(RtError::Native(format!(
+                        "`<|` on a {}",
+                        v.kind()
+                    ))
+                    .into());
+                };
+                let target = match mode {
+                    Some(m) => self.resolve_mode(frame, m)?,
+                    None => frame.mode.clone(),
+                };
+                self.eliminate(&arms, &target)
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.binary(frame, *op, lhs, rhs),
+            ExprKind::Unary { op, expr } => {
+                let v = self.eval(frame, expr)?;
+                let v = self.force(frame, v)?;
+                match (op, v) {
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(-n)),
+                    (UnOp::Neg, Value::Double(x)) => Ok(Value::Double(-x)),
+                    (op, v) => {
+                        Err(RtError::Native(format!("cannot apply `{op}` to a {}", v.kind()))
+                            .into())
+                    }
+                }
+            }
+            ExprKind::If { cond, then, els } => {
+                let c = self.eval(frame, cond)?;
+                let c = self.force(frame, c)?;
+                let Value::Bool(b) = c else {
+                    return Err(RtError::Native(format!(
+                        "if condition is a {}",
+                        c.kind()
+                    ))
+                    .into());
+                };
+                if b {
+                    self.eval(frame, then)
+                } else {
+                    match els {
+                        Some(els) => self.eval(frame, els),
+                        None => Ok(Value::Unit),
+                    }
+                }
+            }
+            ExprKind::Block(stmts) => {
+                let depth = frame.locals.len();
+                let mut last = Value::Unit;
+                for stmt in stmts {
+                    match stmt {
+                        Stmt::Let { name, value, .. } => {
+                            let v = self.eval(frame, value)?;
+                            frame.locals.push((name.clone(), v));
+                            last = Value::Unit;
+                        }
+                        Stmt::Expr(e) => {
+                            last = self.eval(frame, e)?;
+                        }
+                        Stmt::Return(e) => {
+                            let v = self.eval(frame, e)?;
+                            frame.locals.truncate(depth);
+                            return Err(Flow::Return(v));
+                        }
+                    }
+                }
+                frame.locals.truncate(depth);
+                Ok(last)
+            }
+            ExprKind::Try { body, handler } => match self.eval(frame, body) {
+                Err(Flow::Error(RtError::EnergyException(_))) => self.eval(frame, handler),
+                other => other,
+            },
+            ExprKind::ArrayLit(items) => {
+                let mut vals = Vec::with_capacity(items.len());
+                for item in items {
+                    vals.push(self.eval(frame, item)?);
+                }
+                Ok(Value::Array(Arc::new(vals)))
+            }
+        }
+    }
+
+    fn binary(&mut self, frame: &mut Frame, op: BinOp, lhs: &Expr, rhs: &Expr) -> EvalResult {
+        // Short-circuit && / ||.
+        if matches!(op, BinOp::And | BinOp::Or) {
+            let l = self.eval(frame, lhs)?;
+            let l = self.force(frame, l)?;
+            let Value::Bool(lb) = l else {
+                return Err(RtError::Native(format!("`{op}` on a {}", l.kind())).into());
+            };
+            if (op == BinOp::And && !lb) || (op == BinOp::Or && lb) {
+                return Ok(Value::Bool(lb));
+            }
+            let r = self.eval(frame, rhs)?;
+            let r = self.force(frame, r)?;
+            let Value::Bool(rb) = r else {
+                return Err(RtError::Native(format!("`{op}` on a {}", r.kind())).into());
+            };
+            return Ok(Value::Bool(rb));
+        }
+
+        let l = self.eval(frame, lhs)?;
+        let l = self.force(frame, l)?;
+        let r = self.eval(frame, rhs)?;
+        let r = self.force(frame, r)?;
+        use BinOp::*;
+        let err = |l: &Value, r: &Value| -> Flow {
+            RtError::Native(format!("cannot apply `{op}` to {} and {}", l.kind(), r.kind()))
+                .into()
+        };
+        match (op, &l, &r) {
+            (Add, Value::Str(a), b) => Ok(Value::str(format!("{a}{}", b.display_string()))),
+            (Add, a, Value::Str(b)) => Ok(Value::str(format!("{}{b}", a.display_string()))),
+            (Add, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+            (Sub, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+            (Mul, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+            (Div, Value::Int(_), Value::Int(0)) => {
+                Err(RtError::Native("division by zero".into()).into())
+            }
+            (Div, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_div(*b))),
+            (Rem, Value::Int(_), Value::Int(0)) => {
+                Err(RtError::Native("remainder by zero".into()).into())
+            }
+            (Rem, Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_rem(*b))),
+            (Add, Value::Double(a), Value::Double(b)) => Ok(Value::Double(a + b)),
+            (Sub, Value::Double(a), Value::Double(b)) => Ok(Value::Double(a - b)),
+            (Mul, Value::Double(a), Value::Double(b)) => Ok(Value::Double(a * b)),
+            (Div, Value::Double(a), Value::Double(b)) => Ok(Value::Double(a / b)),
+            (Rem, Value::Double(a), Value::Double(b)) => Ok(Value::Double(a % b)),
+            (Lt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a < b)),
+            (Le, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a <= b)),
+            (Gt, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a > b)),
+            (Ge, Value::Int(a), Value::Int(b)) => Ok(Value::Bool(a >= b)),
+            (Lt, Value::Double(a), Value::Double(b)) => Ok(Value::Bool(a < b)),
+            (Le, Value::Double(a), Value::Double(b)) => Ok(Value::Bool(a <= b)),
+            (Gt, Value::Double(a), Value::Double(b)) => Ok(Value::Bool(a > b)),
+            (Ge, Value::Double(a), Value::Double(b)) => Ok(Value::Bool(a >= b)),
+            (Eq, a, b) => Ok(Value::Bool(a == b)),
+            (Ne, a, b) => Ok(Value::Bool(a != b)),
+            _ => Err(err(&l, &r)),
+        }
+    }
+
+    // ---- builtins --------------------------------------------------------------
+
+    fn builtin(&mut self, ns: &str, name: &str, args: Vec<Value>) -> EvalResult {
+        let native = |msg: String| -> Flow { RtError::Native(msg).into() };
+        match (ns, name, args.as_slice()) {
+            ("Ext", "battery", []) => Ok(Value::Double(self.sim.battery_level())),
+            ("Ext", "temperature", []) => Ok(Value::Double(self.sim.temperature_c())),
+            ("Ext", "timeMs", []) => Ok(Value::Double(self.sim.time_s() * 1000.0)),
+            ("Sim", "work", [Value::Str(kind), Value::Double(units)]) => {
+                self.sim.do_work(WorkKind::parse(kind), *units);
+                Ok(Value::Unit)
+            }
+            ("Sim", "sleepMs", [Value::Int(ms)]) => {
+                self.sim.sleep_ms(*ms as f64);
+                Ok(Value::Unit)
+            }
+            ("Sim", "rand", []) => Ok(Value::Double(self.sim.rand())),
+            ("IO", "print", [v]) => {
+                self.output.push(v.display_string());
+                Ok(Value::Unit)
+            }
+            ("Str", "len", [Value::Str(s)]) => Ok(Value::Int(s.chars().count() as i64)),
+            ("Str", "ofInt", [Value::Int(n)]) => Ok(Value::str(n.to_string())),
+            ("Str", "ofDouble", [Value::Double(x)]) => Ok(Value::str(format!("{x}"))),
+            ("Str", "sub", [Value::Str(s), Value::Int(a), Value::Int(b)]) => {
+                let chars: Vec<char> = s.chars().collect();
+                let a = (*a).clamp(0, chars.len() as i64) as usize;
+                let b = (*b).clamp(a as i64, chars.len() as i64) as usize;
+                Ok(Value::str(chars[a..b].iter().collect::<String>()))
+            }
+            ("Math", "floor", [Value::Double(x)]) => Ok(Value::Int(x.floor() as i64)),
+            ("Math", "toDouble", [Value::Int(n)]) => Ok(Value::Double(*n as f64)),
+            ("Math", "min", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.min(b))),
+            ("Math", "max", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
+            ("Math", "fmin", [Value::Double(a), Value::Double(b)]) => {
+                Ok(Value::Double(a.min(*b)))
+            }
+            ("Math", "fmax", [Value::Double(a), Value::Double(b)]) => {
+                Ok(Value::Double(a.max(*b)))
+            }
+            ("Math", "abs", [Value::Int(n)]) => Ok(Value::Int(n.abs())),
+            ("Math", "sqrt", [Value::Double(x)]) => Ok(Value::Double(x.sqrt())),
+            ("Math", "pow", [Value::Double(a), Value::Double(b)]) => {
+                Ok(Value::Double(a.powf(*b)))
+            }
+            ("Arr", "range", [Value::Int(a), Value::Int(b)]) => {
+                let items: Vec<Value> = (*a..*b).map(Value::Int).collect();
+                Ok(Value::Array(Arc::new(items)))
+            }
+            ("Arr", "len", [Value::Array(items)]) => Ok(Value::Int(items.len() as i64)),
+            ("Arr", "get", [Value::Array(items), Value::Int(i)]) => items
+                .get(*i as usize)
+                .cloned()
+                .ok_or_else(|| native(format!("array index {i} out of bounds (len {})", items.len()))),
+            ("Arr", "sub", [Value::Array(items), Value::Int(a), Value::Int(b)]) => {
+                let a = (*a).clamp(0, items.len() as i64) as usize;
+                let b = (*b).clamp(a as i64, items.len() as i64) as usize;
+                Ok(Value::Array(Arc::new(items[a..b].to_vec())))
+            }
+            ("Arr", "concat", [Value::Array(a), Value::Array(b)]) => {
+                let mut out = a.to_vec();
+                out.extend(b.iter().cloned());
+                Ok(Value::Array(Arc::new(out)))
+            }
+            ("Arr", "push", [Value::Array(a), v]) => {
+                let mut out = a.to_vec();
+                out.push(v.clone());
+                Ok(Value::Array(Arc::new(out)))
+            }
+            ("Arr", "make", [Value::Int(n), v]) => {
+                Ok(Value::Array(Arc::new(vec![v.clone(); (*n).max(0) as usize])))
+            }
+            _ => Err(native(format!(
+                "unknown or misapplied builtin `{ns}.{name}` with {} args",
+                args.len()
+            ))),
+        }
+    }
+}

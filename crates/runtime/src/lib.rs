@@ -1,0 +1,45 @@
+//! The ENT runtime: an interpreter implementing the paper's operational
+//! semantics (§4.2) against the simulated energy platforms.
+//!
+//! Dynamic objects carry mode tags; `snapshot` evaluates attributors,
+//! checks bounds (raising the catchable `EnergyException` on a bad check),
+//! and applies the paper's lazy shallow-copy semantics; every message send
+//! re-validates the dynamic waterfall invariant `dfall` — which, per the
+//! paper's Corollary 1, never fails for well-typed programs.
+//!
+//! # Example
+//!
+//! ```
+//! use ent_core::compile;
+//! use ent_energy::Platform;
+//! use ent_runtime::{run, RuntimeConfig, Value};
+//!
+//! let compiled = compile(
+//!     "modes { low <= high; }
+//!      class Worker@mode<? <= W> {
+//!        attributor {
+//!          if (Ext.battery() >= 0.5) { return high; } else { return low; }
+//!        }
+//!        int work(int n) { Sim.work(\"cpu\", 1000.0); return n * 2; }
+//!      }
+//!      class Main {
+//!        int main() {
+//!          let dw = new Worker();
+//!          let Worker w = snapshot dw [_, _];
+//!          return w.work(21);
+//!        }
+//!      }",
+//! ).unwrap();
+//! let result = run(&compiled, Platform::system_a(), RuntimeConfig::default());
+//! assert_eq!(result.value.unwrap(), Value::Int(42));
+//! assert!(result.measurement.energy_j > 0.0);
+//! ```
+
+mod error;
+pub mod formal;
+mod interp;
+mod value;
+
+pub use error::{Flow, RtError};
+pub use interp::{run, EnergyEvent, RunResult, RunStats, RuntimeConfig};
+pub use value::{ObjRef, RtMode, Value};

@@ -1,0 +1,108 @@
+//! Tests for the snapshot-copy ablation flags: the strategies must differ
+//! only in cost and aliasing, never in observable modes or results.
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{run, RunResult, RuntimeConfig, Value};
+
+const SRC: &str = "modes { low <= high; }
+class Leaf { }
+class Node { Object child; }
+class Probe@mode<? <= P> {
+  Node graph;
+  mcase<int> tag = mcase{ low: 1; high: 2; };
+  attributor {
+    if (Ext.battery() >= 0.5) { return high; } else { return low; }
+  }
+  int read() { return this.tag <| P; }
+}
+class Main {
+  int main() {
+    let dp = new Probe(new Node(new Node(new Leaf())));
+    let Probe a = snapshot dp [_, _];
+    let Probe b = snapshot dp [_, _];
+    let Probe c = snapshot dp [_, _];
+    return a.read() * 100 + b.read() * 10 + c.read();
+  }
+}";
+
+fn run_with(eager: bool, deep: bool) -> RunResult {
+    let compiled = compile(SRC).unwrap();
+    run(
+        &compiled,
+        Platform::system_a(),
+        RuntimeConfig {
+            eager_copy: eager,
+            deep_copy: deep,
+            battery_level: 0.9,
+            seed: 4,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+#[test]
+fn all_strategies_agree_on_results() {
+    let expected = Value::Int(222); // high tag everywhere at 90% battery
+    for eager in [false, true] {
+        for deep in [false, true] {
+            let r = run_with(eager, deep);
+            assert_eq!(
+                r.value.as_ref().unwrap(),
+                &expected,
+                "eager={eager} deep={deep}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_copies_less_than_eager() {
+    let lazy = run_with(false, false);
+    let eager = run_with(true, false);
+    assert_eq!(lazy.stats.snapshots, 3);
+    assert_eq!(eager.stats.snapshots, 3);
+    assert_eq!(lazy.stats.copies, 2, "first snapshot tags in place");
+    assert_eq!(eager.stats.copies, 3, "eager copies every time");
+}
+
+#[test]
+fn deep_copy_costs_more_energy_than_shallow() {
+    let shallow = run_with(true, false);
+    let deep = run_with(true, true);
+    assert!(
+        deep.measurement.energy_j > shallow.measurement.energy_j,
+        "deep {} vs shallow {}",
+        deep.measurement.energy_j,
+        shallow.measurement.energy_j
+    );
+}
+
+#[test]
+fn deep_copy_handles_cyclic_reachability_via_sharing() {
+    // A diamond: two fields referencing the same object; deep copy must
+    // preserve the sharing (and terminate).
+    let src = "modes { low <= high; }
+        class Leaf { }
+        class Pair { Leaf a; Leaf b; }
+        class Holder@mode<? <= H> {
+          Pair pair;
+          attributor { return low; }
+        }
+        class Main {
+          unit main() {
+            let shared = new Leaf();
+            let dh = new Holder(new Pair(shared, shared));
+            let Holder s1 = snapshot dh [_, _];
+            let Holder s2 = snapshot dh [_, _];
+            return {};
+          }
+        }";
+    let compiled = compile(src).unwrap();
+    let r = run(
+        &compiled,
+        Platform::system_a(),
+        RuntimeConfig { deep_copy: true, ..RuntimeConfig::default() },
+    );
+    assert!(r.value.is_ok(), "{:?}", r.value);
+}

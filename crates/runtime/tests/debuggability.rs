@@ -1,0 +1,164 @@
+//! The §6.3 energy-debugging workflow, as an executable narrative:
+//!
+//! 1. The programmer forgets the `[_, X]` bound — the *typechecker* points
+//!    at the unprovable crawl;
+//! 2. they add the bound — the *runtime* throws `EnergyException`, and the
+//!    event log identifies exactly which Site was the energy hotspot;
+//! 3. they add the handler — the program completes, and the event log
+//!    records the degraded path.
+
+use ent_core::{compile, CompileError, TypeErrorKind};
+use ent_energy::Platform;
+use ent_runtime::{run, EnergyEvent, RtError, RuntimeConfig};
+
+fn crawler(bound: &str, handler: bool) -> String {
+    let crawl = if handler {
+        // The handler falls back to a small site, re-snapshotted within
+        // the agent's mode.
+        "try {
+           let Site s = snapshot ds BOUND;
+           s.crawl(2)
+         } catch {
+           let ds0 = new Site(25);
+           let Site s0 = snapshot ds0 [_, X];
+           s0.crawl(1)
+         }"
+    } else {
+        "{
+           let Site s = snapshot ds BOUND;
+           s.crawl(2)
+         }"
+    };
+    format!(
+        "modes {{ energy_saver <= managed; managed <= full_throttle; }}
+        class Site@mode<? <= S> {{
+          int resources;
+          attributor {{
+            if (this.resources > 200) {{ return full_throttle; }}
+            else if (this.resources > 50) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int crawl(int depth) {{
+            Sim.work(\"net\", Math.toDouble(this.resources * depth) * 1000000.0);
+            return this.resources * depth;
+          }}
+        }}
+        class Agent@mode<? <= X> {{
+          attributor {{
+            if (Ext.battery() >= 0.75) {{ return full_throttle; }}
+            else if (Ext.battery() >= 0.50) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int work(int resources) {{
+            let ds = new Site(resources);
+            return {crawl};
+          }}
+        }}
+        class Main {{
+          int main() {{
+            let da = new Agent();
+            let Agent a = snapshot da [_, _];
+            return a.work(1500);
+          }}
+        }}"
+    )
+    .replace("BOUND", bound)
+}
+
+#[test]
+fn step1_missing_bound_is_a_compile_time_error() {
+    let src = crawler("[_, _]", false);
+    match compile(&src) {
+        Err(CompileError::Type(errors)) => {
+            let waterfall: Vec<_> = errors
+                .iter()
+                .filter(|e| e.kind == TypeErrorKind::WaterfallViolation)
+                .collect();
+            assert!(!waterfall.is_empty());
+            // The diagnostic names the offending call.
+            assert!(waterfall[0].message.contains("crawl"), "{}", waterfall[0]);
+        }
+        other => panic!("expected the §6.3 compile error, got {other:?}"),
+    }
+}
+
+#[test]
+fn step2_bounded_snapshot_throws_and_the_event_log_names_the_hotspot() {
+    let src = crawler("[_, X]", false);
+    let compiled = compile(&src).expect("bounded version typechecks");
+    let result = run(
+        &compiled,
+        Platform::system_a(),
+        RuntimeConfig { battery_level: 0.3, ..RuntimeConfig::default() },
+    );
+    assert!(matches!(result.value, Err(RtError::EnergyException(_))));
+    // The event log answers §6.3's question (1): "Why is a large Site
+    // crawled with low battery?" — there it is:
+    let failure = result
+        .events
+        .iter()
+        .find_map(|e| match e {
+            EnergyEvent::Snapshot { class, mode, failed: true, bounds, .. } => {
+                Some((class.clone(), mode.clone(), bounds.clone()))
+            }
+            _ => None,
+        })
+        .expect("the failed check is in the log");
+    assert_eq!(failure.0, "Site");
+    assert_eq!(failure.1, "full_throttle");
+    assert_eq!(failure.2 .1, "energy_saver"); // the agent's (boot) mode bound
+}
+
+#[test]
+fn step3_handler_recovers_and_consumes_less_energy() {
+    let src = crawler("[_, X]", true);
+    let compiled = compile(&src).expect("handled version typechecks");
+    let low = run(
+        &compiled,
+        Platform::system_a(),
+        RuntimeConfig { battery_level: 0.3, seed: 9, ..RuntimeConfig::default() },
+    );
+    // The handler crawled the small fallback site instead.
+    assert_eq!(low.value.as_ref().unwrap(), &ent_runtime::Value::Int(25));
+
+    let high = run(
+        &compiled,
+        Platform::system_a(),
+        RuntimeConfig { battery_level: 0.95, seed: 9, ..RuntimeConfig::default() },
+    );
+    assert_eq!(high.value.as_ref().unwrap(), &ent_runtime::Value::Int(3000));
+    assert!(
+        high.measurement.energy_j > low.measurement.energy_j * 10.0,
+        "the recovered path must be far cheaper: {} vs {}",
+        high.measurement.energy_j,
+        low.measurement.energy_j
+    );
+}
+
+#[test]
+fn event_log_orders_and_timestamps_snapshots() {
+    let src = crawler("[_, X]", true);
+    let compiled = compile(&src).unwrap();
+    let result = run(
+        &compiled,
+        Platform::system_a(),
+        RuntimeConfig { battery_level: 0.95, ..RuntimeConfig::default() },
+    );
+    let times: Vec<f64> = result
+        .events
+        .iter()
+        .map(|e| match e {
+            EnergyEvent::DynamicAlloc { at_s, .. }
+            | EnergyEvent::Snapshot { at_s, .. }
+            | EnergyEvent::DfallFailure { at_s, .. } => *at_s,
+        })
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "monotone timestamps");
+    // Full battery: Agent + big Site snapshots only (no fallback).
+    let snaps = result
+        .events
+        .iter()
+        .filter(|e| matches!(e, EnergyEvent::Snapshot { .. }))
+        .count();
+    assert_eq!(snaps, 2);
+}

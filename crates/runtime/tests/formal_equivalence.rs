@@ -1,0 +1,181 @@
+//! Differential tests: surface programs in the overlapping FJ core are
+//! lowered to the formal machine (Figure 5) and must agree with the
+//! production interpreter — same final value (structurally), and failures
+//! of the same category (bad check ↔ EnergyException).
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_modes::StaticMode;
+use ent_runtime::formal::{describe_value, lower, FormalError, Machine};
+use ent_runtime::{run, RtError, RuntimeConfig};
+
+/// Runs a surface program both ways and compares.
+fn check_equivalence(src: &str) {
+    let compiled =
+        compile(src).unwrap_or_else(|e| panic!("source failed to typecheck:\n{}", e.render(src)));
+    let formal_program = lower(&compiled.program)
+        .unwrap_or_else(|| panic!("program is outside the FJ core and cannot be lowered"));
+
+    // Production semantics.
+    let production = run(&compiled, Platform::system_a(), RuntimeConfig::default());
+
+    // Formal semantics.
+    let mut machine = Machine::new(&formal_program);
+    let formal_result = machine
+        .boot()
+        .and_then(|t| machine.run(t, &StaticMode::Top, 1_000_000));
+
+    match (&production.value, &formal_result) {
+        (Ok(_), Ok(term)) => {
+            let formal_str = describe_value(&formal_program, term);
+            let production_str = production
+                .value_pretty
+                .clone()
+                .expect("successful runs carry a rendering");
+            assert_eq!(
+                production_str, formal_str,
+                "production and formal results differ"
+            );
+        }
+        (Err(RtError::EnergyException(_)), Err(FormalError::BadCheck(_))) => {}
+        (Err(RtError::BadCast(_)), Err(FormalError::BadCast(_))) => {}
+        (p, f) => panic!("semantics disagree: production {p:?} vs formal {f:?}"),
+    }
+}
+
+const MODES: &str = "modes { low <= high; }\n";
+
+#[test]
+fn object_construction_and_field_access() {
+    check_equivalence(&format!(
+        "{MODES}
+        class Pair@mode<P> {{
+          Leaf@mode<P> first;
+          Leaf@mode<P> second;
+          Leaf@mode<P> fst() {{ return this.first; }}
+        }}
+        class Leaf@mode<L> {{ }}
+        class Main {{
+          Leaf@mode<low> main() {{
+            let p = new Pair@mode<low>(new Leaf@mode<low>(), new Leaf@mode<low>());
+            return p.fst();
+          }}
+        }}"
+    ));
+}
+
+#[test]
+fn method_dispatch_through_inheritance() {
+    check_equivalence(&format!(
+        "{MODES}
+        class Base@mode<B> {{
+          Base@mode<B> me() {{ return this; }}
+        }}
+        class Derived@mode<D> extends Base@mode<D> {{ }}
+        class Main {{
+          Base@mode<high> main() {{
+            let d = new Derived@mode<high>();
+            return d.me();
+          }}
+        }}"
+    ));
+}
+
+#[test]
+fn snapshot_produces_the_same_tagged_object() {
+    check_equivalence(&format!(
+        "{MODES}
+        class Probe@mode<? <= P> {{
+          Tag@mode<low> tag;
+          attributor {{ return high; }}
+        }}
+        class Tag@mode<T> {{ }}
+        class Main {{
+          Object main() {{
+            let dp = new Probe(new Tag@mode<low>());
+            let Probe p = snapshot dp [_, _];
+            return p;
+          }}
+        }}"
+    ));
+}
+
+#[test]
+fn bad_check_matches_energy_exception() {
+    check_equivalence(&format!(
+        "{MODES}
+        class Probe@mode<? <= P> {{
+          attributor {{ return high; }}
+        }}
+        class Main {{
+          Object main() {{
+            let dp = new Probe();
+            let Probe p = snapshot dp [_, low];
+            return p;
+          }}
+        }}"
+    ));
+}
+
+#[test]
+fn bad_cast_matches() {
+    check_equivalence(&format!(
+        "{MODES}
+        class A@mode<X> {{ }}
+        class B@mode<Y> extends A@mode<Y> {{ }}
+        class Main {{
+          B@mode<low> main() {{
+            let A@mode<low> a = new A@mode<low>();
+            return (B@mode<low>)a;
+          }}
+        }}"
+    ));
+}
+
+#[test]
+fn upcast_succeeds_in_both() {
+    check_equivalence(&format!(
+        "{MODES}
+        class A@mode<X> {{ }}
+        class B@mode<Y> extends A@mode<Y> {{ }}
+        class Main {{
+          A@mode<low> main() {{
+            let b = new B@mode<low>();
+            return (A@mode<low>)b;
+          }}
+        }}"
+    ));
+}
+
+#[test]
+fn snapshot_after_call_chain() {
+    // A deeper program: a Maker object constructs the dynamic Probe, the
+    // snapshot flows through a method return.
+    check_equivalence(&format!(
+        "{MODES}
+        class Probe@mode<? <= P> {{
+          attributor {{ return low; }}
+        }}
+        class Maker@mode<M> {{
+          Probe@mode<?> make() {{ return new Probe(); }}
+        }}
+        class Main {{
+          Object main() {{
+            let m = new Maker@mode<high>();
+            let dp = m.make();
+            let Probe p = snapshot dp [_, high];
+            return p;
+          }}
+        }}"
+    ));
+}
+
+#[test]
+fn lowering_rejects_extended_programs() {
+    let src = "class Main { int main() { return 1 + 2; } }";
+    let compiled = compile(src).unwrap();
+    assert!(
+        lower(&compiled.program).is_none(),
+        "primitive arithmetic is outside the formal core"
+    );
+}

@@ -1,0 +1,199 @@
+//! Property tests over the formal machine's reduction sequences:
+//!
+//! * **Monotonic type change** (§4.2's copy-semantics discussion): an
+//!   object value's mode tag moves at most once, from `?` to one ground
+//!   mode — no tagged object is ever re-tagged, so no two aliases can
+//!   disagree about a mode (non-equivocation).
+//! * **Empirical progress** (Theorem 1): well-typed core programs reduce
+//!   to a value or stop at a bad check — never at a stuck term or a
+//!   dynamic waterfall violation.
+
+use std::collections::HashMap;
+
+use ent_core::compile;
+use ent_modes::StaticMode;
+use ent_runtime::formal::{lower, FMode, FormalError, Machine, Term};
+use proptest::prelude::*;
+
+/// Collects every object value in a term into `id → mode`.
+fn collect_modes(term: &Term, out: &mut HashMap<u64, FMode>) {
+    match term {
+        Term::Obj(o) => {
+            out.entry(o.id).or_insert_with(|| o.mode.clone());
+            for f in &o.fields {
+                collect_modes(f, out);
+            }
+        }
+        Term::MCaseV(arms) | Term::MCase(arms) => {
+            for (_, t) in arms {
+                collect_modes(t, out);
+            }
+        }
+        Term::Field(e, _) | Term::Cast(_, e) | Term::Elim(e, _) | Term::Cl(_, e) => {
+            collect_modes(e, out)
+        }
+        Term::Snapshot(e, _, _) => collect_modes(e, out),
+        Term::New { args, .. } => args.iter().for_each(|a| collect_modes(a, out)),
+        Term::Call(recv, _, args) => {
+            collect_modes(recv, out);
+            args.iter().for_each(|a| collect_modes(a, out));
+        }
+        Term::Let(_, rhs, body) => {
+            collect_modes(rhs, out);
+            collect_modes(body, out);
+        }
+        Term::Check { body, obj, .. } => {
+            collect_modes(body, out);
+            for f in &obj.fields {
+                collect_modes(f, out);
+            }
+        }
+        Term::Var(_) | Term::ModeV(_) => {}
+    }
+}
+
+/// A parametric FJ-core program: a dynamic probe whose attributor returns
+/// a constructor-supplied mode, snapshotted `snapshots` times under a
+/// bound, returning the last result.
+fn probe_source(mode_count: usize, stored: usize, bound: Option<usize>, snapshots: usize) -> String {
+    let mode = |i: usize| format!("m{i}");
+    let mut modes_block = String::from("modes { ");
+    for i in 0..mode_count - 1 {
+        modes_block.push_str(&format!("{} <= {}; ", mode(i), mode(i + 1)));
+    }
+    modes_block.push('}');
+
+    let mcase_arms: String = (0..mode_count)
+        .map(|i| format!("{}: new Token(); ", mode(i)))
+        .collect();
+    let bound_s = bound.map(&mode).unwrap_or_else(|| "_".to_string());
+
+    let mut body = String::new();
+    for i in 0..snapshots {
+        body.push_str(&format!("let Probe s{i} = snapshot dp [_, {bound_s}];\n"));
+    }
+    let last = snapshots.saturating_sub(1);
+    // The mcase is a constructor argument (no field initializer), keeping
+    // the program inside the lowerable FJ core.
+    format!(
+        "{modes_block}
+        class Token {{ }}
+        class Probe@mode<? <= P> {{
+          Level level;
+          mcase<Token> pick;
+          attributor {{ return {stored_mode}; }}
+          Token choose() {{ return this.pick <| P; }}
+        }}
+        class Level {{ }}
+        class Main {{
+          Object main() {{
+            let dp = new Probe(new Level(), mcase<Token>{{ {mcase_arms} }});
+            {body}
+            return s{last}.choose();
+          }}
+        }}",
+        stored_mode = mode(stored),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reduction never re-tags an object: modes move `?` → ground once.
+    #[test]
+    fn object_modes_change_monotonically(
+        mode_count in 2usize..=4,
+        stored in 0usize..4,
+        bound in proptest::option::of(0usize..4),
+        snapshots in 1usize..=4,
+    ) {
+        let stored = stored % mode_count;
+        let bound = bound.map(|b| b % mode_count);
+        let src = probe_source(mode_count, stored, bound, snapshots);
+        let compiled = compile(&src)
+            .unwrap_or_else(|e| panic!("probe family must typecheck:\n{}", e.render(&src)));
+        let program = lower(&compiled.program).expect("probe family is FJ-core");
+
+        let mut machine = Machine::new(&program);
+        let mut term = machine.boot().expect("boot");
+        let mut seen: HashMap<u64, FMode> = HashMap::new();
+        for _ in 0..100_000 {
+            if term.is_value() {
+                break;
+            }
+            let mut now = HashMap::new();
+            collect_modes(&term, &mut now);
+            for (id, mode) in &now {
+                if let Some(prev) = seen.get(id) {
+                    // Once ground, forever that ground mode; dynamic may
+                    // become ground.
+                    match (prev, mode) {
+                        (FMode::Dynamic, _) => {}
+                        (a, b) => prop_assert_eq!(a, b, "object {} re-tagged", id),
+                    }
+                }
+                seen.insert(*id, mode.clone());
+            }
+            match machine.step(term.clone(), &StaticMode::Top) {
+                Ok(next) => term = next,
+                Err(FormalError::BadCheck(_)) => return Ok(()),
+                Err(other) => {
+                    prop_assert!(false, "unexpected stop: {other}");
+                    unreachable!()
+                }
+            }
+        }
+    }
+
+    /// Empirical progress: well-typed core programs end in a value or a
+    /// bad check, never stuck.
+    #[test]
+    fn well_typed_core_programs_never_get_stuck(
+        mode_count in 2usize..=4,
+        stored in 0usize..4,
+        bound in proptest::option::of(0usize..4),
+        snapshots in 1usize..=4,
+    ) {
+        let stored = stored % mode_count;
+        let bound = bound.map(|b| b % mode_count);
+        let src = probe_source(mode_count, stored, bound, snapshots);
+        let compiled = compile(&src).expect("probe family typechecks");
+        let program = lower(&compiled.program).expect("probe family is FJ-core");
+
+        let mut machine = Machine::new(&program);
+        let booted = machine.boot().expect("boot");
+        match machine.run(booted, &StaticMode::Top, 1_000_000) {
+            Ok(v) => prop_assert!(v.is_value()),
+            Err(FormalError::BadCheck(_)) => {
+                // Only possible when a bound was declared below the stored
+                // mode.
+                let bound = bound.expect("unbounded snapshots cannot fail");
+                prop_assert!(stored > bound, "bad check requires stored > bound");
+            }
+            Err(other) => prop_assert!(false, "stuck: {other}"),
+        }
+    }
+
+    /// The bad-check condition is exact: it fires iff the attributor's
+    /// mode exceeds the snapshot's upper bound.
+    #[test]
+    fn bad_check_fires_exactly_when_bound_exceeded(
+        mode_count in 2usize..=4,
+        stored in 0usize..4,
+        bound in 0usize..4,
+    ) {
+        let stored = stored % mode_count;
+        let bound = bound % mode_count;
+        let src = probe_source(mode_count, stored, Some(bound), 1);
+        let compiled = compile(&src).expect("probe family typechecks");
+        let program = lower(&compiled.program).expect("probe family is FJ-core");
+        let mut machine = Machine::new(&program);
+        let booted = machine.boot().expect("boot");
+        let result = machine.run(booted, &StaticMode::Top, 1_000_000);
+        if stored > bound {
+            prop_assert!(matches!(result, Err(FormalError::BadCheck(_))));
+        } else {
+            prop_assert!(result.is_ok(), "{result:?}");
+        }
+    }
+}

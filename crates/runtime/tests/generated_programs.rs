@@ -1,0 +1,264 @@
+//! Randomized end-to-end soundness fuzzing: generate random well-typed
+//! ENT programs (random lattices, worker chains with descending modes,
+//! dynamic classes with battery attributors, bounded snapshots, mode
+//! cases), then assert the pipeline invariants:
+//!
+//! * every generated program typechecks (well-typedness by construction);
+//! * the pretty-printer round-trips the whole program;
+//! * execution never gets stuck: the result is a value or a *caught*
+//!   EnergyException path (Theorem 1 / Corollary 1);
+//! * runs are deterministic per seed.
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{run, RuntimeConfig};
+use ent_syntax::{parse_program, print_program};
+use proptest::prelude::*;
+
+/// Parameters of one generated program.
+#[derive(Clone, Debug)]
+struct GenProgram {
+    /// Number of modes in the linear lattice (2–4).
+    mode_count: usize,
+    /// Worker chain length (1–4); worker `i` holds worker `i+1` at a mode
+    /// no higher than its own.
+    chain_len: usize,
+    /// Mode index (into the lattice) of each worker; enforced descending.
+    chain_modes: Vec<usize>,
+    /// Whether main snapshots the dynamic prober inside a try/catch.
+    guarded: bool,
+    /// Snapshot upper bound: index into modes, or `mode_count` for ⊤.
+    bound: usize,
+    /// Attributor thresholds (sorted descending battery cutoffs).
+    cutoffs: Vec<u32>,
+    /// mcase payload values.
+    payload: Vec<i64>,
+}
+
+fn arb_gen() -> impl Strategy<Value = GenProgram> {
+    (2usize..=4, 1usize..=4, any::<bool>(), 0u32..100, 0u32..100, proptest::collection::vec(-50i64..50, 4))
+        .prop_flat_map(|(mode_count, chain_len, guarded, c1, c2, payload)| {
+            (
+                Just(mode_count),
+                Just(chain_len),
+                proptest::collection::vec(0..mode_count, chain_len),
+                Just(guarded),
+                0..=mode_count,
+                Just(vec![c1.max(c2), c1.min(c2)]),
+                Just(payload),
+            )
+        })
+        .prop_map(|(mode_count, chain_len, mut chain_modes, guarded, bound, cutoffs, payload)| {
+            // Descending worker modes keep the waterfall satisfied by
+            // construction.
+            chain_modes.sort_unstable_by(|a, b| b.cmp(a));
+            GenProgram { mode_count, chain_len, chain_modes, guarded, bound, cutoffs, payload }
+        })
+}
+
+fn mode_name(i: usize) -> String {
+    format!("m{i}")
+}
+
+/// Renders the generated program as ENT source.
+fn render(g: &GenProgram) -> String {
+    let mut src = String::new();
+
+    // Lattice.
+    src.push_str("modes { ");
+    for i in 0..g.mode_count - 1 {
+        src.push_str(&format!("{} <= {}; ", mode_name(i), mode_name(i + 1)));
+    }
+    src.push_str("}\n");
+
+    // mcase arms must cover every mode.
+    let mcase_arms: String = (0..g.mode_count)
+        .map(|i| {
+            format!(
+                "{}: {}; ",
+                mode_name(i),
+                g.payload[i % g.payload.len()] + i as i64
+            )
+        })
+        .collect();
+
+    // Worker chain: Worker0 holds Worker1 holds … ; each is generic and
+    // instantiated at a descending mode.
+    for i in 0..g.chain_len {
+        let has_next = i + 1 < g.chain_len;
+        // A worker holding a successor must bound its own mode parameter
+        // below by the successor's mode, or the chained `run` call could
+        // not satisfy the waterfall (the bounded-generics idiom).
+        let param = if has_next {
+            format!("{} <= W{i} <= top", mode_name(g.chain_modes[i + 1]))
+        } else {
+            format!("W{i}")
+        };
+        let field = if has_next {
+            format!("Worker{}@mode<{}> next;", i + 1, mode_name(g.chain_modes[i + 1]))
+        } else {
+            String::new()
+        };
+        let body = if has_next {
+            "return this.next.run(n + 1);".to_string()
+        } else {
+            "return n;".to_string()
+        };
+        src.push_str(&format!(
+            "class Worker{i}@mode<{param}> {{
+               {field}
+               mcase<int> weight = mcase{{ {mcase_arms} }};
+               int run(int n) {{ {body} }}
+               int weigh() {{ return this.weight <| W{i}; }}
+             }}\n"
+        ));
+    }
+
+    // A dynamic prober with a battery attributor over the cutoffs.
+    let hi_cut = g.cutoffs[0] as f64 / 100.0;
+    let lo_cut = g.cutoffs[1] as f64 / 100.0;
+    let top_mode = mode_name(g.mode_count - 1);
+    let mid_mode = mode_name((g.mode_count - 1) / 2);
+    let low_mode = mode_name(0);
+    src.push_str(&format!(
+        "class Prober@mode<? <= P> {{
+           mcase<int> level = mcase{{ {mcase_arms} }};
+           attributor {{
+             if (Ext.battery() >= {hi_cut:.2}) {{ return {top_mode}; }}
+             else if (Ext.battery() >= {lo_cut:.2}) {{ return {mid_mode}; }}
+             else {{ return {low_mode}; }}
+           }}
+           int probe() {{ return this.level <| P; }}
+         }}\n"
+    ));
+
+    // Main: build the chain innermost-first, snapshot the prober
+    // (optionally bounded and guarded), combine the results.
+    let bound = if g.bound >= g.mode_count {
+        "_".to_string()
+    } else {
+        mode_name(g.bound)
+    };
+    let mut chain_new = format!(
+        "new Worker{}@mode<{}>()",
+        g.chain_len - 1,
+        mode_name(g.chain_modes[g.chain_len - 1])
+    );
+    for i in (0..g.chain_len - 1).rev() {
+        chain_new = format!(
+            "new Worker{i}@mode<{}>({chain_new})",
+            mode_name(g.chain_modes[i])
+        );
+    }
+    let snapshot_expr = if g.guarded {
+        format!(
+            "try {{
+               let Prober p = snapshot dp [_, {bound}];
+               p.probe()
+             }} catch {{ 0 - 7 }}"
+        )
+    } else {
+        // Unbounded snapshots never fail the check.
+        "{
+           let Prober p = snapshot dp [_, _];
+           p.probe()
+         }"
+        .to_string()
+    };
+    src.push_str(&format!(
+        "class Main {{
+           int main() {{
+             let w = {chain_new};
+             let dp = new Prober();
+             let probed = {snapshot_expr};
+             return w.run(0) + w.weigh() * 100 + probed * 10000;
+           }}
+         }}\n"
+    ));
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Generated programs typecheck, round-trip through the printer, and
+    /// run to completion without getting stuck, at any battery level.
+    #[test]
+    fn generated_programs_are_sound(g in arb_gen(), battery in 0.0f64..1.0, seed in 0u64..500) {
+        let src = render(&g);
+
+        // 1. Well-typed by construction.
+        let compiled = compile(&src)
+            .unwrap_or_else(|e| panic!("generator produced an ill-typed program:\n{}\n---\n{src}", e.render(&src)));
+
+        // 2. Printer round-trip: print → parse → print is a fixpoint.
+        let printed = print_program(&compiled.program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n---\n{printed}"));
+        prop_assert_eq!(printed.clone(), print_program(&reparsed));
+
+        // 3. Soundness: value, or (only when bounded) a caught
+        //    EnergyException path — never a stuck state.
+        let config = RuntimeConfig { battery_level: battery, seed, ..RuntimeConfig::default() };
+        let result = run(&compiled, Platform::system_a(), config.clone());
+        match &result.value {
+            Ok(_) => {}
+            Err(other) => {
+                prop_assert!(false, "generated program got stuck: {other}\n---\n{src}");
+            }
+        }
+
+        // 4. Determinism.
+        let again = run(&compiled, Platform::system_a(), config);
+        prop_assert_eq!(&result.value, &again.value);
+        prop_assert_eq!(result.measurement.energy_j, again.measurement.energy_j);
+    }
+
+    /// The same programs run in silent mode always complete with the
+    /// snapshot proceeding regardless of bounds.
+    #[test]
+    fn generated_programs_complete_silently(g in arb_gen(), battery in 0.0f64..1.0) {
+        let src = render(&g);
+        let compiled = compile(&src).expect("well-typed by construction");
+        let config = RuntimeConfig {
+            battery_level: battery,
+            silent: true,
+            ..RuntimeConfig::default()
+        };
+        let result = run(&compiled, Platform::system_a(), config);
+        prop_assert!(result.value.is_ok(), "silent run failed: {:?}", result.value);
+    }
+}
+
+/// A deterministic regression case from the generator family, kept as a
+/// plain test for quick iteration.
+#[test]
+fn representative_generated_program() {
+    let g = GenProgram {
+        mode_count: 3,
+        chain_len: 3,
+        chain_modes: vec![2, 1, 0],
+        guarded: true,
+        bound: 1,
+        cutoffs: vec![80, 40],
+        payload: vec![5, -3, 11, 0],
+    };
+    let src = render(&g);
+    let compiled = compile(&src).unwrap();
+    // High battery → attributor says m2, above bound m1 → caught (-7).
+    let high = run(
+        &compiled,
+        Platform::system_a(),
+        RuntimeConfig { battery_level: 0.95, ..RuntimeConfig::default() },
+    );
+    assert!(high.value.is_ok());
+    assert_eq!(high.stats.energy_exceptions, 1);
+    // Low battery → m0 within bounds → no exception.
+    let low = run(
+        &compiled,
+        Platform::system_a(),
+        RuntimeConfig { battery_level: 0.1, ..RuntimeConfig::default() },
+    );
+    assert!(low.value.is_ok());
+    assert_eq!(low.stats.energy_exceptions, 0);
+}

@@ -1,0 +1,542 @@
+//! Behavioral tests for the ENT runtime: snapshot semantics, mode tagging,
+//! lazy copying, EnergyException, silent mode, mode cases, and energy
+//! accounting.
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{run, RtError, RunResult, RuntimeConfig, Value};
+
+const MODES: &str = "modes { energy_saver <= managed; managed <= full_throttle; }\n";
+
+fn run_src(src: &str, config: RuntimeConfig) -> RunResult {
+    let compiled = compile(src).unwrap_or_else(|e| panic!("compile failed:\n{}", e.render(src)));
+    run(&compiled, Platform::system_a(), config)
+}
+
+fn at_battery(level: f64) -> RuntimeConfig {
+    RuntimeConfig { battery_level: level, ..RuntimeConfig::default() }
+}
+
+/// The attributor picks the mode from the battery level, as in §6.1's
+/// boot-mode thresholds.
+fn agent_program(body: &str) -> String {
+    format!(
+        "{MODES}
+        class Agent@mode<? <= X> {{
+          attributor {{
+            if (Ext.battery() >= 0.9) {{ return full_throttle; }}
+            else if (Ext.battery() >= 0.7) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          int work(int n) {{ return n * (this.depth <| X); }}
+        }}
+        class Main {{
+          int main() {{ {body} }}
+        }}"
+    )
+}
+
+#[test]
+fn attributor_reads_battery_and_modes_select_behavior() {
+    let src = agent_program(
+        "let da = new Agent();
+         let Agent a = snapshot da [_, _];
+         return a.work(10);",
+    );
+    // full battery → full_throttle → depth 3.
+    let r = run_src(&src, at_battery(1.0));
+    assert_eq!(r.value.unwrap(), Value::Int(30));
+    // 80 % → managed → depth 2.
+    let r = run_src(&src, at_battery(0.8));
+    assert_eq!(r.value.unwrap(), Value::Int(20));
+    // 40 % → energy_saver → depth 1.
+    let r = run_src(&src, at_battery(0.4));
+    assert_eq!(r.value.unwrap(), Value::Int(10));
+}
+
+#[test]
+fn bounded_snapshot_throws_energy_exception_when_violated() {
+    let src = agent_program(
+        "let da = new Agent();
+         let Agent a = snapshot da [_, managed];
+         return a.work(10);",
+    );
+    // Full battery → attributor says full_throttle, above the `managed`
+    // upper bound → EnergyException (a bad check).
+    let r = run_src(&src, at_battery(1.0));
+    assert!(matches!(r.value, Err(RtError::EnergyException(_))), "{:?}", r.value);
+    assert_eq!(r.stats.energy_exceptions, 1);
+
+    // Low battery → energy_saver, within bounds → fine.
+    let r = run_src(&src, at_battery(0.3));
+    assert_eq!(r.value.unwrap(), Value::Int(10));
+}
+
+#[test]
+fn try_catch_recovers_from_energy_exception() {
+    let src = agent_program(
+        "let da = new Agent();
+         return try {
+           let Agent a = snapshot da [_, managed];
+           a.work(10)
+         } catch { 0 - 1 };",
+    );
+    let r = run_src(&src, at_battery(1.0));
+    assert_eq!(r.value.unwrap(), Value::Int(-1));
+    assert_eq!(r.stats.energy_exceptions, 1);
+}
+
+#[test]
+fn silent_mode_suppresses_the_exception_but_keeps_tagging() {
+    let src = agent_program(
+        "let da = new Agent();
+         let Agent a = snapshot da [_, managed];
+         return a.work(10);",
+    );
+    let config = RuntimeConfig { silent: true, battery_level: 1.0, ..RuntimeConfig::default() };
+    let r = run_src(&src, config);
+    // The silent run proceeds at the (out-of-bounds) full_throttle mode:
+    // depth eliminates to 3.
+    assert_eq!(r.value.unwrap(), Value::Int(30));
+    // The violation was still *counted* (tagging in place).
+    assert_eq!(r.stats.energy_exceptions, 1);
+}
+
+#[test]
+fn first_snapshot_tags_in_place_subsequent_snapshots_copy() {
+    let src = agent_program(
+        "let da = new Agent();
+         let Agent a1 = snapshot da [_, _];
+         let Agent a2 = snapshot da [_, _];
+         let Agent a3 = snapshot da [_, _];
+         return a1.work(1) + a2.work(1) + a3.work(1);",
+    );
+    let r = run_src(&src, at_battery(1.0));
+    assert_eq!(r.value.unwrap(), Value::Int(9));
+    assert_eq!(r.stats.snapshots, 3);
+    // Lazy copying: the first snapshot is free; the other two copy.
+    assert_eq!(r.stats.copies, 2);
+}
+
+#[test]
+fn snapshot_copies_have_independent_modes() {
+    // Re-snapshotting under a different battery level must not disturb the
+    // earlier snapshot's mode (monotonic type change / non-equivocation).
+    let src = format!(
+        "{MODES}
+        class Probe@mode<? <= P> {{
+          attributor {{
+            if (Ext.battery() >= 0.5) {{ return full_throttle; }}
+            else {{ return energy_saver; }}
+          }}
+          mcase<int> tag = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          int read() {{ return this.tag <| P; }}
+        }}
+        class Main {{
+          int main() {{
+            let dp = new Probe();
+            let Probe p1 = snapshot dp [_, _];
+            let first = p1.read();
+            // Heavy work drains the battery below 50 %...
+            Sim.work(\"cpu\", 500000000000.0);
+            let Probe p2 = snapshot dp [_, _];
+            // ...so the second snapshot is energy_saver, while p1 keeps
+            // full_throttle.
+            return first * 10 + p2.read();
+          }}
+        }}"
+    );
+    let mut config = at_battery(0.52);
+    config.gas_limit = 500_000_000;
+    let r = run_src(&src, config);
+    assert_eq!(r.value.unwrap(), Value::Int(31));
+}
+
+#[test]
+fn mode_case_eliminates_to_largest_arm_at_or_below() {
+    // Eliminating at ⊤ (Main's boot mode) selects the largest arm.
+    let src = format!(
+        "{MODES}
+        class Main {{
+          int main() {{
+            let mcase<int> cases = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+            return cases <| full_throttle;
+          }}
+        }}"
+    );
+    let r = run_src(&src, at_battery(1.0));
+    assert_eq!(r.value.unwrap(), Value::Int(3));
+}
+
+#[test]
+fn co_adaptation_shares_one_mode_across_objects() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class DepthRule@mode<X> extends Rule@mode<X> {{
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          int value() {{ return this.depth <| X; }}
+        }}
+        class Site@mode<S> {{
+          int resources;
+          int crawl(DepthRule@mode<S> r) {{ return this.resources * r.value(); }}
+        }}
+        class Agent@mode<? <= X> {{
+          attributor {{
+            if (Ext.battery() >= 0.7) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int work(int n) {{
+            let s = new Site@mode<X>(n);
+            return s.crawl(new DepthRule@mode<X>());
+          }}
+        }}
+        class Main {{
+          int main() {{
+            let da = new Agent();
+            let Agent a = snapshot da [_, _];
+            return a.work(100);
+          }}
+        }}"
+    );
+    // 80 % battery → managed → DepthRule eliminates its mcase at managed.
+    let r = run_src(&src, at_battery(0.8));
+    assert_eq!(r.value.unwrap(), Value::Int(200));
+    // 30 % battery → energy_saver everywhere.
+    let r = run_src(&src, at_battery(0.3));
+    assert_eq!(r.value.unwrap(), Value::Int(100));
+}
+
+#[test]
+fn method_level_attributor_checks_dfall_at_runtime() {
+    let src = format!(
+        "{MODES}
+        class Saver@mode<S> {{
+          int n;
+          int save()
+            attributor {{
+              if (this.n > 20) {{ return full_throttle; }}
+              else {{ return energy_saver; }}
+            }}
+          {{ return this.n; }}
+        }}
+        class Booter@mode<energy_saver> {{
+          Saver@mode<energy_saver> s;
+          int go() {{ return try {{ this.s.save() }} catch {{ 0 - 1 }}; }}
+        }}
+        class Main {{
+          int main() {{
+            let small = new Booter(new Saver@mode<energy_saver>(5));
+            let big = new Booter(new Saver@mode<energy_saver>(50));
+            return small.go() * 1000 + big.go();
+          }}
+        }}"
+    );
+    // small: attributor says energy_saver ≤ energy_saver → 5.
+    // big: attributor says full_throttle > energy_saver → EnergyException
+    // caught → -1. Result: 5 * 1000 + (-1) = 4999.
+    let r = run_src(&src, at_battery(1.0));
+    assert_eq!(r.value.unwrap(), Value::Int(4999));
+}
+
+#[test]
+fn recursion_and_arrays_drive_work() {
+    let src = format!(
+        "{MODES}
+        class Crawler@mode<C> {{
+          int crawlAll(int[] sizes, int i) {{
+            if (i >= Arr.len(sizes)) {{ return 0; }}
+            Sim.work(\"net\", Math.toDouble(Arr.get(sizes, i)) * 1000000.0);
+            return Arr.get(sizes, i) + this.crawlAll(sizes, i + 1);
+          }}
+        }}
+        class Main {{
+          int main() {{
+            let c = new Crawler@mode<managed>();
+            return c.crawlAll([10, 20, 30], 0);
+          }}
+        }}"
+    );
+    let r = run_src(&src, at_battery(1.0));
+    assert_eq!(r.value.unwrap(), Value::Int(60));
+    assert!(r.measurement.energy_j > 0.0);
+    assert!(r.measurement.time_s > 0.0);
+}
+
+#[test]
+fn more_work_consumes_more_energy() {
+    let prog = |units: f64| {
+        format!(
+            "class Main {{ unit main() {{ Sim.work(\"cpu\", {units:.1}); return {{}}; }} }}"
+        )
+    };
+    let small = run_src(&prog(1.0e9), RuntimeConfig::default());
+    let large = run_src(&prog(4.0e9), RuntimeConfig::default());
+    assert!(
+        large.measurement.energy_j > 2.0 * small.measurement.energy_j,
+        "large {} vs small {}",
+        large.measurement.energy_j,
+        small.measurement.energy_j
+    );
+}
+
+#[test]
+fn tagging_overhead_is_small_but_nonzero() {
+    let src = agent_program(
+        "let da = new Agent();
+         let Agent a = snapshot da [_, _];
+         Sim.work(\"cpu\", 10000000000.0);
+         return a.work(1);",
+    );
+    let with_tagging = run_src(&src, RuntimeConfig { seed: 5, ..at_battery(1.0) });
+    let without = run_src(
+        &src,
+        RuntimeConfig { tagging: false, seed: 5, ..at_battery(1.0) },
+    );
+    let overhead = (with_tagging.measurement.energy_j - without.measurement.energy_j)
+        / without.measurement.energy_j;
+    // The overhead must be tiny relative to the 5 s of real work.
+    assert!(overhead.abs() < 0.05, "overhead {overhead}");
+}
+
+#[test]
+fn io_print_is_captured() {
+    let src = "class Main { unit main() { IO.print(\"hello \" + Str.ofInt(42)); return {}; } }";
+    let r = run_src(src, RuntimeConfig::default());
+    assert_eq!(r.output, vec!["hello 42"]);
+}
+
+#[test]
+fn bad_cast_at_runtime() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{ }}
+        class DepthRule@mode<X> extends Rule@mode<X> {{ }}
+        class Main {{
+          unit main() {{
+            let Rule@mode<managed> r = new Rule@mode<managed>();
+            let d = (DepthRule@mode<managed>)r;
+            return {{}};
+          }}
+        }}"
+    );
+    let r = run_src(&src, RuntimeConfig::default());
+    assert!(matches!(r.value, Err(RtError::BadCast(_))));
+}
+
+#[test]
+fn gas_limit_stops_divergence() {
+    let src = "class Loop { int spin(int n) { return this.spin(n + 1); } }
+        class Main { int main() { let l = new Loop(); return l.spin(0); } }";
+    let config = RuntimeConfig { gas_limit: 100_000, ..RuntimeConfig::default() };
+    let r = run_src(src, config);
+    assert!(matches!(r.value, Err(RtError::OutOfGas)));
+}
+
+#[test]
+fn missing_main_is_reported() {
+    let compiled = compile("class NotMain { }").unwrap();
+    let r = run(&compiled, Platform::system_a(), RuntimeConfig::default());
+    assert!(matches!(r.value, Err(RtError::NoMain)));
+}
+
+#[test]
+fn field_initializers_and_inheritance() {
+    let src = format!(
+        "{MODES}
+        class Base@mode<B> {{
+          int a;
+          int doubled = 0;
+        }}
+        class Derived@mode<D> extends Base@mode<D> {{
+          int b;
+          int sum() {{ return this.a + this.b; }}
+        }}
+        class Main {{
+          int main() {{
+            let d = new Derived@mode<managed>(3, 4);
+            return d.sum();
+          }}
+        }}"
+    );
+    let r = run_src(&src, RuntimeConfig::default());
+    assert_eq!(r.value.unwrap(), Value::Int(7));
+}
+
+#[test]
+fn generic_method_modes_at_runtime() {
+    let src = format!(
+        "{MODES}
+        class Rule@mode<R> {{
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          int value() {{ return this.depth <| R; }}
+        }}
+        class Factory@mode<F> {{
+          Rule@mode<s> make<s>() {{ return new Rule@mode<s>(); }}
+        }}
+        class Main {{
+          int main() {{
+            let f = new Factory@mode<full_throttle>();
+            let r1 = f.make@mode<energy_saver>();
+            let r2 = f.make@mode<managed>();
+            return r1.value() * 10 + r2.value();
+          }}
+        }}"
+    );
+    let r = run_src(&src, RuntimeConfig::default());
+    assert_eq!(r.value.unwrap(), Value::Int(12));
+}
+
+#[test]
+fn battery_exception_run_uses_less_energy_than_silent() {
+    // A miniature E1 experiment: the workload is full_throttle-sized, the
+    // boot mode is energy_saver. ENT throws and falls back to a small
+    // crawl; silent processes everything.
+    let src = format!(
+        "{MODES}
+        class Crawler@mode<? <= C> {{
+          attributor {{
+            if (Ext.battery() >= 0.9) {{ return full_throttle; }}
+            else if (Ext.battery() >= 0.7) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          unit crawl(int resources) {{
+            Sim.work(\"net\", Math.toDouble(resources) * 10000000.0);
+            return {{}};
+          }}
+        }}
+        class Site@mode<? <= S> {{
+          int resources;
+          attributor {{
+            if (this.resources > 200) {{ return full_throttle; }}
+            else if (this.resources > 50) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int size() {{ return this.resources; }}
+        }}
+        class Main {{
+          unit main() {{
+            let dc = new Crawler();
+            let Crawler c = snapshot dc [_, _];
+            let dsite = new Site(1967);
+            try {{
+              let Site s = snapshot dsite [_, energy_saver];
+              c.crawl(s.size());
+            }} catch {{
+              // Scale down to the energy_saver workload.
+              c.crawl(89);
+            }}
+            return {{}};
+          }}
+        }}"
+    );
+    let ent = run_src(&src, RuntimeConfig { battery_level: 0.4, seed: 1, ..RuntimeConfig::default() });
+    let silent = run_src(
+        &src,
+        RuntimeConfig { battery_level: 0.4, silent: true, seed: 1, ..RuntimeConfig::default() },
+    );
+    assert!(ent.value.is_ok());
+    assert!(silent.value.is_ok());
+    assert!(
+        silent.measurement.energy_j > 2.0 * ent.measurement.energy_j,
+        "silent {} vs ent {}",
+        silent.measurement.energy_j,
+        ent.measurement.energy_j
+    );
+}
+
+#[test]
+fn temperature_rises_under_load_and_trace_is_sampled() {
+    let src = "class Main { unit main() { Sim.work(\"cpu\", 100000000000.0); return {}; } }";
+    let config = RuntimeConfig {
+        trace_interval_s: Some(1.0),
+        gas_limit: 500_000_000,
+        ..RuntimeConfig::default()
+    };
+    let r = run_src(src, config);
+    assert!(r.trace.len() > 10);
+    let first = r.trace.first().unwrap().1;
+    let last = r.trace.last().unwrap().1;
+    assert!(last > first + 5.0, "temperature should climb: {first} → {last}");
+}
+
+#[test]
+fn method_attributor_binds_its_named_view_at_runtime() {
+    // Listing 3: the JPEGWriter created inside saveImages co-adapts to the
+    // mode the method's attributor produced.
+    let src = format!(
+        "{MODES}
+        class JPEGWriter@mode<W> {{
+          mcase<int> quality = mcase{{ energy_saver: 30; managed: 60; full_throttle: 95; }};
+          int write() {{ return this.quality <| W; }}
+        }}
+        class Saver@mode<V> {{
+          int parsedimgs;
+          int saveImages<X>()
+            attributor {{
+              if (this.parsedimgs > 20) {{ return full_throttle; }}
+              else if (this.parsedimgs > 10) {{ return managed; }}
+              else {{ return energy_saver; }}
+            }}
+          {{
+            let writer = new JPEGWriter@mode<X>();
+            return writer.write();
+          }}
+        }}
+        class Main {{
+          int main() {{
+            let few = new Saver@mode<full_throttle>(5);
+            let some = new Saver@mode<full_throttle>(15);
+            let many = new Saver@mode<full_throttle>(25);
+            return few.saveImages() * 10000 + some.saveImages() * 100 + many.saveImages();
+          }}
+        }}"
+    );
+    let r = run_src(&src, RuntimeConfig::default());
+    // 5 imgs → energy_saver quality 30; 15 → managed 60; 25 → full 95.
+    assert_eq!(r.value.unwrap(), Value::Int(30 * 10000 + 60 * 100 + 95));
+}
+
+#[test]
+fn dynamic_dispatch_selects_the_subclass_override() {
+    let src = format!(
+        "{MODES}
+        class Animal@mode<A> {{
+          int sound() {{ return 1; }}
+          int describe() {{ return this.sound() * 100; }}
+        }}
+        class Dog@mode<D> extends Animal@mode<D> {{
+          int sound() {{ return 2; }}
+        }}
+        class Main {{
+          int main() {{
+            let Animal@mode<managed> a = new Dog@mode<managed>();
+            // describe() is inherited; this.sound() dispatches to Dog.
+            return a.describe();
+          }}
+        }}"
+    );
+    let r = run_src(&src, RuntimeConfig::default());
+    assert_eq!(r.value.unwrap(), Value::Int(200));
+}
+
+#[test]
+fn inherited_methods_see_superclass_mode_parameters() {
+    let src = format!(
+        "{MODES}
+        class Base@mode<B> {{
+          mcase<int> tag = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          int read() {{ return this.tag <| B; }}
+        }}
+        class Derived@mode<D> extends Base@mode<D> {{ }}
+        class Main {{
+          int main() {{
+            let d = new Derived@mode<managed>();
+            return d.read();
+          }}
+        }}"
+    );
+    let r = run_src(&src, RuntimeConfig::default());
+    assert_eq!(r.value.unwrap(), Value::Int(2));
+}

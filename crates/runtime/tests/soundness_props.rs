@@ -1,0 +1,141 @@
+//! Property-based soundness smoke tests.
+//!
+//! Theorem 1 / Corollary 1 of the paper: a well-typed program either
+//! produces a value, diverges, or stops at a *bad cast* or *bad check* —
+//! it never gets stuck at a message send (no dynamic waterfall violations,
+//! no missing members, no unbound variables). These properties drive the
+//! crawler program over randomized battery levels, workload sizes, and
+//! snapshot bounds and assert exactly that.
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{run, RtError, RuntimeConfig};
+use proptest::prelude::*;
+
+const BOUNDS: &[&str] = &["energy_saver", "managed", "full_throttle", "top"];
+
+fn crawler(bound: &str) -> String {
+    let bound = if bound == "top" { "_".to_string() } else { bound.to_string() };
+    format!(
+        "modes {{ energy_saver <= managed; managed <= full_throttle; }}
+        class Site@mode<? <= S> {{
+          int resources;
+          attributor {{
+            if (this.resources > 200) {{ return full_throttle; }}
+            else if (this.resources > 50) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int crawl(int depth) {{
+            Sim.work(\"net\", Math.toDouble(this.resources * depth) * 100000.0);
+            return this.resources * depth;
+          }}
+        }}
+        class Agent@mode<? <= X> {{
+          mcase<int> depth = mcase{{ energy_saver: 1; managed: 2; full_throttle: 3; }};
+          attributor {{
+            if (Ext.battery() >= 0.9) {{ return full_throttle; }}
+            else if (Ext.battery() >= 0.7) {{ return managed; }}
+            else {{ return energy_saver; }}
+          }}
+          int work(int resources) {{
+            let ds = new Site(resources);
+            let Site s = snapshot ds [_, X];
+            return s.crawl(this.depth <| X);
+          }}
+        }}
+        class Main {{
+          int main() {{
+            let da = new Agent();
+            let Agent a = snapshot da [_, {bound}];
+            return a.work(1000);
+          }}
+        }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-typed runs only ever stop at an EnergyException (bad check) —
+    /// never at a dfall violation, missing member, or unbound variable.
+    #[test]
+    fn well_typed_programs_never_get_stuck(
+        battery in 0.0f64..1.0,
+        bound_idx in 0usize..BOUNDS.len(),
+        resources in 1i64..3000,
+        seed in 0u64..1000,
+    ) {
+        let src = crawler(BOUNDS[bound_idx]).replace("a.work(1000)", &format!("a.work({resources})"));
+        let compiled = compile(&src).expect("crawler template is well-typed");
+        let config = RuntimeConfig { battery_level: battery, seed, ..RuntimeConfig::default() };
+        let result = run(&compiled, Platform::system_a(), config);
+        match &result.value {
+            Ok(_) => {}
+            Err(RtError::EnergyException(_)) => {}
+            Err(other) => {
+                prop_assert!(false, "well-typed program got stuck: {other}");
+            }
+        }
+    }
+
+    /// In silent mode the same programs always complete (checks are
+    /// suppressed), and the tagging metadata still counts violations.
+    #[test]
+    fn silent_runs_always_complete(
+        battery in 0.0f64..1.0,
+        bound_idx in 0usize..BOUNDS.len(),
+        seed in 0u64..1000,
+    ) {
+        let src = crawler(BOUNDS[bound_idx]);
+        let compiled = compile(&src).expect("crawler template is well-typed");
+        let config = RuntimeConfig {
+            battery_level: battery,
+            silent: true,
+            seed,
+            ..RuntimeConfig::default()
+        };
+        let result = run(&compiled, Platform::system_a(), config);
+        prop_assert!(result.value.is_ok(), "silent run failed: {:?}", result.value);
+    }
+
+    /// Lazy copying: copies = snapshots − first-snapshots.
+    #[test]
+    fn lazy_copy_accounting(extra_snapshots in 0usize..6) {
+        let snaps: String = (0..extra_snapshots)
+            .map(|i| format!("let Agent a{i} = snapshot da [_, _];"))
+            .collect();
+        let src = format!(
+            "modes {{ low <= high; }}
+            class Agent@mode<? <= X> {{
+              attributor {{ return low; }}
+            }}
+            class Main {{
+              unit main() {{
+                let da = new Agent();
+                let Agent a = snapshot da [_, _];
+                {snaps}
+                return {{}};
+              }}
+            }}"
+        );
+        let compiled = compile(&src).expect("well-typed");
+        let result = run(&compiled, Platform::system_a(), RuntimeConfig::default());
+        prop_assert!(result.value.is_ok());
+        prop_assert_eq!(result.stats.snapshots, 1 + extra_snapshots as u64);
+        prop_assert_eq!(result.stats.copies, extra_snapshots as u64);
+    }
+
+    /// Determinism: identical configuration ⇒ identical value, energy, and
+    /// statistics.
+    #[test]
+    fn runs_are_deterministic(battery in 0.0f64..1.0, seed in 0u64..100) {
+        let src = crawler("top");
+        let compiled = compile(&src).expect("well-typed");
+        let config = RuntimeConfig { battery_level: battery, seed, ..RuntimeConfig::default() };
+        let a = run(&compiled, Platform::system_b(), config.clone());
+        let b = run(&compiled, Platform::system_b(), config);
+        prop_assert_eq!(&a.value, &b.value);
+        prop_assert_eq!(a.measurement.energy_j, b.measurement.energy_j);
+        prop_assert_eq!(&a.stats, &b.stats);
+    }
+}

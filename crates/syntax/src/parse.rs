@@ -1,0 +1,1279 @@
+//! Recursive-descent parser for ENT's concrete syntax.
+//!
+//! The surface language is the Java-like notation of the paper's listings:
+//! a leading `modes { ... }` block, class declarations with `@mode<...>`
+//! qualifiers, attributors, `snapshot e [lo, hi]`, `mcase` literals, and the
+//! elimination operator `<|`. See the crate docs for a grammar sketch.
+
+use std::collections::HashSet;
+
+use ent_modes::{
+    Bounded, ClassModeParams, Mode, ModeArgs, ModeName, ModeTable, ModeVar, StaticMode,
+};
+
+use crate::ast::*;
+use crate::error::SyntaxError;
+use crate::lex::lex;
+use crate::token::{Token, TokenKind};
+use crate::Span;
+
+/// Parses a complete ENT program.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error encountered, or a mode-table
+/// validation error (cyclic or non-lattice `modes` block) re-wrapped as a
+/// [`SyntaxError`].
+///
+/// # Example
+///
+/// ```
+/// use ent_syntax::parse_program;
+///
+/// let program = parse_program(
+///     "modes { low <= high; }
+///      class Main { unit main() { return {}; } }",
+/// )?;
+/// assert_eq!(program.classes.len(), 1);
+/// # Ok::<(), ent_syntax::SyntaxError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, SyntaxError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single expression (useful in tests and the REPL-style examples).
+///
+/// Mode-name resolution uses the given mode names as constants.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error encountered.
+pub fn parse_expr(src: &str, mode_names: &[&str]) -> Result<Expr, SyntaxError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser::new(tokens);
+    parser.mode_names = mode_names.iter().map(|s| s.to_string()).collect();
+    let expr = parser.expr()?;
+    parser.expect(TokenKind::Eof)?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    mode_names: HashSet<String>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, mode_names: HashSet::new() }
+    }
+
+    // ---- token plumbing -------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, SyntaxError> {
+        if *self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(SyntaxError::new(
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), SyntaxError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(SyntaxError::new(
+                format!("expected identifier, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    // ---- program structure ----------------------------------------------
+
+    fn program(&mut self) -> Result<Program, SyntaxError> {
+        let mode_table = if *self.peek() == TokenKind::Modes {
+            self.modes_block()?
+        } else {
+            // Programs that never mention modes still need a lattice; give
+            // them a single implicit mode.
+            ModeTable::linear(["default"]).expect("singleton lattice is valid")
+        };
+        self.mode_names = mode_table.modes().iter().map(|m| m.as_str().to_string()).collect();
+
+        let mut classes = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            classes.push(self.class_decl()?);
+        }
+        Ok(Program { mode_table, classes })
+    }
+
+    fn modes_block(&mut self) -> Result<ModeTable, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::Modes)?;
+        self.expect(TokenKind::LBrace)?;
+        let mut builder = ModeTable::builder();
+        while *self.peek() != TokenKind::RBrace {
+            let (lo, _) = self.ident()?;
+            if self.eat(TokenKind::Le) {
+                let (hi, _) = self.ident()?;
+                builder = builder.le(ModeName::new(lo), ModeName::new(hi));
+            } else {
+                builder = builder.mode(ModeName::new(lo));
+            }
+            self.expect(TokenKind::Semi)?;
+        }
+        self.expect(TokenKind::RBrace)?;
+        builder
+            .build()
+            .map_err(|e| SyntaxError::new(e.to_string(), start.join(self.prev_span())))
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::Class)?;
+        let (name, _) = self.ident()?;
+        let mode_params = if *self.peek() == TokenKind::At {
+            self.class_mode_params(&name)?
+        } else {
+            ClassModeParams::neutral()
+        };
+
+        let (superclass, super_args) = if self.eat(TokenKind::Extends) {
+            let (sup, _) = self.ident()?;
+            let args = if *self.peek() == TokenKind::At {
+                self.at_mode_open()?;
+                let mut args = vec![self.static_mode()?];
+                while self.eat(TokenKind::Comma) {
+                    args.push(self.static_mode()?);
+                }
+                self.expect(TokenKind::Gt)?;
+                args
+            } else {
+                Vec::new()
+            };
+            (ClassName::new(sup), args)
+        } else {
+            (ClassName::object(), Vec::new())
+        };
+
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        let mut attributor = None;
+        while *self.peek() != TokenKind::RBrace {
+            if *self.peek() == TokenKind::Attributor {
+                let a = self.attributor()?;
+                if attributor.replace(a).is_some() {
+                    return Err(SyntaxError::new(
+                        "class has more than one attributor",
+                        self.prev_span(),
+                    ));
+                }
+            } else {
+                self.member(&mut fields, &mut methods)?;
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+
+        Ok(ClassDecl {
+            name: ClassName::new(name),
+            mode_params,
+            superclass,
+            super_args,
+            fields,
+            methods,
+            attributor,
+            span: start.join(self.prev_span()),
+        })
+    }
+
+    /// Parses `@mode<...>` after a class name into a `ClassModeParams`.
+    fn class_mode_params(&mut self, class: &str) -> Result<ClassModeParams, SyntaxError> {
+        self.at_mode_open()?;
+        let mut dynamic = false;
+        let mut bounds: Vec<Bounded> = Vec::new();
+
+        // First parameter: may be `?`, `? <= X`, a constant, a var, or a
+        // bounded var.
+        if self.eat(TokenKind::Question) {
+            dynamic = true;
+            if self.eat(TokenKind::Le) {
+                let (var, _) = self.ident()?;
+                let hi = if self.eat(TokenKind::Le) {
+                    self.static_mode()?
+                } else {
+                    StaticMode::Top
+                };
+                bounds.push(Bounded::new(StaticMode::Bot, ModeVar::new(var), hi));
+            } else {
+                bounds.push(Bounded::unconstrained(ModeVar::new(format!("Self_{class}"))));
+            }
+        } else {
+            bounds.push(self.bounded_param(class)?);
+        }
+        while self.eat(TokenKind::Comma) {
+            bounds.push(self.bounded_param(class)?);
+        }
+        self.expect(TokenKind::Gt)?;
+        Ok(if dynamic {
+            ClassModeParams::dynamic(bounds)
+        } else {
+            ClassModeParams::with_bounds(bounds)
+        })
+    }
+
+    /// One static mode parameter: `X`, `m` (pinned), or `lo <= X <= hi`.
+    fn bounded_param(&mut self, class: &str) -> Result<Bounded, SyntaxError> {
+        let first = self.static_mode()?;
+        if self.eat(TokenKind::Le) {
+            let (var, span) = self.ident()?;
+            if self.mode_names.contains(&var) {
+                return Err(SyntaxError::new(
+                    format!("`{var}` is a mode constant, not a parameter name"),
+                    span,
+                ));
+            }
+            self.expect(TokenKind::Le)?;
+            let hi = self.static_mode()?;
+            Ok(Bounded::new(first, ModeVar::new(var), hi))
+        } else {
+            match first {
+                StaticMode::Var(v) => Ok(Bounded::unconstrained(v)),
+                pinned => {
+                    // A pinned mode: objects of the class always have this
+                    // mode. Modeled as `m ≤ Self ≤ m`.
+                    Ok(Bounded::new(
+                        pinned.clone(),
+                        ModeVar::new(format!("Self_{class}")),
+                        pinned,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Consumes the tokens `@ mode <`.
+    fn at_mode_open(&mut self) -> Result<(), SyntaxError> {
+        self.expect(TokenKind::At)?;
+        self.expect(TokenKind::Mode)?;
+        self.expect(TokenKind::Lt)?;
+        Ok(())
+    }
+
+    /// A static mode: `bot`, `top`, a declared constant, or a variable.
+    fn static_mode(&mut self) -> Result<StaticMode, SyntaxError> {
+        match self.peek().clone() {
+            TokenKind::Bot => {
+                self.bump();
+                Ok(StaticMode::Bot)
+            }
+            TokenKind::Top => {
+                self.bump();
+                Ok(StaticMode::Top)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.mode_names.contains(&name) {
+                    Ok(StaticMode::Const(ModeName::new(name)))
+                } else {
+                    Ok(StaticMode::Var(ModeVar::new(name)))
+                }
+            }
+            other => Err(SyntaxError::new(
+                format!("expected a mode, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+
+    fn attributor(&mut self) -> Result<Attributor, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::Attributor)?;
+        let body = self.block()?;
+        Ok(Attributor { body, span: start.join(self.prev_span()) })
+    }
+
+    /// A field or method member.
+    fn member(
+        &mut self,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+    ) -> Result<(), SyntaxError> {
+        let start = self.span();
+
+        // Optional method-level mode override `@mode<η>`.
+        let method_mode = if *self.peek() == TokenKind::At {
+            self.at_mode_open()?;
+            let m = self.static_mode()?;
+            self.expect(TokenKind::Gt)?;
+            Some(m)
+        } else {
+            None
+        };
+
+        let ty = self.ty()?;
+        let (name, _) = self.ident()?;
+
+        // Generic method-mode parameters `<X, lo <= Y <= hi>`.
+        let mut mode_params = Vec::new();
+        if *self.peek() == TokenKind::Lt {
+            self.bump();
+            loop {
+                mode_params.push(self.bounded_param(&name)?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Gt)?;
+        }
+
+        if *self.peek() == TokenKind::LParen {
+            // Method.
+            self.bump();
+            let mut params = Vec::new();
+            if *self.peek() != TokenKind::RParen {
+                loop {
+                    let pty = self.ty()?;
+                    let (pname, _) = self.ident()?;
+                    params.push((pty, Ident::new(pname)));
+                    if !self.eat(TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            let attributor = if *self.peek() == TokenKind::Attributor {
+                Some(self.attributor()?)
+            } else {
+                None
+            };
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                mode: method_mode,
+                mode_params,
+                ret: ty,
+                name: Ident::new(name),
+                params,
+                attributor,
+                body,
+                span: start.join(self.prev_span()),
+            });
+        } else {
+            // Field.
+            if method_mode.is_some() || !mode_params.is_empty() {
+                return Err(SyntaxError::new(
+                    "mode annotations are not allowed on fields",
+                    start,
+                ));
+            }
+            let init = if self.eat(TokenKind::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(TokenKind::Semi)?;
+            fields.push(FieldDecl {
+                ty,
+                name: Ident::new(name),
+                init,
+                span: start.join(self.prev_span()),
+            });
+        }
+        Ok(())
+    }
+
+    // ---- types ------------------------------------------------------------
+
+    fn ty(&mut self) -> Result<Type, SyntaxError> {
+        let mut base = self.base_ty()?;
+        while *self.peek() == TokenKind::LBracket && *self.peek2() == TokenKind::RBracket {
+            self.bump();
+            self.bump();
+            base = Type::Array(Box::new(base));
+        }
+        Ok(base)
+    }
+
+    fn base_ty(&mut self) -> Result<Type, SyntaxError> {
+        if *self.peek() == TokenKind::MCase {
+            self.bump();
+            self.expect(TokenKind::Lt)?;
+            let inner = self.ty()?;
+            self.expect(TokenKind::Gt)?;
+            return Ok(Type::MCase(Box::new(inner)));
+        }
+        let (name, span) = self.ident()?;
+        match name.as_str() {
+            "int" => return Ok(Type::INT),
+            "double" => return Ok(Type::DOUBLE),
+            "bool" => return Ok(Type::BOOL),
+            "string" => return Ok(Type::STR),
+            "unit" => return Ok(Type::UNIT),
+            _ => {}
+        }
+        if !name.chars().next().is_some_and(char::is_uppercase) {
+            return Err(SyntaxError::new(
+                format!("class names must start uppercase: `{name}`"),
+                span,
+            ));
+        }
+        let args = if *self.peek() == TokenKind::At {
+            self.at_mode_open()?;
+            let mode = if self.eat(TokenKind::Question) {
+                Mode::Dynamic
+            } else {
+                Mode::Static(self.static_mode()?)
+            };
+            let mut rest = Vec::new();
+            while self.eat(TokenKind::Comma) {
+                rest.push(self.static_mode()?);
+            }
+            self.expect(TokenKind::Gt)?;
+            ModeArgs::new(mode, rest)
+        } else {
+            // Mode-neutral reference: the typechecker validates that the
+            // class is actually neutral (or pins the mode itself).
+            ModeArgs::of_static(StaticMode::Bot)
+        };
+        Ok(Type::Object { class: ClassName::new(name), args })
+    }
+
+    // ---- statements and blocks ---------------------------------------------
+
+    fn block(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Expr::new(ExprKind::Block(stmts), start.join(self.prev_span())))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, SyntaxError> {
+        match self.peek().clone() {
+            TokenKind::Let => {
+                self.bump();
+                // `let x = e;` or `let T x = e;`
+                let (ty, name) = if matches!(self.peek(), TokenKind::Ident(_))
+                    && *self.peek2() == TokenKind::Eq
+                {
+                    let (name, _) = self.ident()?;
+                    (None, name)
+                } else {
+                    let ty = self.ty()?;
+                    let (name, _) = self.ident()?;
+                    (Some(ty), name)
+                };
+                self.expect(TokenKind::Eq)?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Let { ty, name: Ident::new(name), value })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semi {
+                    Expr::new(ExprKind::Lit(Lit::Unit), self.span())
+                } else {
+                    self.expr()?
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::If | TokenKind::Try => {
+                // Statement-style `if`/`try` do not require a trailing `;`.
+                let e = self.expr()?;
+                self.eat(TokenKind::Semi);
+                Ok(Stmt::Expr(e))
+            }
+            _ => {
+                let e = self.expr()?;
+                self.eat(TokenKind::Semi);
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span.join(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.eq_expr()?;
+        while self.eat(TokenKind::AndAnd) {
+            let rhs = self.eq_expr()?;
+            let span = lhs.span.join(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.rel_expr()?;
+            let span = lhs.span.join(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            let span = lhs.span.join(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span.join(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.join(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        if self.eat(TokenKind::Bang) {
+            let e = self.unary_expr()?;
+            let span = start.join(e.span);
+            return Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) }, span));
+        }
+        if self.eat(TokenKind::Minus) {
+            let e = self.unary_expr()?;
+            let span = start.join(e.span);
+            return Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) }, span));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat(TokenKind::Dot) {
+                let (name, nspan) = self.ident()?;
+                // Method-mode instantiation `.md@mode<η, ...>(args)`.
+                let mode_args = if *self.peek() == TokenKind::At {
+                    self.at_mode_open()?;
+                    let mut args = vec![self.static_mode()?];
+                    while self.eat(TokenKind::Comma) {
+                        args.push(self.static_mode()?);
+                    }
+                    self.expect(TokenKind::Gt)?;
+                    args
+                } else {
+                    Vec::new()
+                };
+                if *self.peek() == TokenKind::LParen {
+                    let args = self.call_args()?;
+                    let span = e.span.join(self.prev_span());
+                    // Calls on a builtin namespace identifier become
+                    // Builtin expressions.
+                    if let ExprKind::Var(ns) = &e.kind {
+                        if is_builtin_ns(ns.as_str()) {
+                            e = Expr::new(
+                                ExprKind::Builtin {
+                                    ns: ns.clone(),
+                                    name: Ident::new(name),
+                                    args,
+                                },
+                                span,
+                            );
+                            continue;
+                        }
+                    }
+                    e = Expr::new(
+                        ExprKind::Call {
+                            recv: Box::new(e),
+                            method: Ident::new(name),
+                            mode_args,
+                            args,
+                        },
+                        span,
+                    );
+                } else {
+                    if !mode_args.is_empty() {
+                        return Err(SyntaxError::new(
+                            "mode arguments require a call",
+                            nspan,
+                        ));
+                    }
+                    let span = e.span.join(nspan);
+                    e = Expr::new(
+                        ExprKind::Field { recv: Box::new(e), name: Ident::new(name) },
+                        span,
+                    );
+                }
+            } else if self.eat(TokenKind::TriangleLeft) {
+                let mode = if self.eat(TokenKind::Underscore) {
+                    None
+                } else {
+                    Some(self.static_mode()?)
+                };
+                let span = e.span.join(self.prev_span());
+                e = Expr::new(ExprKind::Elim { expr: Box::new(e), mode }, span);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, SyntaxError> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Lit(Lit::Int(n)), start))
+            }
+            TokenKind::Double(x) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Lit(Lit::Double(x)), start))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Lit(Lit::Str(s)), start))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Lit(Lit::Bool(true)), start))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Lit(Lit::Bool(false)), start))
+            }
+            TokenKind::This => {
+                self.bump();
+                Ok(Expr::new(ExprKind::This, start))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.mode_names.contains(&name) {
+                    Ok(Expr::new(ExprKind::ModeConst(ModeName::new(name)), start))
+                } else {
+                    Ok(Expr::new(ExprKind::Var(Ident::new(name)), start))
+                }
+            }
+            TokenKind::New => self.new_expr(),
+            TokenKind::Snapshot => self.snapshot_expr(),
+            TokenKind::MCase => self.mcase_expr(),
+            TokenKind::If => self.if_expr(),
+            TokenKind::Try => self.try_expr(),
+            TokenKind::LBrace => self.block(),
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if *self.peek() != TokenKind::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                Ok(Expr::new(ExprKind::ArrayLit(items), start.join(self.prev_span())))
+            }
+            TokenKind::LParen => self.paren_or_cast(),
+            other => Err(SyntaxError::new(
+                format!("expected an expression, found {}", other.describe()),
+                start,
+            )),
+        }
+    }
+
+    fn new_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::New)?;
+        let (class, _) = self.ident()?;
+        let args = if *self.peek() == TokenKind::At {
+            self.at_mode_open()?;
+            let mode = if self.eat(TokenKind::Question) {
+                Mode::Dynamic
+            } else {
+                Mode::Static(self.static_mode()?)
+            };
+            let mut rest = Vec::new();
+            while self.eat(TokenKind::Comma) {
+                rest.push(self.static_mode()?);
+            }
+            self.expect(TokenKind::Gt)?;
+            Some(ModeArgs::new(mode, rest))
+        } else {
+            None
+        };
+        let ctor_args = self.call_args()?;
+        Ok(Expr::new(
+            ExprKind::New { class: ClassName::new(class), args, ctor_args },
+            start.join(self.prev_span()),
+        ))
+    }
+
+    fn snapshot_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::Snapshot)?;
+        let expr = self.postfix_expr()?;
+        let (lo, hi) = if self.eat(TokenKind::LBracket) {
+            let lo = if self.eat(TokenKind::Underscore) {
+                StaticMode::Bot
+            } else {
+                self.static_mode()?
+            };
+            self.expect(TokenKind::Comma)?;
+            let hi = if self.eat(TokenKind::Underscore) {
+                StaticMode::Top
+            } else {
+                self.static_mode()?
+            };
+            self.expect(TokenKind::RBracket)?;
+            (lo, hi)
+        } else {
+            (StaticMode::Bot, StaticMode::Top)
+        };
+        Ok(Expr::new(
+            ExprKind::Snapshot { expr: Box::new(expr), lo, hi },
+            start.join(self.prev_span()),
+        ))
+    }
+
+    fn mcase_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::MCase)?;
+        let ty = if *self.peek() == TokenKind::Lt {
+            self.bump();
+            let t = self.ty()?;
+            self.expect(TokenKind::Gt)?;
+            Some(t)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace)?;
+        let mut arms = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            let (mode, mspan) = self.ident()?;
+            if !self.mode_names.contains(&mode) {
+                return Err(SyntaxError::new(
+                    format!("`{mode}` is not a declared mode"),
+                    mspan,
+                ));
+            }
+            self.expect(TokenKind::Colon)?;
+            let value = self.expr()?;
+            self.expect(TokenKind::Semi)?;
+            arms.push((ModeName::new(mode), value));
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Expr::new(ExprKind::MCase { ty, arms }, start.join(self.prev_span())))
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then = self.block()?;
+        let els = if self.eat(TokenKind::Else) {
+            if *self.peek() == TokenKind::If {
+                Some(Box::new(self.if_expr()?))
+            } else {
+                Some(Box::new(self.block()?))
+            }
+        } else {
+            None
+        };
+        Ok(Expr::new(
+            ExprKind::If { cond: Box::new(cond), then: Box::new(then), els },
+            start.join(self.prev_span()),
+        ))
+    }
+
+    fn try_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        self.expect(TokenKind::Try)?;
+        let body = self.block()?;
+        self.expect(TokenKind::Catch)?;
+        let handler = self.block()?;
+        Ok(Expr::new(
+            ExprKind::Try { body: Box::new(body), handler: Box::new(handler) },
+            start.join(self.prev_span()),
+        ))
+    }
+
+    /// Disambiguates `(expr)` from a cast `(T)e`.
+    ///
+    /// A parenthesized prefix is a cast when its content parses as a type
+    /// that is not a bare lowercase identifier, and the token after `)`
+    /// starts an expression. Class names are uppercase by convention, which
+    /// is what makes `(Rule)r` parse as a cast but `(x) + 1` as grouping.
+    fn paren_or_cast(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span();
+        let save = self.pos;
+        self.expect(TokenKind::LParen)?;
+
+        // Attempt a cast parse.
+        let looks_like_type = matches!(
+            self.peek(),
+            TokenKind::MCase
+        ) || matches!(self.peek(), TokenKind::Ident(name)
+                if name.chars().next().is_some_and(char::is_uppercase)
+                    || matches!(name.as_str(), "int" | "double" | "bool" | "string" | "unit"));
+        if looks_like_type {
+            if let Ok(ty) = self.ty() {
+                if self.eat(TokenKind::RParen) && starts_expression(self.peek()) {
+                    let expr = self.unary_expr()?;
+                    let span = start.join(expr.span);
+                    return Ok(Expr::new(
+                        ExprKind::Cast { ty, expr: Box::new(expr) },
+                        span,
+                    ));
+                }
+            }
+            self.pos = save;
+            self.expect(TokenKind::LParen)?;
+        }
+
+        let inner = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        Ok(inner)
+    }
+}
+
+fn is_builtin_ns(name: &str) -> bool {
+    matches!(name, "Ext" | "Sim" | "IO" | "Arr" | "Str" | "Math")
+}
+
+fn starts_expression(kind: &TokenKind) -> bool {
+    matches!(
+        kind,
+        TokenKind::Ident(_)
+            | TokenKind::Int(_)
+            | TokenKind::Double(_)
+            | TokenKind::Str(_)
+            | TokenKind::True
+            | TokenKind::False
+            | TokenKind::This
+            | TokenKind::New
+            | TokenKind::Snapshot
+            | TokenKind::MCase
+            | TokenKind::LParen
+            | TokenKind::LBracket
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        parse_expr(src, &["energy_saver", "managed", "full_throttle"]).unwrap()
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let e = expr("1 + 2 * 3");
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("expected addition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_snapshot_with_bounds() {
+        let e = expr("snapshot ds [_, X]");
+        match e.kind {
+            ExprKind::Snapshot { lo, hi, .. } => {
+                assert_eq!(lo, StaticMode::Bot);
+                assert_eq!(hi, StaticMode::Var(ModeVar::new("X")));
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_snapshot_without_bounds() {
+        let e = expr("snapshot da");
+        match e.kind {
+            ExprKind::Snapshot { lo, hi, .. } => {
+                assert_eq!(lo, StaticMode::Bot);
+                assert_eq!(hi, StaticMode::Top);
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mcase_literal() {
+        let e = expr("mcase<int>{ energy_saver: 1; managed: 2; full_throttle: 3; }");
+        match e.kind {
+            ExprKind::MCase { ty, arms } => {
+                assert_eq!(ty, Some(Type::INT));
+                assert_eq!(arms.len(), 3);
+                assert_eq!(arms[1].0, ModeName::new("managed"));
+            }
+            other => panic!("expected mcase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mcase_arm_requires_declared_mode() {
+        let err = parse_expr("mcase<int>{ bogus: 1; }", &["managed"]).unwrap_err();
+        assert!(err.message().contains("not a declared mode"));
+    }
+
+    #[test]
+    fn parses_elimination_operator() {
+        let e = expr("this.depth <| managed");
+        match e.kind {
+            ExprKind::Elim { mode, .. } => {
+                assert_eq!(mode, Some(StaticMode::Const(ModeName::new("managed"))));
+            }
+            other => panic!("expected elim, got {other:?}"),
+        }
+        let e = expr("this.depth <| _");
+        assert!(matches!(e.kind, ExprKind::Elim { mode: None, .. }));
+    }
+
+    #[test]
+    fn mode_constants_resolve_in_expressions() {
+        let e = expr("managed");
+        assert!(matches!(e.kind, ExprKind::ModeConst(_)));
+        let e = expr("notamode");
+        assert!(matches!(e.kind, ExprKind::Var(_)));
+    }
+
+    #[test]
+    fn builtin_namespaces_become_builtin_calls() {
+        let e = expr("Ext.battery()");
+        assert!(matches!(e.kind, ExprKind::Builtin { .. }));
+        let e = expr("foo.bar()");
+        assert!(matches!(e.kind, ExprKind::Call { .. }));
+    }
+
+    #[test]
+    fn cast_vs_grouping() {
+        let e = expr("(Site)s");
+        assert!(matches!(e.kind, ExprKind::Cast { .. }));
+        let e = expr("(x)");
+        assert!(matches!(e.kind, ExprKind::Var(_)));
+        let e = expr("(1 + 2) * 3");
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_new_with_mode_instantiation() {
+        let e = expr("new Site@mode<full_throttle>(url)");
+        match e.kind {
+            ExprKind::New { class, args, ctor_args } => {
+                assert_eq!(class, ClassName::new("Site"));
+                let args = args.unwrap();
+                assert_eq!(
+                    args.mode,
+                    Mode::Static(StaticMode::Const(ModeName::new("full_throttle")))
+                );
+                assert_eq!(ctor_args.len(), 1);
+            }
+            other => panic!("expected new, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_new_without_mode() {
+        let e = expr("new Rule()");
+        assert!(matches!(e.kind, ExprKind::New { args: None, .. }));
+    }
+
+    #[test]
+    fn parses_program_with_modes_and_class() {
+        let p = parse_program(
+            "modes { low <= high; }
+             class Agent@mode<? <= X> {
+               attributor { return high; }
+               int work(int n) { return n + 1; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.mode_table.modes().len(), 2);
+        let agent = &p.classes[0];
+        assert!(agent.mode_params.dynamic);
+        assert!(agent.attributor.is_some());
+        assert_eq!(agent.methods.len(), 1);
+    }
+
+    #[test]
+    fn program_without_modes_block_gets_default_mode() {
+        let p = parse_program("class Main { unit main() { return {}; } }").unwrap();
+        assert_eq!(p.mode_table.modes().len(), 1);
+    }
+
+    #[test]
+    fn parses_class_with_pinned_mode() {
+        let p = parse_program(
+            "modes { low <= high; }
+             class Worker@mode<high> { }",
+        )
+        .unwrap();
+        let worker = &p.classes[0];
+        assert!(!worker.mode_params.dynamic);
+        assert_eq!(worker.mode_params.bounds.len(), 1);
+        let b = &worker.mode_params.bounds[0];
+        assert_eq!(b.lo, b.hi);
+    }
+
+    #[test]
+    fn parses_generic_class_and_method() {
+        let p = parse_program(
+            "modes { low <= high; }
+             class Helper@mode<X> {
+               @mode<high> int heavy(int n) { return n; }
+               int id<s>(int n) { return n; }
+             }",
+        )
+        .unwrap();
+        let helper = &p.classes[0];
+        assert_eq!(helper.mode_params.bounds[0].var, ModeVar::new("X"));
+        assert_eq!(
+            helper.methods[0].mode,
+            Some(StaticMode::Const(ModeName::new("high")))
+        );
+        assert_eq!(helper.methods[1].mode_params.len(), 1);
+    }
+
+    #[test]
+    fn parses_method_level_attributor() {
+        let p = parse_program(
+            "modes { low <= high; }
+             class C {
+               int f(int n) attributor { return high; } { return n; }
+             }",
+        )
+        .unwrap();
+        assert!(p.classes[0].methods[0].attributor.is_some());
+    }
+
+    #[test]
+    fn parses_field_with_mcase_initializer() {
+        let p = parse_program(
+            "modes { low <= high; }
+             class C {
+               mcase<int> depth = mcase{ low: 1; high: 3; };
+             }",
+        )
+        .unwrap();
+        let field = &p.classes[0].fields[0];
+        assert_eq!(field.ty, Type::MCase(Box::new(Type::INT)));
+        assert!(field.init.is_some());
+    }
+
+    #[test]
+    fn parses_try_catch_and_if_else_chain() {
+        let e = expr(
+            "try { if (Ext.battery() >= 0.75) { 1 } else if (x) { 2 } else { 3 } } catch { 0 }",
+        );
+        assert!(matches!(e.kind, ExprKind::Try { .. }));
+    }
+
+    #[test]
+    fn parses_array_types_and_literals() {
+        let p = parse_program(
+            "class C {
+               int[] xs = [1, 2, 3];
+               string[][] grid = [];
+             }",
+        )
+        .unwrap();
+        let c = &p.classes[0];
+        assert_eq!(c.fields[0].ty, Type::Array(Box::new(Type::INT)));
+        assert_eq!(
+            c.fields[1].ty,
+            Type::Array(Box::new(Type::Array(Box::new(Type::STR))))
+        );
+    }
+
+    #[test]
+    fn parses_extends_with_super_args() {
+        let p = parse_program(
+            "modes { low <= high; }
+             class Base@mode<X> { }
+             class Derived@mode<Y> extends Base@mode<Y> { }",
+        )
+        .unwrap();
+        let d = &p.classes[1];
+        assert_eq!(d.superclass, ClassName::new("Base"));
+        assert_eq!(d.super_args, vec![StaticMode::Var(ModeVar::new("Y"))]);
+    }
+
+    #[test]
+    fn rejects_two_attributors() {
+        let err = parse_program(
+            "modes { low <= high; }
+             class C@mode<?> {
+               attributor { return low; }
+               attributor { return high; }
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("more than one attributor"));
+    }
+
+    #[test]
+    fn rejects_lowercase_class_name_in_type_position() {
+        let err = parse_program("class C { foo x; }").unwrap_err();
+        assert!(err.message().contains("uppercase"));
+    }
+
+    #[test]
+    fn let_with_and_without_annotation() {
+        let e = expr("{ let x = 1; let int y = 2; x + y }");
+        match e.kind {
+            ExprKind::Block(stmts) => {
+                assert!(matches!(&stmts[0], Stmt::Let { ty: None, .. }));
+                assert!(matches!(&stmts[1], Stmt::Let { ty: Some(Type::Prim(PrimType::Int)), .. }));
+                assert!(matches!(&stmts[2], Stmt::Expr(_)));
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_without_value_is_unit() {
+        let e = expr("{ return; }");
+        match e.kind {
+            ExprKind::Block(stmts) => {
+                assert!(matches!(&stmts[0], Stmt::Return(e) if matches!(e.kind, ExprKind::Lit(Lit::Unit))));
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+}

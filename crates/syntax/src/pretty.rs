@@ -1,0 +1,467 @@
+//! Pretty-printing of ENT programs back to concrete syntax.
+//!
+//! The printer produces text the parser accepts, which the round-trip
+//! property tests rely on: `parse(print(ast)) == ast` (up to spans).
+
+use std::fmt::Write as _;
+
+use ent_modes::{Mode, StaticMode};
+
+use crate::ast::*;
+
+/// Renders a static mode in *source* form: the lattice ends print as the
+/// keywords `bot`/`top` (their `Display` forms `⊥`/`⊤` are not lexable).
+fn src_mode(m: &StaticMode) -> String {
+    match m {
+        StaticMode::Bot => "bot".to_string(),
+        StaticMode::Top => "top".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Renders mode arguments in source form.
+fn src_margs(args: &ent_modes::ModeArgs) -> String {
+    let mut parts = vec![match &args.mode {
+        Mode::Dynamic => "?".to_string(),
+        Mode::Static(m) => src_mode(m),
+    }];
+    parts.extend(args.rest.iter().map(src_mode));
+    parts.join(", ")
+}
+
+/// Renders a type in source form (see [`src_mode`]).
+fn src_type(t: &ent_syntax_types::Type) -> String {
+    match t {
+        ent_syntax_types::Type::Object { class, args } => {
+            if args.rest.is_empty() && args.mode == Mode::Static(StaticMode::Bot) {
+                class.to_string()
+            } else {
+                format!("{class}@mode<{}>", src_margs(args))
+            }
+        }
+        ent_syntax_types::Type::MCase(inner) => format!("mcase<{}>", src_type(inner)),
+        ent_syntax_types::Type::Array(inner) => format!("{}[]", src_type(inner)),
+        other => other.to_string(),
+    }
+}
+
+mod ent_syntax_types {
+    pub use crate::ast::Type;
+}
+
+
+/// Pretty-prints a program to parseable concrete syntax.
+///
+/// # Example
+///
+/// ```
+/// use ent_syntax::{parse_program, print_program};
+///
+/// let src = "modes { low <= high; } class Main { unit main() { return {}; } }";
+/// let p = parse_program(src)?;
+/// let printed = print_program(&p);
+/// assert!(printed.contains("class Main"));
+/// // And the printed text parses again:
+/// parse_program(&printed)?;
+/// # Ok::<(), ent_syntax::SyntaxError>(())
+/// ```
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("modes {\n");
+    // Print the full declared order (covering edges via Display plus
+    // isolated modes); simplest faithful encoding: every ordered pair.
+    let modes = p.mode_table.modes();
+    let mut printed_any = vec![false; modes.len()];
+    for (i, a) in modes.iter().enumerate() {
+        for (j, b) in modes.iter().enumerate() {
+            if i != j && p.mode_table.le_const(a, b) {
+                let _ = writeln!(out, "  {a} <= {b};");
+                printed_any[i] = true;
+                printed_any[j] = true;
+            }
+        }
+    }
+    for (i, a) in modes.iter().enumerate() {
+        if !printed_any[i] {
+            let _ = writeln!(out, "  {a};");
+        }
+    }
+    out.push_str("}\n\n");
+    for c in &p.classes {
+        print_class(&mut out, c);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_class(out: &mut String, c: &ClassDecl) {
+    let _ = write!(out, "class {}", c.name);
+    print_class_mode_params(out, c);
+    if c.superclass != ClassName::object() {
+        let _ = write!(out, " extends {}", c.superclass);
+        if !c.super_args.is_empty() {
+            let args: Vec<String> = c.super_args.iter().map(src_mode).collect();
+            let _ = write!(out, "@mode<{}>", args.join(", "));
+        }
+    }
+    out.push_str(" {\n");
+    if let Some(a) = &c.attributor {
+        out.push_str("  attributor ");
+        print_expr(out, &a.body, 1);
+        out.push('\n');
+    }
+    for f in &c.fields {
+        let _ = write!(out, "  {} {}", src_type(&f.ty), f.name);
+        if let Some(init) = &f.init {
+            out.push_str(" = ");
+            print_expr(out, init, 1);
+        }
+        out.push_str(";\n");
+    }
+    for m in &c.methods {
+        print_method(out, m);
+    }
+    out.push_str("}\n");
+}
+
+fn print_class_mode_params(out: &mut String, c: &ClassDecl) {
+    let mp = &c.mode_params;
+    if !mp.dynamic && mp.bounds.is_empty() {
+        return;
+    }
+    out.push_str("@mode<");
+    let mut parts = Vec::new();
+    let mut bounds = mp.bounds.iter();
+    if mp.dynamic {
+        let first = bounds.next().expect("dynamic class has an internal parameter");
+        if first.var.as_str().starts_with("Self_") {
+            parts.push("?".to_string());
+        } else if first.hi == StaticMode::Top {
+            parts.push(format!("? <= {}", first.var));
+        } else {
+            parts.push(format!("? <= {} <= {}", first.var, src_mode(&first.hi)));
+        }
+    }
+    for b in bounds {
+        parts.push(print_bounded(b));
+    }
+    let _ = write!(out, "{}>", parts.join(", "));
+}
+
+fn print_bounded(b: &ent_modes::Bounded) -> String {
+    if b.lo == b.hi {
+        // Pinned mode.
+        src_mode(&b.lo)
+    } else if b.lo == StaticMode::Bot && b.hi == StaticMode::Top {
+        b.var.to_string()
+    } else {
+        format!("{} <= {} <= {}", src_mode(&b.lo), b.var, src_mode(&b.hi))
+    }
+}
+
+fn print_method(out: &mut String, m: &MethodDecl) {
+    out.push_str("  ");
+    if let Some(mode) = &m.mode {
+        let _ = write!(out, "@mode<{}> ", src_mode(mode));
+    }
+    let _ = write!(out, "{} {}", src_type(&m.ret), m.name);
+    if !m.mode_params.is_empty() {
+        let parts: Vec<String> = m.mode_params.iter().map(print_bounded).collect();
+        let _ = write!(out, "<{}>", parts.join(", "));
+    }
+    out.push('(');
+    let params: Vec<String> = m
+        .params
+        .iter()
+        .map(|(t, x)| format!("{} {x}", src_type(t)))
+        .collect();
+    let _ = write!(out, "{}) ", params.join(", "));
+    if let Some(a) = &m.attributor {
+        out.push_str("attributor ");
+        print_expr(out, &a.body, 1);
+        out.push(' ');
+    }
+    print_expr(out, &m.body, 1);
+    out.push('\n');
+}
+
+/// Pretty-prints a single expression.
+pub fn print_expr_string(e: &Expr) -> String {
+    let mut out = String::new();
+    print_expr(&mut out, e, 0);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_expr(out: &mut String, e: &Expr, depth: usize) {
+    match &e.kind {
+        ExprKind::Var(x) => {
+            let _ = write!(out, "{x}");
+        }
+        ExprKind::This => out.push_str("this"),
+        ExprKind::Lit(l) => {
+            let _ = write!(out, "{l}");
+        }
+        ExprKind::ModeConst(m) => {
+            let _ = write!(out, "{m}");
+        }
+        ExprKind::Field { recv, name } => {
+            print_postfix_operand(out, recv, depth);
+            let _ = write!(out, ".{name}");
+        }
+        ExprKind::New { class, args, ctor_args } => {
+            let _ = write!(out, "new {class}");
+            if let Some(args) = args {
+                let _ = write!(out, "@mode<{}>", src_margs(args));
+            }
+            out.push('(');
+            print_comma(out, ctor_args, depth);
+            out.push(')');
+        }
+        ExprKind::Call { recv, method, mode_args, args } => {
+            print_postfix_operand(out, recv, depth);
+            let _ = write!(out, ".{method}");
+            if !mode_args.is_empty() {
+                let parts: Vec<String> = mode_args.iter().map(src_mode).collect();
+                let _ = write!(out, "@mode<{}>", parts.join(", "));
+            }
+            out.push('(');
+            print_comma(out, args, depth);
+            out.push(')');
+        }
+        ExprKind::Builtin { ns, name, args } => {
+            let _ = write!(out, "{ns}.{name}(");
+            print_comma(out, args, depth);
+            out.push(')');
+        }
+        ExprKind::Cast { ty, expr } => {
+            let _ = write!(out, "({})", src_type(ty));
+            print_expr(out, expr, depth);
+        }
+        ExprKind::Snapshot { expr, lo, hi } => {
+            out.push_str("snapshot ");
+            // The snapshot operand is parsed at postfix precedence; wrap
+            // anything looser in parentheses.
+            let simple = matches!(
+                expr.kind,
+                ExprKind::Var(_)
+                    | ExprKind::This
+                    | ExprKind::Lit(_)
+                    | ExprKind::Field { .. }
+                    | ExprKind::Call { .. }
+                    | ExprKind::Builtin { .. }
+                    | ExprKind::New { .. }
+            );
+            if simple {
+                print_expr(out, expr, depth);
+            } else {
+                out.push('(');
+                print_expr(out, expr, depth);
+                out.push(')');
+            }
+            let lo_s = if *lo == StaticMode::Bot { "_".to_string() } else { src_mode(lo) };
+            let hi_s = if *hi == StaticMode::Top { "_".to_string() } else { src_mode(hi) };
+            let _ = write!(out, " [{lo_s}, {hi_s}]");
+        }
+        ExprKind::MCase { ty, arms } => {
+            out.push_str("mcase");
+            if let Some(t) = ty {
+                let _ = write!(out, "<{}>", src_type(t));
+            }
+            out.push_str("{ ");
+            for (m, v) in arms {
+                let _ = write!(out, "{m}: ");
+                print_expr(out, v, depth);
+                out.push_str("; ");
+            }
+            out.push('}');
+        }
+        ExprKind::Elim { expr, mode } => {
+            print_expr(out, expr, depth);
+            match mode {
+                Some(m) => {
+                    let _ = write!(out, " <| {}", src_mode(m));
+                }
+                None => out.push_str(" <| _"),
+            }
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            out.push('(');
+            print_expr(out, lhs, depth);
+            let _ = write!(out, " {op} ");
+            print_expr(out, rhs, depth);
+            out.push(')');
+        }
+        ExprKind::Unary { op, expr } => {
+            let _ = write!(out, "{op}");
+            out.push('(');
+            print_expr(out, expr, depth);
+            out.push(')');
+        }
+        ExprKind::If { cond, then, els } => {
+            out.push_str("if (");
+            print_expr(out, cond, depth);
+            out.push_str(") ");
+            print_block_like(out, then, depth);
+            if let Some(els) = els {
+                out.push_str(" else ");
+                if matches!(els.kind, ExprKind::If { .. }) {
+                    print_expr(out, els, depth);
+                } else {
+                    print_block_like(out, els, depth);
+                }
+            }
+        }
+        ExprKind::Block(stmts) => {
+            out.push_str("{\n");
+            for s in stmts {
+                indent(out, depth + 1);
+                match s {
+                    Stmt::Let { ty, name, value } => {
+                        out.push_str("let ");
+                        if let Some(t) = ty {
+                            let _ = write!(out, "{} ", src_type(t));
+                        }
+                        let _ = write!(out, "{name} = ");
+                        print_expr(out, value, depth + 1);
+                        out.push_str(";\n");
+                    }
+                    Stmt::Expr(e) => {
+                        print_expr(out, e, depth + 1);
+                        out.push_str(";\n");
+                    }
+                    Stmt::Return(e) => {
+                        out.push_str("return ");
+                        print_expr(out, e, depth + 1);
+                        out.push_str(";\n");
+                    }
+                }
+            }
+            indent(out, depth);
+            out.push('}');
+        }
+        ExprKind::Try { body, handler } => {
+            out.push_str("try ");
+            print_block_like(out, body, depth);
+            out.push_str(" catch ");
+            print_block_like(out, handler, depth);
+        }
+        ExprKind::ArrayLit(items) => {
+            out.push('[');
+            print_comma(out, items, depth);
+            out.push(']');
+        }
+    }
+}
+
+/// Prints an expression in a postfix-operand position (`.field`, `.call()`,
+/// `<|`), parenthesizing anything looser than postfix precedence.
+fn print_postfix_operand(out: &mut String, e: &Expr, depth: usize) {
+    let simple = matches!(
+        e.kind,
+        ExprKind::Var(_)
+            | ExprKind::This
+            | ExprKind::Lit(_)
+            | ExprKind::ModeConst(_)
+            | ExprKind::Field { .. }
+            | ExprKind::Call { .. }
+            | ExprKind::Builtin { .. }
+            | ExprKind::New { .. }
+            | ExprKind::ArrayLit(_)
+            | ExprKind::Binary { .. } // printed parenthesized already
+    );
+    if simple {
+        print_expr(out, e, depth);
+    } else {
+        out.push('(');
+        print_expr(out, e, depth);
+        out.push(')');
+    }
+}
+
+fn print_block_like(out: &mut String, e: &Expr, depth: usize) {
+    if matches!(e.kind, ExprKind::Block(_)) {
+        print_expr(out, e, depth);
+    } else {
+        // Canonicalize to a one-statement block so print∘parse∘print is a
+        // fixpoint (the parser represents `{ e }` as a Block).
+        let block = Expr::new(ExprKind::Block(vec![Stmt::Expr(e.clone())]), e.span);
+        print_expr(out, &block, depth);
+    }
+}
+
+fn print_comma(out: &mut String, items: &[Expr], depth: usize) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        print_expr(out, item, depth);
+    }
+}
+
+/// Prints a type's mode arguments. (Used by diagnostics in downstream
+/// crates; re-exported for convenience.)
+pub fn mode_args_string(args: &ent_modes::ModeArgs) -> String {
+    match (&args.mode, args.rest.is_empty()) {
+        (Mode::Static(StaticMode::Bot), true) => String::new(),
+        _ => format!("@mode<{args}>"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_expr, parse_program};
+
+    #[test]
+    fn print_parse_roundtrip_program() {
+        let src = "modes { low <= high; }
+            class Agent@mode<? <= X> {
+              mcase<int> depth = mcase{ low: 1; high: 3; };
+              attributor { if (Ext.battery() >= 0.5) { return high; } else { return low; } }
+              int work(int n) {
+                let a = snapshot this [_, X];
+                return n + (this.depth <| low);
+              }
+            }
+            class Main {
+              unit main() { return {}; }
+            }";
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).expect("printed program must parse");
+        assert_eq!(p1.classes.len(), p2.classes.len());
+        assert_eq!(
+            p1.classes[0].mode_params, p2.classes[0].mode_params,
+            "mode params survive roundtrip"
+        );
+    }
+
+    #[test]
+    fn expression_printing_is_parseable() {
+        let e1 = parse_expr("1 + 2 * -x", &[]).unwrap();
+        let s = print_expr_string(&e1);
+        let e2 = parse_expr(&s, &[]).unwrap();
+        // Printed form is fully parenthesized; compare printed forms.
+        assert_eq!(s, print_expr_string(&e2));
+    }
+
+    #[test]
+    fn snapshot_bounds_print_with_holes() {
+        let e = parse_expr("snapshot x", &[]).unwrap();
+        assert_eq!(print_expr_string(&e), "snapshot x [_, _]");
+    }
+
+    #[test]
+    fn pinned_mode_class_roundtrips() {
+        let src = "modes { low <= high; } class W@mode<high> { }";
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&print_program(&p1)).unwrap();
+        assert_eq!(p1.classes[0].mode_params, p2.classes[0].mode_params);
+    }
+}

@@ -1,0 +1,141 @@
+//! Byte-offset source spans and line/column rendering.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source buffer.
+///
+/// # Example
+///
+/// ```
+/// use ent_syntax::Span;
+///
+/// let s = Span::new(3, 7);
+/// assert_eq!(s.len(), 4);
+/// assert!(s.join(Span::new(10, 12)) == Span::new(3, 12));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub lo: u32,
+    /// End byte offset (exclusive).
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `lo..hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "span must not be inverted");
+        Span { lo, hi }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Returns `true` for zero-width spans.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// Maps byte offsets back to 1-based line/column pairs for diagnostics.
+///
+/// # Example
+///
+/// ```
+/// use ent_syntax::{LineMap, Span};
+///
+/// let map = LineMap::new("ab\ncd");
+/// assert_eq!(map.line_col(3), (2, 1)); // 'c' starts line 2
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// Byte offset at which each line starts.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds a line map for the given source text.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Returns the 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line as u32 + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// Renders a span as `line:col` of its start.
+    pub fn describe(&self, span: Span) -> String {
+        let (l, c) = self.line_col(span.lo);
+        format!("{l}:{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both_spans() {
+        assert_eq!(Span::new(2, 4).join(Span::new(8, 9)), Span::new(2, 9));
+        assert_eq!(Span::new(8, 9).join(Span::new(2, 4)), Span::new(2, 9));
+    }
+
+    #[test]
+    fn dummy_is_empty() {
+        assert!(Span::DUMMY.is_empty());
+        assert_eq!(Span::new(3, 5).len(), 2);
+    }
+
+    #[test]
+    fn line_map_first_line() {
+        let m = LineMap::new("hello");
+        assert_eq!(m.line_col(0), (1, 1));
+        assert_eq!(m.line_col(4), (1, 5));
+    }
+
+    #[test]
+    fn line_map_multiline() {
+        let m = LineMap::new("a\nbb\nccc\n");
+        assert_eq!(m.line_col(0), (1, 1));
+        assert_eq!(m.line_col(2), (2, 1));
+        assert_eq!(m.line_col(3), (2, 2));
+        assert_eq!(m.line_col(5), (3, 1));
+        assert_eq!(m.line_col(9), (4, 1));
+    }
+
+    #[test]
+    fn describe_renders_line_col() {
+        let m = LineMap::new("x\ny");
+        assert_eq!(m.describe(Span::new(2, 3)), "2:1");
+    }
+}

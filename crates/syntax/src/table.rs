@@ -1,0 +1,633 @@
+//! The class table: inheritance-aware lookup of fields, methods, and
+//! attributors (the paper's `fields`, `mtype`, `mbody`, and `abody`).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ent_modes::{Mode, ModeArgs, StaticMode, Subst};
+
+use crate::ast::*;
+
+/// An error found while assembling the class table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableError {
+    /// Two classes share a name.
+    DuplicateClass(ClassName),
+    /// A class extends an undeclared class.
+    UnknownSuperclass(ClassName, ClassName),
+    /// The inheritance relation is cyclic through the named class.
+    InheritanceCycle(ClassName),
+    /// The superclass instantiation has the wrong number of mode arguments.
+    SuperArgArity {
+        /// The subclass.
+        class: ClassName,
+        /// Expected count (the superclass's parameter count).
+        expected: usize,
+        /// Found count.
+        found: usize,
+    },
+    /// The superclass instantiation changes the object's own mode, which
+    /// would let an upcast evade the waterfall invariant.
+    SuperModeMismatch(ClassName),
+    /// A class has two fields (possibly inherited) with the same name.
+    DuplicateField(ClassName, Ident),
+    /// A class declares two methods with the same name.
+    DuplicateMethod(ClassName, Ident),
+    /// A class uses the reserved name `Object` or `Main` incorrectly.
+    ReservedClass(ClassName),
+    /// A dynamic class is missing its attributor, or a non-dynamic class
+    /// has one.
+    AttributorMismatch(ClassName, &'static str),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::DuplicateClass(c) => write!(f, "class `{c}` is declared twice"),
+            TableError::UnknownSuperclass(c, s) => {
+                write!(f, "class `{c}` extends unknown class `{s}`")
+            }
+            TableError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through class `{c}`")
+            }
+            TableError::SuperArgArity { class, expected, found } => write!(
+                f,
+                "class `{class}` instantiates its superclass with {found} mode arguments, expected {expected}"
+            ),
+            TableError::SuperModeMismatch(c) => write!(
+                f,
+                "class `{c}` must pass its own mode as the first mode argument of its superclass"
+            ),
+            TableError::DuplicateField(c, x) => {
+                write!(f, "class `{c}` has duplicate field `{x}`")
+            }
+            TableError::DuplicateMethod(c, x) => {
+                write!(f, "class `{c}` declares method `{x}` twice")
+            }
+            TableError::ReservedClass(c) => {
+                write!(f, "class name `{c}` is reserved")
+            }
+            TableError::AttributorMismatch(c, what) => {
+                write!(f, "class `{c}` {what}")
+            }
+        }
+    }
+}
+
+impl Error for TableError {}
+
+/// A field resolved through the inheritance chain, with class-level mode
+/// parameters substituted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolvedField {
+    /// The class that declared the field.
+    pub owner: ClassName,
+    /// The field name.
+    pub name: Ident,
+    /// The field type after substitution.
+    pub ty: Type,
+    /// Whether the field has an initializer (initialized fields are not
+    /// constructor parameters).
+    pub has_init: bool,
+}
+
+/// A method resolved through the inheritance chain (the paper's `mtype` +
+/// `mbody` combined), with class-level mode parameters substituted into the
+/// signature.
+#[derive(Clone, Debug)]
+pub struct ResolvedMethod {
+    /// The class that declared the method.
+    pub owner: ClassName,
+    /// Parameter types after class-level substitution.
+    pub params: Vec<Type>,
+    /// Parameter names.
+    pub param_names: Vec<Ident>,
+    /// Return type after class-level substitution.
+    pub ret: Type,
+    /// Method-level mode override, substituted.
+    pub mode: Option<StaticMode>,
+    /// Generic method-mode parameters with substituted bounds.
+    pub mode_params: Vec<ent_modes::Bounded>,
+    /// Whether the method has a method-level attributor.
+    pub has_attributor: bool,
+    /// The substitution mapping the owner class's mode parameters to the
+    /// receiver's mode arguments (used to interpret the body).
+    pub subst: Subst,
+}
+
+/// The class table for a program: validated inheritance structure plus
+/// lookup of members through the chain.
+///
+/// # Example
+///
+/// ```
+/// use ent_syntax::{parse_program, ClassTable};
+///
+/// let p = parse_program(
+///     "modes { low <= high; }
+///      class Rule@mode<R> { int max; }
+///      class DepthRule@mode<X> extends Rule@mode<X> { int depth; }",
+/// ).unwrap();
+/// let table = ClassTable::new(&p)?;
+/// assert!(table.is_subclass(&"DepthRule".into(), &"Rule".into()));
+/// # Ok::<(), ent_syntax::TableError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClassTable {
+    classes: HashMap<ClassName, ClassDecl>,
+    order: Vec<ClassName>,
+}
+
+impl ClassTable {
+    /// Builds and validates the class table for a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableError`] for duplicate classes/members, unknown or
+    /// cyclic inheritance, bad superclass instantiations, or attributor
+    /// mismatches (a dynamic class must have an attributor; a non-dynamic
+    /// class must not).
+    pub fn new(program: &Program) -> Result<Self, TableError> {
+        let mut classes = HashMap::new();
+        let mut order = Vec::new();
+        for c in &program.classes {
+            if c.name == ClassName::object() {
+                return Err(TableError::ReservedClass(c.name.clone()));
+            }
+            if classes.insert(c.name.clone(), c.clone()).is_some() {
+                return Err(TableError::DuplicateClass(c.name.clone()));
+            }
+            order.push(c.name.clone());
+        }
+        let table = ClassTable { classes, order };
+        table.validate()?;
+        Ok(table)
+    }
+
+    fn validate(&self) -> Result<(), TableError> {
+        for name in &self.order {
+            let c = &self.classes[name];
+
+            // Superclass existence + acyclicity.
+            let mut seen = vec![name.clone()];
+            let mut cur = c;
+            while cur.superclass != ClassName::object() {
+                if seen.contains(&cur.superclass) {
+                    return Err(TableError::InheritanceCycle(name.clone()));
+                }
+                seen.push(cur.superclass.clone());
+                cur = self
+                    .classes
+                    .get(&cur.superclass)
+                    .ok_or_else(|| {
+                        TableError::UnknownSuperclass(cur.name.clone(), cur.superclass.clone())
+                    })?;
+            }
+
+            // Superclass instantiation arity + own-mode preservation.
+            if c.superclass != ClassName::object() {
+                let sup = &self.classes[&c.superclass];
+                if sup.mode_params.dynamic {
+                    // Extending a dynamic class is out of scope for the
+                    // reproduction (as in the paper's examples).
+                    return Err(TableError::SuperModeMismatch(name.clone()));
+                }
+                let expected = sup.mode_params.bounds.len();
+                let found = c.super_args.len();
+                // Pinned-only superclasses may be instantiated implicitly.
+                let pinned_only = sup
+                    .mode_params
+                    .bounds
+                    .iter()
+                    .all(|b| b.lo == b.hi)
+                    && !sup.mode_params.dynamic;
+                if found != expected && !(found == 0 && (expected == 0 || pinned_only)) {
+                    return Err(TableError::SuperArgArity {
+                        class: name.clone(),
+                        expected,
+                        found,
+                    });
+                }
+                // Own-mode preservation: the first super arg must be the
+                // subclass's own mode.
+                if expected > 0 && found > 0 {
+                    let own = c.mode_params.bounds.first();
+                    let ok = match (&c.super_args[0], own) {
+                        (StaticMode::Var(v), Some(b)) => *v == b.var,
+                        (pinned, Some(b)) => b.lo == b.hi && *pinned == b.lo,
+                        (StaticMode::Bot, None) => true,
+                        _ => false,
+                    };
+                    if !ok {
+                        return Err(TableError::SuperModeMismatch(name.clone()));
+                    }
+                } else if expected > 0 && found == 0 {
+                    // Implicit pinned instantiation: subclass must be pinned
+                    // to the same mode or neutral extending pinned — accept,
+                    // the typechecker compares modes structurally.
+                }
+            }
+
+            // Member uniqueness (fields also against inherited ones).
+            let mut field_names: Vec<Ident> = Vec::new();
+            for anc in self.superclass_chain(name) {
+                let decl = self.classes.get(&anc).expect("chain is validated");
+                for fd in &decl.fields {
+                    if field_names.contains(&fd.name) {
+                        return Err(TableError::DuplicateField(name.clone(), fd.name.clone()));
+                    }
+                    field_names.push(fd.name.clone());
+                }
+            }
+            let mut method_names: Vec<Ident> = Vec::new();
+            for m in &c.methods {
+                if method_names.contains(&m.name) {
+                    return Err(TableError::DuplicateMethod(name.clone(), m.name.clone()));
+                }
+                method_names.push(m.name.clone());
+            }
+
+            // Attributor presence must match dynamicness.
+            if c.mode_params.dynamic && c.attributor.is_none() {
+                return Err(TableError::AttributorMismatch(
+                    name.clone(),
+                    "is dynamic but has no attributor",
+                ));
+            }
+            if !c.mode_params.dynamic && c.attributor.is_some() {
+                return Err(TableError::AttributorMismatch(
+                    name.clone(),
+                    "has an attributor but is not dynamic",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up a class declaration.
+    pub fn class(&self, name: &ClassName) -> Option<&ClassDecl> {
+        self.classes.get(name)
+    }
+
+    /// Class names in declaration order.
+    pub fn names(&self) -> &[ClassName] {
+        &self.order
+    }
+
+    /// The inheritance chain from the root (`Object` excluded) down to and
+    /// including `name`.
+    pub fn superclass_chain(&self, name: &ClassName) -> Vec<ClassName> {
+        let mut chain = Vec::new();
+        let mut cur = name.clone();
+        while cur != ClassName::object() {
+            chain.push(cur.clone());
+            match self.classes.get(&cur) {
+                Some(c) => cur = c.superclass.clone(),
+                None => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Nominal subclassing: is `c` equal to or a subclass of `d`?
+    pub fn is_subclass(&self, c: &ClassName, d: &ClassName) -> bool {
+        if d == &ClassName::object() {
+            return true;
+        }
+        let mut cur = c.clone();
+        loop {
+            if &cur == d {
+                return true;
+            }
+            if cur == ClassName::object() {
+                return false;
+            }
+            match self.classes.get(&cur) {
+                Some(decl) => cur = decl.superclass.clone(),
+                None => return false,
+            }
+        }
+    }
+
+    /// Builds the substitution mapping a class's mode parameters to the
+    /// given instantiation `ι`.
+    ///
+    /// The object's own mode (first element of `ι`) maps to the class's
+    /// first bound variable when that mode is static; a dynamic `?` leaves
+    /// the internal variable unsubstituted (the internal view).
+    pub fn class_subst(&self, class: &ClassName, args: &ModeArgs) -> Subst {
+        let Some(decl) = self.classes.get(class) else {
+            return Subst::new();
+        };
+        let params = decl.mode_params.params();
+        let mut flat: Vec<StaticMode> = Vec::new();
+        if let Mode::Static(m) = &args.mode {
+            flat.push(m.clone());
+        } else if !params.is_empty() {
+            // Dynamic instantiation: keep the internal variable.
+            flat.push(StaticMode::Var(params[0].clone()));
+        }
+        flat.extend(args.rest.iter().cloned());
+        Subst::bind(&params, &flat)
+    }
+
+    /// The paper's `fields(T)`: every field of `class` and its ancestors,
+    /// inherited first, with mode parameters substituted per `args`.
+    pub fn fields(&self, class: &ClassName, args: &ModeArgs) -> Vec<ResolvedField> {
+        let mut out = Vec::new();
+        self.fields_rec(class, &self.class_subst(class, args), &mut out);
+        out
+    }
+
+    fn fields_rec(&self, class: &ClassName, subst: &Subst, out: &mut Vec<ResolvedField>) {
+        let Some(decl) = self.classes.get(class) else {
+            return;
+        };
+        if decl.superclass != ClassName::object() {
+            // Compose: super args are in terms of this class's vars.
+            let sup = &self.classes[&decl.superclass];
+            let sup_params = sup.mode_params.params();
+            let sup_args: Vec<StaticMode> = if decl.super_args.is_empty() {
+                sup.mode_params.bounds.iter().map(|b| b.lo.clone()).collect()
+            } else {
+                decl.super_args.iter().map(|m| m.apply(subst)).collect()
+            };
+            let sup_subst = Subst::bind(&sup_params, &sup_args);
+            self.fields_rec(&decl.superclass, &sup_subst, out);
+        }
+        for fd in &decl.fields {
+            out.push(ResolvedField {
+                owner: class.clone(),
+                name: fd.name.clone(),
+                ty: fd.ty.apply(subst),
+                has_init: fd.init.is_some(),
+            });
+        }
+    }
+
+    /// The constructor parameters of a class instantiation: all fields
+    /// without initializers, inherited first.
+    pub fn ctor_params(&self, class: &ClassName, args: &ModeArgs) -> Vec<ResolvedField> {
+        self.fields(class, args)
+            .into_iter()
+            .filter(|f| !f.has_init)
+            .collect()
+    }
+
+    /// The paper's `mtype`/`mbody`: resolves a method through the chain,
+    /// substituting class-level mode parameters per `args`.
+    pub fn method(
+        &self,
+        class: &ClassName,
+        args: &ModeArgs,
+        name: &Ident,
+    ) -> Option<ResolvedMethod> {
+        let mut cur = class.clone();
+        let mut subst = self.class_subst(class, args);
+        loop {
+            let decl = self.classes.get(&cur)?;
+            if let Some(m) = decl.method(name) {
+                return Some(ResolvedMethod {
+                    owner: cur,
+                    params: m.params.iter().map(|(t, _)| t.apply(&subst)).collect(),
+                    param_names: m.params.iter().map(|(_, x)| x.clone()).collect(),
+                    ret: m.ret.apply(&subst),
+                    mode: m.mode.as_ref().map(|mo| mo.apply(&subst)),
+                    mode_params: m
+                        .mode_params
+                        .iter()
+                        .map(|b| b.apply_bounds(&subst))
+                        .collect(),
+                    has_attributor: m.attributor.is_some(),
+                    subst,
+                });
+            }
+            if decl.superclass == ClassName::object() {
+                return None;
+            }
+            let sup = &self.classes[&decl.superclass];
+            let sup_params = sup.mode_params.params();
+            let sup_args: Vec<StaticMode> = if decl.super_args.is_empty() {
+                sup.mode_params.bounds.iter().map(|b| b.lo.clone()).collect()
+            } else {
+                decl.super_args.iter().map(|m| m.apply(&subst)).collect()
+            };
+            subst = Subst::bind(&sup_params, &sup_args);
+            cur = decl.superclass.clone();
+        }
+    }
+
+    /// The paper's `abody`: the class-level attributor of a class.
+    pub fn abody(&self, class: &ClassName) -> Option<&Attributor> {
+        self.classes.get(class)?.attributor.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+    use ent_modes::{ModeName, ModeVar};
+
+    fn table(src: &str) -> ClassTable {
+        ClassTable::new(&parse_program(src).unwrap()).unwrap()
+    }
+
+    const BASE: &str = "modes { low <= high; }
+        class Rule@mode<R> { int max; }
+        class DepthRule@mode<X> extends Rule@mode<X> { int depth; }
+        class Plain { string tag; }
+    ";
+
+    #[test]
+    fn chain_and_subclassing() {
+        let t = table(BASE);
+        assert_eq!(
+            t.superclass_chain(&"DepthRule".into()),
+            vec![ClassName::new("Rule"), ClassName::new("DepthRule")]
+        );
+        assert!(t.is_subclass(&"DepthRule".into(), &"Rule".into()));
+        assert!(t.is_subclass(&"Rule".into(), &"Rule".into()));
+        assert!(!t.is_subclass(&"Rule".into(), &"DepthRule".into()));
+        assert!(t.is_subclass(&"Plain".into(), &ClassName::object()));
+    }
+
+    #[test]
+    fn fields_are_inherited_first_and_substituted() {
+        let t = table(BASE);
+        let args = ModeArgs::of_static(StaticMode::Const(ModeName::new("high")));
+        let fields = t.fields(&"DepthRule".into(), &args);
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].name, Ident::new("max"));
+        assert_eq!(fields[0].owner, ClassName::new("Rule"));
+        assert_eq!(fields[1].name, Ident::new("depth"));
+    }
+
+    #[test]
+    fn field_type_substitution_through_chain() {
+        let t = table(
+            "modes { low <= high; }
+             class Box@mode<B> { Box@mode<B> next; }
+             class SubBox@mode<S> extends Box@mode<S> { }",
+        );
+        let args = ModeArgs::of_static(StaticMode::Const(ModeName::new("low")));
+        let fields = t.fields(&"SubBox".into(), &args);
+        assert_eq!(fields[0].ty.to_string(), "Box@mode<low>");
+    }
+
+    #[test]
+    fn method_lookup_walks_the_chain() {
+        let t = table(
+            "modes { low <= high; }
+             class A@mode<X> { Site@mode<X> get(int n) { return this.get(n); } }
+             class B@mode<Y> extends A@mode<Y> { }
+             class Site@mode<S> { }",
+        );
+        let args = ModeArgs::of_static(StaticMode::Const(ModeName::new("high")));
+        let m = t.method(&"B".into(), &args, &Ident::new("get")).unwrap();
+        assert_eq!(m.owner, ClassName::new("A"));
+        assert_eq!(m.ret.to_string(), "Site@mode<high>");
+        assert_eq!(m.params, vec![Type::INT]);
+    }
+
+    #[test]
+    fn dynamic_instantiation_keeps_internal_view() {
+        let t = table(
+            "modes { low <= high; }
+             class Agent@mode<? <= X> {
+               attributor { return low; }
+               Site@mode<X> peek() { return this.peek(); }
+             }
+             class Site@mode<S> { }",
+        );
+        let m = t
+            .method(&"Agent".into(), &ModeArgs::of_dynamic(), &Ident::new("peek"))
+            .unwrap();
+        assert_eq!(m.ret.to_string(), "Site@mode<X>");
+        assert_eq!(
+            m.subst.get(&ModeVar::new("X")),
+            Some(&StaticMode::Var(ModeVar::new("X")))
+        );
+    }
+
+    #[test]
+    fn duplicate_class_is_rejected() {
+        let err = ClassTable::new(
+            &parse_program("class A { } class A { }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::DuplicateClass(_)));
+    }
+
+    #[test]
+    fn unknown_superclass_is_rejected() {
+        let err = ClassTable::new(&parse_program("class A extends B { }").unwrap()).unwrap_err();
+        assert!(matches!(err, TableError::UnknownSuperclass(_, _)));
+    }
+
+    #[test]
+    fn inheritance_cycle_is_rejected() {
+        let err = ClassTable::new(
+            &parse_program("class A extends B { } class B extends A { }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::InheritanceCycle(_)));
+    }
+
+    #[test]
+    fn superclass_mode_mismatch_is_rejected() {
+        // DepthRule passes a constant instead of its own mode var.
+        let err = ClassTable::new(
+            &parse_program(
+                "modes { low <= high; }
+                 class Rule@mode<R> { }
+                 class DepthRule@mode<X> extends Rule@mode<high> { }",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::SuperModeMismatch(_)));
+    }
+
+    #[test]
+    fn extending_dynamic_class_is_rejected() {
+        let err = ClassTable::new(
+            &parse_program(
+                "modes { low <= high; }
+                 class D@mode<?> { attributor { return low; } }
+                 class E extends D { }",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::SuperModeMismatch(_)));
+    }
+
+    #[test]
+    fn dynamic_class_requires_attributor() {
+        let err = ClassTable::new(
+            &parse_program("modes { low <= high; } class D@mode<?> { }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::AttributorMismatch(_, _)));
+    }
+
+    #[test]
+    fn static_class_must_not_have_attributor() {
+        let err = ClassTable::new(
+            &parse_program(
+                "modes { low <= high; }
+                 class S@mode<X> { attributor { return low; } }",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::AttributorMismatch(_, _)));
+    }
+
+    #[test]
+    fn inherited_field_shadowing_is_rejected() {
+        let err = ClassTable::new(
+            &parse_program(
+                "class A { int x; }
+                 class B extends A { int x; }",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::DuplicateField(_, _)));
+    }
+
+    #[test]
+    fn ctor_params_skip_initialized_fields() {
+        let t = table(
+            "modes { low <= high; }
+             class C { int a; int b = 3; string c; }",
+        );
+        let params = t.ctor_params(&"C".into(), &ModeArgs::of_static(StaticMode::Bot));
+        let names: Vec<_> = params.iter().map(|f| f.name.as_str().to_string()).collect();
+        assert_eq!(names, ["a", "c"]);
+    }
+
+    #[test]
+    fn reserved_object_class_is_rejected() {
+        let err = ClassTable::new(&parse_program("class Object { }").unwrap()).unwrap_err();
+        assert!(matches!(err, TableError::ReservedClass(_)));
+    }
+
+    #[test]
+    fn super_arg_arity_is_checked() {
+        let err = ClassTable::new(
+            &parse_program(
+                "modes { low <= high; }
+                 class R@mode<A, B> { }
+                 class S@mode<X> extends R@mode<X> { }",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::SuperArgArity { .. }));
+    }
+}

@@ -1,0 +1,257 @@
+//! Tokens produced by the ENT lexer.
+
+use std::fmt;
+
+use crate::Span;
+
+/// A lexed token: a [`TokenKind`] plus its source [`Span`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from in the source buffer.
+    pub span: Span,
+}
+
+/// The kinds of tokens in ENT's concrete syntax.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    // Literals and names
+    /// An identifier or non-keyword name.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Double(f64),
+    /// A string literal (contents, unescaped).
+    Str(String),
+
+    // Keywords
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `modes`
+    Modes,
+    /// `mode` (only inside `@mode<...>`)
+    Mode,
+    /// `attributor`
+    Attributor,
+    /// `snapshot`
+    Snapshot,
+    /// `mcase`
+    MCase,
+    /// `new`
+    New,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+    /// `try`
+    Try,
+    /// `catch`
+    Catch,
+    /// `this`
+    This,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `bot` — the lattice bottom `⊥` in mode positions.
+    Bot,
+    /// `top` — the lattice top `⊤` in mode positions.
+    Top,
+
+    // Punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `<|` — mode case elimination.
+    TriangleLeft,
+    /// `_` — an unconstrained snapshot bound / implicit elimination mode.
+    Underscore,
+    /// `?` — the dynamic mode.
+    Question,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Double(x) => format!("double `{x}`"),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Ident(s) => s.as_str(),
+            TokenKind::Int(n) => return write!(f, "{n}"),
+            TokenKind::Double(x) => return write!(f, "{x}"),
+            TokenKind::Str(s) => return write!(f, "{s:?}"),
+            TokenKind::Class => "class",
+            TokenKind::Extends => "extends",
+            TokenKind::Modes => "modes",
+            TokenKind::Mode => "mode",
+            TokenKind::Attributor => "attributor",
+            TokenKind::Snapshot => "snapshot",
+            TokenKind::MCase => "mcase",
+            TokenKind::New => "new",
+            TokenKind::Let => "let",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::Return => "return",
+            TokenKind::Try => "try",
+            TokenKind::Catch => "catch",
+            TokenKind::This => "this",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Bot => "bot",
+            TokenKind::Top => "top",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::At => "@",
+            TokenKind::Eq => "=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Bang => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::TriangleLeft => "<|",
+            TokenKind::Underscore => "_",
+            TokenKind::Question => "?",
+            TokenKind::Eof => "<eof>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resolves a word to its keyword token, or `None` for plain identifiers.
+pub(crate) fn keyword(word: &str) -> Option<TokenKind> {
+    Some(match word {
+        "class" => TokenKind::Class,
+        "extends" => TokenKind::Extends,
+        "modes" => TokenKind::Modes,
+        "mode" => TokenKind::Mode,
+        "attributor" => TokenKind::Attributor,
+        "snapshot" => TokenKind::Snapshot,
+        "mcase" => TokenKind::MCase,
+        "new" => TokenKind::New,
+        "let" => TokenKind::Let,
+        "if" => TokenKind::If,
+        "else" => TokenKind::Else,
+        "return" => TokenKind::Return,
+        "try" => TokenKind::Try,
+        "catch" => TokenKind::Catch,
+        "this" => TokenKind::This,
+        "true" => TokenKind::True,
+        "false" => TokenKind::False,
+        "bot" => TokenKind::Bot,
+        "top" => TokenKind::Top,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(keyword("class"), Some(TokenKind::Class));
+        assert_eq!(keyword("snapshot"), Some(TokenKind::Snapshot));
+        assert_eq!(keyword("agent"), None);
+    }
+
+    #[test]
+    fn display_for_operators() {
+        assert_eq!(TokenKind::TriangleLeft.to_string(), "<|");
+        assert_eq!(TokenKind::Le.to_string(), "<=");
+        assert_eq!(TokenKind::Question.to_string(), "?");
+    }
+
+    #[test]
+    fn describe_wraps_punctuation_in_backticks() {
+        assert_eq!(TokenKind::Comma.describe(), "`,`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+    }
+}

@@ -1,0 +1,86 @@
+//! Negative syntax tests: every malformed construct produces a located
+//! diagnostic, never a panic or a silent acceptance.
+
+use ent_syntax::{lex, parse_program};
+
+fn parse_err(src: &str) -> String {
+    match parse_program(src) {
+        Err(e) => e.render(src),
+        Ok(_) => panic!("expected a parse error for: {src}"),
+    }
+}
+
+#[test]
+fn lexer_rejects_bad_numbers_and_chars() {
+    assert!(lex("999999999999999999999999999").is_err(), "integer overflow");
+    assert!(lex("a $ b").is_err(), "unknown character");
+    assert!(lex("\"unterminated").is_err());
+    assert!(lex("\"bad \\q escape\"").is_err());
+    assert!(lex("/* no end").is_err());
+}
+
+#[test]
+fn modes_block_errors() {
+    assert!(parse_err("modes { a <= }").contains("expected identifier"));
+    assert!(parse_err("modes { a <= b }").contains("expected `;`"));
+    // Cyclic order is a semantic error surfaced at parse time.
+    assert!(parse_err("modes { a <= b; b <= a; }").contains("cyclic"));
+    // Reserved names: `top`/`bot` are keywords, so they cannot even be
+    // declared (the lattice-end check in ModeTableBuilder guards the
+    // programmatic API).
+    assert!(parse_err("modes { top <= a; }").contains("expected identifier"));
+}
+
+#[test]
+fn class_declaration_errors() {
+    assert!(parse_err("class { }").contains("expected identifier"));
+    assert!(parse_err("class C").contains("expected `{`"));
+    assert!(parse_err("class C@mode<> { }").contains("expected a mode"));
+    assert!(parse_err("class C@mode { }").contains("expected `<`"));
+    assert!(parse_err("class C extends { }").contains("expected identifier"));
+}
+
+#[test]
+fn member_errors() {
+    assert!(parse_err("class C { int ; }").contains("expected identifier"));
+    assert!(parse_err("class C { int f( { } }").contains("uppercase")
+        || !parse_err("class C { int f( { } }").is_empty());
+    assert!(parse_err("class C { @mode<x> int f; }").contains("not allowed on fields"));
+}
+
+#[test]
+fn expression_errors() {
+    let p = |body: &str| parse_err(&format!("class C {{ int f() {{ {body} }} }}"));
+    assert!(p("return 1 +;").contains("expected an expression"));
+    assert!(p("let = 3;").contains("uppercase") || !p("let = 3;").is_empty());
+    assert!(p("return (1;").contains("expected"));
+    assert!(p("return snapshot x [a b];").contains("expected `,`"));
+    assert!(p("return x <|;").contains("expected a mode"));
+}
+
+#[test]
+fn mcase_errors() {
+    let p = |body: &str| {
+        parse_err(&format!(
+            "modes {{ low <= high; }} class C {{ int f() {{ {body} }} }}"
+        ))
+    };
+    assert!(p("return mcase{ low: 1 };").contains("expected `;`"));
+    assert!(p("return mcase{ nope: 1; };").contains("not a declared mode"));
+    assert!(p("return mcase{ low 1; };").contains("expected `:`"));
+}
+
+#[test]
+fn diagnostics_carry_line_and_column() {
+    let src = "modes { low <= high; }\nclass C {\n  int f() { return 1 +; }\n}";
+    let rendered = parse_err(src);
+    assert!(rendered.starts_with("3:"), "points at line 3: {rendered}");
+}
+
+#[test]
+fn eof_inside_structures() {
+    assert!(!parse_err("class C {").is_empty());
+    assert!(!parse_err("class C { int f() {").is_empty());
+    assert!(!parse_err("modes {").is_empty());
+    assert!(!parse_err("class C { int f() { return mcase{ }").is_empty());
+}

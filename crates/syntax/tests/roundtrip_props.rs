@@ -1,0 +1,96 @@
+//! Property tests: pretty-printed expressions re-parse to the same tree
+//! (compared via their printed normal form, since spans differ).
+
+use ent_syntax::{parse_expr, print_expr_string, Expr, ExprKind, Ident, Lit};
+use proptest::prelude::*;
+
+const MODES: &[&str] = &["energy_saver", "managed", "full_throttle"];
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..1000).prop_map(|n| mk(ExprKind::Lit(Lit::Int(n)))),
+        any::<bool>().prop_map(|b| mk(ExprKind::Lit(Lit::Bool(b)))),
+        "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword or mode", |s| {
+            !is_reserved(s)
+        }).prop_map(|s| mk(ExprKind::Var(Ident::new(s)))),
+        Just(mk(ExprKind::This)),
+        "[a-z ]{0,8}".prop_map(|s| mk(ExprKind::Lit(Lit::Str(s)))),
+    ]
+}
+
+fn is_reserved(s: &str) -> bool {
+    MODES.contains(&s)
+        || matches!(
+            s,
+            "class" | "extends" | "modes" | "mode" | "attributor" | "snapshot" | "mcase"
+                | "new" | "let" | "if" | "else" | "return" | "try" | "catch" | "this"
+                | "true" | "false" | "bot" | "top" | "int" | "double" | "bool" | "string"
+                | "unit"
+        )
+}
+
+fn mk(kind: ExprKind) -> Expr {
+    Expr::new(kind, ent_syntax::Span::DUMMY)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            // Binary operations
+            (inner.clone(), inner.clone(), 0usize..6).prop_map(|(l, r, op)| {
+                use ent_syntax::BinOp::*;
+                let op = [Add, Sub, Mul, Lt, Eq, And][op];
+                mk(ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) })
+            }),
+            // Field access
+            (inner.clone(), "[a-z][a-z0-9]{0,4}".prop_filter("reserved", |s| !is_reserved(s)))
+                .prop_map(|(e, f)| mk(ExprKind::Field {
+                    recv: Box::new(e),
+                    name: Ident::new(f),
+                })),
+            // Method call
+            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(e, args)| mk(ExprKind::Call {
+                    recv: Box::new(e),
+                    method: Ident::new("work"),
+                    mode_args: vec![],
+                    args,
+                })),
+            // Unary
+            inner.clone().prop_map(|e| mk(ExprKind::Unary {
+                op: ent_syntax::UnOp::Not,
+                expr: Box::new(e),
+            })),
+            // If
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
+                mk(ExprKind::If {
+                    cond: Box::new(c),
+                    then: Box::new(t),
+                    els: Some(Box::new(e)),
+                })
+            }),
+            // Array literal
+            proptest::collection::vec(inner.clone(), 0..4)
+                .prop_map(|items| mk(ExprKind::ArrayLit(items))),
+            // Snapshot (unbounded)
+            inner.clone().prop_map(|e| mk(ExprKind::Snapshot {
+                expr: Box::new(e),
+                lo: ent_modes::StaticMode::Bot,
+                hi: ent_modes::StaticMode::Top,
+            })),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse → print is a fixpoint.
+    #[test]
+    fn printed_expressions_reparse(e in arb_expr()) {
+        let printed = print_expr_string(&e);
+        let reparsed = parse_expr(&printed, MODES)
+            .unwrap_or_else(|err| panic!("printed `{printed}` failed to parse: {err}"));
+        prop_assert_eq!(printed.clone(), print_expr_string(&reparsed));
+    }
+}

@@ -1,0 +1,898 @@
+//! Showcase applications: fully written-out ENT programs for a
+//! representative subset of the benchmark suite, with the class structure
+//! the paper describes for each application (as opposed to the uniform
+//! generated harness programs in [`crate::e1_program`] /
+//! [`crate::e2_program`], which the figures use).
+//!
+//! Each program is battery-aware end to end and parameterized only by the
+//! simulator's battery level; the accompanying tests run them on their
+//! paper platform and check their adaptive behavior.
+
+/// The jspider crawler with the paper's full object structure: `Agent`,
+/// `Site`, `Resource`, filtering `Rule`s, and the discover–check–crawl
+/// loop of Listing 1 over an array of seed sites.
+pub fn jspider() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Rule {
+  int maxResources;
+  bool pass(int resources) { return resources <= this.maxResources; }
+}
+
+class Resource@mode<E> {
+  int links;
+  int process(int depth) {
+    Sim.work("net", Math.toDouble(this.links * depth) * 400000.0);
+    return this.links * depth;
+  }
+}
+
+class Site@mode<? <= S> {
+  int resources;
+  attributor {
+    if (this.resources > 200) { return full_throttle; }
+    else if (this.resources > 50) { return managed; }
+    else { return energy_saver; }
+  }
+  int size() { return this.resources; }
+  int crawl(int depth) {
+    // Crawl the site's resources in chunks of 10.
+    return this.crawlChunk(this.resources / 10 + 1, depth, 0);
+  }
+  int crawlChunk(int remaining, int depth, int acc) {
+    if (remaining <= 0) { return acc; }
+    let r = new Resource@mode<S>(10);
+    return this.crawlChunk(remaining - 1, depth, acc + r.process(depth));
+  }
+}
+
+class Agent@mode<? <= X> {
+  Rule rule;
+  mcase<int> depth = mcase{ energy_saver: 3; managed: 4; full_throttle: 5; };
+
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+
+  int work(int resources) {
+    if (!this.rule.pass(resources)) {
+      IO.print("rule filtered a site of " + Str.ofInt(resources));
+      return 0;
+    }
+    let ds = new Site(resources);
+    return try {
+      let Site s = snapshot ds [_, X];
+      s.crawl(this.depth <| X)
+    } catch {
+      IO.print("EnergyException: skipped a site of " + Str.ofInt(resources));
+      0
+    };
+  }
+
+  int crawlAll(int[] seeds, int i, int acc) {
+    if (i >= Arr.len(seeds)) { return acc; }
+    return this.crawlAll(seeds, i + 1, acc + this.work(Arr.get(seeds, i)));
+  }
+}
+
+class Main {
+  int main() {
+    let da = new Agent(new Rule(5000));
+    let Agent a = snapshot da [_, _];
+    return a.crawlAll([89, 240, 1058, 30, 1967], 0, 0);
+  }
+}
+"#
+}
+
+/// pagerank: iterative rank propagation over a synthetic graph, with the
+/// convergence threshold ("minimum change") selected per boot mode.
+pub fn pagerank() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Graph@mode<? <= G> {
+  int nodes;
+  attributor {
+    if (this.nodes > 1000000) { return full_throttle; }
+    else if (this.nodes > 500000) { return managed; }
+    else { return energy_saver; }
+  }
+  unit sweeps(int remaining) {
+    if (remaining <= 0) { return {}; }
+    Sim.work("cpu", Math.toDouble(this.nodes) * 60.0);
+    return this.sweeps(remaining - 1);
+  }
+  int size() { return this.nodes; }
+}
+
+class Ranker@mode<? <= X> {
+  mcase<int> iterations = mcase{ energy_saver: 12; managed: 22; full_throttle: 32; };
+
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+
+  int rank(int nodes) {
+    let dg = new Graph(nodes);
+    return try {
+      let Graph g = snapshot dg [_, X];
+      g.sweeps(this.iterations <| X);
+      this.iterations <| X
+    } catch {
+      IO.print("EnergyException: graph too large for the current mode");
+      0
+    };
+  }
+}
+
+class Main {
+  int main() {
+    let dr = new Ranker();
+    let Ranker r = snapshot dr [_, _];
+    return r.rank(325557);
+  }
+}
+"#
+}
+
+/// crypto: RSA-style block encryption, with the key strength (cost per
+/// block) selected by the boot mode through mode co-adaptation — the
+/// `Cipher` is created at the agent's internal mode and its key-strength
+/// mode case eliminates there.
+pub fn crypto() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Cipher@mode<C> {
+  mcase<int> keyBits = mcase{ energy_saver: 768; managed: 1024; full_throttle: 1280; };
+  unit encryptBlock() {
+    let bits = Math.toDouble(this.keyBits <| C);
+    Sim.work("crypto", bits * bits * bits / 3000.0);
+    return {};
+  }
+}
+
+class Encryptor@mode<? <= X> {
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  int encryptFile(int blocks) {
+    let c = new Cipher@mode<X>();
+    this.loop(c, blocks);
+    return blocks;
+  }
+  unit loop(Cipher@mode<X> c, int remaining) {
+    if (remaining <= 0) { return {}; }
+    c.encryptBlock();
+    return this.loop(c, remaining - 1);
+  }
+}
+
+class Main {
+  int main() {
+    let de = new Encryptor();
+    let Encryptor e = snapshot de [_, _];
+    return e.encryptFile(64);
+  }
+}
+"#
+}
+
+/// camera: the Pi time-lapse monitor — a time-fixed workload whose
+/// interval and resolution co-adapt to the battery.
+pub fn camera() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Encoder@mode<E> {
+  mcase<double> frameOps = mcase{
+    energy_saver: 35000000.0;
+    managed: 90000000.0;
+    full_throttle: 200000000.0;
+  };
+  unit encode() {
+    Sim.work("encode", this.frameOps <| E);
+    return {};
+  }
+}
+
+class Camera@mode<? <= C> {
+  mcase<int> intervalMs = mcase{ energy_saver: 1500; managed: 1000; full_throttle: 500; };
+
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+
+  unit monitor(int shots) {
+    let enc = new Encoder@mode<C>();
+    this.shoot(enc, shots);
+    return {};
+  }
+  unit shoot(Encoder@mode<C> enc, int remaining) {
+    if (remaining <= 0) { return {}; }
+    enc.encode();
+    Sim.sleepMs(this.intervalMs <| C);
+    return this.shoot(enc, remaining - 1);
+  }
+}
+
+class Main {
+  unit main() {
+    let dc = new Camera();
+    let Camera c = snapshot dc [_, _];
+    c.monitor(90);
+    return {};
+  }
+}
+"#
+}
+
+/// newpipe: the Android streaming App — buffered network reads at a
+/// per-mode stream resolution, decoded frame by frame for the clip's
+/// duration.
+pub fn newpipe() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Stream@mode<S> {
+  mcase<double> bytesPerSec = mcase{
+    energy_saver: 40000000.0;
+    managed: 90000000.0;
+    full_throttle: 160000000.0;
+  };
+  unit bufferSecond() {
+    Sim.work("net", this.bytesPerSec <| S);
+    return {};
+  }
+}
+
+class Player@mode<? <= P> {
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+
+  unit play(int seconds) {
+    let s = new Stream@mode<P>();
+    this.tick(s, seconds);
+    return {};
+  }
+  unit tick(Stream@mode<P> s, int remaining) {
+    if (remaining <= 0) { return {}; }
+    s.bufferSecond();
+    Sim.sleepMs(700);
+    return this.tick(s, remaining - 1);
+  }
+}
+
+class Main {
+  unit main() {
+    let dp = new Player();
+    let Player p = snapshot dp [_, _];
+    p.play(150);
+    return {};
+  }
+}
+"#
+}
+
+/// xalan: XML transformation with the E3 temperature-casing structure — a
+/// snapshotted `Sleep` object cools the CPU between file transforms
+/// (Figure 11's unit-of-work pattern).
+pub fn xalan() -> &'static str {
+    r#"
+modes { safe <= hot; hot <= overheating; }
+
+class Sleep@mode<? <= S> {
+  attributor {
+    if (Ext.temperature() >= 65.0) { return overheating; }
+    else if (Ext.temperature() >= 60.0) { return hot; }
+    else { return safe; }
+  }
+  mcase<int> interval = mcase{ safe: 0; hot: 250; overheating: 1000; };
+  unit rest() {
+    Sim.sleepMs(this.interval <| S);
+    return {};
+  }
+}
+
+class Transformer@mode<overheating> {
+  unit transformAll(int files) {
+    if (files <= 0) { return {}; }
+    // One XML file: parse + transform + serialize.
+    Sim.work("io", 120000000.0);
+    Sim.work("cpu", 240000000.0);
+    let dsl = new Sleep();
+    let Sleep sl = snapshot dsl [_, overheating];
+    sl.rest();
+    return this.transformAll(files - 1);
+  }
+}
+
+class Main {
+  unit main() {
+    let t = new Transformer();
+    t.transformAll(120);
+    return {};
+  }
+}
+"#
+}
+
+/// jython: script compilation in phases (parse, compile, optimize), the
+/// optimization level selected per boot mode.
+pub fn jython() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Phase@mode<P> {
+  double opsPerLine;
+  unit run(int lines) {
+    Sim.work("cpu", Math.toDouble(lines) * this.opsPerLine);
+    return {};
+  }
+}
+
+class Compiler@mode<? <= X> {
+  mcase<int> optLevel = mcase{ energy_saver: 0; managed: 1; full_throttle: 2; };
+
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+
+  int compile(int lines) {
+    let parse = new Phase@mode<X>(40000.0);
+    let codegen = new Phase@mode<X>(90000.0);
+    parse.run(lines);
+    codegen.run(lines);
+    // Each optimization level is another pass.
+    this.optimize(lines, this.optLevel <| X);
+    return this.optLevel <| X;
+  }
+  unit optimize(int lines, int level) {
+    if (level <= 0) { return {}; }
+    let opt = new Phase@mode<X>(150000.0);
+    opt.run(lines);
+    return this.optimize(lines, level - 1);
+  }
+}
+
+class Main {
+  int main() {
+    let dc = new Compiler();
+    let Compiler c = snapshot dc [_, _];
+    return c.compile(8000);
+  }
+}
+"#
+}
+
+
+/// sunflow: scene rendering with per-mode anti-aliasing sampled per tile
+/// (the paper's "scene instances" workload).
+pub fn sunflow() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Tile@mode<T> {
+  mcase<double> aaSamples = mcase{ energy_saver: 0.25; managed: 1.0; full_throttle: 4.0; };
+  unit render() {
+    Sim.work("render", 80000000.0 * (this.aaSamples <| T));
+    return {};
+  }
+}
+
+class Renderer@mode<? <= R> {
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  int renderScene(int tiles) {
+    let t = new Tile@mode<R>();
+    this.loop(t, tiles);
+    return tiles;
+  }
+  unit loop(Tile@mode<R> t, int remaining) {
+    if (remaining <= 0) { return {}; }
+    t.render();
+    return this.loop(t, remaining - 1);
+  }
+}
+
+class Main {
+  int main() {
+    let dr = new Renderer();
+    let Renderer r = snapshot dr [_, _];
+    return r.renderScene(48);
+  }
+}
+"#
+}
+
+/// findbugs: static analysis over a code base, the analysis effort chosen
+/// per boot mode, the code-base size classifying the workload mode.
+pub fn findbugs() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class CodeBase@mode<? <= C> {
+  int classes;
+  attributor {
+    if (this.classes > 40000) { return full_throttle; }
+    else if (this.classes > 12000) { return managed; }
+    else { return energy_saver; }
+  }
+  unit analyze(double effort) {
+    Sim.work("cpu", Math.toDouble(this.classes) * effort * 40000.0);
+    return {};
+  }
+}
+
+class Analyzer@mode<? <= X> {
+  mcase<double> effort = mcase{ energy_saver: 0.55; managed: 1.0; full_throttle: 1.6; };
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  int scan(int classes) {
+    let dcb = new CodeBase(classes);
+    return try {
+      let CodeBase cb = snapshot dcb [_, X];
+      cb.analyze(this.effort <| X);
+      classes
+    } catch {
+      IO.print("EnergyException: code base too large for the current mode");
+      0
+    };
+  }
+}
+
+class Main {
+  int main() {
+    let da = new Analyzer();
+    let Analyzer a = snapshot da [_, _];
+    return a.scan(5363);
+  }
+}
+"#
+}
+
+/// batik: SVG rasterization — the output resolution (a quadratic cost
+/// knob) selected per boot mode.
+pub fn batik() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Raster@mode<R> {
+  mcase<int> resolution = mcase{ energy_saver: 512; managed: 1024; full_throttle: 2048; };
+  unit rasterize(double kb) {
+    let res = Math.toDouble(this.resolution <| R);
+    Sim.work("render", kb * res * res / 18.0);
+    return {};
+  }
+}
+
+class Rasterizer@mode<? <= X> {
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  unit renderFile(double kb) {
+    let r = new Raster@mode<X>();
+    r.rasterize(kb);
+    return {};
+  }
+}
+
+class Main {
+  unit main() {
+    let dr = new Rasterizer();
+    let Rasterizer r = snapshot dr [_, _];
+    r.renderFile(261.0);
+    return {};
+  }
+}
+"#
+}
+
+/// video: continuous recording on the Pi — resolution and frame rate
+/// co-adapt; the session length is fixed.
+pub fn video() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Recorder@mode<? <= V> {
+  mcase<int> fps = mcase{ energy_saver: 10; managed: 20; full_throttle: 30; };
+  mcase<double> frameOps = mcase{
+    energy_saver: 6000000.0;
+    managed: 9000000.0;
+    full_throttle: 12000000.0;
+  };
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  unit record(int seconds) {
+    if (seconds <= 0) { return {}; }
+    this.second(this.fps <| V);
+    return this.record(seconds - 1);
+  }
+  unit second(int frames) {
+    if (frames <= 0) { Sim.sleepMs(5); return {}; }
+    Sim.work("encode", this.frameOps <| V);
+    Sim.sleepMs(1000 / (this.fps <| V) - 20);
+    return this.second(frames - 1);
+  }
+}
+
+class Main {
+  unit main() {
+    let dr = new Recorder();
+    let Recorder r = snapshot dr [_, _];
+    r.record(120);
+    return {};
+  }
+}
+"#
+}
+
+/// javaboy: Game Boy emulation on the Pi — the screen magnification
+/// scales the per-frame blit cost; emulation itself is fixed-rate.
+pub fn javaboy() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Emulator@mode<? <= E> {
+  mcase<int> magnification = mcase{ energy_saver: 2; managed: 4; full_throttle: 6; };
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  unit play(int frames) {
+    if (frames <= 0) { return {}; }
+    // Fixed emulation work plus magnification-scaled blitting.
+    Sim.work("cpu", 2200000.0);
+    let mag = Math.toDouble(this.magnification <| E);
+    Sim.work("render", 350000.0 * mag * mag);
+    Sim.sleepMs(12);
+    return this.play(frames - 1);
+  }
+}
+
+class Main {
+  unit main() {
+    let de = new Emulator();
+    let Emulator e = snapshot de [_, _];
+    e.play(1200);
+    return {};
+  }
+}
+"#
+}
+
+/// duckduckgo: the Android browser — each query's result quality
+/// (JavaScript, autocomplete) selected per boot mode.
+pub fn duckduckgo() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Query@mode<Q> {
+  mcase<double> quality = mcase{ energy_saver: 0.55; managed: 1.0; full_throttle: 1.45; };
+  unit search() {
+    Sim.work("net", 250000000.0 * (this.quality <| Q));
+    Sim.work("cpu", 120000000.0 * (this.quality <| Q));
+    return {};
+  }
+}
+
+class Browser@mode<? <= B> {
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  int session(int queries) {
+    let q = new Query@mode<B>();
+    this.loop(q, queries);
+    return queries;
+  }
+  unit loop(Query@mode<B> q, int remaining) {
+    if (remaining <= 0) { return {}; }
+    q.search();
+    Sim.sleepMs(4000);
+    return this.loop(q, remaining - 1);
+  }
+}
+
+class Main {
+  int main() {
+    let db = new Browser();
+    let Browser b = snapshot db [_, _];
+    return b.session(16);
+  }
+}
+"#
+}
+
+/// soundrecorder: audio capture and encoding — the sample rate selected
+/// per boot mode, recording length fixed.
+pub fn soundrecorder() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Codec@mode<C> {
+  mcase<int> sampleKhz = mcase{ energy_saver: 8; managed: 24; full_throttle: 48; };
+  unit encodeSecond() {
+    Sim.work("encode", Math.toDouble(this.sampleKhz <| C) * 5000000.0);
+    return {};
+  }
+}
+
+class RecorderApp@mode<? <= R> {
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  unit record(int seconds) {
+    let c = new Codec@mode<R>();
+    this.tick(c, seconds);
+    return {};
+  }
+  unit tick(Codec@mode<R> c, int remaining) {
+    if (remaining <= 0) { return {}; }
+    c.encodeSecond();
+    Sim.sleepMs(550);
+    return this.tick(c, remaining - 1);
+  }
+}
+
+class Main {
+  unit main() {
+    let dr = new RecorderApp();
+    let RecorderApp r = snapshot dr [_, _];
+    r.record(180);
+    return {};
+  }
+}
+"#
+}
+
+/// materiallife: the animated Game of Life — frame rate per boot mode,
+/// population per workload.
+pub fn materiallife() -> &'static str {
+    r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+class Board@mode<? <= B> {
+  int population;
+  attributor {
+    if (this.population > 3500) { return full_throttle; }
+    else if (this.population > 1500) { return managed; }
+    else { return energy_saver; }
+  }
+  unit steps(int remaining) {
+    if (remaining <= 0) { return {}; }
+    Sim.work("render", Math.toDouble(this.population) * 120000.0);
+    Sim.sleepMs(40);
+    return this.steps(remaining - 1);
+  }
+}
+
+class Simulation@mode<? <= S> {
+  mcase<int> frameRate = mcase{ energy_saver: 5; managed: 10; full_throttle: 15; };
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+  int animate(int population, int seconds) {
+    let db = new Board(population);
+    return try {
+      let Board b = snapshot db [_, S];
+      b.steps(seconds * (this.frameRate <| S));
+      seconds * (this.frameRate <| S)
+    } catch {
+      IO.print("EnergyException: population too large for the current mode");
+      0
+    };
+  }
+}
+
+class Main {
+  int main() {
+    let ds = new Simulation();
+    let Simulation s = snapshot ds [_, _];
+    return s.animate(1000, 60);
+  }
+}
+"#
+}
+
+/// All showcase programs with the paper system they model.
+pub fn showcase_apps() -> Vec<(&'static str, ent_energy::PlatformKind, &'static str)> {
+    use ent_energy::PlatformKind::*;
+    vec![
+        ("jspider", SystemA, jspider()),
+        ("pagerank", SystemA, pagerank()),
+        ("crypto", SystemA, crypto()),
+        ("camera", SystemB, camera()),
+        ("newpipe", SystemC, newpipe()),
+        ("xalan", SystemA, xalan()),
+        ("jython", SystemA, jython()),
+        ("sunflow", SystemA, sunflow()),
+        ("findbugs", SystemA, findbugs()),
+        ("batik", SystemA, batik()),
+        ("video", SystemB, video()),
+        ("javaboy", SystemB, javaboy()),
+        ("duckduckgo", SystemC, duckduckgo()),
+        ("soundrecorder", SystemC, soundrecorder()),
+        ("materiallife", SystemC, materiallife()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::platform_of;
+    use ent_core::compile;
+    use ent_runtime::{run, RuntimeConfig};
+
+    #[test]
+    fn formatter_is_idempotent_on_every_showcase_app() {
+        use ent_syntax::{parse_program, print_program};
+        for (name, _, src) in showcase_apps() {
+            let once = print_program(&parse_program(src).unwrap());
+            let twice = print_program(&parse_program(&once).unwrap());
+            assert_eq!(once, twice, "{name}: fmt must be a fixpoint");
+        }
+    }
+
+    #[test]
+    fn every_showcase_app_compiles_and_runs_on_its_platform() {
+        for (name, system, src) in showcase_apps() {
+            let compiled = compile(src)
+                .unwrap_or_else(|e| panic!("{name} failed:\n{}", e.render(src)));
+            for battery in [0.95, 0.6, 0.3] {
+                let r = run(
+                    &compiled,
+                    platform_of(system),
+                    RuntimeConfig { battery_level: battery, ..RuntimeConfig::default() },
+                );
+                assert!(r.value.is_ok(), "{name} at {battery}: {:?}", r.value);
+            }
+        }
+    }
+
+    #[test]
+    fn xalan_regulates_temperature() {
+        let compiled = compile(xalan()).unwrap();
+        let r = run(
+            &compiled,
+            platform_of(ent_energy::PlatformKind::SystemA),
+            RuntimeConfig { trace_interval_s: Some(1.0), ..RuntimeConfig::default() },
+        );
+        assert!(r.value.is_ok());
+        assert!(
+            r.measurement.peak_temp_c < 67.0,
+            "regulated run stays near the thresholds: {}",
+            r.measurement.peak_temp_c
+        );
+        assert!(r.stats.snapshots >= 100, "one Sleep snapshot per file");
+    }
+
+    #[test]
+    fn jython_optimization_passes_scale_with_battery() {
+        let compiled = compile(jython()).unwrap();
+        let at = |battery: f64| {
+            run(
+                &compiled,
+                platform_of(ent_energy::PlatformKind::SystemA),
+                RuntimeConfig { battery_level: battery, seed: 3, ..RuntimeConfig::default() },
+            )
+        };
+        let high = at(0.95);
+        let low = at(0.3);
+        assert_eq!(high.value.unwrap(), ent_runtime::Value::Int(2));
+        assert_eq!(low.value.unwrap(), ent_runtime::Value::Int(0));
+        assert!(high.measurement.energy_j > low.measurement.energy_j);
+    }
+
+    #[test]
+    fn jspider_filters_and_skips_adaptively() {
+        let compiled = compile(jspider()).unwrap();
+        // Low battery: the two big sites raise exceptions and are skipped.
+        let low = run(
+            &compiled,
+            platform_of(ent_energy::PlatformKind::SystemA),
+            RuntimeConfig { battery_level: 0.3, ..RuntimeConfig::default() },
+        );
+        // Sites of 89, 240, 1058 and 1967 resources all exceed the
+        // energy_saver mode; only the 30-resource site is crawled.
+        assert_eq!(low.stats.energy_exceptions, 4, "{:?}", low.output);
+        // Full battery: nothing skipped, far more pages crawled.
+        let high = run(
+            &compiled,
+            platform_of(ent_energy::PlatformKind::SystemA),
+            RuntimeConfig { battery_level: 0.95, ..RuntimeConfig::default() },
+        );
+        assert_eq!(high.stats.energy_exceptions, 0);
+        assert!(high.measurement.energy_j > low.measurement.energy_j);
+    }
+
+    #[test]
+    fn pagerank_iterations_scale_with_battery() {
+        let compiled = compile(pagerank()).unwrap();
+        let at = |battery: f64| {
+            run(
+                &compiled,
+                platform_of(ent_energy::PlatformKind::SystemA),
+                RuntimeConfig { battery_level: battery, ..RuntimeConfig::default() },
+            )
+        };
+        let high = at(0.95);
+        let low = at(0.3);
+        assert_eq!(high.value.unwrap(), ent_runtime::Value::Int(32));
+        assert_eq!(low.value.unwrap(), ent_runtime::Value::Int(12));
+        assert!(high.measurement.energy_j > low.measurement.energy_j);
+    }
+
+    #[test]
+    fn crypto_key_strength_co_adapts() {
+        let compiled = compile(crypto()).unwrap();
+        let energy = |battery: f64| {
+            run(
+                &compiled,
+                platform_of(ent_energy::PlatformKind::SystemA),
+                RuntimeConfig { battery_level: battery, seed: 2, ..RuntimeConfig::default() },
+            )
+            .measurement
+            .energy_j
+        };
+        // 768³ : 1024³ : 1280³ cost ratios.
+        let (lo, mid, hi) = (energy(0.3), energy(0.6), energy(0.95));
+        assert!(lo < mid && mid < hi, "{lo} {mid} {hi}");
+        let ratio = hi / lo;
+        let expected = (1280.0f64 / 768.0).powi(3);
+        assert!(
+            (ratio - expected).abs() / expected < 0.15,
+            "key-strength scaling: {ratio} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn camera_power_drops_with_battery_at_fixed_shot_count() {
+        let compiled = compile(camera()).unwrap();
+        let at = |battery: f64| {
+            let r = run(
+                &compiled,
+                platform_of(ent_energy::PlatformKind::SystemB),
+                RuntimeConfig { battery_level: battery, seed: 6, ..RuntimeConfig::default() },
+            );
+            let m = r.measurement;
+            (m.energy_j / m.time_s, m.time_s)
+        };
+        let (p_high, _) = at(0.95);
+        let (p_low, t_low) = at(0.3);
+        assert!(p_low < p_high, "avg power should drop: {p_low} vs {p_high}");
+        assert!(t_low > 90.0, "time-lapse runs for minutes: {t_low}");
+    }
+}

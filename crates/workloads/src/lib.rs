@@ -1,0 +1,39 @@
+//! The ENT benchmark suite: the fifteen applications of the paper's
+//! Figure 6, with the workload-attribution and QoS settings of Figure 7,
+//! generated as ENT programs and executed on the simulated platforms.
+//!
+//! Each benchmark comes in the experiment shapes of §6.1:
+//!
+//! * E1 "battery-exception" — bounded snapshots throw `EnergyException`
+//!   when the workload's mode exceeds the boot mode;
+//! * E2 "battery-casing" — mode cases adapt the QoS to the boot mode;
+//! * E3 "temperature-casing" — a snapshotted `Sleep` object regulates CPU
+//!   temperature (the five System A benchmarks of Figure 11).
+//!
+//! # Example
+//!
+//! ```
+//! use ent_workloads::{benchmark, run_e2};
+//! use ent_energy::PlatformKind;
+//!
+//! let crypto = benchmark("crypto").unwrap();
+//! let saver = run_e2(&crypto, PlatformKind::SystemA, 0, 2, 7);
+//! let full = run_e2(&crypto, PlatformKind::SystemA, 2, 2, 7);
+//! assert!(saver.energy_j < full.energy_j);
+//! ```
+
+mod apps;
+mod programs;
+mod runner;
+mod settings;
+
+pub use apps::{
+    batik, camera, crypto, duckduckgo, findbugs, javaboy, jspider, jython, materiallife,
+    newpipe, pagerank, showcase_apps, soundrecorder, sunflow, video, xalan,
+};
+pub use programs::{e1_program, e2_program, e3_program, unit_scale, workload_duty_factor};
+pub use runner::{platform_for, platform_of, run_e1, run_e2, run_e3, run_overhead_pair, Outcome};
+pub use settings::{
+    all_benchmarks, battery_for_boot, benchmark, e3_benchmarks, BenchmarkSpec, E3Settings,
+    Shape, MODE_NAMES,
+};

@@ -1,0 +1,384 @@
+//! ENT program generators for the benchmark suite.
+//!
+//! Each benchmark is an ENT *program* (source text) built from its
+//! [`BenchmarkSpec`], in the three shapes of §6.1:
+//!
+//! * **E1 "battery-exception"**: the workload object is snapshotted with an
+//!   upper bound of the app's boot mode, so an oversized workload raises an
+//!   `EnergyException`, caught by a handler that scales the quality of
+//!   service down to the `energy_saver` settings;
+//! * **E2 "battery-casing"**: mode cases select per-boot-mode QoS values,
+//!   so the program adapts without exceptions;
+//! * **E3 "temperature-casing"**: a `Sleep` object is snapshotted after
+//!   each unit of work, its attributor reading the CPU temperature, and a
+//!   mode case selecting the cooling interval.
+
+use ent_energy::{Platform, WorkKind};
+
+use crate::settings::{BenchmarkSpec, E3Settings, Shape};
+
+/// The standard battery-threshold attributor body of §6.1 (boot modes at
+/// 40 / 70 / 90 % battery).
+fn battery_attributor() -> &'static str {
+    "attributor {
+        if (Ext.battery() >= 0.9) { return full_throttle; }
+        else if (Ext.battery() >= 0.7) { return managed; }
+        else { return energy_saver; }
+      }"
+}
+
+const MODES_BLOCK: &str =
+    "modes { energy_saver <= managed; managed <= full_throttle; }\n";
+
+/// Work units per item at QoS factor 1.0, calibrated so the `managed`
+/// workload at default QoS takes the spec's target seconds on `platform`.
+pub fn unit_scale(spec: &BenchmarkSpec, platform: &Platform) -> f64 {
+    match spec.shape {
+        Shape::Batch { managed_seconds } => {
+            let kind = WorkKind::parse(spec.work_kind);
+            managed_seconds * platform.ops_per_sec
+                / (spec.workload_items[1] * kind.ops_per_unit())
+        }
+        Shape::TimeFixed { .. } => 0.0,
+    }
+}
+
+/// Work units for one full-utilization second of this benchmark's kind.
+fn units_per_busy_second(spec: &BenchmarkSpec, platform: &Platform) -> f64 {
+    platform.ops_per_sec / WorkKind::parse(spec.work_kind).ops_per_unit()
+}
+
+/// The duty-cycle multiplier a workload size applies on time-fixed
+/// benchmarks (a 1080p stream keeps the encoder busier than 480p).
+pub fn workload_duty_factor(spec: &BenchmarkSpec, workload: usize) -> f64 {
+    (spec.workload_items[workload] / spec.workload_items[1]).powf(0.25)
+}
+
+/// Generates the E1 "battery-exception" program for a benchmark.
+///
+/// `workload` selects the workload mode (0 = energy_saver sized, 1 =
+/// managed, 2 = full_throttle) per Figure 7.
+pub fn e1_program(spec: &BenchmarkSpec, platform: &Platform, workload: usize) -> String {
+    let (t1, t2) = spec.thresholds();
+    let items = spec.workload_items[workload];
+    let kind = spec.work_kind;
+    let battery = battery_attributor();
+    match spec.shape {
+        Shape::Batch { .. } => {
+            let scale = unit_scale(spec, platform);
+            let q = spec.qos_factors;
+            format!(
+                "{MODES_BLOCK}
+class Workload@mode<? <= W> {{
+  double items;
+  attributor {{
+    if (this.items >= {t2:.4}) {{ return full_throttle; }}
+    else if (this.items >= {t1:.4}) {{ return managed; }}
+    else {{ return energy_saver; }}
+  }}
+  double size() {{ return this.items; }}
+}}
+class App@mode<? <= X> {{
+  {battery}
+  mcase<double> qos = mcase{{ energy_saver: {q0:.4}; managed: {q1:.4}; full_throttle: {q2:.4}; }};
+  unit processChunks(double perChunk, int remaining, double quality) {{
+    if (remaining <= 0) {{ return {{}}; }}
+    Sim.work(\"{kind}\", perChunk * quality * {scale:.4});
+    return this.processChunks(perChunk, remaining - 1, quality);
+  }}
+  unit process(double items, double quality) {{
+    // Work proceeds in 60 chunks, as the real applications iterate over
+    // files / classes / resources / scene tiles.
+    this.processChunks(items / 60.0, 60, quality);
+    return {{}};
+  }}
+  unit runOn(double items) {{
+    let dw = new Workload(items);
+    try {{
+      let Workload w = snapshot dw [_, X];
+      this.process(w.size(), this.qos <| managed);
+    }} catch {{
+      // Insufficient battery for this workload: scale the quality of
+      // service down from the default to the energy_saver settings
+      // (Figure 8's caption) and process the workload at that QoS.
+      this.process(items, this.qos <| energy_saver);
+    }}
+    return {{}};
+  }}
+}}
+class Main {{
+  unit main() {{
+    let dapp = new App();
+    let App a = snapshot dapp [_, _];
+    a.runOn({items:.4});
+    return {{}};
+  }}
+}}",
+                q0 = q[0],
+                q1 = q[1],
+                q2 = q[2],
+            )
+        }
+        Shape::TimeFixed { durations_s, duty } => {
+            let ticks = durations_s[workload] as i64;
+            let busy_units = units_per_busy_second(spec, platform);
+            let wfactor = workload_duty_factor(spec, workload);
+            format!(
+                "{MODES_BLOCK}
+class Workload@mode<? <= W> {{
+  double items;
+  attributor {{
+    if (this.items >= {t2:.4}) {{ return full_throttle; }}
+    else if (this.items >= {t1:.4}) {{ return managed; }}
+    else {{ return energy_saver; }}
+  }}
+  double size() {{ return this.items; }}
+}}
+class App@mode<? <= X> {{
+  {battery}
+  mcase<double> duty = mcase{{ energy_saver: {d0:.4}; managed: {d1:.4}; full_throttle: {d2:.4}; }};
+  unit tick(double d) {{
+    Sim.work(\"{kind}\", d * {busy_units:.4});
+    Sim.sleepMs(1000 - Math.floor(d * 1000.0));
+    return {{}};
+  }}
+  unit loop(int remaining, double d) {{
+    if (remaining <= 0) {{ return {{}}; }}
+    this.tick(d);
+    return this.loop(remaining - 1, d);
+  }}
+  unit runOn(double items) {{
+    let dw = new Workload(items);
+    let d = try {{
+      let Workload w = snapshot dw [_, X];
+      Math.fmin(0.95, (this.duty <| managed) * {wfactor:.4})
+    }} catch {{
+      // Drop to the energy_saver duty cycle for the whole session.
+      this.duty <| energy_saver
+    }};
+    this.loop({ticks}, d);
+    return {{}};
+  }}
+}}
+class Main {{
+  unit main() {{
+    let dapp = new App();
+    let App a = snapshot dapp [_, _];
+    a.runOn({items:.4});
+    return {{}};
+  }}
+}}",
+                d0 = duty[0],
+                d1 = duty[1],
+                d2 = duty[2],
+            )
+        }
+    }
+}
+
+/// Generates the E2 "battery-casing" program: the QoS (or duty cycle) is
+/// selected by the boot mode through a mode case; no exception is ever
+/// thrown.
+pub fn e2_program(spec: &BenchmarkSpec, platform: &Platform, workload: usize) -> String {
+    let items = spec.workload_items[workload];
+    let kind = spec.work_kind;
+    let battery = battery_attributor();
+    match spec.shape {
+        Shape::Batch { .. } => {
+            let scale = unit_scale(spec, platform);
+            let q = spec.qos_factors;
+            format!(
+                "{MODES_BLOCK}
+class App@mode<? <= X> {{
+  {battery}
+  mcase<double> qos = mcase{{ energy_saver: {q0:.4}; managed: {q1:.4}; full_throttle: {q2:.4}; }};
+  unit chunks(double perChunk, int remaining, double quality) {{
+    if (remaining <= 0) {{ return {{}}; }}
+    Sim.work(\"{kind}\", perChunk * quality * {scale:.4});
+    return this.chunks(perChunk, remaining - 1, quality);
+  }}
+  unit runOn(double items) {{
+    this.chunks(items / 60.0, 60, this.qos <| X);
+    return {{}};
+  }}
+}}
+class Main {{
+  unit main() {{
+    let dapp = new App();
+    let App a = snapshot dapp [_, _];
+    a.runOn({items:.4});
+    return {{}};
+  }}
+}}",
+                q0 = q[0],
+                q1 = q[1],
+                q2 = q[2],
+            )
+        }
+        Shape::TimeFixed { durations_s, duty } => {
+            let ticks = durations_s[workload] as i64;
+            let busy_units = units_per_busy_second(spec, platform);
+            let wfactor = workload_duty_factor(spec, workload);
+            format!(
+                "{MODES_BLOCK}
+class App@mode<? <= X> {{
+  {battery}
+  mcase<double> duty = mcase{{ energy_saver: {d0:.4}; managed: {d1:.4}; full_throttle: {d2:.4}; }};
+  unit loop(int remaining, double d) {{
+    if (remaining <= 0) {{ return {{}}; }}
+    Sim.work(\"{kind}\", d * {busy_units:.4});
+    Sim.sleepMs(1000 - Math.floor(d * 1000.0));
+    return this.loop(remaining - 1, d);
+  }}
+  unit run() {{
+    let d = Math.fmin(0.95, (this.duty <| X) * {wfactor:.4});
+    this.loop({ticks}, d);
+    return {{}};
+  }}
+}}
+class Main {{
+  unit main() {{
+    let dapp = new App();
+    let App a = snapshot dapp [_, _];
+    a.run();
+    return {{}};
+  }}
+}}",
+                d0 = duty[0],
+                d1 = duty[1],
+                d2 = duty[2],
+            )
+        }
+    }
+}
+
+/// Generates the E3 "temperature-casing" program: `tasks` units of work,
+/// each followed by snapshotting a `Sleep` object whose attributor reads
+/// the CPU temperature and whose mode case selects the cooling interval.
+/// With `ent == false` the same workload runs Java-style, without the
+/// sleep regulation.
+pub fn e3_program(
+    spec: &BenchmarkSpec,
+    platform: &Platform,
+    settings: &E3Settings,
+    tasks: usize,
+    task_seconds: f64,
+    ent: bool,
+) -> String {
+    let kind = spec.work_kind;
+    let units_per_task = task_seconds * units_per_busy_second(spec, platform);
+    let rest = if ent {
+        "let dsl = new Sleep();
+       let Sleep sl = snapshot dsl [_, overheating];
+       sl.rest();"
+    } else {
+        "// Java run: no temperature regulation."
+    };
+    format!(
+        "modes {{ safe <= hot; hot <= overheating; }}
+class Sleep@mode<? <= S> {{
+  attributor {{
+    if (Ext.temperature() >= {over:.1}) {{ return overheating; }}
+    else if (Ext.temperature() >= {hot:.1}) {{ return hot; }}
+    else {{ return safe; }}
+  }}
+  mcase<int> interval = mcase{{ safe: {s0}; hot: {s1}; overheating: {s2}; }};
+  unit rest() {{
+    Sim.sleepMs(this.interval <| S);
+    return {{}};
+  }}
+}}
+class App@mode<overheating> {{
+  unit work(int remaining) {{
+    if (remaining <= 0) {{ return {{}}; }}
+    Sim.work(\"{kind}\", {units_per_task:.4});
+    {rest}
+    return this.work(remaining - 1);
+  }}
+}}
+class Main {{
+  unit main() {{
+    let app = new App();
+    app.work({tasks});
+    return {{}};
+  }}
+}}",
+        over = settings.overheating_c,
+        hot = settings.hot_c,
+        s0 = settings.sleep_ms[0],
+        s1 = settings.sleep_ms[1],
+        s2 = settings.sleep_ms[2],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::all_benchmarks;
+    use ent_core::compile;
+    use ent_energy::Platform;
+
+    fn platform_for(spec: &BenchmarkSpec) -> Platform {
+        match spec.primary_platform() {
+            ent_energy::PlatformKind::SystemA => Platform::system_a(),
+            ent_energy::PlatformKind::SystemB => Platform::system_b(),
+            ent_energy::PlatformKind::SystemC => Platform::system_c(),
+        }
+    }
+
+    #[test]
+    fn every_e1_program_typechecks() {
+        for spec in all_benchmarks() {
+            let platform = platform_for(&spec);
+            for workload in 0..3 {
+                let src = e1_program(&spec, &platform, workload);
+                compile(&src).unwrap_or_else(|e| {
+                    panic!("{} E1 w{workload} failed:\n{}", spec.name, e.render(&src))
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn every_e2_program_typechecks() {
+        for spec in all_benchmarks() {
+            let platform = platform_for(&spec);
+            let src = e2_program(&spec, &platform, 2);
+            compile(&src).unwrap_or_else(|e| {
+                panic!("{} E2 failed:\n{}", spec.name, e.render(&src))
+            });
+        }
+    }
+
+    #[test]
+    fn e3_programs_typecheck_in_both_variants() {
+        let spec = crate::settings::benchmark("sunflow").unwrap();
+        let platform = Platform::system_a();
+        let settings = E3Settings::default();
+        for ent in [true, false] {
+            let src = e3_program(&spec, &platform, &settings, 10, 1.0, ent);
+            compile(&src).unwrap_or_else(|e| {
+                panic!("sunflow E3 (ent={ent}) failed:\n{}", e.render(&src))
+            });
+        }
+    }
+
+    #[test]
+    fn unit_scale_calibrates_managed_runtime() {
+        let spec = crate::settings::benchmark("jspider").unwrap();
+        let platform = Platform::system_a();
+        let scale = unit_scale(&spec, &platform);
+        let kind = WorkKind::parse(spec.work_kind);
+        let seconds =
+            spec.workload_items[1] * 1.0 * scale * kind.ops_per_unit() / platform.ops_per_sec;
+        assert!((seconds - 22.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workload_duty_factor_is_monotone() {
+        let spec = crate::settings::benchmark("video").unwrap();
+        assert!(workload_duty_factor(&spec, 0) < workload_duty_factor(&spec, 1));
+        assert!(workload_duty_factor(&spec, 1) < workload_duty_factor(&spec, 2));
+        assert!((workload_duty_factor(&spec, 1) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,463 @@
+//! The paper's benchmark suite: Figure 6's application list and Figure 7's
+//! workload-attribution and QoS settings, encoded as data.
+
+use ent_energy::PlatformKind;
+
+/// How a benchmark consumes time: batch workloads finish when the work is
+/// done; time-fixed workloads (continuous monitoring, media, Apps) run for
+/// a fixed duration and vary *power* via their duty cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Shape {
+    /// Batch: total work = items × QoS factor; energy differences come
+    /// from runtime.
+    Batch {
+        /// Target virtual runtime in seconds for the `managed` workload at
+        /// default QoS on the benchmark's primary platform (used to
+        /// calibrate work units).
+        managed_seconds: f64,
+    },
+    /// Time-fixed: runs for a per-workload duration at a per-boot-mode
+    /// duty cycle; energy differences come from power.
+    TimeFixed {
+        /// Run duration in seconds, per workload mode.
+        durations_s: [f64; 3],
+        /// CPU duty cycle per boot mode (energy_saver, managed,
+        /// full_throttle).
+        duty: [f64; 3],
+    },
+}
+
+/// One benchmark: Figure 6's description plus Figure 7's settings.
+#[derive(Clone, Debug)]
+pub struct BenchmarkSpec {
+    /// Benchmark name as in the paper.
+    pub name: &'static str,
+    /// The platforms the paper evaluated it on.
+    pub systems: &'static [PlatformKind],
+    /// One-line description (Figure 6).
+    pub description: &'static str,
+    /// CLOC of the original Java code base (Figure 6; context only).
+    pub cloc: u32,
+    /// Lines changed to port to ENT (Figure 6; context only).
+    pub ent_changes: u32,
+    /// What the workload attributor inspects (Figure 7, column 2).
+    pub workload_attr: &'static str,
+    /// The three workload labels (energy_saver, managed, full_throttle).
+    pub workload_labels: [&'static str; 3],
+    /// Workload sizes in abstract items (resources, classes, nodes, …).
+    pub workload_items: [f64; 3],
+    /// The QoS knob adjusted per boot mode (Figure 7, column 6).
+    pub qos_knob: &'static str,
+    /// The three QoS labels (energy_saver, default, full_throttle).
+    pub qos_labels: [&'static str; 3],
+    /// Work multiplier per boot mode relative to the default setting.
+    pub qos_factors: [f64; 3],
+    /// The dominant kind of work (`Sim.work`'s first argument).
+    pub work_kind: &'static str,
+    /// Batch or time-fixed execution shape.
+    pub shape: Shape,
+}
+
+impl BenchmarkSpec {
+    /// Whether this benchmark runs on a given platform.
+    pub fn runs_on(&self, platform: PlatformKind) -> bool {
+        self.systems.contains(&platform)
+    }
+
+    /// The primary platform: the first listed.
+    pub fn primary_platform(&self) -> PlatformKind {
+        self.systems[0]
+    }
+
+    /// Whether the benchmark is time-fixed.
+    pub fn is_time_fixed(&self) -> bool {
+        matches!(self.shape, Shape::TimeFixed { .. })
+    }
+
+    /// Workload-mode attribution thresholds: midpoints between the three
+    /// item counts, so an attributor can classify a workload size.
+    pub fn thresholds(&self) -> (f64, f64) {
+        let w = &self.workload_items;
+        ((w[0] + w[1]) / 2.0, (w[1] + w[2]) / 2.0)
+    }
+}
+
+/// The boot-mode battery levels of §6.1: energy_saver at 40 %, managed at
+/// 70 %, full_throttle at 90 %. The levels returned sit safely inside each
+/// band (thresholds are ≥ 0.7 / ≥ 0.9).
+pub fn battery_for_boot(boot: usize) -> f64 {
+    [0.45, 0.78, 0.96][boot.min(2)]
+}
+
+/// Names of the three modes, in lattice order.
+pub const MODE_NAMES: [&str; 3] = ["energy_saver", "managed", "full_throttle"];
+
+/// All fifteen benchmarks of Figure 6/7.
+pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
+    use PlatformKind::*;
+    vec![
+        BenchmarkSpec {
+            name: "crypto",
+            systems: &[SystemA, SystemB],
+            description: "RSA encryption",
+            cloc: 381,
+            ent_changes: 46,
+            workload_attr: "file size",
+            workload_labels: ["1MB", "2MB", "4MB"],
+            workload_items: [1.0, 2.0, 4.0],
+            qos_knob: "encryption key strength",
+            qos_labels: ["768", "1024", "1280"],
+            qos_factors: [0.5, 1.0, 1.7],
+            work_kind: "crypto",
+            shape: Shape::Batch { managed_seconds: 0.35 },
+        },
+        BenchmarkSpec {
+            name: "findbugs",
+            systems: &[SystemA],
+            description: "static analyzer",
+            cloc: 147_896,
+            ent_changes: 55,
+            workload_attr: "code base (classes)",
+            workload_labels: ["drjava(5363)", "JavaRT(20136)", "jBoss(56704)"],
+            workload_items: [5363.0, 20136.0, 56704.0],
+            qos_knob: "analysis effort",
+            qos_labels: ["min", "default", "max"],
+            qos_factors: [0.55, 1.0, 1.6],
+            work_kind: "cpu",
+            shape: Shape::Batch { managed_seconds: 25.0 },
+        },
+        BenchmarkSpec {
+            name: "jspider",
+            systems: &[SystemA],
+            description: "web crawler",
+            cloc: 9194,
+            ent_changes: 49,
+            workload_attr: "site resources",
+            workload_labels: ["89", "1058", "1967"],
+            workload_items: [89.0, 1058.0, 1967.0],
+            qos_knob: "spidering depth",
+            qos_labels: ["3", "4", "5"],
+            qos_factors: [0.6, 1.0, 1.55],
+            work_kind: "net",
+            shape: Shape::Batch { managed_seconds: 22.0 },
+        },
+        BenchmarkSpec {
+            name: "jython",
+            systems: &[SystemA],
+            description: "compiler",
+            cloc: 215_749,
+            ent_changes: 33,
+            workload_attr: "script size",
+            workload_labels: ["small", "default", "large"],
+            workload_items: [200.0, 800.0, 2000.0],
+            qos_knob: "optimization level",
+            qos_labels: ["0", "1", "2"],
+            qos_factors: [0.7, 1.0, 1.35],
+            work_kind: "cpu",
+            shape: Shape::Batch { managed_seconds: 30.0 },
+        },
+        BenchmarkSpec {
+            name: "pagerank",
+            systems: &[SystemA],
+            description: "graph vertex ranking",
+            cloc: 157,
+            ent_changes: 49,
+            workload_attr: "graph (number nodes)",
+            workload_labels: ["cnr-2000(325557)", "eswiki-2013(972933)", "frwiki-2013(1352053)"],
+            workload_items: [325_557.0, 972_933.0, 1_352_053.0],
+            qos_knob: "minimum change",
+            qos_labels: ["0.01", "0.001", "0.0001"],
+            qos_factors: [0.55, 1.0, 1.45],
+            work_kind: "cpu",
+            shape: Shape::Batch { managed_seconds: 70.0 },
+        },
+        BenchmarkSpec {
+            name: "sunflow",
+            systems: &[SystemA, SystemB],
+            description: "renderer",
+            cloc: 21_946,
+            ent_changes: 76,
+            workload_attr: "scene instances",
+            workload_labels: ["3", "6", "8"],
+            workload_items: [3.0, 6.0, 8.0],
+            qos_knob: "anti-aliasing samples",
+            qos_labels: ["1/4", "1/4 - 4", "1/4 - 16"],
+            qos_factors: [0.45, 1.0, 1.3],
+            work_kind: "render",
+            shape: Shape::Batch { managed_seconds: 14.0 },
+        },
+        BenchmarkSpec {
+            name: "xalan",
+            systems: &[SystemA],
+            description: "transformer",
+            cloc: 169_927,
+            ent_changes: 33,
+            workload_attr: "XML files",
+            workload_labels: ["small", "default", "large"],
+            workload_items: [40.0, 120.0, 300.0],
+            qos_knob: "validation depth",
+            qos_labels: ["none", "default", "strict"],
+            qos_factors: [0.65, 1.0, 1.4],
+            work_kind: "io",
+            shape: Shape::Batch { managed_seconds: 18.0 },
+        },
+        BenchmarkSpec {
+            name: "camera",
+            systems: &[SystemB],
+            description: "picture timelapse",
+            cloc: 143,
+            ent_changes: 40,
+            workload_attr: "picture resolution",
+            workload_labels: ["720x480", "1280x720", "1920x1080"],
+            workload_items: [0.35, 0.92, 2.07],
+            qos_knob: "timelapse interval",
+            qos_labels: ["1500ms", "1000ms", "500ms"],
+            qos_factors: [0.67, 1.0, 2.0],
+            work_kind: "encode",
+            shape: Shape::TimeFixed {
+                durations_s: [120.0, 120.0, 120.0],
+                duty: [0.50, 0.56, 0.64],
+            },
+        },
+        BenchmarkSpec {
+            name: "video",
+            systems: &[SystemB],
+            description: "video recording",
+            cloc: 115,
+            ent_changes: 40,
+            workload_attr: "video resolution",
+            workload_labels: ["480p", "720p", "1080p"],
+            workload_items: [0.41, 0.92, 2.07],
+            qos_knob: "frames per second",
+            qos_labels: ["10", "20", "30"],
+            qos_factors: [0.33, 0.67, 1.0],
+            work_kind: "encode",
+            shape: Shape::TimeFixed {
+                durations_s: [120.0, 120.0, 120.0],
+                duty: [0.5, 0.65, 0.8],
+            },
+        },
+        BenchmarkSpec {
+            name: "javaboy",
+            systems: &[SystemB],
+            description: "emulation",
+            cloc: 6492,
+            ent_changes: 38,
+            workload_attr: "ROM size",
+            workload_labels: ["64KB", "512KB", "1MB"],
+            workload_items: [64.0, 512.0, 1024.0],
+            qos_knob: "screen magnification",
+            qos_labels: ["2x", "4x", "6x"],
+            qos_factors: [0.5, 1.0, 1.5],
+            work_kind: "cpu",
+            shape: Shape::TimeFixed {
+                durations_s: [120.0, 120.0, 120.0],
+                duty: [0.60, 0.63, 0.66],
+            },
+        },
+        BenchmarkSpec {
+            name: "batik",
+            systems: &[SystemA],
+            description: "rasterizer",
+            cloc: 179_284,
+            ent_changes: 225,
+            workload_attr: "file size",
+            workload_labels: ["16KB", "261KB", "2MB"],
+            workload_items: [16.0, 261.0, 2048.0],
+            qos_knob: "image resolution",
+            qos_labels: ["512x512", "1024x1024", "2048x2048"],
+            qos_factors: [0.4, 1.0, 1.8],
+            work_kind: "render",
+            shape: Shape::Batch { managed_seconds: 40.0 },
+        },
+        BenchmarkSpec {
+            name: "newpipe",
+            systems: &[SystemC],
+            description: "YouTube streaming",
+            cloc: 8424,
+            ent_changes: 51,
+            workload_attr: "video length",
+            workload_labels: ["2.5 min", "6.5 min", "16 min"],
+            workload_items: [2.5, 6.5, 16.0],
+            qos_knob: "stream resolution",
+            qos_labels: ["144p", "240p", "360p"],
+            qos_factors: [0.5, 1.0, 1.6],
+            work_kind: "net",
+            shape: Shape::TimeFixed {
+                durations_s: [150.0, 390.0, 960.0],
+                duty: [0.30, 0.52, 0.74],
+            },
+        },
+        BenchmarkSpec {
+            name: "duckduckgo",
+            systems: &[SystemC],
+            description: "web browser",
+            cloc: 13_802,
+            ent_changes: 78,
+            workload_attr: "search queries",
+            workload_labels: ["8", "16", "24"],
+            workload_items: [8.0, 16.0, 24.0],
+            qos_knob: "search quality",
+            qos_labels: ["none", "javascript", "autosearch / javascript"],
+            qos_factors: [0.55, 1.0, 1.45],
+            work_kind: "net",
+            shape: Shape::TimeFixed {
+                durations_s: [60.0, 120.0, 180.0],
+                duty: [0.35, 0.55, 0.72],
+            },
+        },
+        BenchmarkSpec {
+            name: "soundrecorder",
+            systems: &[SystemC],
+            description: "sound encoding",
+            cloc: 1090,
+            ent_changes: 118,
+            workload_attr: "recording length",
+            workload_labels: ["3 min", "4 min", "5 min"],
+            workload_items: [3.0, 4.0, 5.0],
+            qos_knob: "sample rate (kHz)",
+            qos_labels: ["8", "24", "48"],
+            qos_factors: [0.17, 0.5, 1.0],
+            work_kind: "encode",
+            shape: Shape::TimeFixed {
+                durations_s: [180.0, 240.0, 300.0],
+                duty: [0.25, 0.45, 0.70],
+            },
+        },
+        BenchmarkSpec {
+            name: "materiallife",
+            systems: &[SystemC],
+            description: "simulation rendering",
+            cloc: 1705,
+            ent_changes: 63,
+            workload_attr: "simulation population",
+            workload_labels: ["1000", "2000", "5000"],
+            workload_items: [1000.0, 2000.0, 5000.0],
+            qos_knob: "frame rate",
+            qos_labels: ["5", "10", "15"],
+            qos_factors: [0.33, 0.67, 1.0],
+            work_kind: "render",
+            shape: Shape::TimeFixed {
+                durations_s: [120.0, 120.0, 120.0],
+                duty: [0.30, 0.55, 0.82],
+            },
+        },
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// The five benchmarks of the temperature-casing (E3) experiment
+/// (Figure 11): name, number of work units, and the full-speed seconds one
+/// unit takes. sunflow's units are the largest — which is what makes it
+/// the paper's exception that hovers near the overheating threshold while
+/// the others hover near the hot threshold.
+pub fn e3_benchmarks() -> Vec<(&'static str, usize, f64)> {
+    vec![
+        ("sunflow", 45, 1.3),
+        ("jython", 220, 0.18),
+        ("xalan", 260, 0.18),
+        ("findbugs", 220, 0.18),
+        ("pagerank", 200, 0.18),
+    ]
+}
+
+/// The E3 temperature thresholds of §6.1: `safe` below 60 °C, `hot` in
+/// 60–65 °C, `overheating` above 65 °C; and the sleep intervals of §6.2:
+/// 0 / 250 / 1000 ms.
+pub struct E3Settings {
+    /// `hot` threshold in °C.
+    pub hot_c: f64,
+    /// `overheating` threshold in °C.
+    pub overheating_c: f64,
+    /// Sleep per mode (safe, hot, overheating), in milliseconds.
+    pub sleep_ms: [i64; 3],
+}
+
+impl Default for E3Settings {
+    fn default() -> Self {
+        E3Settings { hot_c: 60.0, overheating_c: 65.0, sleep_ms: [0, 250, 1000] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_fifteen_benchmarks() {
+        assert_eq!(all_benchmarks().len(), 15);
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let all = all_benchmarks();
+        for b in &all {
+            assert_eq!(
+                all.iter().filter(|x| x.name == b.name).count(),
+                1,
+                "duplicate {}",
+                b.name
+            );
+            assert_eq!(benchmark(b.name).unwrap().name, b.name);
+        }
+        assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn workload_sizes_and_qos_are_monotone() {
+        for b in all_benchmarks() {
+            assert!(b.workload_items[0] < b.workload_items[1]);
+            assert!(b.workload_items[1] < b.workload_items[2]);
+            assert!(b.qos_factors[0] < b.qos_factors[2], "{}", b.name);
+            if let Shape::TimeFixed { duty, durations_s } = b.shape {
+                assert!(duty[0] < duty[2], "{}", b.name);
+                assert!(duty.iter().all(|d| *d > 0.0 && *d <= 1.0));
+                assert!(durations_s.iter().all(|d| *d > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn platform_coverage_matches_figure_6() {
+        use PlatformKind::*;
+        let on = |p| {
+            all_benchmarks()
+                .into_iter()
+                .filter(move |b| b.runs_on(p))
+                .count()
+        };
+        assert_eq!(on(SystemA), 8); // crypto, findbugs, jspider, jython, pagerank, sunflow, xalan, batik
+        assert_eq!(on(SystemB), 5); // crypto, sunflow, camera, video, javaboy
+        assert_eq!(on(SystemC), 4); // newpipe, duckduckgo, soundrecorder, materiallife
+    }
+
+    #[test]
+    fn thresholds_sit_between_sizes() {
+        for b in all_benchmarks() {
+            let (t1, t2) = b.thresholds();
+            assert!(b.workload_items[0] < t1 && t1 < b.workload_items[1]);
+            assert!(b.workload_items[1] < t2 && t2 < b.workload_items[2]);
+        }
+    }
+
+    #[test]
+    fn battery_levels_map_to_boot_modes() {
+        assert!(battery_for_boot(0) < 0.7);
+        assert!(battery_for_boot(1) >= 0.7 && battery_for_boot(1) < 0.9);
+        assert!(battery_for_boot(2) >= 0.9);
+    }
+
+    #[test]
+    fn e3_settings_defaults_match_the_paper() {
+        let s = E3Settings::default();
+        assert_eq!(s.hot_c, 60.0);
+        assert_eq!(s.overheating_c, 65.0);
+        assert_eq!(s.sleep_ms, [0, 250, 1000]);
+        assert_eq!(e3_benchmarks().len(), 5);
+        assert!(e3_benchmarks().iter().all(|(_, n, s)| *n > 0 && *s > 0.0));
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: compile and run a small battery-aware ENT program.
+//!
+//! ```sh
+//! cargo run -p ent-bench --example quickstart
+//! ```
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{run, RuntimeConfig};
+
+const PROGRAM: &str = r#"
+modes { energy_saver <= managed; managed <= full_throttle; }
+
+// A dynamic worker: its mode is decided at run time by the attributor,
+// which inspects the battery level.
+class Worker@mode<? <= W> {
+  mcase<int> chunk = mcase{ energy_saver: 1; managed: 4; full_throttle: 16; };
+
+  attributor {
+    if (Ext.battery() >= 0.75) { return full_throttle; }
+    else if (Ext.battery() >= 0.50) { return managed; }
+    else { return energy_saver; }
+  }
+
+  int step(int n) {
+    // The mode case eliminates at this worker's snapshotted mode, so the
+    // amount of work adapts to the available battery.
+    let size = this.chunk <| W;
+    Sim.work("cpu", Math.toDouble(size) * 100000000.0);
+    return size;
+  }
+}
+
+class Main {
+  int main() {
+    let dw = new Worker();
+    // snapshot: evaluate the attributor, fix the mode, get a static type.
+    let Worker w = snapshot dw [_, _];
+    return w.step(1);
+  }
+}
+"#;
+
+fn main() {
+    let compiled = compile(PROGRAM).expect("the quickstart program typechecks");
+
+    for (label, battery) in [("90%", 0.9), ("60%", 0.6), ("30%", 0.3)] {
+        let result = run(
+            &compiled,
+            Platform::system_a(),
+            RuntimeConfig { battery_level: battery, ..RuntimeConfig::default() },
+        );
+        let chunk = result.value.expect("run succeeds");
+        println!(
+            "battery {label:>4}: worked a chunk of {chunk} units, {:.1} J in {:.2} s",
+            result.measurement.energy_j, result.measurement.time_s,
+        );
+    }
+}

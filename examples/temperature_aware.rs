@@ -1,0 +1,88 @@
+//! Temperature-aware programming (the paper's E3 experiment): a render
+//! loop that snapshots a `Sleep` object after each task; its attributor
+//! reads the CPU temperature and a mode case picks the cooling interval.
+//! The same workload without regulation climbs toward thermal saturation.
+//!
+//! ```sh
+//! cargo run -p ent-bench --example temperature_aware
+//! ```
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{run, RuntimeConfig};
+
+fn program(regulated: bool) -> String {
+    let rest = if regulated {
+        "let dsl = new Sleep();
+     let Sleep sl = snapshot dsl [_, overheating];
+     sl.rest();"
+    } else {
+        "// unregulated: no cooling pause"
+    };
+    format!(
+        r#"
+modes {{ safe <= hot; hot <= overheating; }}
+
+class Sleep@mode<? <= S> {{
+  attributor {{
+    if (Ext.temperature() >= 65.0) {{ return overheating; }}
+    else if (Ext.temperature() >= 60.0) {{ return hot; }}
+    else {{ return safe; }}
+  }}
+  mcase<int> interval = mcase{{ safe: 0; hot: 250; overheating: 1000; }};
+  unit rest() {{
+    Sim.sleepMs(this.interval <| S);
+    return {{}};
+  }}
+}}
+
+class Renderer@mode<overheating> {{
+  unit render(int frames) {{
+    if (frames <= 0) {{ return {{}}; }}
+    Sim.work("render", 1500000000.0);
+    {rest}
+    return this.render(frames - 1);
+  }}
+}}
+
+class Main {{
+  unit main() {{
+    let r = new Renderer();
+    r.render(50);
+    return {{}};
+  }}
+}}
+"#
+    )
+}
+
+fn main() {
+    for (label, regulated) in [("ENT (regulated)", true), ("Java (unregulated)", false)] {
+        let compiled = compile(&program(regulated)).expect("program typechecks");
+        let result = run(
+            &compiled,
+            Platform::system_a(),
+            RuntimeConfig {
+                trace_interval_s: Some(2.0),
+                ..RuntimeConfig::default()
+            },
+        );
+        result.value.expect("render run completes");
+        let temps: Vec<f64> = result.trace.iter().map(|(_, c)| *c).collect();
+        let peak = temps.iter().copied().fold(f64::MIN, f64::max);
+        println!("{label:<20} peak {peak:.1} °C over {:.0} s", result.measurement.time_s);
+        print!("  trace: ");
+        for chunk in temps.chunks((temps.len() / 40).max(1)) {
+            let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let c = if avg >= 65.0 {
+                '#'
+            } else if avg >= 60.0 {
+                '+'
+            } else {
+                '.'
+            };
+            print!("{c}");
+        }
+        println!("   (. <60°C, + 60–65°C, # >65°C)\n");
+    }
+}
