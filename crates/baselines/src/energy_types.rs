@@ -25,10 +25,16 @@ impl std::fmt::Display for DynamicFeature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DynamicFeature::DynamicClass(c) => {
-                write!(f, "class `{c}` has a dynamic mode (not expressible in Energy Types)")
+                write!(
+                    f,
+                    "class `{c}` has a dynamic mode (not expressible in Energy Types)"
+                )
             }
             DynamicFeature::MethodAttributor(m) => {
-                write!(f, "method `{m}` has an attributor (not expressible in Energy Types)")
+                write!(
+                    f,
+                    "method `{m}` has an attributor (not expressible in Energy Types)"
+                )
             }
             DynamicFeature::Snapshot => {
                 f.write_str("`snapshot` is not expressible in Energy Types")
@@ -86,7 +92,9 @@ pub fn dynamic_features(program: &Program) -> Vec<DynamicFeature> {
     let mut found = Vec::new();
     for class in &program.classes {
         if class.mode_params.dynamic {
-            found.push(DynamicFeature::DynamicClass(class.name.as_str().to_string()));
+            found.push(DynamicFeature::DynamicClass(
+                class.name.as_str().to_string(),
+            ));
         }
         for method in &class.methods {
             if method.attributor.is_some() {
@@ -122,9 +130,9 @@ fn scan_expr(e: &Expr, found: &mut Vec<DynamicFeature>) {
             args.iter().for_each(|a| scan_expr(a, found));
         }
         ExprKind::Builtin { args, .. } => args.iter().for_each(|a| scan_expr(a, found)),
-        ExprKind::Cast { expr, .. } | ExprKind::Unary { expr, .. } | ExprKind::Elim { expr, .. } => {
-            scan_expr(expr, found)
-        }
+        ExprKind::Cast { expr, .. }
+        | ExprKind::Unary { expr, .. }
+        | ExprKind::Elim { expr, .. } => scan_expr(expr, found),
         ExprKind::MCase { arms, .. } => arms.iter().for_each(|(_, a)| scan_expr(a, found)),
         ExprKind::Binary { lhs, rhs, .. } => {
             scan_expr(lhs, found);
@@ -150,10 +158,7 @@ fn scan_expr(e: &Expr, found: &mut Vec<DynamicFeature>) {
             scan_expr(handler, found);
         }
         ExprKind::ArrayLit(items) => items.iter().for_each(|a| scan_expr(a, found)),
-        ExprKind::Var(_)
-        | ExprKind::This
-        | ExprKind::Lit(_)
-        | ExprKind::ModeConst(_) => {}
+        ExprKind::Var(_) | ExprKind::This | ExprKind::Lit(_) | ExprKind::ModeConst(_) => {}
     }
 }
 
@@ -171,7 +176,10 @@ mod tests {
                 return h.run();
               }
             }";
-        assert!(matches!(check_energy_types(src), EnergyTypesResult::Static(_)));
+        assert!(matches!(
+            check_energy_types(src),
+            EnergyTypesResult::Static(_)
+        ));
     }
 
     #[test]
@@ -231,7 +239,10 @@ mod tests {
     #[test]
     fn ill_typed_program_is_rejected() {
         let src = "class Main { int main() { return true; } }";
-        assert!(matches!(check_energy_types(src), EnergyTypesResult::Rejected(_)));
+        assert!(matches!(
+            check_energy_types(src),
+            EnergyTypesResult::Rejected(_)
+        ));
     }
 
     #[test]

@@ -19,7 +19,12 @@ pub use untyped::untyped_e2_program;
 /// The paper's "silent" configuration: the runtime type system never
 /// throws, but mode tagging stays in place (§6.2, E1).
 pub fn silent_config(battery_level: f64, seed: u64) -> RuntimeConfig {
-    RuntimeConfig { silent: true, battery_level, seed, ..RuntimeConfig::default() }
+    RuntimeConfig {
+        silent: true,
+        battery_level,
+        seed,
+        ..RuntimeConfig::default()
+    }
 }
 
 /// The Figure 6 overhead baseline: no runtime tagging, snapshots cost

@@ -44,8 +44,8 @@ class Main {{
         }
         Shape::TimeFixed { durations_s, duty } => {
             let ticks = durations_s[workload] as i64;
-            let busy_units = platform.ops_per_sec
-                / ent_energy::WorkKind::parse(spec.work_kind).ops_per_unit();
+            let busy_units =
+                platform.ops_per_sec / ent_energy::WorkKind::parse(spec.work_kind).ops_per_unit();
             let wfactor = ent_workloads::workload_duty_factor(spec, workload);
             format!(
                 "class App {{
@@ -91,9 +91,8 @@ mod tests {
         for spec in all_benchmarks() {
             let platform = platform_of(spec.primary_platform());
             let src = untyped_e2_program(&spec, &platform, 1);
-            compile(&src).unwrap_or_else(|e| {
-                panic!("{} untyped failed:\n{}", spec.name, e.render(&src))
-            });
+            compile(&src)
+                .unwrap_or_else(|e| panic!("{} untyped failed:\n{}", spec.name, e.render(&src)));
         }
     }
 
@@ -119,7 +118,11 @@ mod tests {
             );
             let uj = untyped.measurement.energy_j;
             let rel = (ent.energy_j - uj).abs() / uj;
-            assert!(rel < 0.05, "boot {boot}: ent {} vs untyped {uj}", ent.energy_j);
+            assert!(
+                rel < 0.05,
+                "boot {boot}: ent {} vs untyped {uj}",
+                ent.energy_j
+            );
         }
     }
 }

@@ -98,7 +98,10 @@ fn bench_e2_run(c: &mut Criterion) {
             run(
                 &compiled,
                 Platform::system_a(),
-                RuntimeConfig { battery_level: 0.78, ..RuntimeConfig::default() },
+                RuntimeConfig {
+                    battery_level: 0.78,
+                    ..RuntimeConfig::default()
+                },
             )
         })
     });
@@ -138,7 +141,11 @@ fn bench_copy_strategies(c: &mut Criterion) {
                 run(
                     &compiled,
                     Platform::system_a(),
-                    RuntimeConfig { eager_copy: eager, deep_copy: deep, ..RuntimeConfig::default() },
+                    RuntimeConfig {
+                        eager_copy: eager,
+                        deep_copy: deep,
+                        ..RuntimeConfig::default()
+                    },
                 )
             })
         });

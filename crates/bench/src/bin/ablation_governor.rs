@@ -20,7 +20,11 @@ fn main() {
         "governor", "saver (J)", "managed (J)", "full (J)", "app savings"
     );
     println!("{}", "-".repeat(72));
-    for governor in [Governor::Ondemand, Governor::Performance, Governor::Powersave] {
+    for governor in [
+        Governor::Ondemand,
+        Governor::Performance,
+        Governor::Powersave,
+    ] {
         let energy = |boot: usize| {
             let result = run(
                 &compiled,

@@ -60,7 +60,11 @@ fn main() {
         ("lazy deep", false, true),
         ("eager deep", true, true),
     ] {
-        let config = RuntimeConfig { eager_copy: eager, deep_copy: deep, ..RuntimeConfig::default() };
+        let config = RuntimeConfig {
+            eager_copy: eager,
+            deep_copy: deep,
+            ..RuntimeConfig::default()
+        };
         let result = run(&compiled, Platform::system_a(), config);
         result.value.as_ref().expect("ablation run completes");
         let energy = result.measurement.energy_j;

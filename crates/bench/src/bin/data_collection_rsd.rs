@@ -13,14 +13,20 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
-    println!("Data collection: relative standard deviation over {repeats} runs (first discarded)\n");
+    println!(
+        "Data collection: relative standard deviation over {repeats} runs (first discarded)\n"
+    );
     println!(
         "{:<6} {:>12} {:>12} {:>12} {:>10}",
         "System", "≤2% (runs)", "≤3% (runs)", "≤5% (runs)", "max RSD"
     );
     println!("{}", "-".repeat(58));
 
-    for system in [PlatformKind::SystemA, PlatformKind::SystemB, PlatformKind::SystemC] {
+    for system in [
+        PlatformKind::SystemA,
+        PlatformKind::SystemB,
+        PlatformKind::SystemC,
+    ] {
         let mut rsds = Vec::new();
         for spec in e_benchmarks(system) {
             for boot in 0..3 {

@@ -26,7 +26,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Sys", "benchmark", "boot mode", "energy (J)", "normalized", "% saved vs full"],
+            &[
+                "Sys",
+                "benchmark",
+                "boot mode",
+                "energy (J)",
+                "normalized",
+                "% saved vs full"
+            ],
             &rows,
         )
     );

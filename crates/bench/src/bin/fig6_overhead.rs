@@ -25,7 +25,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["name", "description", "System", "CLOC", "ENT Changes", "% Energy Overhead"],
+            &[
+                "name",
+                "description",
+                "System",
+                "CLOC",
+                "ENT Changes",
+                "% Energy Overhead"
+            ],
             &rows,
         )
     );

@@ -37,7 +37,13 @@ fn print_benchmark(name: &str, table: &[Vec<String>]) {
     println!(
         "{}",
         render_table(
-            &["workload mode", "boot mode", "runtime", "energy (J)", "violation"],
+            &[
+                "workload mode",
+                "boot mode",
+                "runtime",
+                "energy (J)",
+                "violation"
+            ],
             table,
         )
     );

@@ -9,9 +9,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
-    println!(
-        "Figure 9: battery-exception (E1) runs on Systems A/B/C ({repeats} runs averaged)"
-    );
+    println!("Figure 9: battery-exception (E1) runs on Systems A/B/C ({repeats} runs averaged)");
     println!("Normalized against the silent full_throttle-boot run of the same workload.\n");
     let rows: Vec<Vec<String>> = fig9::rows(repeats)
         .into_iter()
@@ -29,7 +27,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Sys", "benchmark", "boot/workload", "ENT (norm.)", "silent (norm.)", "% saved"],
+            &[
+                "Sys",
+                "benchmark",
+                "boot/workload",
+                "ENT (norm.)",
+                "silent (norm.)",
+                "% saved"
+            ],
             &rows,
         )
     );

@@ -33,8 +33,14 @@ fn main() {
         if *takes_repeats {
             cmd.arg(&repeats);
         }
-        let out = cmd.output().unwrap_or_else(|e| panic!("running {bin}: {e}"));
-        assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+        let out = cmd
+            .output()
+            .unwrap_or_else(|e| panic!("running {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let path = format!("results/{bin}.txt");
         fs::write(&path, &out.stdout).expect("write result file");
         println!("wrote {path} ({} bytes)", out.stdout.len());

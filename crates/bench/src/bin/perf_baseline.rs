@@ -1,0 +1,256 @@
+//! Interpreter perf baseline over the Figure-6 benchmark suite.
+//!
+//! Measures raw interpreter throughput (`RunStats::steps` per wall-clock
+//! second) for every benchmark's E2 program at a fixed seed, plus a
+//! semantics fingerprint (stats, output, pretty value, energy bits) so a
+//! faster interpreter can prove it computes *exactly* the same thing.
+//!
+//! Usage:
+//!   cargo run -p ent-bench --release --bin perf_baseline -- --phase baseline
+//!     captures the reference numbers into crates/bench/data/perf_baseline.txt
+//!   cargo run -p ent-bench --release --bin perf_baseline
+//!     measures the current interpreter, compares against the stored
+//!     baseline, and writes BENCH_interp.json at the workspace root.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ent_core::compile;
+use ent_energy::PlatformKind;
+use ent_runtime::{lower_program, run_lowered, RunResult, RuntimeConfig};
+use ent_workloads::{all_benchmarks, e2_program, platform_for};
+
+const SEED: u64 = 42;
+const BATTERY: f64 = 0.75;
+/// Per-benchmark measurement budget (seconds of wall time).
+const BUDGET_S: f64 = 0.25;
+
+struct Sample {
+    name: String,
+    steps_per_sec: f64,
+    wall_ms_per_run: f64,
+    steps: u64,
+    fingerprint: String,
+}
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig {
+        battery_level: BATTERY,
+        seed: SEED,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// A semantics fingerprint: every observable the lowering pass must
+/// preserve, in one `|`-separated line. Energy and time are compared by
+/// f64 bit pattern — "close" is not "identical".
+fn fingerprint(result: &RunResult) -> String {
+    let s = &result.stats;
+    let value = match &result.value {
+        Ok(v) => format!("ok:{v}"),
+        Err(e) => format!("err:{e}"),
+    };
+    format!(
+        "steps={};snaps={};copies={};exc={};dyn={};allocs={};value={};pretty={};out={};energy={:016x};time={:016x}",
+        s.steps,
+        s.snapshots,
+        s.copies,
+        s.energy_exceptions,
+        s.dynamic_allocs,
+        s.allocs,
+        value,
+        result.value_pretty.clone().unwrap_or_default(),
+        result.output.join("\\n"),
+        result.measurement.energy_j.to_bits(),
+        result.measurement.time_s.to_bits(),
+    )
+}
+
+fn measure() -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for spec in all_benchmarks() {
+        let platform = platform_for(&spec, PlatformKind::SystemA);
+        let src = e2_program(&spec, &platform, 1);
+        let compiled =
+            compile(&src).unwrap_or_else(|e| panic!("benchmark `{}` must compile: {e}", spec.name));
+        // Lowering is a load-time cost, amortized like parsing and
+        // typechecking: lower once, run many times.
+        let lowered = lower_program(&compiled);
+
+        // Warm-up run doubles as the fingerprint capture.
+        let warm = run_lowered(&lowered, platform.clone(), config());
+        let fp = fingerprint(&warm);
+        let steps = warm.stats.steps;
+
+        let start = Instant::now();
+        let mut runs = 0u32;
+        while start.elapsed().as_secs_f64() < BUDGET_S || runs < 3 {
+            let r = run_lowered(&lowered, platform.clone(), config());
+            assert_eq!(r.stats.steps, steps, "{} must be deterministic", spec.name);
+            runs += 1;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let total_steps = steps as f64 * runs as f64;
+        samples.push(Sample {
+            name: spec.name.to_string(),
+            steps_per_sec: total_steps / wall,
+            wall_ms_per_run: wall * 1000.0 / runs as f64,
+            steps,
+            fingerprint: fp,
+        });
+        eprintln!(
+            "  {:<12} {:>12.0} steps/s  ({} steps, {:.2} ms/run, {} runs)",
+            spec.name,
+            total_steps / wall,
+            steps,
+            wall * 1000.0 / runs as f64,
+            runs
+        );
+    }
+    samples
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = xs.fold((0.0, 0u32), |(s, n), x| (s + x.ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data/perf_baseline.txt")
+}
+
+fn write_baseline(samples: &[Sample]) {
+    let mut out = String::from(
+        "# Pre-lowering interpreter baseline (Figure-6 E2 suite, System A, seed 42).\n\
+         # name<TAB>steps<TAB>steps_per_sec<TAB>wall_ms_per_run<TAB>fingerprint\n",
+    );
+    for s in samples {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{:.3}\t{:.6}\t{}",
+            s.name, s.steps, s.steps_per_sec, s.wall_ms_per_run, s.fingerprint
+        );
+    }
+    let path = baseline_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, out).unwrap();
+    eprintln!("baseline written to {}", path.display());
+}
+
+struct Baseline {
+    steps_per_sec: f64,
+    fingerprint: String,
+}
+
+fn read_baseline() -> Option<std::collections::BTreeMap<String, Baseline>> {
+    let text = std::fs::read_to_string(baseline_path()).ok()?;
+    let mut map = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(5, '\t');
+        let name = parts.next()?.to_string();
+        let _steps = parts.next()?;
+        let sps: f64 = parts.next()?.parse().ok()?;
+        let _wall = parts.next()?;
+        let fp = parts.next()?.to_string();
+        map.insert(
+            name,
+            Baseline {
+                steps_per_sec: sps,
+                fingerprint: fp,
+            },
+        );
+    }
+    Some(map)
+}
+
+fn main() {
+    let capture_baseline = std::env::args().any(|a| a == "baseline")
+        || std::env::args()
+            .collect::<Vec<_>>()
+            .windows(2)
+            .any(|w| w[0] == "--phase" && w[1] == "baseline");
+
+    eprintln!("measuring interpreter throughput (Figure-6 E2 suite)...");
+    let samples = measure();
+
+    if capture_baseline {
+        write_baseline(&samples);
+        return;
+    }
+
+    let baseline = read_baseline();
+    let mut json = String::from("{\n  \"suite\": \"fig6_e2_system_a\",\n  \"seed\": 42,\n");
+    let _ = writeln!(json, "  \"benchmarks\": [");
+    let mut speedups = Vec::new();
+    let mut mismatches = Vec::new();
+    for (i, s) in samples.iter().enumerate() {
+        let (base_sps, speedup, semantics_match) =
+            match baseline.as_ref().and_then(|b| b.get(&s.name)) {
+                Some(b) => {
+                    let matches = b.fingerprint == s.fingerprint;
+                    if !matches {
+                        mismatches.push(s.name.clone());
+                    }
+                    (b.steps_per_sec, s.steps_per_sec / b.steps_per_sec, matches)
+                }
+                None => (0.0, 0.0, true),
+            };
+        if speedup > 0.0 {
+            speedups.push(speedup);
+        }
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"steps\": {}, \"steps_per_sec\": {:.1}, \"wall_ms_per_run\": {:.4}, \"baseline_steps_per_sec\": {:.1}, \"speedup\": {:.3}, \"semantics_match\": {}}}",
+            s.name, s.steps, s.steps_per_sec, s.wall_ms_per_run, base_sps, speedup, semantics_match
+        );
+        json.push_str(if i + 1 == samples.len() { "\n" } else { ",\n" });
+    }
+    let _ = writeln!(json, "  ],");
+    let current_geo = geomean(samples.iter().map(|s| s.steps_per_sec));
+    let speedup_geo = geomean(speedups.iter().copied());
+    let _ = writeln!(json, "  \"steps_per_sec_geomean\": {current_geo:.1},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_geomean\": {:.3},",
+        if speedups.is_empty() {
+            0.0
+        } else {
+            speedup_geo
+        }
+    );
+    let _ = writeln!(json, "  \"semantics_identical\": {}", mismatches.is_empty());
+    json.push_str("}\n");
+
+    let path = repo_root().join("BENCH_interp.json");
+    std::fs::write(&path, &json).unwrap();
+    eprintln!("wrote {}", path.display());
+    eprintln!(
+        "steps/sec geomean: {:.0}   speedup vs baseline: {}",
+        current_geo,
+        if speedups.is_empty() {
+            "n/a (no baseline captured)".to_string()
+        } else {
+            format!("{speedup_geo:.2}x")
+        }
+    );
+    if !mismatches.is_empty() {
+        eprintln!("SEMANTICS MISMATCH vs baseline in: {mismatches:?}");
+        std::process::exit(1);
+    }
+}

@@ -29,13 +29,11 @@ use ent_workloads::{
 /// paper.
 pub fn e_benchmarks(system: PlatformKind) -> Vec<BenchmarkSpec> {
     let names: &[&str] = match system {
-        PlatformKind::SystemA => {
-            &["batik", "crypto", "findbugs", "jspider", "pagerank", "sunflow"]
-        }
+        PlatformKind::SystemA => &[
+            "batik", "crypto", "findbugs", "jspider", "pagerank", "sunflow",
+        ],
         PlatformKind::SystemB => &["camera", "crypto", "javaboy", "sunflow", "video"],
-        PlatformKind::SystemC => {
-            &["duckduckgo", "materiallife", "newpipe", "soundrecorder"]
-        }
+        PlatformKind::SystemC => &["duckduckgo", "materiallife", "newpipe", "soundrecorder"],
     };
     names
         .iter()
@@ -242,7 +240,11 @@ pub mod fig9 {
     /// Runs the violating combinations for every system.
     pub fn rows(repeats: usize) -> Vec<Row> {
         let mut out = Vec::new();
-        for system in [PlatformKind::SystemA, PlatformKind::SystemB, PlatformKind::SystemC] {
+        for system in [
+            PlatformKind::SystemA,
+            PlatformKind::SystemB,
+            PlatformKind::SystemC,
+        ] {
             for spec in e_benchmarks(system) {
                 for (boot, workload) in VIOLATING_COMBOS {
                     let ent_j = average_runs(repeats, |seed| {
@@ -297,7 +299,11 @@ pub mod fig10 {
     /// Runs the casing experiment for every system and benchmark.
     pub fn rows(repeats: usize) -> Vec<Row> {
         let mut out = Vec::new();
-        for system in [PlatformKind::SystemA, PlatformKind::SystemB, PlatformKind::SystemC] {
+        for system in [
+            PlatformKind::SystemA,
+            PlatformKind::SystemB,
+            PlatformKind::SystemC,
+        ] {
             for spec in e_benchmarks(system) {
                 let ft = average_runs(repeats, |seed| {
                     run_e2(&spec, system, 2, 2, seed * 23 + 5).energy_j
@@ -503,7 +509,11 @@ mod tests {
     #[test]
     fn fig10_is_battery_proportional() {
         let rows = fig10::rows(2);
-        for system in [PlatformKind::SystemA, PlatformKind::SystemB, PlatformKind::SystemC] {
+        for system in [
+            PlatformKind::SystemA,
+            PlatformKind::SystemB,
+            PlatformKind::SystemC,
+        ] {
             for spec in e_benchmarks(system) {
                 let g = |boot: usize| {
                     rows.iter()

@@ -244,6 +244,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 battery_level: options.battery,
                 seed: options.seed,
                 trace_interval_s: options.trace.then_some(1.0),
+                record_events: options.events,
                 ..RuntimeConfig::default()
             };
             let result = run(&compiled, platform, config);
@@ -286,7 +287,14 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                         DynamicAlloc { at_s, class } => {
                             let _ = writeln!(out, "  [{at_s:8.3}s] alloc dynamic {class}");
                         }
-                        Snapshot { at_s, class, mode, bounds, copied, failed } => {
+                        Snapshot {
+                            at_s,
+                            class,
+                            mode,
+                            bounds,
+                            copied,
+                            failed,
+                        } => {
                             let status = if *failed {
                                 "FAILED CHECK"
                             } else if *copied {
@@ -300,7 +308,12 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                                 bounds.0, bounds.1
                             );
                         }
-                        DfallFailure { at_s, target, receiver_mode, sender_mode } => {
+                        DfallFailure {
+                            at_s,
+                            target,
+                            receiver_mode,
+                            sender_mode,
+                        } => {
                             let _ = writeln!(
                                 out,
                                 "  [{at_s:8.3}s] waterfall violation at {target}: receiver {receiver_mode} > sender {sender_mode}"
@@ -346,7 +359,15 @@ mod tests {
     #[test]
     fn parse_args_options() {
         let o = parse_args(&args(&[
-            "run", "x.ent", "--platform", "b", "--battery", "0.4", "--seed", "9", "--silent",
+            "run",
+            "x.ent",
+            "--platform",
+            "b",
+            "--battery",
+            "0.4",
+            "--seed",
+            "9",
+            "--silent",
             "--trace",
         ]))
         .unwrap();

@@ -56,7 +56,11 @@ fn media_agent_runs_and_its_waterfall_variant_fails_to_check() {
 
     // The paper's Listing 3 error: a managed agent calling the
     // full_throttle-annotated mediaCrawl.
-    let broken = src.replace("class Agent@mode<full_throttle>", "class Agent@mode<managed>")
+    let broken = src
+        .replace(
+            "class Agent@mode<full_throttle>",
+            "class Agent@mode<managed>",
+        )
         .replace("new Site@mode<full_throttle>", "new Site@mode<managed>")
         .replace("new Saver@mode<full_throttle>", "new Saver@mode<managed>");
     let (code, out) = cli(&["check", "x.ent"], &broken);
@@ -91,7 +95,10 @@ fn silent_flag_changes_the_low_battery_outcome() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0)
     };
-    assert!(pages(&silent) > pages(&strict), "silent {silent} vs strict {strict}");
+    assert!(
+        pages(&silent) > pages(&strict),
+        "silent {silent} vs strict {strict}"
+    );
 }
 
 #[test]

@@ -72,13 +72,22 @@ pub struct TypeError {
 impl TypeError {
     /// Creates a type error.
     pub fn new(kind: TypeErrorKind, message: impl Into<String>, span: Span) -> Self {
-        TypeError { kind, message: message.into(), span }
+        TypeError {
+            kind,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Renders the error with `line:col` resolved against the source text.
     pub fn render(&self, src: &str) -> String {
         let map = LineMap::new(src);
-        format!("{}: {}: {}", map.describe(self.span), self.kind, self.message)
+        format!(
+            "{}: {}: {}",
+            map.describe(self.span),
+            self.kind,
+            self.message
+        )
     }
 }
 

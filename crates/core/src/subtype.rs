@@ -52,10 +52,7 @@ pub fn is_subtype(
         (Type::Array(a), Type::Array(b)) => is_subtype(table, modes, k, a, b),
         // Covariant mode cases (the paper's only ENT-specific subtype rule).
         (Type::MCase(a), Type::MCase(b)) => is_subtype(table, modes, k, a, b),
-        (
-            Type::Object { class: c, args: ai },
-            Type::Object { class: d, args: bi },
-        ) => {
+        (Type::Object { class: c, args: ai }, Type::Object { class: d, args: bi }) => {
             // Everything is a subtype of Object at its own mode (and Object
             // is mode-transparent).
             if d == &ClassName::object() {
@@ -98,7 +95,11 @@ pub fn ancestor_args(
         let subst = table.class_subst(&cur, &cur_args);
         let sup = table.class(&sup_name)?;
         let flat: Vec<StaticMode> = if decl.super_args.is_empty() {
-            sup.mode_params.bounds.iter().map(|b| b.lo.clone()).collect()
+            sup.mode_params
+                .bounds
+                .iter()
+                .map(|b| b.lo.clone())
+                .collect()
         } else {
             decl.super_args.iter().map(|m| m.apply(&subst)).collect()
         };
@@ -187,13 +188,37 @@ mod tests {
     fn nominal_subtyping_preserves_mode() {
         let (t, m) = setup();
         let k = ConstraintSet::new();
-        assert!(is_subtype(&t, &m, &k, &obj("DepthRule", low()), &obj("Rule", low())));
+        assert!(is_subtype(
+            &t,
+            &m,
+            &k,
+            &obj("DepthRule", low()),
+            &obj("Rule", low())
+        ));
         // Mode is invariant:
-        assert!(!is_subtype(&t, &m, &k, &obj("DepthRule", low()), &obj("Rule", high())));
+        assert!(!is_subtype(
+            &t,
+            &m,
+            &k,
+            &obj("DepthRule", low()),
+            &obj("Rule", high())
+        ));
         // And not the other direction:
-        assert!(!is_subtype(&t, &m, &k, &obj("Rule", low()), &obj("DepthRule", low())));
+        assert!(!is_subtype(
+            &t,
+            &m,
+            &k,
+            &obj("Rule", low()),
+            &obj("DepthRule", low())
+        ));
         // Siblings unrelated:
-        assert!(!is_subtype(&t, &m, &k, &obj("DepthRule", low()), &obj("MaxRule", low())));
+        assert!(!is_subtype(
+            &t,
+            &m,
+            &k,
+            &obj("DepthRule", low()),
+            &obj("MaxRule", low())
+        ));
     }
 
     #[test]
@@ -202,7 +227,13 @@ mod tests {
         let k = ConstraintSet::new();
         let object = Type::object("Object", ModeArgs::of_static(StaticMode::Bot));
         assert!(is_subtype(&t, &m, &k, &obj("Rule", high()), &object));
-        assert!(is_subtype(&t, &m, &k, &obj("Plain", StaticMode::Bot), &object));
+        assert!(is_subtype(
+            &t,
+            &m,
+            &k,
+            &obj("Plain", StaticMode::Bot),
+            &object
+        ));
     }
 
     #[test]
@@ -235,7 +266,13 @@ mod tests {
         let sub = Type::Array(Box::new(obj("DepthRule", low())));
         let sup = Type::Array(Box::new(obj("Rule", low())));
         assert!(is_subtype(&t, &m, &k, &sub, &sup));
-        assert!(!is_subtype(&t, &m, &k, &Type::Array(Box::new(Type::INT)), &Type::Array(Box::new(Type::STR))));
+        assert!(!is_subtype(
+            &t,
+            &m,
+            &k,
+            &Type::Array(Box::new(Type::INT)),
+            &Type::Array(Box::new(Type::STR))
+        ));
     }
 
     #[test]
@@ -245,11 +282,23 @@ mod tests {
         let mut k = ConstraintSet::new();
         k.push(x.clone(), low());
         k.push(low(), x.clone());
-        assert!(is_subtype(&t, &m, &k, &obj("DepthRule", x.clone()), &obj("Rule", low())));
+        assert!(is_subtype(
+            &t,
+            &m,
+            &k,
+            &obj("DepthRule", x.clone()),
+            &obj("Rule", low())
+        ));
         // Without both directions, not equal:
         let mut k1 = ConstraintSet::new();
         k1.push(x.clone(), low());
-        assert!(!is_subtype(&t, &m, &k1, &obj("DepthRule", x), &obj("Rule", low())));
+        assert!(!is_subtype(
+            &t,
+            &m,
+            &k1,
+            &obj("DepthRule", x),
+            &obj("Rule", low())
+        ));
     }
 
     #[test]

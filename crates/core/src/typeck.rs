@@ -15,12 +15,10 @@
 //! * **T-MCase** / **T-ElimCase** — mode cases must cover every declared
 //!   mode and eliminate at a mode constant or an in-scope mode variable.
 
-use ent_modes::{
-    Bounded, ConstraintSet, Mode, ModeArgs, ModeTable, ModeVar, StaticMode, Subst,
-};
+use ent_modes::{Bounded, ConstraintSet, Mode, ModeArgs, ModeTable, ModeVar, StaticMode, Subst};
 use ent_syntax::{
-    BinOp, ClassDecl, ClassName, ClassTable, Expr, ExprKind, Ident, MethodDecl, PrimType,
-    Program, Span, Stmt, Type, UnOp,
+    BinOp, ClassDecl, ClassName, ClassTable, Expr, ExprKind, Ident, MethodDecl, PrimType, Program,
+    Span, Stmt, Type, UnOp,
 };
 
 use crate::diag::{TypeError, TypeErrorKind};
@@ -86,7 +84,11 @@ struct Ctx {
 
 impl Ctx {
     fn lookup(&self, name: &Ident) -> Option<&Type> {
-        self.vars.iter().rev().find(|(x, _)| x == name).map(|(_, t)| t)
+        self.vars
+            .iter()
+            .rev()
+            .find(|(x, _)| x == name)
+            .map(|(_, t)| t)
     }
 }
 
@@ -175,7 +177,10 @@ impl<'a> Typechecker<'a> {
             if mode_vars.contains(&bound.var) {
                 self.err(
                     TypeErrorKind::BadDeclaration,
-                    format!("method mode parameter `{}` shadows a class parameter", bound.var),
+                    format!(
+                        "method mode parameter `{}` shadows a class parameter",
+                        bound.var
+                    ),
                     method.span,
                 );
                 continue;
@@ -282,7 +287,9 @@ impl<'a> Typechecker<'a> {
         else {
             return;
         };
-        let Some(sup_method) = self.table.method(&class.superclass, &sup_args, &method.name)
+        let Some(sup_method) = self
+            .table
+            .method(&class.superclass, &sup_args, &method.name)
         else {
             return;
         };
@@ -347,12 +354,10 @@ impl<'a> Typechecker<'a> {
                     );
                 };
                 let mp = &decl.mode_params;
-                let bare = args.rest.is_empty()
-                    && args.mode == Mode::Static(StaticMode::Bot);
+                let bare = args.rest.is_empty() && args.mode == Mode::Static(StaticMode::Bot);
                 let neutral = !mp.dynamic && mp.bounds.is_empty();
-                let pinned = !mp.dynamic
-                    && !mp.bounds.is_empty()
-                    && mp.bounds.iter().all(|b| b.lo == b.hi);
+                let pinned =
+                    !mp.dynamic && !mp.bounds.is_empty() && mp.bounds.iter().all(|b| b.lo == b.hi);
 
                 if neutral {
                     if !bare {
@@ -435,14 +440,20 @@ impl<'a> Typechecker<'a> {
             // checked against an object type of the same (non-dynamic)
             // class adopts the expected instantiation, Energy-Types style.
             (
-                ExprKind::New { class, args: None, ctor_args },
-                Type::Object { class: expected_class, args: expected_args },
+                ExprKind::New {
+                    class,
+                    args: None,
+                    ctor_args,
+                },
+                Type::Object {
+                    class: expected_class,
+                    args: expected_args,
+                },
             ) if class == expected_class
                 && !expected_args.is_dynamic()
-                && self
-                    .table
-                    .class(class)
-                    .is_some_and(|d| !d.mode_params.dynamic && !d.mode_params.bounds.is_empty()) =>
+                && self.table.class(class).is_some_and(|d| {
+                    !d.mode_params.dynamic && !d.mode_params.bounds.is_empty()
+                }) =>
             {
                 self.infer_new(ctx, class, Some(expected_args), ctor_args, e.span);
                 expected.clone()
@@ -486,7 +497,6 @@ impl<'a> Typechecker<'a> {
             span,
         );
     }
-
 }
 
 impl<'a> Typechecker<'a> {
@@ -504,12 +514,17 @@ impl<'a> Typechecker<'a> {
                 ),
             },
             ExprKind::Field { recv, name } => self.infer_field(ctx, recv, name, e.span),
-            ExprKind::New { class, args, ctor_args } => {
-                self.infer_new(ctx, class, args.as_ref(), ctor_args, e.span)
-            }
-            ExprKind::Call { recv, method, mode_args, args } => {
-                self.infer_call(ctx, recv, method, mode_args, args, e.span)
-            }
+            ExprKind::New {
+                class,
+                args,
+                ctor_args,
+            } => self.infer_new(ctx, class, args.as_ref(), ctor_args, e.span),
+            ExprKind::Call {
+                recv,
+                method,
+                mode_args,
+                args,
+            } => self.infer_call(ctx, recv, method, mode_args, args, e.span),
             ExprKind::Builtin { ns, name, args } => self.infer_builtin(ctx, ns, name, args, e.span),
             ExprKind::Cast { ty, expr } => {
                 let target = self.wf_type(&ctx.mode_vars.clone(), ty, e.span, false);
@@ -531,11 +546,7 @@ impl<'a> Typechecker<'a> {
                     Some(t) => self.wf_type(&ctx.mode_vars.clone(), t, e.span, false),
                     None => {
                         let Some((_, first)) = arms.first() else {
-                            return self.err(
-                                TypeErrorKind::BadModeCase,
-                                "empty mode case",
-                                e.span,
-                            );
+                            return self.err(TypeErrorKind::BadModeCase, "empty mode case", e.span);
                         };
                         self.infer(ctx, first)
                     }
@@ -670,8 +681,7 @@ impl<'a> Typechecker<'a> {
                 Stmt::Let { ty, name, value } => {
                     let bty = match ty {
                         Some(ann) => {
-                            let norm =
-                                self.wf_type(&ctx.mode_vars.clone(), ann, value.span, true);
+                            let norm = self.wf_type(&ctx.mode_vars.clone(), ann, value.span, true);
                             // A bare moded-class annotation adopts the
                             // value's type (paper: `Site s = snapshot ...`).
                             if let Type::Object { class, args } = &norm {
@@ -785,7 +795,9 @@ impl<'a> Typechecker<'a> {
         if args.is_dynamic() && !matches!(recv.kind, ExprKind::This) {
             return self.err(
                 TypeErrorKind::MessagedDynamic,
-                format!("cannot read fields of a dynamic object of class `{class}`; snapshot it first"),
+                format!(
+                    "cannot read fields of a dynamic object of class `{class}`; snapshot it first"
+                ),
                 span,
             );
         }
@@ -934,7 +946,10 @@ impl<'a> Typechecker<'a> {
             self.check_expr(ctx, arg, &param.ty);
         }
 
-        Type::Object { class: class.clone(), args }
+        Type::Object {
+            class: class.clone(),
+            args,
+        }
     }
 
     fn infer_call(
@@ -1003,8 +1018,7 @@ impl<'a> Typechecker<'a> {
                 // Infer from argument types.
                 let method_vars: Vec<ModeVar> =
                     resolved.mode_params.iter().map(|b| b.var.clone()).collect();
-                let arg_tys: Vec<Type> =
-                    args.iter().map(|a| self.infer(ctx, a)).collect();
+                let arg_tys: Vec<Type> = args.iter().map(|a| self.infer(ctx, a)).collect();
                 for (pty, aty) in resolved.params.iter().zip(&arg_tys) {
                     unify_modes(pty, aty, &method_vars, &mut msubst);
                 }
@@ -1024,8 +1038,7 @@ impl<'a> Typechecker<'a> {
                 let inst = StaticMode::Var(b.var.clone()).apply(&msubst);
                 let lo = b.lo.apply(&msubst);
                 let hi = b.hi.apply(&msubst);
-                if !ctx.k.entails(self.modes, &lo, &inst)
-                    || !ctx.k.entails(self.modes, &inst, &hi)
+                if !ctx.k.entails(self.modes, &lo, &inst) || !ctx.k.entails(self.modes, &inst, &hi)
                 {
                     self.err(
                         TypeErrorKind::BadModeInstantiation,
@@ -1149,9 +1162,7 @@ impl<'a> Typechecker<'a> {
         let rt = self.infer(ctx, rhs);
         let rt = self.unwrap_mcase(rt);
         use BinOp::*;
-        let num = |t: &Type| {
-            matches!(t, Type::Prim(PrimType::Int) | Type::Prim(PrimType::Double))
-        };
+        let num = |t: &Type| matches!(t, Type::Prim(PrimType::Int) | Type::Prim(PrimType::Double));
         match op {
             Add => {
                 if lt == Type::STR || rt == Type::STR {
@@ -1198,11 +1209,7 @@ impl<'a> Typechecker<'a> {
                 Type::BOOL
             }
             Eq | Ne => {
-                let comparable = lt == rt
-                    && matches!(
-                        lt,
-                        Type::Prim(_) | Type::ModeValue
-                    );
+                let comparable = lt == rt && matches!(lt, Type::Prim(_) | Type::ModeValue);
                 if !comparable && lt != Type::Error && rt != Type::Error {
                     self.err(
                         TypeErrorKind::Mismatch,
@@ -1236,10 +1243,13 @@ impl<'a> Typechecker<'a> {
         args: &[Expr],
         span: Span,
     ) -> Type {
-        let arg_tys: Vec<Type> = args.iter().map(|a| {
-            let t = self.infer(ctx, a);
-            self.unwrap_mcase(t)
-        }).collect();
+        let arg_tys: Vec<Type> = args
+            .iter()
+            .map(|a| {
+                let t = self.infer(ctx, a);
+                self.unwrap_mcase(t)
+            })
+            .collect();
         let check = |tc: &mut Self, expected: &[Type], ret: Type| -> Type {
             if expected.len() != arg_tys.len() {
                 return tc.err(
@@ -1284,7 +1294,11 @@ impl<'a> Typechecker<'a> {
             ("Math", "abs") => check(self, &[Type::INT], Type::INT),
             ("Math", "sqrt") => check(self, &[Type::DOUBLE], Type::DOUBLE),
             ("Math", "pow") => check(self, &[Type::DOUBLE, Type::DOUBLE], Type::DOUBLE),
-            ("Arr", "range") => check(self, &[Type::INT, Type::INT], Type::Array(Box::new(Type::INT))),
+            ("Arr", "range") => check(
+                self,
+                &[Type::INT, Type::INT],
+                Type::Array(Box::new(Type::INT)),
+            ),
             ("Arr", "len") => match arg_tys.as_slice() {
                 [Type::Array(_)] => Type::INT,
                 [Type::Error] => Type::INT,
@@ -1318,11 +1332,7 @@ impl<'a> Typechecker<'a> {
                     let elem = self.join(ctx, a, b, span);
                     Type::Array(Box::new(elem))
                 }
-                _ => self.err(
-                    TypeErrorKind::Mismatch,
-                    "Arr.concat takes two arrays",
-                    span,
-                ),
+                _ => self.err(TypeErrorKind::Mismatch, "Arr.concat takes two arrays", span),
             },
             ("Arr", "push") => match arg_tys.as_slice() {
                 [Type::Array(elem), item] => {
@@ -1373,16 +1383,13 @@ pub(crate) fn internal_args_of(class: &ClassDecl) -> ModeArgs {
 }
 
 fn internal_this_type(class: &ClassDecl) -> Type {
-    Type::Object { class: class.name.clone(), args: internal_args_of(class) }
+    Type::Object {
+        class: class.name.clone(),
+        args: internal_args_of(class),
+    }
 }
 
-fn type_eq(
-    table: &ClassTable,
-    modes: &ModeTable,
-    k: &ConstraintSet,
-    a: &Type,
-    b: &Type,
-) -> bool {
+fn type_eq(table: &ClassTable, modes: &ModeTable, k: &ConstraintSet, a: &Type, b: &Type) -> bool {
     is_subtype(table, modes, k, a, b) && is_subtype(table, modes, k, b, a)
 }
 

@@ -29,10 +29,7 @@ fn hierarchy(depth: usize) -> (ClassTable, ent_modes::ModeTable) {
 fn obj(i: usize, mode: &str) -> Type {
     Type::object(
         format!("C{i}").as_str(),
-        ModeArgs::new(
-            Mode::Static(StaticMode::Const(ModeName::new(mode))),
-            vec![],
-        ),
+        ModeArgs::new(Mode::Static(StaticMode::Const(ModeName::new(mode))), vec![]),
     )
 }
 

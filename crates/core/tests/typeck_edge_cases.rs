@@ -421,7 +421,10 @@ fn multiple_errors_are_all_reported() {
         }}"
     );
     let found = kinds(&src);
-    assert!(found.contains(&TypeErrorKind::WaterfallViolation), "{found:?}");
+    assert!(
+        found.contains(&TypeErrorKind::WaterfallViolation),
+        "{found:?}"
+    );
     assert!(found.contains(&TypeErrorKind::Mismatch), "{found:?}");
     assert!(found.contains(&TypeErrorKind::UnknownMember), "{found:?}");
     assert!(found.len() >= 3);

@@ -31,7 +31,10 @@ impl BatteryModel {
     /// Panics if `capacity_j` is not positive.
     pub fn new(capacity_j: f64) -> Self {
         assert!(capacity_j > 0.0, "battery capacity must be positive");
-        BatteryModel { capacity_j, charge_j: capacity_j }
+        BatteryModel {
+            capacity_j,
+            charge_j: capacity_j,
+        }
     }
 
     /// The state of charge as a fraction in `[0, 1]`.

@@ -180,7 +180,11 @@ impl Platform {
             idle_watts: 4.0,
             active_watts: 30.0,
             ops_per_sec: 2.0e9,
-            thermal: ThermalParams { ambient_c: 42.0, heat: 0.042, cool: 0.033 },
+            thermal: ThermalParams {
+                ambient_c: 42.0,
+                heat: 0.042,
+                cool: 0.033,
+            },
             noise_rsd: 0.012,
             governor: Governor::Ondemand,
         }
@@ -195,7 +199,11 @@ impl Platform {
             idle_watts: 1.6,
             active_watts: 3.8,
             ops_per_sec: 3.0e8,
-            thermal: ThermalParams { ambient_c: 45.0, heat: 0.9, cool: 0.06 },
+            thermal: ThermalParams {
+                ambient_c: 45.0,
+                heat: 0.9,
+                cool: 0.06,
+            },
             noise_rsd: 0.008,
             governor: Governor::Ondemand,
         }
@@ -209,7 +217,11 @@ impl Platform {
             idle_watts: 0.9,
             active_watts: 4.5,
             ops_per_sec: 6.0e8,
-            thermal: ThermalParams { ambient_c: 38.0, heat: 0.8, cool: 0.05 },
+            thermal: ThermalParams {
+                ambient_c: 38.0,
+                heat: 0.8,
+                cool: 0.05,
+            },
             noise_rsd: 0.020,
             governor: Governor::Ondemand,
         }
@@ -239,9 +251,7 @@ impl Platform {
     /// Seconds needed to execute `units` of `kind` work at the governor's
     /// frequency.
     pub fn seconds_for(&self, kind: WorkKind, units: f64) -> f64 {
-        (units * kind.ops_per_unit()
-            / (self.ops_per_sec * self.governor.freq_scale()))
-        .max(0.0)
+        (units * kind.ops_per_unit() / (self.ops_per_sec * self.governor.freq_scale())).max(0.0)
     }
 }
 
@@ -251,7 +261,11 @@ mod tests {
 
     #[test]
     fn platform_power_ordering() {
-        let (a, b, c) = (Platform::system_a(), Platform::system_b(), Platform::system_c());
+        let (a, b, c) = (
+            Platform::system_a(),
+            Platform::system_b(),
+            Platform::system_c(),
+        );
         assert!(a.active_watts > c.active_watts);
         assert!(c.active_watts > b.active_watts || b.active_watts > 0.0);
         for p in [&a, &b, &c] {

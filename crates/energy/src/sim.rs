@@ -165,7 +165,8 @@ impl EnergySim {
             self.time_s += h;
             if let Some(interval) = self.trace_interval_s {
                 while self.time_s >= self.next_sample_s {
-                    self.trace.push((self.next_sample_s, self.thermal.temperature_c()));
+                    self.trace
+                        .push((self.next_sample_s, self.thermal.temperature_c()));
                     self.next_sample_s += interval;
                 }
             }
@@ -216,7 +217,9 @@ pub struct RaplMeter {
 impl RaplMeter {
     /// Starts a measurement window.
     pub fn start(sim: &EnergySim) -> Self {
-        RaplMeter { start_j: sim.energy_j() }
+        RaplMeter {
+            start_j: sim.energy_j(),
+        }
     }
 
     /// Energy consumed since the window opened.
@@ -237,7 +240,10 @@ pub struct WattsUpMeter {
 impl WattsUpMeter {
     /// Starts a measurement window.
     pub fn start(sim: &EnergySim) -> Self {
-        WattsUpMeter { start_j: sim.energy_j(), start_s: sim.time_s() }
+        WattsUpMeter {
+            start_j: sim.energy_j(),
+            start_s: sim.time_s(),
+        }
     }
 
     /// Whole-device energy consumed since the window opened.

@@ -31,7 +31,10 @@ pub struct ThermalModel {
 impl ThermalModel {
     /// Creates a thermal model at ambient temperature.
     pub fn new(params: ThermalParams) -> Self {
-        ThermalModel { temp_c: params.ambient_c, params }
+        ThermalModel {
+            temp_c: params.ambient_c,
+            params,
+        }
     }
 
     /// The current CPU temperature in °C.
@@ -51,7 +54,8 @@ impl ThermalModel {
         // Sub-step at most 0.5 s to keep the explicit Euler update stable.
         while remaining > 0.0 {
             let h = remaining.min(0.5);
-            let d = self.params.heat * watts - self.params.cool * (self.temp_c - self.params.ambient_c);
+            let d =
+                self.params.heat * watts - self.params.cool * (self.temp_c - self.params.ambient_c);
             self.temp_c += d * h;
             remaining -= h;
         }

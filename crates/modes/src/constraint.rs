@@ -278,16 +278,12 @@ mod tests {
         let mut k = ConstraintSet::new();
         k.push(v("X"), c("managed"));
 
-        let goal: ConstraintSet =
-            [(v("X"), c("full_throttle"))].into_iter().collect();
+        let goal: ConstraintSet = [(v("X"), c("full_throttle"))].into_iter().collect();
         assert!(k.entails_all(&t, &goal));
 
-        let goal: ConstraintSet = [
-            (v("X"), c("full_throttle")),
-            (c("managed"), v("X")),
-        ]
-        .into_iter()
-        .collect();
+        let goal: ConstraintSet = [(v("X"), c("full_throttle")), (c("managed"), v("X"))]
+            .into_iter()
+            .collect();
         assert!(!k.entails_all(&t, &goal));
     }
 

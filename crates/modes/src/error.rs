@@ -42,7 +42,10 @@ impl fmt::Display for ModeTableError {
                 write!(f, "modes `{a}` and `{b}` have no greatest lower bound")
             }
             ModeTableError::ReservedName(m) => {
-                write!(f, "mode name `{m}` is reserved for the implicit lattice end")
+                write!(
+                    f,
+                    "mode name `{m}` is reserved for the implicit lattice end"
+                )
             }
             ModeTableError::Empty => f.write_str("mode declaration block is empty"),
         }

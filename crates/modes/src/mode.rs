@@ -196,7 +196,11 @@ impl Bounded {
 
     /// Creates a variable bounded only by the lattice ends: `⊥ ≤ mt ≤ ⊤`.
     pub fn unconstrained(var: ModeVar) -> Self {
-        Bounded { lo: StaticMode::Bot, var, hi: StaticMode::Top }
+        Bounded {
+            lo: StaticMode::Bot,
+            var,
+            hi: StaticMode::Top,
+        }
     }
 
     /// The paper's `cons(ω)`: the pair of constraints `{η ≤ mt, mt ≤ η'}`.
@@ -254,19 +258,31 @@ impl ClassModeParams {
     /// A class with no mode machinery at all (mode-neutral helper classes);
     /// such classes get the fixed mode `⊥` so any context can message them.
     pub fn neutral() -> Self {
-        ClassModeParams { dynamic: false, bounds: Vec::new() }
+        ClassModeParams {
+            dynamic: false,
+            bounds: Vec::new(),
+        }
     }
 
     /// A dynamic class `? → ω, Ω`. `bounds` must be non-empty: its first
     /// element is the internal generic view of the object's own mode.
     pub fn dynamic(bounds: Vec<Bounded>) -> Self {
-        debug_assert!(!bounds.is_empty(), "dynamic class needs an internal mode parameter");
-        ClassModeParams { dynamic: true, bounds }
+        debug_assert!(
+            !bounds.is_empty(),
+            "dynamic class needs an internal mode parameter"
+        );
+        ClassModeParams {
+            dynamic: true,
+            bounds,
+        }
     }
 
     /// A static class parameter list `Ω`.
     pub fn with_bounds(bounds: Vec<Bounded>) -> Self {
-        ClassModeParams { dynamic: false, bounds }
+        ClassModeParams {
+            dynamic: false,
+            bounds,
+        }
     }
 
     /// The paper's `cmode(∆)`: `?` for dynamic classes, otherwise the first
@@ -353,12 +369,18 @@ impl ModeArgs {
 
     /// A single static object mode with no extra arguments.
     pub fn of_static(mode: StaticMode) -> Self {
-        ModeArgs { mode: Mode::Static(mode), rest: Vec::new() }
+        ModeArgs {
+            mode: Mode::Static(mode),
+            rest: Vec::new(),
+        }
     }
 
     /// The dynamic object mode with no extra arguments.
     pub fn of_dynamic() -> Self {
-        ModeArgs { mode: Mode::Dynamic, rest: Vec::new() }
+        ModeArgs {
+            mode: Mode::Dynamic,
+            rest: Vec::new(),
+        }
     }
 
     /// The paper's `omode(c⟨ι⟩)`: the first element of the list.
@@ -455,7 +477,9 @@ impl Subst {
 
 impl FromIterator<(ModeVar, StaticMode)> for Subst {
     fn from_iter<I: IntoIterator<Item = (ModeVar, StaticMode)>>(iter: I) -> Self {
-        Subst { map: iter.into_iter().collect() }
+        Subst {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -499,10 +523,7 @@ mod tests {
 
     #[test]
     fn subst_bind_pairs_vars_with_args() {
-        let s = Subst::bind(
-            &[ModeVar::new("X"), ModeVar::new("Y")],
-            &[c("a"), c("b")],
-        );
+        let s = Subst::bind(&[ModeVar::new("X"), ModeVar::new("Y")], &[c("a"), c("b")]);
         assert_eq!(v("X").apply(&s), c("a"));
         assert_eq!(v("Y").apply(&s), c("b"));
         assert_eq!(s.len(), 2);
@@ -526,7 +547,10 @@ mod tests {
 
     #[test]
     fn class_params_cmode_variants() {
-        assert_eq!(ClassModeParams::neutral().cmode(), Mode::Static(StaticMode::Bot));
+        assert_eq!(
+            ClassModeParams::neutral().cmode(),
+            Mode::Static(StaticMode::Bot)
+        );
 
         let dynamic = ClassModeParams::dynamic(vec![Bounded::unconstrained(ModeVar::new("X"))]);
         assert_eq!(dynamic.cmode(), Mode::Dynamic);

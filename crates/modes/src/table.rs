@@ -213,9 +213,8 @@ impl fmt::Display for ModeTable {
                 // Print only covering edges (transitive reduction).
                 if i != j
                     && self.le[i][j]
-                    && !(0..self.modes.len()).any(|k| {
-                        k != i && k != j && self.le[i][k] && self.le[k][j]
-                    })
+                    && !(0..self.modes.len())
+                        .any(|k| k != i && k != j && self.le[i][k] && self.le[k][j])
                 {
                     if !first {
                         write!(f, "; ")?;
@@ -315,7 +314,11 @@ impl ModeTableBuilder {
             }
         }
 
-        let table = ModeTable { modes: self.modes, index, le };
+        let table = ModeTable {
+            modes: self.modes,
+            index,
+            le,
+        };
 
         // Lattice check over the ⊥/⊤-completion: every pair of declared
         // constants must have a unique lub and glb.
@@ -326,10 +329,7 @@ impl ModeTableBuilder {
                 if a == b || !seen.insert((a.clone(), b.clone())) {
                     continue;
                 }
-                let (sa, sb) = (
-                    StaticMode::Const(a.clone()),
-                    StaticMode::Const(b.clone()),
-                );
+                let (sa, sb) = (StaticMode::Const(a.clone()), StaticMode::Const(b.clone()));
                 if table.lub(&sa, &sb).is_none() {
                     return Err(ModeTableError::NoLub(a.clone(), b.clone()));
                 }
@@ -401,12 +401,18 @@ mod tests {
 
     #[test]
     fn empty_declaration_is_rejected() {
-        assert_eq!(ModeTable::builder().build().unwrap_err(), ModeTableError::Empty);
+        assert_eq!(
+            ModeTable::builder().build().unwrap_err(),
+            ModeTableError::Empty
+        );
     }
 
     #[test]
     fn reserved_names_are_rejected() {
-        let err = ModeTable::builder().mode(ModeName::new("top")).build().unwrap_err();
+        let err = ModeTable::builder()
+            .mode(ModeName::new("top"))
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ModeTableError::ReservedName(_)));
     }
 
@@ -447,14 +453,20 @@ mod tests {
             .le(ModeName::new("b"), ModeName::new("d"))
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModeTableError::NoLub(_, _) | ModeTableError::NoGlb(_, _)));
+        assert!(matches!(
+            err,
+            ModeTableError::NoLub(_, _) | ModeTableError::NoGlb(_, _)
+        ));
     }
 
     #[test]
     fn lub_glb_with_comparable_arguments() {
         let t = three();
         assert_eq!(t.lub(&c("energy_saver"), &c("managed")), Some(c("managed")));
-        assert_eq!(t.glb(&c("energy_saver"), &c("managed")), Some(c("energy_saver")));
+        assert_eq!(
+            t.glb(&c("energy_saver"), &c("managed")),
+            Some(c("energy_saver"))
+        );
         assert_eq!(t.lub(&StaticMode::Bot, &c("managed")), Some(c("managed")));
         assert_eq!(t.glb(&StaticMode::Top, &c("managed")), Some(c("managed")));
     }

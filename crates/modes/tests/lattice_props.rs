@@ -11,8 +11,7 @@ fn arb_table() -> impl Strategy<Value = ModeTable> {
     (2usize..=6, proptest::collection::vec(any::<bool>(), 0..36)).prop_filter_map(
         "declaration must form a lattice",
         |(n, edges)| {
-            let names: Vec<ModeName> =
-                (0..n).map(|i| ModeName::new(format!("m{i}"))).collect();
+            let names: Vec<ModeName> = (0..n).map(|i| ModeName::new(format!("m{i}"))).collect();
             let mut builder = ModeTable::builder();
             for m in &names {
                 builder = builder.mode(m.clone());

@@ -127,10 +127,17 @@ impl Term {
             Term::Var(x) if x == var => value.clone(),
             Term::Var(_) | Term::Obj(_) | Term::ModeV(_) => self.clone(),
             Term::MCaseV(arms) => Term::MCaseV(
-                arms.iter().map(|(m, t)| (m.clone(), t.subst(var, value))).collect(),
+                arms.iter()
+                    .map(|(m, t)| (m.clone(), t.subst(var, value)))
+                    .collect(),
             ),
             Term::Field(e, f) => Term::Field(Box::new(e.subst(var, value)), f.clone()),
-            Term::New { class, mode, extra, args } => Term::New {
+            Term::New {
+                class,
+                mode,
+                extra,
+                args,
+            } => Term::New {
                 class: class.clone(),
                 mode: mode.clone(),
                 extra: extra.clone(),
@@ -146,13 +153,19 @@ impl Term {
                 Term::Snapshot(Box::new(e.subst(var, value)), lo.clone(), hi.clone())
             }
             Term::MCase(arms) => Term::MCase(
-                arms.iter().map(|(m, t)| (m.clone(), t.subst(var, value))).collect(),
+                arms.iter()
+                    .map(|(m, t)| (m.clone(), t.subst(var, value)))
+                    .collect(),
             ),
             Term::Elim(e, m) => Term::Elim(Box::new(e.subst(var, value)), m.clone()),
             Term::Let(x, rhs, body) => {
                 let rhs = rhs.subst(var, value);
                 // Shadowing: an inner binding of the same name hides `var`.
-                let body = if x == var { body.as_ref().clone() } else { body.subst(var, value) };
+                let body = if x == var {
+                    body.as_ref().clone()
+                } else {
+                    body.subst(var, value)
+                };
                 Term::Let(x.clone(), Box::new(rhs), Box::new(body))
             }
             Term::Cl(m, e) => Term::Cl(m.clone(), Box::new(e.subst(var, value))),
@@ -172,10 +185,17 @@ impl Term {
         match self {
             Term::Var(_) | Term::Obj(_) | Term::ModeV(_) => self.clone(),
             Term::MCaseV(arms) => Term::MCaseV(
-                arms.iter().map(|(m, t)| (m.clone(), t.subst_modes(subst))).collect(),
+                arms.iter()
+                    .map(|(m, t)| (m.clone(), t.subst_modes(subst)))
+                    .collect(),
             ),
             Term::Field(e, f) => Term::Field(Box::new(e.subst_modes(subst)), f.clone()),
-            Term::New { class, mode, extra, args } => Term::New {
+            Term::New {
+                class,
+                mode,
+                extra,
+                args,
+            } => Term::New {
                 class: class.clone(),
                 mode: match mode {
                     FMode::Dynamic => FMode::Dynamic,
@@ -194,7 +214,9 @@ impl Term {
                 Term::Snapshot(Box::new(e.subst_modes(subst)), fix(lo), fix(hi))
             }
             Term::MCase(arms) => Term::MCase(
-                arms.iter().map(|(m, t)| (m.clone(), t.subst_modes(subst))).collect(),
+                arms.iter()
+                    .map(|(m, t)| (m.clone(), t.subst_modes(subst)))
+                    .collect(),
             ),
             Term::Elim(e, m) => Term::Elim(Box::new(e.subst_modes(subst)), fix(m)),
             Term::Let(x, rhs, body) => Term::Let(
@@ -270,12 +292,20 @@ impl FProgram {
             cur = decl.superclass.clone();
         }
         chain.reverse();
-        chain.into_iter().flat_map(|c| c.fields.iter().cloned()).collect()
+        chain
+            .into_iter()
+            .flat_map(|c| c.fields.iter().cloned())
+            .collect()
     }
 
     /// The paper's `mbody`: walks the chain, accumulating the mode
     /// substitution through superclass instantiations.
-    pub fn mbody(&self, class: &ClassName, method: &Ident, subst: Subst) -> Option<(FMethod, Subst)> {
+    pub fn mbody(
+        &self,
+        class: &ClassName,
+        method: &Ident,
+        subst: Subst,
+    ) -> Option<(FMethod, Subst)> {
         let decl = self.class(class)?;
         if let Some(m) = decl.methods.iter().find(|m| &m.name == method) {
             return Some((m.clone(), subst));
@@ -285,8 +315,7 @@ impl FProgram {
         }
         let sup = self.class(&decl.superclass)?;
         let sup_params = sup.mode_params.params();
-        let args: Vec<StaticMode> =
-            decl.super_args.iter().map(|m| m.apply(&subst)).collect();
+        let args: Vec<StaticMode> = decl.super_args.iter().map(|m| m.apply(&subst)).collect();
         self.mbody(&decl.superclass, method, Subst::bind(&sup_params, &args))
     }
 }
@@ -333,7 +362,11 @@ pub struct Machine<'a> {
 impl<'a> Machine<'a> {
     /// Creates a machine for a program.
     pub fn new(program: &'a FProgram) -> Self {
-        Machine { program, next_id: 0, steps: 0 }
+        Machine {
+            program,
+            next_id: 0,
+            steps: 0,
+        }
     }
 
     /// Steps taken so far.
@@ -365,12 +398,20 @@ impl<'a> Machine<'a> {
             extra: Vec::new(),
             fields: Vec::new(),
         });
-        let body = method.body.subst_modes(&subst).subst(&Ident::new("this"), &this);
+        let body = method
+            .body
+            .subst_modes(&subst)
+            .subst(&Ident::new("this"), &this);
         Ok(Term::Cl(StaticMode::Top, Box::new(body)))
     }
 
     /// Runs a term to a value under mode `m`, with a fuel bound.
-    pub fn run(&mut self, mut term: Term, mode: &StaticMode, fuel: u64) -> Result<Term, FormalError> {
+    pub fn run(
+        &mut self,
+        mut term: Term,
+        mode: &StaticMode,
+        fuel: u64,
+    ) -> Result<Term, FormalError> {
         for _ in 0..fuel {
             if term.is_value() {
                 return Ok(term);
@@ -422,13 +463,23 @@ impl<'a> Machine<'a> {
                 }
             }
 
-            Term::New { class, mode: omode, extra, args } => {
+            Term::New {
+                class,
+                mode: omode,
+                extra,
+                args,
+            } => {
                 // Evaluate constructor arguments left to right.
                 if let Some(i) = args.iter().position(|a| !a.is_value()) {
                     let mut args = args;
                     let stepped = self.step(args[i].clone(), mode)?;
                     args[i] = stepped;
-                    return Ok(Term::New { class, mode: omode, extra, args });
+                    return Ok(Term::New {
+                        class,
+                        mode: omode,
+                        extra,
+                        args,
+                    });
                 }
                 let expected = self.program.fields(&class).len();
                 if args.len() != expected {
@@ -478,8 +529,7 @@ impl<'a> Machine<'a> {
                     )));
                 }
                 let class_subst = self.object_subst(o);
-                let Some((method, msubst)) = self.program.mbody(&o.class, &md, class_subst)
-                else {
+                let Some((method, msubst)) = self.program.mbody(&o.class, &md, class_subst) else {
                     return Err(FormalError::Stuck(format!(
                         "class `{}` has no method `{md}`",
                         o.class
@@ -537,7 +587,12 @@ impl<'a> Machine<'a> {
                     let body = abody
                         .subst_modes(&self.object_subst(o))
                         .subst(&Ident::new("this"), e.as_ref());
-                    Ok(Term::Check { body: Box::new(body), lo, hi, obj: o.clone() })
+                    Ok(Term::Check {
+                        body: Box::new(body),
+                        lo,
+                        hi,
+                        obj: o.clone(),
+                    })
                 } else {
                     let stepped = self.step(*e, mode)?;
                     Ok(Term::Snapshot(Box::new(stepped), lo, hi))
@@ -568,7 +623,12 @@ impl<'a> Machine<'a> {
                     Err(FormalError::Stuck("attributor produced a non-mode".into()))
                 } else {
                     let stepped = self.step(*body, mode)?;
-                    Ok(Term::Check { body: Box::new(stepped), lo, hi, obj })
+                    Ok(Term::Check {
+                        body: Box::new(stepped),
+                        lo,
+                        hi,
+                        obj,
+                    })
                 }
             }
 
@@ -585,7 +645,10 @@ impl<'a> Machine<'a> {
             // Elimination: mcase{m̄:v̄} ◃ η → vᵢ with mᵢ = η.
             Term::Elim(e, target) => {
                 if let Term::MCaseV(arms) = e.as_ref() {
-                    match arms.iter().find(|(m, _)| StaticMode::Const(m.clone()) == target) {
+                    match arms
+                        .iter()
+                        .find(|(m, _)| StaticMode::Const(m.clone()) == target)
+                    {
                         Some((_, v)) => Ok(v.clone()),
                         None => Err(FormalError::Stuck(format!(
                             "no mode case arm for `{target}`"
@@ -662,7 +725,9 @@ pub fn canonicalize(term: &Term) -> Term {
             fields: o.fields.iter().map(canonicalize).collect(),
         }),
         Term::MCaseV(arms) => Term::MCaseV(
-            arms.iter().map(|(m, v)| (m.clone(), canonicalize(v))).collect(),
+            arms.iter()
+                .map(|(m, v)| (m.clone(), canonicalize(v)))
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -724,7 +789,11 @@ pub mod build {
 
     /// A mode case literal.
     pub fn mcase(arms: Vec<(&str, Term)>) -> Term {
-        Term::MCase(arms.into_iter().map(|(m, t)| (ModeName::new(m), t)).collect())
+        Term::MCase(
+            arms.into_iter()
+                .map(|(m, t)| (ModeName::new(m), t))
+                .collect(),
+        )
     }
 
     /// Elimination at a ground mode.
@@ -762,7 +831,11 @@ pub fn lower(program: &ent_syntax::Program) -> Option<FProgram> {
             ExprKind::Field { recv, name } => {
                 Term::Field(Box::new(lower_expr(recv)?), name.clone())
             }
-            ExprKind::New { class, args, ctor_args } => {
+            ExprKind::New {
+                class,
+                args,
+                ctor_args,
+            } => {
                 let (mode, extra) = match args {
                     Some(a) if a.is_dynamic() => (FMode::Dynamic, a.rest.clone()),
                     Some(a) => match a.mode.as_static() {
@@ -781,13 +854,16 @@ pub fn lower(program: &ent_syntax::Program) -> Option<FProgram> {
                         .collect::<Option<Vec<_>>>()?,
                 }
             }
-            ExprKind::Call { recv, method, mode_args, args } if mode_args.is_empty() => {
-                Term::Call(
-                    Box::new(lower_expr(recv)?),
-                    method.clone(),
-                    args.iter().map(lower_expr).collect::<Option<Vec<_>>>()?,
-                )
-            }
+            ExprKind::Call {
+                recv,
+                method,
+                mode_args,
+                args,
+            } if mode_args.is_empty() => Term::Call(
+                Box::new(lower_expr(recv)?),
+                method.clone(),
+                args.iter().map(lower_expr).collect::<Option<Vec<_>>>()?,
+            ),
             ExprKind::Cast { ty, expr } => {
                 let ent_syntax::Type::Object { class, .. } = ty else {
                     return None;
@@ -802,9 +878,10 @@ pub fn lower(program: &ent_syntax::Program) -> Option<FProgram> {
                     .map(|(m, a)| Some((m.clone(), lower_expr(a)?)))
                     .collect::<Option<Vec<_>>>()?,
             ),
-            ExprKind::Elim { expr, mode: Some(m) } => {
-                Term::Elim(Box::new(lower_expr(expr)?), m.clone())
-            }
+            ExprKind::Elim {
+                expr,
+                mode: Some(m),
+            } => Term::Elim(Box::new(lower_expr(expr)?), m.clone()),
             // Blocks lower to nested lets; the trailing statement is the
             // result.
             ExprKind::Block(stmts) => lower_block(stmts)?,
@@ -846,8 +923,7 @@ pub fn lower(program: &ent_syntax::Program) -> Option<FProgram> {
                     .methods
                     .iter()
                     .map(|m| {
-                        if m.mode.is_some() || m.attributor.is_some() || !m.mode_params.is_empty()
-                        {
+                        if m.mode.is_some() || m.attributor.is_some() || !m.mode_params.is_empty() {
                             return None;
                         }
                         Some(FMethod {
@@ -864,7 +940,10 @@ pub fn lower(program: &ent_syntax::Program) -> Option<FProgram> {
             })
         })
         .collect::<Option<Vec<_>>>()?;
-    Some(FProgram { modes: program.mode_table.clone(), classes })
+    Some(FProgram {
+        modes: program.mode_table.clone(),
+        classes,
+    })
 }
 
 /// Used by the equivalence tests: an object-free rendering of a value for
@@ -910,9 +989,9 @@ mod tests {
             classes: vec![
                 FClass {
                     name: ClassName::new("Probe"),
-                    mode_params: ClassModeParams::dynamic(vec![
-                        ent_modes::Bounded::unconstrained(ModeVar::new("P")),
-                    ]),
+                    mode_params: ClassModeParams::dynamic(vec![ent_modes::Bounded::unconstrained(
+                        ModeVar::new("P"),
+                    )]),
                     superclass: ClassName::object(),
                     super_args: vec![],
                     fields: vec![Ident::new("level"), Ident::new("tag")],
@@ -972,7 +1051,10 @@ mod tests {
             .run(
                 new_dynamic(
                     "Probe",
-                    vec![modev("low"), mcase(vec![("low", modev("low")), ("high", modev("high"))])],
+                    vec![
+                        modev("low"),
+                        mcase(vec![("low", modev("low")), ("high", modev("high"))]),
+                    ],
                 ),
                 &StaticMode::Top,
                 100,
@@ -1000,7 +1082,10 @@ mod tests {
             .run(
                 new_dynamic(
                     "Probe",
-                    vec![modev("high"), mcase(vec![("low", modev("low")), ("high", modev("high"))])],
+                    vec![
+                        modev("high"),
+                        mcase(vec![("low", modev("low")), ("high", modev("high"))]),
+                    ],
                 ),
                 &StaticMode::Top,
                 100,
@@ -1018,9 +1103,9 @@ mod tests {
             modes: two_mode_table(),
             classes: vec![FClass {
                 name: ClassName::new("W"),
-                mode_params: ClassModeParams::with_bounds(vec![
-                    ent_modes::Bounded::unconstrained(ModeVar::new("X")),
-                ]),
+                mode_params: ClassModeParams::with_bounds(vec![ent_modes::Bounded::unconstrained(
+                    ModeVar::new("X"),
+                )]),
                 superclass: ClassName::object(),
                 super_args: vec![],
                 fields: vec![],
@@ -1038,7 +1123,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, FormalError::DfallViolation(_)));
         // From ⊤ it is fine.
-        let ok = machine.run(call(heavy, "id", vec![]), &StaticMode::Top, 10).unwrap();
+        let ok = machine
+            .run(call(heavy, "id", vec![]), &StaticMode::Top, 10)
+            .unwrap();
         assert!(matches!(ok, Term::Obj(_)));
     }
 
@@ -1050,7 +1137,10 @@ mod tests {
             .run(
                 new_dynamic(
                     "Probe",
-                    vec![modev("low"), mcase(vec![("low", modev("low")), ("high", modev("high"))])],
+                    vec![
+                        modev("low"),
+                        mcase(vec![("low", modev("low")), ("high", modev("high"))]),
+                    ],
                 ),
                 &StaticMode::Top,
                 100,
@@ -1070,9 +1160,9 @@ mod tests {
             modes: two_mode_table(),
             classes: vec![FClass {
                 name: ClassName::new("W"),
-                mode_params: ClassModeParams::with_bounds(vec![
-                    ent_modes::Bounded::unconstrained(ModeVar::new("X")),
-                ]),
+                mode_params: ClassModeParams::with_bounds(vec![ent_modes::Bounded::unconstrained(
+                    ModeVar::new("X"),
+                )]),
                 superclass: ClassName::object(),
                 super_args: vec![],
                 fields: vec![],
@@ -1116,14 +1206,22 @@ mod tests {
         };
         let mut machine = Machine::new(&p);
         let b = machine
-            .run(new_static("B", StaticMode::Bot, vec![]), &StaticMode::Top, 10)
+            .run(
+                new_static("B", StaticMode::Bot, vec![]),
+                &StaticMode::Top,
+                10,
+            )
             .unwrap();
         // Upcast succeeds.
         let up = Term::Cast(ClassName::new("A"), Box::new(b.clone()));
         assert!(machine.run(up, &StaticMode::Top, 10).is_ok());
         // Cross-cast fails.
         let a = machine
-            .run(new_static("A", StaticMode::Bot, vec![]), &StaticMode::Top, 10)
+            .run(
+                new_static("A", StaticMode::Bot, vec![]),
+                &StaticMode::Top,
+                10,
+            )
             .unwrap();
         let down = Term::Cast(ClassName::new("B"), Box::new(a));
         assert!(matches!(
@@ -1180,7 +1278,11 @@ mod tests {
         };
         let mut machine = Machine::new(&p);
         let l = machine
-            .run(new_static("L", StaticMode::Bot, vec![]), &StaticMode::Top, 10)
+            .run(
+                new_static("L", StaticMode::Bot, vec![]),
+                &StaticMode::Top,
+                10,
+            )
             .unwrap();
         let err = machine
             .run(call(l, "spin", vec![]), &StaticMode::Top, 200)

@@ -2,6 +2,15 @@
 //! with the practical expression forms, executing against the simulated
 //! energy platform.
 //!
+//! The interpreter executes the indexed IR produced by [`crate::lower`]:
+//! programs are lowered once at load time — names interned to dense ids,
+//! variables resolved to frame slots, fields to per-class slot offsets,
+//! sends to vtable indices, mode environments to indexed vectors — and the
+//! evaluator then runs without any string comparison, name-keyed map probe,
+//! or environment cloning on its hot paths. [`run`] lowers and runs in one
+//! call; [`run_lowered`] executes an already-lowered program (the perf
+//! harness lowers once and runs many times).
+//!
 //! The ENT-specific runtime machinery:
 //!
 //! * **Mode tagging** — every object carries a mode tag; dynamic objects
@@ -21,13 +30,15 @@ use std::sync::Arc;
 
 use ent_core::CompiledProgram;
 use ent_energy::{EnergySim, Measurement, Platform, WorkKind};
-use ent_modes::{Mode, ModeName, ModeTable, ModeVar, StaticMode};
-use ent_syntax::{
-    BinOp, ClassName, ClassTable, Expr, ExprKind, Ident, Lit, MethodDecl, Program, Stmt, UnOp,
-};
+use ent_modes::ModeName;
+use ent_syntax::{BinOp, Symbol, UnOp};
 
 use crate::error::{Flow, RtError};
-use crate::value::{ObjRef, RtMode, Value};
+use crate::lower::{
+    lower_program, BOp, CastCheck, DefaultNew, EnvSrc, GMode, LExpr, LMethod, LMode, LOverride,
+    LStmt, LoweredProgram, MDefault, NewPlan,
+};
+use crate::value::{ObjRef, Value};
 
 /// Configuration for a single program run.
 #[derive(Clone, Debug)]
@@ -53,6 +64,11 @@ pub struct RuntimeConfig {
     /// Ablation: deep-copy the object graph on snapshot instead of the
     /// paper's shallow copy (§6.3 discusses this design choice).
     pub deep_copy: bool,
+    /// Record structured [`EnergyEvent`]s in [`RunResult::events`]. Off by
+    /// default: event recording allocates strings on snapshot/alloc/dfall
+    /// paths, which benchmark runs should not pay for. Enable for the §6.3
+    /// energy-debugging workflow.
+    pub record_events: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -66,6 +82,7 @@ impl Default for RuntimeConfig {
             trace_interval_s: None,
             eager_copy: false,
             deep_copy: false,
+            record_events: false,
         }
     }
 }
@@ -73,6 +90,8 @@ impl Default for RuntimeConfig {
 /// A structured runtime event, timestamped on the virtual clock — the
 /// raw material of the paper's §6.3 energy-debugging workflow (which
 /// object was assigned which mode, when, and which checks failed).
+///
+/// Only recorded when [`RuntimeConfig::record_events`] is set.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EnergyEvent {
     /// An object of a dynamic class was allocated (untagged).
@@ -148,11 +167,16 @@ pub struct RunResult {
     pub stats: RunStats,
     /// The sampled temperature trace, if tracing was enabled.
     pub trace: Vec<(f64, f64)>,
-    /// Structured energy events, in order (§6.3 debugging).
+    /// Structured energy events, in order (§6.3 debugging). Empty unless
+    /// [`RuntimeConfig::record_events`] was set.
     pub events: Vec<EnergyEvent>,
 }
 
 /// Runs a compiled program's `Main.main()` on a simulated platform.
+///
+/// Lowers the program to the indexed runtime IR and executes it; to run
+/// the same program many times, lower once with [`lower_program`] and call
+/// [`run_lowered`] per run.
 ///
 /// # Example
 ///
@@ -168,24 +192,91 @@ pub struct RunResult {
 /// assert_eq!(result.value.unwrap(), Value::Int(42));
 /// ```
 pub fn run(compiled: &CompiledProgram, platform: Platform, config: RuntimeConfig) -> RunResult {
+    let lowered = lower_program(compiled);
+    run_lowered(&lowered, platform, config)
+}
+
+/// Runs an already-lowered program's `Main.main()` on a simulated platform.
+///
+/// # Example
+///
+/// ```
+/// use ent_core::compile;
+/// use ent_energy::Platform;
+/// use ent_runtime::{lower_program, run_lowered, RuntimeConfig, Value};
+///
+/// let compiled = compile(
+///     "class Main { int main() { return 6 * 7; } }",
+/// ).unwrap();
+/// let lowered = lower_program(&compiled);
+/// for seed in 0..3 {
+///     let config = RuntimeConfig { seed, ..RuntimeConfig::default() };
+///     let result = run_lowered(&lowered, Platform::system_a(), config);
+///     assert_eq!(result.value.unwrap(), Value::Int(42));
+/// }
+/// ```
+pub fn run_lowered(prog: &LoweredProgram, platform: Platform, config: RuntimeConfig) -> RunResult {
     // ENT iteration is recursion-based, and the evaluator is recursive, so
     // deep-but-legitimate programs need far more stack than a default test
     // thread provides. Run the interpreter on a dedicated big-stack thread
     // (the explicit call-depth guard below turns true runaway recursion
     // into `RtError::StackOverflow` long before this stack is exhausted).
-    std::thread::scope(|scope| {
+    //
+    // The thread is spawned once and reused: spawning a fresh 512 MB-stack
+    // thread costs ~30 µs, which dominates sub-millisecond runs, while a
+    // round-trip through the persistent worker is ~3 µs.
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::mpsc::{channel, Sender};
+    use std::sync::{Mutex, OnceLock};
+
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+    static WORKER: OnceLock<Mutex<Sender<Job>>> = OnceLock::new();
+    let worker = WORKER.get_or_init(|| {
+        let (tx, rx) = channel::<Job>();
         std::thread::Builder::new()
             .name("ent-interp".into())
             .stack_size(512 * 1024 * 1024)
-            .spawn_scoped(scope, || run_on_current_thread(compiled, platform, config))
-            .expect("spawning the interpreter thread")
-            .join()
-            .expect("interpreter thread panicked")
-    })
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .expect("spawning the interpreter thread");
+        Mutex::new(tx)
+    });
+
+    let (done_tx, done_rx) = channel();
+    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        // Panics must not kill the shared worker; they are re-raised on the
+        // calling thread below.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_on_current_thread(prog, platform, config)
+        }));
+        let _ = done_tx.send(result);
+    });
+    // SAFETY: erasing the closure's borrow of `prog` to ship it to the
+    // worker is sound because this thread blocks on `done_rx.recv()` until
+    // the job has finished executing; every use of `prog` happens before
+    // the completion send, so the borrow strictly outlives it. The mutex is
+    // held across send + recv so concurrent callers cannot interleave jobs
+    // and steal each other's completions.
+    let job: Job = unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+            job,
+        )
+    };
+    let guard = worker.lock().unwrap_or_else(|e| e.into_inner());
+    guard.send(job).expect("interpreter thread exited");
+    let result = done_rx.recv().expect("interpreter thread dropped the job");
+    drop(guard);
+    match result {
+        Ok(r) => r,
+        Err(panic) => resume_unwind(panic),
+    }
 }
 
 fn run_on_current_thread(
-    compiled: &CompiledProgram,
+    prog: &LoweredProgram,
     platform: Platform,
     config: RuntimeConfig,
 ) -> RunResult {
@@ -195,16 +286,12 @@ fn run_on_current_thread(
         sim.enable_trace(interval);
     }
     let mut interp = Interp {
-        program: &compiled.program,
-        table: &compiled.table,
-        modes: &compiled.program.mode_table,
+        prog,
         heap: Vec::new(),
         sim,
         config,
         output: Vec::new(),
         stats: RunStats::default(),
-        field_index: HashMap::new(),
-        method_index: HashMap::new(),
         depth: 0,
         events: Vec::new(),
     };
@@ -233,17 +320,33 @@ const COPY_OVERHEAD_OPS: f64 = 3.0e4;
 /// Simulator work charged per dynamic (tagged) allocation.
 const TAG_OVERHEAD_OPS: f64 = 2.0e3;
 
-/// A cached method resolution: the declaring class plus its declaration.
-type ResolvedMethodEntry = Option<(ClassName, Arc<MethodDecl>)>;
+/// The runtime mode tag of an object: dynamic objects are untagged until
+/// their first snapshot.
+#[derive(Clone, Copy, Debug)]
+enum RtTag {
+    Dynamic,
+    Ground(GMode),
+}
+
+impl RtTag {
+    fn ground(self) -> Option<GMode> {
+        match self {
+            RtTag::Dynamic => None,
+            RtTag::Ground(m) => Some(m),
+        }
+    }
+}
 
 /// A heap object.
 #[derive(Clone, Debug)]
 struct ObjData {
-    class: ClassName,
-    mode: RtMode,
-    /// Ground bindings for the class's mode parameters (the internal
+    /// Class id (index into [`LoweredProgram::classes`]).
+    class: u32,
+    mode: RtTag,
+    /// Ground bindings for the class's mode parameters, slot-indexed
+    /// ([`GMode::Missing`] marks an unbound parameter; the internal
     /// parameter of a dynamic object is bound at snapshot time).
-    mode_env: HashMap<ModeVar, StaticMode>,
+    mode_env: Vec<GMode>,
     fields: Vec<Value>,
     /// Lazy-copy metadata: whether this dynamic object has been
     /// snapshotted before (paper §5, "Implementation").
@@ -251,55 +354,84 @@ struct ObjData {
 }
 
 /// A call frame.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct Frame {
-    locals: Vec<(Ident, Value)>,
+    /// Slot-indexed locals: parameters first, then block-scoped lets.
+    locals: Vec<Value>,
     this_ref: Option<ObjRef>,
     /// The current closure mode `m` of `cl(m, e)`.
-    mode: StaticMode,
-    /// Ground bindings for mode variables visible in the executing body.
-    mode_env: HashMap<ModeVar, StaticMode>,
+    mode: GMode,
+    /// Slot-indexed mode environment (layout fixed at lowering time).
+    env: Vec<GMode>,
+    /// First parameter slot that received no argument (arity-mismatched
+    /// unchecked calls); reads at or above it report "unbound variable".
+    unbound_lo: u32,
+    /// Declared parameter count (slots below it are parameters).
+    n_params: u32,
 }
 
-struct Interp<'a> {
-    #[allow(dead_code)]
-    program: &'a Program,
-    table: &'a ClassTable,
-    modes: &'a ModeTable,
+/// Pads or truncates call arguments to the declared parameter count,
+/// returning the slot-indexed locals and the first unbound parameter slot
+/// (`u32::MAX` when fully applied).
+fn make_locals(mut args: Vec<Value>, n_params: u32) -> (Vec<Value>, u32) {
+    let n = n_params as usize;
+    let unbound_lo = if args.len() < n {
+        args.len() as u32
+    } else {
+        u32::MAX
+    };
+    args.resize(n, Value::Unit);
+    (args, unbound_lo)
+}
+
+/// Projects an object's mode environment through a pre-compiled
+/// (class → owner) environment map.
+fn apply_env(obj_env: &[GMode], map: &[EnvSrc]) -> Vec<GMode> {
+    map.iter()
+        .map(|src| match *src {
+            EnvSrc::Copy(i) => obj_env[i as usize],
+            EnvSrc::SlotOrVar { slot, var } => match obj_env[slot as usize] {
+                GMode::Missing => GMode::Var(var),
+                g => g,
+            },
+            EnvSrc::Ground(g) => g,
+        })
+        .collect()
+}
+
+struct Interp<'p> {
+    prog: &'p LoweredProgram,
     heap: Vec<ObjData>,
     sim: EnergySim,
     config: RuntimeConfig,
     output: Vec<String>,
     stats: RunStats,
-    /// Cache: class → ordered field names (inherited first).
-    field_index: HashMap<ClassName, Arc<Vec<Ident>>>,
-    /// Cache: (class, method) → declaring class + declaration, so hot
-    /// dispatch loops skip the chain walk.
-    method_index: HashMap<(ClassName, Ident), ResolvedMethodEntry>,
     /// Current ENT call depth (for the stack guard).
     depth: usize,
-    /// Structured event log.
+    /// Structured event log (only fed when `record_events` is on).
     events: Vec<EnergyEvent>,
 }
 
 type EvalResult = Result<Value, Flow>;
 
-impl<'a> Interp<'a> {
+impl<'p> Interp<'p> {
     fn run_main(&mut self) -> Result<Value, RtError> {
-        let main_class = ClassName::new("Main");
-        let Some(decl) = self.table.class(&main_class) else {
+        let Some((main_class, main_method)) = self.prog.main else {
             return Err(RtError::NoMain);
         };
-        let Some(_) = decl.method(&Ident::new("main")) else {
-            return Err(RtError::NoMain);
-        };
+        let n_params = self.prog.classes[main_class as usize].n_mode_params as usize;
         // boot(P) = cl(⊤, main-body) on a fresh Main object.
-        let this_ref = match self.allocate(&main_class, Vec::new(), RtMode::Ground(StaticMode::Top), HashMap::new()) {
+        let this_ref = match self.allocate(
+            main_class,
+            Vec::new(),
+            RtTag::Ground(GMode::Top),
+            vec![GMode::Missing; n_params],
+        ) {
             Ok(r) => r,
             Err(Flow::Error(e)) => return Err(e),
             Err(Flow::Return(_)) => unreachable!("allocation cannot return"),
         };
-        match self.invoke(this_ref, &Ident::new("main"), Vec::new(), &[], StaticMode::Top) {
+        match self.invoke(this_ref, main_method, Vec::new(), &[], GMode::Top) {
             Ok(v) => Ok(v),
             Err(Flow::Return(v)) => Ok(v),
             Err(Flow::Error(e)) => Err(e),
@@ -317,23 +449,25 @@ impl<'a> Interp<'a> {
 
     /// Deep, heap-resolved rendering of a value (bounded recursion depth
     /// to stay safe on cyclic heaps).
-    fn render_deep(&mut self, v: &Value, depth: usize) -> String {
+    fn render_deep(&self, v: &Value, depth: usize) -> String {
         if depth > 16 {
             return "…".to_string();
         }
         match v {
             Value::Obj(r) => {
                 let data = &self.heap[*r];
-                let class = data.class.clone();
-                let mode = data.mode.clone();
-                let fields = data.fields.clone();
-                let names = self.field_names(&class);
-                let parts: Vec<String> = names
+                let layout = &self.prog.classes[data.class as usize];
+                let mode = match data.mode {
+                    RtTag::Dynamic => "?".to_string(),
+                    RtTag::Ground(m) => self.prog.mode_disp(m).to_string(),
+                };
+                let parts: Vec<String> = layout
+                    .field_order
                     .iter()
-                    .zip(&fields)
+                    .zip(&data.fields)
                     .map(|(n, fv)| format!("{n}={}", self.render_deep(fv, depth + 1)))
                     .collect();
-                format!("{class}@{mode}{{{}}}", parts.join(","))
+                format!("{}@{mode}{{{}}}", layout.name, parts.join(","))
             }
             Value::MCase(arms) => {
                 let parts: Vec<String> = arms
@@ -355,66 +489,68 @@ impl<'a> Interp<'a> {
 
     // ---- modes -----------------------------------------------------------
 
-    /// Resolves a static mode expression to a ground mode using the frame's
-    /// mode environment.
-    fn resolve_mode(&self, frame: &Frame, m: &StaticMode) -> Result<StaticMode, Flow> {
-        match m {
-            StaticMode::Var(v) => match frame.mode_env.get(v) {
-                Some(g) => Ok(g.clone()),
-                None => Err(RtError::Native(format!("unbound mode variable `{v}`")).into()),
+    /// Resolves a lowered mode expression to a ground mode using the
+    /// frame's slot-indexed mode environment.
+    fn resolve_mode(&self, frame: &Frame, m: &LMode) -> Result<GMode, Flow> {
+        match *m {
+            LMode::Ground(g) => Ok(g),
+            LMode::Param { slot, var } => match frame.env[slot as usize] {
+                GMode::Missing => Err(self.unbound_mode_var(var)),
+                g => Ok(g),
             },
-            ground => Ok(ground.clone()),
+            LMode::Unbound(var) => Err(self.unbound_mode_var(var)),
         }
     }
 
-    fn mode_le(&self, a: &StaticMode, b: &StaticMode) -> bool {
-        self.modes.le_ground(a, b)
+    fn unbound_mode_var(&self, var: u32) -> Flow {
+        RtError::Native(format!(
+            "unbound mode variable `{}`",
+            self.prog.mode_vars.resolve(Symbol::from_raw(var))
+        ))
+        .into()
+    }
+
+    /// Maps an attributor-produced mode name back to its dense id.
+    fn mode_const(&self, m: &ModeName) -> GMode {
+        GMode::Const(
+            self.prog
+                .mode_names
+                .get(m.as_str())
+                .expect("mode constants are interned at lowering")
+                .raw(),
+        )
     }
 
     // ---- heap -------------------------------------------------------------
 
-    fn field_names(&mut self, class: &ClassName) -> Arc<Vec<Ident>> {
-        if let Some(names) = self.field_index.get(class) {
-            return Arc::clone(names);
-        }
-        let mut names = Vec::new();
-        for anc in self.table.superclass_chain(class) {
-            if let Some(decl) = self.table.class(&anc) {
-                for f in &decl.fields {
-                    names.push(f.name.clone());
-                }
-            }
-        }
-        let names = Arc::new(names);
-        self.field_index.insert(class.clone(), Arc::clone(&names));
-        names
-    }
-
     fn allocate(
         &mut self,
-        class: &ClassName,
+        class: u32,
         ctor_vals: Vec<Value>,
-        mode: RtMode,
-        mode_env: HashMap<ModeVar, StaticMode>,
+        mode: RtTag,
+        mode_env: Vec<GMode>,
     ) -> Result<ObjRef, Flow> {
+        let prog = self.prog;
+        let layout = &prog.classes[class as usize];
         self.stats.allocs += 1;
-        if matches!(mode, RtMode::Dynamic) {
+        if matches!(mode, RtTag::Dynamic) {
             self.stats.dynamic_allocs += 1;
             if self.config.tagging {
                 self.sim.do_work(WorkKind::Cpu, TAG_OVERHEAD_OPS);
             }
-            self.events.push(EnergyEvent::DynamicAlloc {
-                at_s: self.sim.time_s(),
-                class: class.to_string(),
-            });
+            if self.config.record_events {
+                self.events.push(EnergyEvent::DynamicAlloc {
+                    at_s: self.sim.time_s(),
+                    class: layout.name.to_string(),
+                });
+            }
         }
-        let names = self.field_names(class);
         let obj_ref = self.heap.len();
         self.heap.push(ObjData {
-            class: class.clone(),
+            class,
             mode,
             mode_env,
-            fields: vec![Value::Unit; names.len()],
+            fields: vec![Value::Unit; layout.field_order.len()],
             snapshotted: false,
         });
 
@@ -422,119 +558,46 @@ impl<'a> Interp<'a> {
         // declaration order; initializer fields are evaluated afterwards,
         // each in its owning class's context.
         let mut ctor_iter = ctor_vals.into_iter();
-        let chain = self.table.superclass_chain(class);
-        let mut index = 0usize;
-        // First pass: positional fields.
-        let mut init_jobs: Vec<(usize, ClassName, Expr)> = Vec::new();
-        for anc in &chain {
-            let decl = self.table.class(anc).expect("validated chain");
-            for f in &decl.fields {
-                if let Some(init) = &f.init {
-                    init_jobs.push((index, anc.clone(), init.clone()));
-                } else {
-                    let v = ctor_iter.next().ok_or_else(|| {
-                        Flow::Error(RtError::Native(format!(
-                            "missing constructor argument for field `{}` of `{class}`",
-                            f.name
-                        )))
-                    })?;
-                    self.heap[obj_ref].fields[index] = v;
-                }
-                index += 1;
-            }
+        for (slot, name) in &layout.ctor.positional {
+            let v = ctor_iter.next().ok_or_else(|| {
+                Flow::Error(RtError::Native(format!(
+                    "missing constructor argument for field `{name}` of `{}`",
+                    layout.name
+                )))
+            })?;
+            self.heap[obj_ref].fields[*slot as usize] = v;
         }
-        // Second pass: initializers, with `this` bound and the owner's
-        // mode environment.
-        for (index, owner, init) in init_jobs {
-            let mode_env = self.owner_mode_env(obj_ref, &owner)?;
-            let mode = match &self.heap[obj_ref].mode {
-                RtMode::Ground(m) => m.clone(),
-                RtMode::Dynamic => StaticMode::Top,
+        for job in &layout.ctor.inits {
+            let env = apply_env(&self.heap[obj_ref].mode_env, &job.env_map);
+            let mode = match self.heap[obj_ref].mode {
+                RtTag::Ground(m) => m,
+                RtTag::Dynamic => GMode::Top,
             };
             let mut frame = Frame {
                 locals: Vec::new(),
                 this_ref: Some(obj_ref),
                 mode,
-                mode_env,
+                env,
+                unbound_lo: u32::MAX,
+                n_params: 0,
             };
-            let v = self.eval(&mut frame, &init)?;
-            self.heap[obj_ref].fields[index] = v;
+            let v = self.eval(&mut frame, &job.body)?;
+            self.heap[obj_ref].fields[job.slot as usize] = v;
         }
         Ok(obj_ref)
     }
 
-    /// Computes the ground mode environment for an ancestor `owner` of the
-    /// object's class, by threading superclass instantiations.
-    fn owner_mode_env(
-        &self,
-        obj: ObjRef,
-        owner: &ClassName,
-    ) -> Result<HashMap<ModeVar, StaticMode>, Flow> {
-        let data = &self.heap[obj];
-        let mut cur = data.class.clone();
-        let mut env = data.mode_env.clone();
-        while &cur != owner {
-            let decl = self
-                .table
-                .class(&cur)
-                .ok_or_else(|| Flow::Error(RtError::Native(format!("unknown class `{cur}`"))))?;
-            let sup = decl.superclass.clone();
-            let sup_decl = self
-                .table
-                .class(&sup)
-                .ok_or_else(|| Flow::Error(RtError::Native(format!("unknown class `{sup}`"))))?;
-            let sup_params = sup_decl.mode_params.params();
-            let args: Vec<StaticMode> = if decl.super_args.is_empty() {
-                sup_decl.mode_params.bounds.iter().map(|b| b.lo.clone()).collect()
-            } else {
-                decl.super_args
-                    .iter()
-                    .map(|m| match m {
-                        StaticMode::Var(v) => env
-                            .get(v)
-                            .cloned()
-                            .unwrap_or_else(|| StaticMode::Var(v.clone())),
-                        g => g.clone(),
-                    })
-                    .collect()
-            };
-            env = sup_params.into_iter().zip(args).collect();
-            cur = sup;
-        }
-        Ok(env)
-    }
-
     // ---- invocation --------------------------------------------------------
-
-    fn find_method(&mut self, class: &ClassName, name: &Ident) -> ResolvedMethodEntry {
-        let key = (class.clone(), name.clone());
-        if let Some(cached) = self.method_index.get(&key) {
-            return cached.clone();
-        }
-        let mut cur = class.clone();
-        let resolved = loop {
-            let Some(decl) = self.table.class(&cur) else { break None };
-            if let Some(m) = decl.method(name) {
-                break Some((cur.clone(), Arc::new(m.clone())));
-            }
-            if decl.superclass == ClassName::object() {
-                break None;
-            }
-            cur = decl.superclass.clone();
-        };
-        self.method_index.insert(key, resolved.clone());
-        resolved
-    }
 
     /// Invokes `recv.method(args)` from a sender executing at
     /// `sender_mode`, enforcing the dynamic waterfall invariant.
     fn invoke(
         &mut self,
         recv: ObjRef,
-        method: &Ident,
+        method: u32,
         args: Vec<Value>,
-        mode_args: &[StaticMode],
-        sender_mode: StaticMode,
+        mode_args: &[GMode],
+        sender_mode: GMode,
     ) -> EvalResult {
         self.depth += 1;
         if self.depth > MAX_CALL_DEPTH {
@@ -549,99 +612,120 @@ impl<'a> Interp<'a> {
     fn invoke_inner(
         &mut self,
         recv: ObjRef,
-        method: &Ident,
+        method: u32,
         args: Vec<Value>,
-        mode_args: &[StaticMode],
-        sender_mode: StaticMode,
+        mode_args: &[GMode],
+        sender_mode: GMode,
     ) -> EvalResult {
-        let class = self.heap[recv].class.clone();
-        let Some((owner, decl)) = self.find_method(&class, method) else {
-            return Err(RtError::Native(format!("class `{class}` has no method `{method}`")).into());
+        let prog = self.prog;
+        let class = self.heap[recv].class;
+        let layout = &prog.classes[class as usize];
+        // Method ids interned after this class's vtable was sized are names
+        // no class declares: `get` correctly reports them absent.
+        let Some(entry) = layout.vtable.get(method as usize).and_then(|e| e.as_ref()) else {
+            return Err(RtError::Native(format!(
+                "class `{}` has no method `{}`",
+                layout.name,
+                prog.method_names.resolve(Symbol::from_raw(method))
+            ))
+            .into());
         };
-        let mut mode_env = self.owner_mode_env(recv, &owner)?;
+        let m: &'p LMethod = &entry.method;
+        let mut env = apply_env(&self.heap[recv].mode_env, &entry.env_map);
+        let n0 = env.len();
 
-        // Bind explicit generic method-mode arguments (inferred ones were
-        // already resolved statically into the same ground modes, so the
-        // runtime only needs explicit bindings; inferred generic modes are
-        // recovered from the receiver's environment by variable lookup).
-        for (bound, arg) in decl.mode_params.iter().zip(mode_args) {
-            mode_env.insert(bound.var.clone(), arg.clone());
+        // Bind generic method-mode parameters: explicit arguments first,
+        // then defaults (a shadowed owner binding, or unbound).
+        for (k, p) in m.mode_params.iter().enumerate() {
+            let g = match mode_args.get(k) {
+                Some(&g) => g,
+                None => match p.default {
+                    MDefault::FromSlot(j) => env[j as usize],
+                    MDefault::Missing => GMode::Missing,
+                },
+            };
+            env.push(g);
         }
 
         // Receiver-side mode for dfall: the object's tag, overridden by a
         // method-level mode or attributor.
-        let receiver_mode = match (&decl.attributor, &decl.mode) {
-            (Some(attributor), _) => {
-                // Method-level attributor: evaluate it now to characterize
-                // this invocation.
-                let mut aframe = Frame {
-                    locals: decl
-                        .params
-                        .iter()
-                        .map(|(_, n)| n.clone())
-                        .zip(args.iter().cloned())
-                        .collect(),
-                    this_ref: Some(recv),
-                    mode: sender_mode.clone(),
-                    mode_env: mode_env.clone(),
-                };
-                let m = self.eval_attributor_body(&mut aframe, &attributor.body)?;
-                let produced = StaticMode::Const(m);
-                // The method's internal view (its first declared mode
-                // parameter, if any) is bound to the attributed mode.
-                if let Some(bound) = decl.mode_params.first() {
-                    mode_env.insert(bound.var.clone(), produced.clone());
-                }
-                Some(produced)
+        let receiver_mode = if let Some(attr_body) = &m.attributor {
+            // Method-level attributor: evaluate it now to characterize
+            // this invocation.
+            let (locals, unbound_lo) = make_locals(args.clone(), m.n_params);
+            let mut aframe = Frame {
+                locals,
+                this_ref: Some(recv),
+                mode: sender_mode,
+                env: env.clone(),
+                unbound_lo,
+                n_params: m.n_params,
+            };
+            let produced = self.eval_attributor_body(&mut aframe, attr_body)?;
+            // The method's internal view (its first declared mode
+            // parameter, if any) is bound to the attributed mode.
+            if !m.mode_params.is_empty() {
+                env[n0] = produced;
             }
-            (None, Some(m)) => {
-                // Method-level static override, resolved in the owner's env.
-                let resolved = match m {
-                    StaticMode::Var(v) => mode_env.get(v).cloned().unwrap_or_else(|| m.clone()),
-                    g => g.clone(),
-                };
-                Some(resolved)
-            }
-            (None, None) => self.heap[recv].mode.ground().cloned(),
+            Some(produced)
+        } else if let Some(ov) = m.mode_override {
+            // Method-level static override, resolved in the owner's env.
+            Some(match ov {
+                LOverride::Ground(g) => g,
+                LOverride::Param { slot, var } => match env[slot as usize] {
+                    GMode::Missing => GMode::Var(var),
+                    g => g,
+                },
+            })
+        } else {
+            self.heap[recv].mode.ground()
         };
 
         // dfall(o, m): the receiver mode must be ≤ the sender (closure)
         // mode. Untagged dynamic receivers are only reachable via `this`,
         // which keeps the sender's mode.
         let frame_mode = match receiver_mode {
-            Some(m) => {
-                if !self.mode_le(&m, &sender_mode) {
+            Some(rm) => {
+                if !prog.le(rm, sender_mode) {
                     self.stats.energy_exceptions += 1;
-                    self.events.push(EnergyEvent::DfallFailure {
-                        at_s: self.sim.time_s(),
-                        target: format!("{class}.{method}"),
-                        receiver_mode: m.to_string(),
-                        sender_mode: sender_mode.to_string(),
-                    });
+                    if self.config.record_events {
+                        self.events.push(EnergyEvent::DfallFailure {
+                            at_s: self.sim.time_s(),
+                            target: format!(
+                                "{}.{}",
+                                layout.name,
+                                prog.method_names.resolve(Symbol::from_raw(method))
+                            ),
+                            receiver_mode: prog.mode_disp(rm).to_string(),
+                            sender_mode: prog.mode_disp(sender_mode).to_string(),
+                        });
+                    }
                     if !self.config.silent {
                         return Err(RtError::EnergyException(format!(
-                            "dynamic waterfall violation: `{class}.{method}` runs at mode `{m}` but the caller is at `{sender_mode}`"
+                            "dynamic waterfall violation: `{}.{}` runs at mode `{}` but the caller is at `{}`",
+                            layout.name,
+                            prog.method_names.resolve(Symbol::from_raw(method)),
+                            prog.mode_disp(rm),
+                            prog.mode_disp(sender_mode)
                         ))
                         .into());
                     }
                 }
-                m
+                rm
             }
             None => sender_mode,
         };
 
+        let (locals, unbound_lo) = make_locals(args, m.n_params);
         let mut frame = Frame {
-            locals: decl
-                .params
-                .iter()
-                .map(|(_, n)| n.clone())
-                .zip(args)
-                .collect(),
+            locals,
             this_ref: Some(recv),
             mode: frame_mode,
-            mode_env,
+            env,
+            unbound_lo,
+            n_params: m.n_params,
         };
-        match self.eval(&mut frame, &decl.body) {
+        match self.eval(&mut frame, &m.body) {
             Ok(v) => Ok(v),
             Err(Flow::Return(v)) => Ok(v),
             Err(e) => Err(e),
@@ -649,14 +733,14 @@ impl<'a> Interp<'a> {
     }
 
     /// Evaluates an attributor body to a mode constant.
-    fn eval_attributor_body(&mut self, frame: &mut Frame, body: &Expr) -> Result<ModeName, Flow> {
+    fn eval_attributor_body(&mut self, frame: &mut Frame, body: &'p LExpr) -> Result<GMode, Flow> {
         let v = match self.eval(frame, body) {
             Ok(v) => v,
             Err(Flow::Return(v)) => v,
             Err(e) => return Err(e),
         };
         match v {
-            Value::Mode(m) => Ok(m),
+            Value::Mode(m) => Ok(self.mode_const(&m)),
             other => Err(RtError::Native(format!(
                 "attributor returned a {} instead of a mode",
                 other.kind()
@@ -669,72 +753,74 @@ impl<'a> Interp<'a> {
 
     /// The paper's snapshot/check reduction: evaluate the attributor, check
     /// the bounds, produce a statically-moded (lazily copied) object.
-    fn snapshot(
-        &mut self,
-        frame: &Frame,
-        obj: ObjRef,
-        lo: &StaticMode,
-        hi: &StaticMode,
-    ) -> EvalResult {
+    fn snapshot(&mut self, frame: &Frame, obj: ObjRef, lo: &LMode, hi: &LMode) -> EvalResult {
+        let prog = self.prog;
         self.stats.snapshots += 1;
         if self.config.tagging {
             self.sim.do_work(WorkKind::Cpu, SNAPSHOT_OVERHEAD_OPS);
         }
-        let class = self.heap[obj].class.clone();
-        let Some(decl) = self.table.class(&class) else {
-            return Err(RtError::Native(format!("unknown class `{class}`")).into());
-        };
-        let Some(attributor) = &decl.attributor else {
+        let layout = &prog.classes[self.heap[obj].class as usize];
+        let Some(attributor) = &layout.attributor else {
             return Err(RtError::Native(format!(
-                "class `{class}` has no attributor; only dynamic objects can be snapshotted"
+                "class `{}` has no attributor; only dynamic objects can be snapshotted",
+                layout.name
             ))
             .into());
         };
-        let mode_env = self.heap[obj].mode_env.clone();
         let mut aframe = Frame {
             locals: Vec::new(),
             this_ref: Some(obj),
-            mode: frame.mode.clone(),
-            mode_env,
+            mode: frame.mode,
+            env: self.heap[obj].mode_env.clone(),
+            unbound_lo: u32::MAX,
+            n_params: 0,
         };
-        let body = attributor.body.clone();
-        let mode = self.eval_attributor_body(&mut aframe, &body)?;
-        let mode = StaticMode::Const(mode);
+        let mode = self.eval_attributor_body(&mut aframe, &attributor.body)?;
 
         // check(m, m1, m2, o): bad check throws the catchable
         // EnergyException unless running silent.
         let lo = self.resolve_mode(frame, lo)?;
         let hi = self.resolve_mode(frame, hi)?;
-        let failed = !(self.mode_le(&lo, &mode) && self.mode_le(&mode, &hi));
+        let failed = !(prog.le(lo, mode) && prog.le(mode, hi));
         let will_copy = self.heap[obj].snapshotted || self.config.eager_copy;
-        self.events.push(EnergyEvent::Snapshot {
-            at_s: self.sim.time_s(),
-            class: class.to_string(),
-            mode: mode.to_string(),
-            bounds: (lo.to_string(), hi.to_string()),
-            copied: !failed && will_copy,
-            failed,
-        });
+        if self.config.record_events {
+            self.events.push(EnergyEvent::Snapshot {
+                at_s: self.sim.time_s(),
+                class: layout.name.to_string(),
+                mode: prog.mode_disp(mode).to_string(),
+                bounds: (
+                    prog.mode_disp(lo).to_string(),
+                    prog.mode_disp(hi).to_string(),
+                ),
+                copied: !failed && will_copy,
+                failed,
+            });
+        }
         if failed {
             self.stats.energy_exceptions += 1;
             if !self.config.silent {
                 return Err(RtError::EnergyException(format!(
-                    "snapshot of `{class}` produced mode `{mode}` outside bounds [{lo}, {hi}]"
+                    "snapshot of `{}` produced mode `{}` outside bounds [{}, {}]",
+                    layout.name,
+                    prog.mode_disp(mode),
+                    prog.mode_disp(lo),
+                    prog.mode_disp(hi)
                 ))
                 .into());
             }
         }
 
-        // Bind the class's internal mode parameter to the produced mode.
-        let internal = decl.mode_params.bounds.first().map(|b| b.var.clone());
+        // Bind the class's internal mode parameter (slot 0) to the
+        // produced mode.
+        let has_internal = attributor.has_internal;
 
         if !self.heap[obj].snapshotted && !self.config.eager_copy {
             // Lazy copy: tag in place on first snapshot.
             let data = &mut self.heap[obj];
             data.snapshotted = true;
-            data.mode = RtMode::Ground(mode.clone());
-            if let Some(v) = internal {
-                data.mode_env.insert(v, mode);
+            data.mode = RtTag::Ground(mode);
+            if has_internal {
+                data.mode_env[0] = mode;
             }
             Ok(Value::Obj(obj))
         } else {
@@ -754,9 +840,9 @@ impl<'a> Interp<'a> {
                 copy
             };
             let data = &mut self.heap[copy];
-            data.mode = RtMode::Ground(mode.clone());
-            if let Some(v) = internal {
-                data.mode_env.insert(v, mode);
+            data.mode = RtTag::Ground(mode);
+            if has_internal {
+                data.mode_env[0] = mode;
             }
             data.snapshotted = true;
             Ok(Value::Obj(copy))
@@ -792,26 +878,26 @@ impl<'a> Interp<'a> {
 
     /// Eliminates a mode case at a target mode: the arm whose mode is the
     /// largest at or below the target.
-    fn eliminate(&self, arms: &[(ModeName, Value)], target: &StaticMode) -> Result<Value, Flow> {
-        let mut best: Option<(&ModeName, &Value)> = None;
+    fn eliminate(&self, arms: &[(ModeName, Value)], target: GMode) -> Result<Value, Flow> {
+        let prog = self.prog;
+        let mut best: Option<(GMode, &Value)> = None;
         for (m, v) in arms {
-            let am = StaticMode::Const(m.clone());
-            if self.mode_le(&am, target) {
+            let am = self.mode_const(m);
+            if prog.le(am, target) {
                 let better = match best {
                     None => true,
-                    Some((bm, _)) => {
-                        self.mode_le(&StaticMode::Const(bm.clone()), &am)
-                    }
+                    Some((bm, _)) => prog.le(bm, am),
                 };
                 if better {
-                    best = Some((m, v));
+                    best = Some((am, v));
                 }
             }
         }
         match best {
             Some((_, v)) => Ok(v.clone()),
             None => Err(RtError::NoSuchArm(format!(
-                "no mode case arm at or below `{target}`"
+                "no mode case arm at or below `{}`",
+                prog.mode_disp(target)
             ))
             .into()),
         }
@@ -822,209 +908,200 @@ impl<'a> Interp<'a> {
     /// syntax).
     fn force(&self, frame: &Frame, v: Value) -> Result<Value, Flow> {
         match v {
-            Value::MCase(arms) => self.eliminate(&arms, &frame.mode),
+            Value::MCase(arms) => self.eliminate(&arms, frame.mode),
             other => Ok(other),
         }
     }
 
     // ---- evaluation ---------------------------------------------------------------
 
-    fn eval(&mut self, frame: &mut Frame, e: &Expr) -> EvalResult {
+    fn eval(&mut self, frame: &mut Frame, e: &'p LExpr) -> EvalResult {
         self.gas()?;
-        match &e.kind {
-            ExprKind::Lit(l) => Ok(match l {
-                Lit::Int(n) => Value::Int(*n),
-                Lit::Double(x) => Value::Double(*x),
-                Lit::Bool(b) => Value::Bool(*b),
-                Lit::Str(s) => Value::str(s),
-                Lit::Unit => Value::Unit,
-            }),
-            ExprKind::ModeConst(m) => Ok(Value::Mode(m.clone())),
-            ExprKind::This => match frame.this_ref {
+        let prog = self.prog;
+        match e {
+            LExpr::Lit(v) => Ok(v.clone()),
+            LExpr::ModeConst(m) => Ok(Value::Mode(m.clone())),
+            LExpr::This => match frame.this_ref {
                 Some(r) => Ok(Value::Obj(r)),
                 None => Err(RtError::Native("`this` outside an object context".into()).into()),
             },
-            ExprKind::Var(x) => frame
-                .locals
-                .iter()
-                .rev()
-                .find(|(n, _)| n == x)
-                .map(|(_, v)| v.clone())
-                .ok_or_else(|| RtError::Native(format!("unbound variable `{x}`")).into()),
-            ExprKind::Field { recv, name } => {
+            LExpr::Var { slot, name } => {
+                if *slot >= frame.unbound_lo && *slot < frame.n_params {
+                    return Err(RtError::Native(format!("unbound variable `{name}`")).into());
+                }
+                match frame.locals.get(*slot as usize) {
+                    Some(v) => Ok(v.clone()),
+                    None => Err(RtError::Native(format!("unbound variable `{name}`")).into()),
+                }
+            }
+            LExpr::UnboundVar(name) => {
+                Err(RtError::Native(format!("unbound variable `{name}`")).into())
+            }
+            LExpr::Field { recv, field, name } => {
                 let rv = self.eval(frame, recv)?;
                 let Value::Obj(r) = rv else {
-                    return Err(RtError::Native(format!(
-                        "field access on a {}",
-                        rv.kind()
-                    ))
-                    .into());
+                    return Err(RtError::Native(format!("field access on a {}", rv.kind())).into());
                 };
-                let class = self.heap[r].class.clone();
-                let names = self.field_names(&class);
-                match names.iter().position(|n| n == name) {
-                    Some(i) => Ok(self.heap[r].fields[i].clone()),
-                    None => Err(RtError::Native(format!(
-                        "class `{class}` has no field `{name}`"
+                let data = &self.heap[r];
+                let layout = &prog.classes[data.class as usize];
+                // Field ids interned after this layout was built are names
+                // no class declares: out-of-range reads report them absent.
+                match layout.field_slot.get(*field as usize) {
+                    Some(&s) if s != u32::MAX => Ok(data.fields[s as usize].clone()),
+                    _ => Err(RtError::Native(format!(
+                        "class `{}` has no field `{name}`",
+                        layout.name
                     ))
                     .into()),
                 }
             }
-            ExprKind::New { class, args, ctor_args } => {
+            LExpr::New {
+                class,
+                plan,
+                ctor_args,
+            } => {
                 let mut vals = Vec::with_capacity(ctor_args.len());
                 for a in ctor_args {
                     vals.push(self.eval(frame, a)?);
                 }
-                let decl = self
-                    .table
-                    .class(class)
-                    .ok_or_else(|| Flow::Error(RtError::Native(format!("unknown class `{class}`"))))?;
-                let params = decl.mode_params.params();
-                let (mode, mode_env) = match args {
-                    Some(margs) if margs.is_dynamic() => {
-                        let mut env = HashMap::new();
-                        for (var, m) in params.iter().skip(1).zip(&margs.rest) {
-                            env.insert(var.clone(), self.resolve_mode(frame, m)?);
+                let layout = &prog.classes[*class as usize];
+                let n = layout.n_mode_params as usize;
+                let (mode, env) = match plan {
+                    NewPlan::Dynamic { rest } => {
+                        let mut env = vec![GMode::Missing; n];
+                        for (i, m) in rest.iter().enumerate() {
+                            env[1 + i] = self.resolve_mode(frame, m)?;
                         }
-                        (RtMode::Dynamic, env)
+                        (RtTag::Dynamic, env)
                     }
-                    Some(margs) => {
-                        let mut env = HashMap::new();
-                        let mut flat = Vec::new();
-                        if let Mode::Static(m) = &margs.mode {
-                            flat.push(self.resolve_mode(frame, m)?);
+                    NewPlan::Static { flat } => {
+                        let mut resolved = Vec::with_capacity(flat.len());
+                        for m in flat {
+                            resolved.push(self.resolve_mode(frame, m)?);
                         }
-                        flat.extend(
-                            margs
-                                .rest
-                                .iter()
-                                .map(|m| self.resolve_mode(frame, m))
-                                .collect::<Result<Vec<_>, _>>()?,
-                        );
-                        for (var, m) in params.iter().zip(flat.iter()) {
-                            env.insert(var.clone(), m.clone());
+                        let mode = resolved.first().copied().unwrap_or(GMode::Bot);
+                        let mut env = vec![GMode::Missing; n];
+                        for (i, g) in resolved.into_iter().take(n).enumerate() {
+                            env[i] = g;
                         }
-                        let mode = flat
-                            .first()
-                            .cloned()
-                            .unwrap_or(StaticMode::Bot);
-                        (RtMode::Ground(mode), env)
+                        (RtTag::Ground(mode), env)
                     }
-                    None => {
-                        if decl.mode_params.dynamic {
-                            (RtMode::Dynamic, HashMap::new())
-                        } else if decl.mode_params.bounds.is_empty() {
-                            (RtMode::Ground(StaticMode::Bot), HashMap::new())
-                        } else {
-                            // Pinned-mode default instantiation.
-                            let mut env = HashMap::new();
-                            for b in &decl.mode_params.bounds {
-                                env.insert(b.var.clone(), b.lo.clone());
-                            }
-                            (RtMode::Ground(decl.mode_params.bounds[0].lo.clone()), env)
+                    NewPlan::Default => match &layout.default_new {
+                        DefaultNew::Dynamic => (RtTag::Dynamic, vec![GMode::Missing; n]),
+                        DefaultNew::Fixed { env } => {
+                            let mode = env.first().copied().unwrap_or(GMode::Bot);
+                            (RtTag::Ground(mode), env.to_vec())
                         }
-                    }
+                    },
                 };
-                let r = self.allocate(class, vals, mode, mode_env)?;
+                let r = self.allocate(*class, vals, mode, env)?;
                 Ok(Value::Obj(r))
             }
-            ExprKind::Call { recv, method, mode_args, args } => {
+            LExpr::NewUnknown { class, ctor_args } => {
+                for a in ctor_args {
+                    self.eval(frame, a)?;
+                }
+                Err(RtError::Native(format!("unknown class `{class}`")).into())
+            }
+            LExpr::Call {
+                recv,
+                method,
+                mode_args,
+                args,
+            } => {
                 let rv = self.eval(frame, recv)?;
                 let Value::Obj(r) = rv else {
-                    return Err(RtError::Native(format!(
-                        "method call on a {}",
-                        rv.kind()
-                    ))
-                    .into());
+                    return Err(RtError::Native(format!("method call on a {}", rv.kind())).into());
                 };
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval(frame, a)?);
                 }
-                let resolved_mode_args = mode_args
-                    .iter()
-                    .map(|m| self.resolve_mode(frame, m))
-                    .collect::<Result<Vec<_>, _>>()?;
-                self.invoke(r, method, vals, &resolved_mode_args, frame.mode.clone())
+                let mut gmodes = Vec::with_capacity(mode_args.len());
+                for m in mode_args {
+                    gmodes.push(self.resolve_mode(frame, m)?);
+                }
+                self.invoke(r, *method, vals, &gmodes, frame.mode)
             }
-            ExprKind::Builtin { ns, name, args } => {
+            LExpr::Builtin { op, ns, name, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     let v = self.eval(frame, a)?;
                     vals.push(self.force(frame, v)?);
                 }
-                self.builtin(ns.as_str(), name.as_str(), vals)
+                self.builtin(*op, ns, name, vals)
             }
-            ExprKind::Cast { ty, expr } => {
+            LExpr::Cast { check, expr } => {
                 let v = self.eval(frame, expr)?;
                 // Only object downcasts can fail at run time.
-                if let (Value::Obj(r), ent_syntax::Type::Object { class, .. }) = (&v, ty) {
-                    let actual = &self.heap[*r].class;
-                    if !self.table.is_subclass(actual, class) {
-                        return Err(RtError::BadCast(format!(
-                            "object of class `{actual}` is not a `{class}`"
-                        ))
-                        .into());
+                if let (Value::Obj(r), Some(check)) = (&v, check) {
+                    let actual = self.heap[*r].class;
+                    let actual_name = &prog.classes[actual as usize].name;
+                    match check {
+                        CastCheck::Class(cid) => {
+                            if !prog.is_subclass_id(actual, *cid) {
+                                return Err(RtError::BadCast(format!(
+                                    "object of class `{actual_name}` is not a `{}`",
+                                    prog.classes[*cid as usize].name
+                                ))
+                                .into());
+                            }
+                        }
+                        CastCheck::Unknown(class) => {
+                            return Err(RtError::BadCast(format!(
+                                "object of class `{actual_name}` is not a `{class}`"
+                            ))
+                            .into());
+                        }
                     }
                 }
                 Ok(v)
             }
-            ExprKind::Snapshot { expr, lo, hi } => {
+            LExpr::Snapshot { expr, lo, hi } => {
                 let v = self.eval(frame, expr)?;
                 let Value::Obj(r) = v else {
-                    return Err(RtError::Native(format!(
-                        "snapshot of a {}",
-                        v.kind()
-                    ))
-                    .into());
+                    return Err(RtError::Native(format!("snapshot of a {}", v.kind())).into());
                 };
                 self.snapshot(frame, r, lo, hi)
             }
-            ExprKind::MCase { ty: _, arms } => {
+            LExpr::MCase(arms) => {
                 let mut vals = Vec::with_capacity(arms.len());
                 for (m, arm) in arms {
                     vals.push((m.clone(), self.eval(frame, arm)?));
                 }
                 Ok(Value::MCase(Arc::new(vals)))
             }
-            ExprKind::Elim { expr, mode } => {
+            LExpr::Elim { expr, mode } => {
                 let v = self.eval(frame, expr)?;
                 let Value::MCase(arms) = v else {
-                    return Err(RtError::Native(format!(
-                        "`<|` on a {}",
-                        v.kind()
-                    ))
-                    .into());
+                    return Err(RtError::Native(format!("`<|` on a {}", v.kind())).into());
                 };
                 let target = match mode {
                     Some(m) => self.resolve_mode(frame, m)?,
-                    None => frame.mode.clone(),
+                    None => frame.mode,
                 };
-                self.eliminate(&arms, &target)
+                self.eliminate(&arms, target)
             }
-            ExprKind::Binary { op, lhs, rhs } => self.binary(frame, *op, lhs, rhs),
-            ExprKind::Unary { op, expr } => {
+            LExpr::Binary { op, lhs, rhs } => self.binary(frame, *op, lhs, rhs),
+            LExpr::Unary { op, expr } => {
                 let v = self.eval(frame, expr)?;
                 let v = self.force(frame, v)?;
                 match (op, v) {
                     (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
                     (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(-n)),
                     (UnOp::Neg, Value::Double(x)) => Ok(Value::Double(-x)),
-                    (op, v) => {
-                        Err(RtError::Native(format!("cannot apply `{op}` to a {}", v.kind()))
-                            .into())
-                    }
+                    (op, v) => Err(RtError::Native(format!(
+                        "cannot apply `{op}` to a {}",
+                        v.kind()
+                    ))
+                    .into()),
                 }
             }
-            ExprKind::If { cond, then, els } => {
+            LExpr::If { cond, then, els } => {
                 let c = self.eval(frame, cond)?;
                 let c = self.force(frame, c)?;
                 let Value::Bool(b) = c else {
-                    return Err(RtError::Native(format!(
-                        "if condition is a {}",
-                        c.kind()
-                    ))
-                    .into());
+                    return Err(RtError::Native(format!("if condition is a {}", c.kind())).into());
                 };
                 if b {
                     self.eval(frame, then)
@@ -1035,20 +1112,20 @@ impl<'a> Interp<'a> {
                     }
                 }
             }
-            ExprKind::Block(stmts) => {
+            LExpr::Block(stmts) => {
                 let depth = frame.locals.len();
                 let mut last = Value::Unit;
                 for stmt in stmts {
                     match stmt {
-                        Stmt::Let { name, value, .. } => {
+                        LStmt::Let(value) => {
                             let v = self.eval(frame, value)?;
-                            frame.locals.push((name.clone(), v));
+                            frame.locals.push(v);
                             last = Value::Unit;
                         }
-                        Stmt::Expr(e) => {
+                        LStmt::Expr(e) => {
                             last = self.eval(frame, e)?;
                         }
-                        Stmt::Return(e) => {
+                        LStmt::Return(e) => {
                             let v = self.eval(frame, e)?;
                             frame.locals.truncate(depth);
                             return Err(Flow::Return(v));
@@ -1058,11 +1135,19 @@ impl<'a> Interp<'a> {
                 frame.locals.truncate(depth);
                 Ok(last)
             }
-            ExprKind::Try { body, handler } => match self.eval(frame, body) {
-                Err(Flow::Error(RtError::EnergyException(_))) => self.eval(frame, handler),
-                other => other,
-            },
-            ExprKind::ArrayLit(items) => {
+            LExpr::Try { body, handler } => {
+                // A failing body may leave partially-pushed block locals on
+                // the frame; restore the handler's lowered slot layout.
+                let depth = frame.locals.len();
+                match self.eval(frame, body) {
+                    Err(Flow::Error(RtError::EnergyException(_))) => {
+                        frame.locals.truncate(depth);
+                        self.eval(frame, handler)
+                    }
+                    other => other,
+                }
+            }
+            LExpr::ArrayLit(items) => {
                 let mut vals = Vec::with_capacity(items.len());
                 for item in items {
                     vals.push(self.eval(frame, item)?);
@@ -1072,7 +1157,13 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn binary(&mut self, frame: &mut Frame, op: BinOp, lhs: &Expr, rhs: &Expr) -> EvalResult {
+    fn binary(
+        &mut self,
+        frame: &mut Frame,
+        op: BinOp,
+        lhs: &'p LExpr,
+        rhs: &'p LExpr,
+    ) -> EvalResult {
         // Short-circuit && / ||.
         if matches!(op, BinOp::And | BinOp::Or) {
             let l = self.eval(frame, lhs)?;
@@ -1097,8 +1188,12 @@ impl<'a> Interp<'a> {
         let r = self.force(frame, r)?;
         use BinOp::*;
         let err = |l: &Value, r: &Value| -> Flow {
-            RtError::Native(format!("cannot apply `{op}` to {} and {}", l.kind(), r.kind()))
-                .into()
+            RtError::Native(format!(
+                "cannot apply `{op}` to {} and {}",
+                l.kind(),
+                r.kind()
+            ))
+            .into()
         };
         match (op, &l, &r) {
             (Add, Value::Str(a), b) => Ok(Value::str(format!("{a}{}", b.display_string()))),
@@ -1135,76 +1230,82 @@ impl<'a> Interp<'a> {
 
     // ---- builtins --------------------------------------------------------------
 
-    fn builtin(&mut self, ns: &str, name: &str, args: Vec<Value>) -> EvalResult {
+    fn builtin(
+        &mut self,
+        op: BOp,
+        ns: &ent_syntax::Ident,
+        name: &ent_syntax::Ident,
+        args: Vec<Value>,
+    ) -> EvalResult {
         let native = |msg: String| -> Flow { RtError::Native(msg).into() };
-        match (ns, name, args.as_slice()) {
-            ("Ext", "battery", []) => Ok(Value::Double(self.sim.battery_level())),
-            ("Ext", "temperature", []) => Ok(Value::Double(self.sim.temperature_c())),
-            ("Ext", "timeMs", []) => Ok(Value::Double(self.sim.time_s() * 1000.0)),
-            ("Sim", "work", [Value::Str(kind), Value::Double(units)]) => {
+        match (op, args.as_slice()) {
+            (BOp::ExtBattery, []) => Ok(Value::Double(self.sim.battery_level())),
+            (BOp::ExtTemperature, []) => Ok(Value::Double(self.sim.temperature_c())),
+            (BOp::ExtTimeMs, []) => Ok(Value::Double(self.sim.time_s() * 1000.0)),
+            (BOp::SimWork, [Value::Str(kind), Value::Double(units)]) => {
                 self.sim.do_work(WorkKind::parse(kind), *units);
                 Ok(Value::Unit)
             }
-            ("Sim", "sleepMs", [Value::Int(ms)]) => {
+            (BOp::SimSleepMs, [Value::Int(ms)]) => {
                 self.sim.sleep_ms(*ms as f64);
                 Ok(Value::Unit)
             }
-            ("Sim", "rand", []) => Ok(Value::Double(self.sim.rand())),
-            ("IO", "print", [v]) => {
+            (BOp::SimRand, []) => Ok(Value::Double(self.sim.rand())),
+            (BOp::IoPrint, [v]) => {
                 self.output.push(v.display_string());
                 Ok(Value::Unit)
             }
-            ("Str", "len", [Value::Str(s)]) => Ok(Value::Int(s.chars().count() as i64)),
-            ("Str", "ofInt", [Value::Int(n)]) => Ok(Value::str(n.to_string())),
-            ("Str", "ofDouble", [Value::Double(x)]) => Ok(Value::str(format!("{x}"))),
-            ("Str", "sub", [Value::Str(s), Value::Int(a), Value::Int(b)]) => {
+            (BOp::StrLen, [Value::Str(s)]) => Ok(Value::Int(s.chars().count() as i64)),
+            (BOp::StrOfInt, [Value::Int(n)]) => Ok(Value::str(n.to_string())),
+            (BOp::StrOfDouble, [Value::Double(x)]) => Ok(Value::str(format!("{x}"))),
+            (BOp::StrSub, [Value::Str(s), Value::Int(a), Value::Int(b)]) => {
                 let chars: Vec<char> = s.chars().collect();
                 let a = (*a).clamp(0, chars.len() as i64) as usize;
                 let b = (*b).clamp(a as i64, chars.len() as i64) as usize;
                 Ok(Value::str(chars[a..b].iter().collect::<String>()))
             }
-            ("Math", "floor", [Value::Double(x)]) => Ok(Value::Int(x.floor() as i64)),
-            ("Math", "toDouble", [Value::Int(n)]) => Ok(Value::Double(*n as f64)),
-            ("Math", "min", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.min(b))),
-            ("Math", "max", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
-            ("Math", "fmin", [Value::Double(a), Value::Double(b)]) => {
-                Ok(Value::Double(a.min(*b)))
-            }
-            ("Math", "fmax", [Value::Double(a), Value::Double(b)]) => {
-                Ok(Value::Double(a.max(*b)))
-            }
-            ("Math", "abs", [Value::Int(n)]) => Ok(Value::Int(n.abs())),
-            ("Math", "sqrt", [Value::Double(x)]) => Ok(Value::Double(x.sqrt())),
-            ("Math", "pow", [Value::Double(a), Value::Double(b)]) => {
-                Ok(Value::Double(a.powf(*b)))
-            }
-            ("Arr", "range", [Value::Int(a), Value::Int(b)]) => {
+            (BOp::MathFloor, [Value::Double(x)]) => Ok(Value::Int(x.floor() as i64)),
+            (BOp::MathToDouble, [Value::Int(n)]) => Ok(Value::Double(*n as f64)),
+            (BOp::MathMin, [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.min(b))),
+            (BOp::MathMax, [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
+            (BOp::MathFmin, [Value::Double(a), Value::Double(b)]) => Ok(Value::Double(a.min(*b))),
+            (BOp::MathFmax, [Value::Double(a), Value::Double(b)]) => Ok(Value::Double(a.max(*b))),
+            (BOp::MathAbs, [Value::Int(n)]) => Ok(Value::Int(n.abs())),
+            (BOp::MathSqrt, [Value::Double(x)]) => Ok(Value::Double(x.sqrt())),
+            (BOp::MathPow, [Value::Double(a), Value::Double(b)]) => Ok(Value::Double(a.powf(*b))),
+            (BOp::ArrRange, [Value::Int(a), Value::Int(b)]) => {
                 let items: Vec<Value> = (*a..*b).map(Value::Int).collect();
                 Ok(Value::Array(Arc::new(items)))
             }
-            ("Arr", "len", [Value::Array(items)]) => Ok(Value::Int(items.len() as i64)),
-            ("Arr", "get", [Value::Array(items), Value::Int(i)]) => items
-                .get(*i as usize)
-                .cloned()
-                .ok_or_else(|| native(format!("array index {i} out of bounds (len {})", items.len()))),
-            ("Arr", "sub", [Value::Array(items), Value::Int(a), Value::Int(b)]) => {
+            (BOp::ArrLen, [Value::Array(items)]) => Ok(Value::Int(items.len() as i64)),
+            (BOp::ArrGet, [Value::Array(items), Value::Int(i)]) => {
+                items.get(*i as usize).cloned().ok_or_else(|| {
+                    native(format!(
+                        "array index {i} out of bounds (len {})",
+                        items.len()
+                    ))
+                })
+            }
+            (BOp::ArrSub, [Value::Array(items), Value::Int(a), Value::Int(b)]) => {
                 let a = (*a).clamp(0, items.len() as i64) as usize;
                 let b = (*b).clamp(a as i64, items.len() as i64) as usize;
                 Ok(Value::Array(Arc::new(items[a..b].to_vec())))
             }
-            ("Arr", "concat", [Value::Array(a), Value::Array(b)]) => {
+            (BOp::ArrConcat, [Value::Array(a), Value::Array(b)]) => {
                 let mut out = a.to_vec();
                 out.extend(b.iter().cloned());
                 Ok(Value::Array(Arc::new(out)))
             }
-            ("Arr", "push", [Value::Array(a), v]) => {
+            (BOp::ArrPush, [Value::Array(a), v]) => {
                 let mut out = a.to_vec();
                 out.push(v.clone());
                 Ok(Value::Array(Arc::new(out)))
             }
-            ("Arr", "make", [Value::Int(n), v]) => {
-                Ok(Value::Array(Arc::new(vec![v.clone(); (*n).max(0) as usize])))
-            }
+            (BOp::ArrMake, [Value::Int(n), v]) => Ok(Value::Array(Arc::new(vec![
+                v.clone();
+                (*n).max(0)
+                    as usize
+            ]))),
             _ => Err(native(format!(
                 "unknown or misapplied builtin `{ns}.{name}` with {} args",
                 args.len()

@@ -7,6 +7,12 @@
 //! re-validates the dynamic waterfall invariant `dfall` — which, per the
 //! paper's Corollary 1, never fails for well-typed programs.
 //!
+//! Programs are lowered once at load time to an indexed IR (interned
+//! symbols, frame-slot variables, per-class field slots, vtable dispatch,
+//! slot-indexed mode environments) that the interpreter executes directly;
+//! [`run`] lowers and runs in one call, while [`lower_program`] +
+//! [`run_lowered`] amortize lowering across repeated runs.
+//!
 //! # Example
 //!
 //! ```
@@ -38,8 +44,10 @@
 mod error;
 pub mod formal;
 mod interp;
+mod lower;
 mod value;
 
 pub use error::{Flow, RtError};
-pub use interp::{run, EnergyEvent, RunResult, RunStats, RuntimeConfig};
+pub use interp::{run, run_lowered, EnergyEvent, RunResult, RunStats, RuntimeConfig};
+pub use lower::{lower_program, LoweredProgram};
 pub use value::{ObjRef, RtMode, Value};

@@ -102,7 +102,10 @@ fn deep_copy_handles_cyclic_reachability_via_sharing() {
     let r = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { deep_copy: true, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            deep_copy: true,
+            ..RuntimeConfig::default()
+        },
     );
     assert!(r.value.is_ok(), "{:?}", r.value);
 }

@@ -41,7 +41,10 @@ fn math_builtins() {
     assert_eq!(eval_int("Math.min(3, 7) + Math.max(3, 7)"), Value::Int(10));
     assert_eq!(eval_int("Math.abs(0 - 9)"), Value::Int(9));
     assert_eq!(eval_int("Math.floor(Math.sqrt(81.0))"), Value::Int(9));
-    assert_eq!(eval_int("Math.floor(Math.pow(2.0, 10.0))"), Value::Int(1024));
+    assert_eq!(
+        eval_int("Math.floor(Math.pow(2.0, 10.0))"),
+        Value::Int(1024)
+    );
     assert_eq!(
         eval_int("Math.floor(Math.fmin(1.5, 2.5) + Math.fmax(1.5, 2.5))"),
         Value::Int(4)
@@ -52,8 +55,14 @@ fn math_builtins() {
 fn array_builtins() {
     assert_eq!(eval_int("Arr.len(Arr.range(2, 9))"), Value::Int(7));
     assert_eq!(eval_int("Arr.get([10, 20, 30], 1)"), Value::Int(20));
-    assert_eq!(eval_int("Arr.len(Arr.sub([1,2,3,4,5], 1, 4))"), Value::Int(3));
-    assert_eq!(eval_int("Arr.len(Arr.concat([1,2],[3,4,5]))"), Value::Int(5));
+    assert_eq!(
+        eval_int("Arr.len(Arr.sub([1,2,3,4,5], 1, 4))"),
+        Value::Int(3)
+    );
+    assert_eq!(
+        eval_int("Arr.len(Arr.concat([1,2],[3,4,5]))"),
+        Value::Int(5)
+    );
     assert_eq!(eval_int("Arr.get(Arr.push([1,2], 7), 2)"), Value::Int(7));
     assert_eq!(eval_int("Arr.len(Arr.make(4, 0))"), Value::Int(4));
     // Empty ranges.

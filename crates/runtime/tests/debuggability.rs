@@ -89,7 +89,11 @@ fn step2_bounded_snapshot_throws_and_the_event_log_names_the_hotspot() {
     let result = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.3, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.3,
+            record_events: true,
+            ..RuntimeConfig::default()
+        },
     );
     assert!(matches!(result.value, Err(RtError::EnergyException(_))));
     // The event log answers §6.3's question (1): "Why is a large Site
@@ -98,9 +102,13 @@ fn step2_bounded_snapshot_throws_and_the_event_log_names_the_hotspot() {
         .events
         .iter()
         .find_map(|e| match e {
-            EnergyEvent::Snapshot { class, mode, failed: true, bounds, .. } => {
-                Some((class.clone(), mode.clone(), bounds.clone()))
-            }
+            EnergyEvent::Snapshot {
+                class,
+                mode,
+                failed: true,
+                bounds,
+                ..
+            } => Some((class.clone(), mode.clone(), bounds.clone())),
             _ => None,
         })
         .expect("the failed check is in the log");
@@ -116,7 +124,11 @@ fn step3_handler_recovers_and_consumes_less_energy() {
     let low = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.3, seed: 9, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.3,
+            seed: 9,
+            ..RuntimeConfig::default()
+        },
     );
     // The handler crawled the small fallback site instead.
     assert_eq!(low.value.as_ref().unwrap(), &ent_runtime::Value::Int(25));
@@ -124,7 +136,11 @@ fn step3_handler_recovers_and_consumes_less_energy() {
     let high = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.95, seed: 9, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.95,
+            seed: 9,
+            ..RuntimeConfig::default()
+        },
     );
     assert_eq!(high.value.as_ref().unwrap(), &ent_runtime::Value::Int(3000));
     assert!(
@@ -142,7 +158,11 @@ fn event_log_orders_and_timestamps_snapshots() {
     let result = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.95, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.95,
+            record_events: true,
+            ..RuntimeConfig::default()
+        },
     );
     let times: Vec<f64> = result
         .events
@@ -153,7 +173,10 @@ fn event_log_orders_and_timestamps_snapshots() {
             | EnergyEvent::DfallFailure { at_s, .. } => *at_s,
         })
         .collect();
-    assert!(times.windows(2).all(|w| w[0] <= w[1]), "monotone timestamps");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "monotone timestamps"
+    );
     // Full battery: Agent + big Site snapshots only (no fallback).
     let snaps = result
         .events

@@ -179,3 +179,78 @@ fn lowering_rejects_extended_programs() {
         "primitive arithmetic is outside the formal core"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Golden semantics preservation for the example programs
+// ---------------------------------------------------------------------------
+
+fn fingerprint(result: &ent_runtime::RunResult) -> String {
+    let s = &result.stats;
+    let value = match &result.value {
+        Ok(v) => format!("ok:{v}"),
+        Err(e) => format!("err:{e}"),
+    };
+    format!(
+        "steps={};snaps={};copies={};exc={};dyn={};allocs={};value={};pretty={};out={};energy={:016x};time={:016x}",
+        s.steps,
+        s.snapshots,
+        s.copies,
+        s.energy_exceptions,
+        s.dynamic_allocs,
+        s.allocs,
+        value,
+        result.value_pretty.clone().unwrap_or_default(),
+        result.output.join("\\n"),
+        result.measurement.energy_j.to_bits(),
+        result.measurement.time_s.to_bits(),
+    )
+}
+
+/// Runs every `.ent` example at two battery levels and two seeds and
+/// compares all observables against goldens captured from the
+/// pre-lowering interpreter. Refresh with `ENT_UPDATE_GOLDENS=1`.
+#[test]
+fn golden_semantics_for_example_programs() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/ent");
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/examples.txt");
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/ent exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".ent").then_some(name)
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "example corpus must not be empty");
+
+    let mut lines = Vec::new();
+    for name in &names {
+        let src = std::fs::read_to_string(format!("{dir}/{name}")).unwrap();
+        let compiled = compile(&src)
+            .unwrap_or_else(|e| panic!("{name} failed to compile:\n{}", e.render(&src)));
+        for (battery, seed) in [(0.95, 7u64), (0.35, 11u64)] {
+            let config = RuntimeConfig {
+                battery_level: battery,
+                seed,
+                ..RuntimeConfig::default()
+            };
+            let result = run(&compiled, Platform::system_a(), config);
+            lines.push(format!(
+                "{name} battery={battery} seed={seed} {}",
+                fingerprint(&result)
+            ));
+        }
+    }
+    let actual = lines.join("\n") + "\n";
+    if std::env::var_os("ENT_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(golden_path).parent().unwrap()).unwrap();
+        std::fs::write(golden_path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with ENT_UPDATE_GOLDENS=1 to capture");
+    for (a, e) in actual.lines().zip(expected.lines()) {
+        assert_eq!(a, e, "semantics drifted from the pre-lowering interpreter");
+    }
+    assert_eq!(actual.lines().count(), expected.lines().count());
+}

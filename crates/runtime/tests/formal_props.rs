@@ -55,7 +55,12 @@ fn collect_modes(term: &Term, out: &mut HashMap<u64, FMode>) {
 /// A parametric FJ-core program: a dynamic probe whose attributor returns
 /// a constructor-supplied mode, snapshotted `snapshots` times under a
 /// bound, returning the last result.
-fn probe_source(mode_count: usize, stored: usize, bound: Option<usize>, snapshots: usize) -> String {
+fn probe_source(
+    mode_count: usize,
+    stored: usize,
+    bound: Option<usize>,
+    snapshots: usize,
+) -> String {
     let mode = |i: usize| format!("m{i}");
     let mut modes_block = String::from("modes { ");
     for i in 0..mode_count - 1 {

@@ -36,7 +36,14 @@ struct GenProgram {
 }
 
 fn arb_gen() -> impl Strategy<Value = GenProgram> {
-    (2usize..=4, 1usize..=4, any::<bool>(), 0u32..100, 0u32..100, proptest::collection::vec(-50i64..50, 4))
+    (
+        2usize..=4,
+        1usize..=4,
+        any::<bool>(),
+        0u32..100,
+        0u32..100,
+        proptest::collection::vec(-50i64..50, 4),
+    )
         .prop_flat_map(|(mode_count, chain_len, guarded, c1, c2, payload)| {
             (
                 Just(mode_count),
@@ -48,12 +55,22 @@ fn arb_gen() -> impl Strategy<Value = GenProgram> {
                 Just(payload),
             )
         })
-        .prop_map(|(mode_count, chain_len, mut chain_modes, guarded, bound, cutoffs, payload)| {
-            // Descending worker modes keep the waterfall satisfied by
-            // construction.
-            chain_modes.sort_unstable_by(|a, b| b.cmp(a));
-            GenProgram { mode_count, chain_len, chain_modes, guarded, bound, cutoffs, payload }
-        })
+        .prop_map(
+            |(mode_count, chain_len, mut chain_modes, guarded, bound, cutoffs, payload)| {
+                // Descending worker modes keep the waterfall satisfied by
+                // construction.
+                chain_modes.sort_unstable_by(|a, b| b.cmp(a));
+                GenProgram {
+                    mode_count,
+                    chain_len,
+                    chain_modes,
+                    guarded,
+                    bound,
+                    cutoffs,
+                    payload,
+                }
+            },
+        )
 }
 
 fn mode_name(i: usize) -> String {
@@ -95,7 +112,11 @@ fn render(g: &GenProgram) -> String {
             format!("W{i}")
         };
         let field = if has_next {
-            format!("Worker{}@mode<{}> next;", i + 1, mode_name(g.chain_modes[i + 1]))
+            format!(
+                "Worker{}@mode<{}> next;",
+                i + 1,
+                mode_name(g.chain_modes[i + 1])
+            )
         } else {
             String::new()
         };
@@ -230,6 +251,136 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Golden semantics preservation
+// ---------------------------------------------------------------------------
+
+/// A fixed corpus from the generator family. These instances are frozen:
+/// their observable behavior (stats, output, value, energy bits) is
+/// recorded in `goldens/generated.txt` and any interpreter change must
+/// reproduce it bit-for-bit. Refresh with `ENT_UPDATE_GOLDENS=1`.
+fn golden_corpus() -> Vec<GenProgram> {
+    vec![
+        GenProgram {
+            mode_count: 3,
+            chain_len: 3,
+            chain_modes: vec![2, 1, 0],
+            guarded: true,
+            bound: 1,
+            cutoffs: vec![80, 40],
+            payload: vec![5, -3, 11, 0],
+        },
+        GenProgram {
+            mode_count: 2,
+            chain_len: 1,
+            chain_modes: vec![1],
+            guarded: false,
+            bound: 2,
+            cutoffs: vec![90, 10],
+            payload: vec![1, 2, 3, 4],
+        },
+        GenProgram {
+            mode_count: 4,
+            chain_len: 4,
+            chain_modes: vec![3, 2, 1, 0],
+            guarded: true,
+            bound: 0,
+            cutoffs: vec![60, 30],
+            payload: vec![-50, 49, 0, -1],
+        },
+        GenProgram {
+            mode_count: 4,
+            chain_len: 2,
+            chain_modes: vec![2, 2],
+            guarded: false,
+            bound: 4,
+            cutoffs: vec![75, 75],
+            payload: vec![7, 7, 7, 7],
+        },
+        GenProgram {
+            mode_count: 2,
+            chain_len: 4,
+            chain_modes: vec![1, 1, 0, 0],
+            guarded: true,
+            bound: 0,
+            cutoffs: vec![99, 1],
+            payload: vec![13, -13, 26, -26],
+        },
+        GenProgram {
+            mode_count: 3,
+            chain_len: 2,
+            chain_modes: vec![1, 0],
+            guarded: true,
+            bound: 3,
+            cutoffs: vec![50, 25],
+            payload: vec![-8, 4, -2, 1],
+        },
+    ]
+}
+
+fn fingerprint(result: &ent_runtime::RunResult) -> String {
+    let s = &result.stats;
+    let value = match &result.value {
+        Ok(v) => format!("ok:{v}"),
+        Err(e) => format!("err:{e}"),
+    };
+    format!(
+        "steps={};snaps={};copies={};exc={};dyn={};allocs={};value={};pretty={};out={};energy={:016x};time={:016x}",
+        s.steps,
+        s.snapshots,
+        s.copies,
+        s.energy_exceptions,
+        s.dynamic_allocs,
+        s.allocs,
+        value,
+        result.value_pretty.clone().unwrap_or_default(),
+        result.output.join("\\n"),
+        result.measurement.energy_j.to_bits(),
+        result.measurement.time_s.to_bits(),
+    )
+}
+
+/// Every observable of every corpus program, at two battery levels and two
+/// seeds, must match the golden file captured from the pre-lowering
+/// interpreter.
+#[test]
+fn golden_semantics_preserved() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/generated.txt");
+    let mut lines = Vec::new();
+    for (i, g) in golden_corpus().iter().enumerate() {
+        let src = render(g);
+        let compiled = compile(&src).expect("corpus programs are well-typed");
+        for (battery, seed) in [(0.95, 7u64), (0.35, 11u64)] {
+            let config = RuntimeConfig {
+                battery_level: battery,
+                seed,
+                ..RuntimeConfig::default()
+            };
+            let result = run(&compiled, Platform::system_a(), config);
+            lines.push(format!(
+                "gen[{i}] battery={battery} seed={seed} {}",
+                fingerprint(&result)
+            ));
+        }
+    }
+    let actual = lines.join("\n") + "\n";
+    if std::env::var_os("ENT_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(golden_path).parent().unwrap()).unwrap();
+        std::fs::write(golden_path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with ENT_UPDATE_GOLDENS=1 to capture");
+    for (a, e) in actual.lines().zip(expected.lines()) {
+        assert_eq!(a, e, "semantics drifted from the pre-lowering interpreter");
+    }
+    assert_eq!(
+        actual.lines().count(),
+        expected.lines().count(),
+        "golden line count changed"
+    );
+}
+
 /// A deterministic regression case from the generator family, kept as a
 /// plain test for quick iteration.
 #[test]
@@ -249,7 +400,10 @@ fn representative_generated_program() {
     let high = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.95, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.95,
+            ..RuntimeConfig::default()
+        },
     );
     assert!(high.value.is_ok());
     assert_eq!(high.stats.energy_exceptions, 1);
@@ -257,7 +411,10 @@ fn representative_generated_program() {
     let low = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.1, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.1,
+            ..RuntimeConfig::default()
+        },
     );
     assert!(low.value.is_ok());
     assert_eq!(low.stats.energy_exceptions, 0);

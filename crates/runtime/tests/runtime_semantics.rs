@@ -14,7 +14,10 @@ fn run_src(src: &str, config: RuntimeConfig) -> RunResult {
 }
 
 fn at_battery(level: f64) -> RuntimeConfig {
-    RuntimeConfig { battery_level: level, ..RuntimeConfig::default() }
+    RuntimeConfig {
+        battery_level: level,
+        ..RuntimeConfig::default()
+    }
 }
 
 /// The attributor picks the mode from the battery level, as in §6.1's
@@ -65,7 +68,11 @@ fn bounded_snapshot_throws_energy_exception_when_violated() {
     // Full battery → attributor says full_throttle, above the `managed`
     // upper bound → EnergyException (a bad check).
     let r = run_src(&src, at_battery(1.0));
-    assert!(matches!(r.value, Err(RtError::EnergyException(_))), "{:?}", r.value);
+    assert!(
+        matches!(r.value, Err(RtError::EnergyException(_))),
+        "{:?}",
+        r.value
+    );
     assert_eq!(r.stats.energy_exceptions, 1);
 
     // Low battery → energy_saver, within bounds → fine.
@@ -94,7 +101,11 @@ fn silent_mode_suppresses_the_exception_but_keeps_tagging() {
          let Agent a = snapshot da [_, managed];
          return a.work(10);",
     );
-    let config = RuntimeConfig { silent: true, battery_level: 1.0, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        silent: true,
+        battery_level: 1.0,
+        ..RuntimeConfig::default()
+    };
     let r = run_src(&src, config);
     // The silent run proceeds at the (out-of-bounds) full_throttle mode:
     // depth eliminates to 3.
@@ -267,9 +278,7 @@ fn recursion_and_arrays_drive_work() {
 #[test]
 fn more_work_consumes_more_energy() {
     let prog = |units: f64| {
-        format!(
-            "class Main {{ unit main() {{ Sim.work(\"cpu\", {units:.1}); return {{}}; }} }}"
-        )
+        format!("class Main {{ unit main() {{ Sim.work(\"cpu\", {units:.1}); return {{}}; }} }}")
     };
     let small = run_src(&prog(1.0e9), RuntimeConfig::default());
     let large = run_src(&prog(4.0e9), RuntimeConfig::default());
@@ -289,10 +298,20 @@ fn tagging_overhead_is_small_but_nonzero() {
          Sim.work(\"cpu\", 10000000000.0);
          return a.work(1);",
     );
-    let with_tagging = run_src(&src, RuntimeConfig { seed: 5, ..at_battery(1.0) });
+    let with_tagging = run_src(
+        &src,
+        RuntimeConfig {
+            seed: 5,
+            ..at_battery(1.0)
+        },
+    );
     let without = run_src(
         &src,
-        RuntimeConfig { tagging: false, seed: 5, ..at_battery(1.0) },
+        RuntimeConfig {
+            tagging: false,
+            seed: 5,
+            ..at_battery(1.0)
+        },
     );
     let overhead = (with_tagging.measurement.energy_j - without.measurement.energy_j)
         / without.measurement.energy_j;
@@ -329,7 +348,10 @@ fn bad_cast_at_runtime() {
 fn gas_limit_stops_divergence() {
     let src = "class Loop { int spin(int n) { return this.spin(n + 1); } }
         class Main { int main() { let l = new Loop(); return l.spin(0); } }";
-    let config = RuntimeConfig { gas_limit: 100_000, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        gas_limit: 100_000,
+        ..RuntimeConfig::default()
+    };
     let r = run_src(src, config);
     assert!(matches!(r.value, Err(RtError::OutOfGas)));
 }
@@ -431,10 +453,22 @@ fn battery_exception_run_uses_less_energy_than_silent() {
           }}
         }}"
     );
-    let ent = run_src(&src, RuntimeConfig { battery_level: 0.4, seed: 1, ..RuntimeConfig::default() });
+    let ent = run_src(
+        &src,
+        RuntimeConfig {
+            battery_level: 0.4,
+            seed: 1,
+            ..RuntimeConfig::default()
+        },
+    );
     let silent = run_src(
         &src,
-        RuntimeConfig { battery_level: 0.4, silent: true, seed: 1, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.4,
+            silent: true,
+            seed: 1,
+            ..RuntimeConfig::default()
+        },
     );
     assert!(ent.value.is_ok());
     assert!(silent.value.is_ok());
@@ -458,7 +492,10 @@ fn temperature_rises_under_load_and_trace_is_sampled() {
     assert!(r.trace.len() > 10);
     let first = r.trace.first().unwrap().1;
     let last = r.trace.last().unwrap().1;
-    assert!(last > first + 5.0, "temperature should climb: {first} → {last}");
+    assert!(
+        last > first + 5.0,
+        "temperature should climb: {first} → {last}"
+    );
 }
 
 #[test]

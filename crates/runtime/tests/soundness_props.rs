@@ -15,7 +15,11 @@ use proptest::prelude::*;
 const BOUNDS: &[&str] = &["energy_saver", "managed", "full_throttle", "top"];
 
 fn crawler(bound: &str) -> String {
-    let bound = if bound == "top" { "_".to_string() } else { bound.to_string() };
+    let bound = if bound == "top" {
+        "_".to_string()
+    } else {
+        bound.to_string()
+    };
     format!(
         "modes {{ energy_saver <= managed; managed <= full_throttle; }}
         class Site@mode<? <= S> {{

@@ -152,7 +152,10 @@ pub enum Type {
 impl Type {
     /// An object type with the given class and mode arguments.
     pub fn object(class: impl Into<ClassName>, args: ModeArgs) -> Type {
-        Type::Object { class: class.into(), args }
+        Type::Object {
+            class: class.into(),
+            args,
+        }
     }
 
     /// The `int` type.
@@ -201,9 +204,7 @@ impl fmt::Display for Type {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Type::Object { class, args } => {
-                if args.rest.is_empty()
-                    && args.mode == ent_modes::Mode::Static(StaticMode::Bot)
-                {
+                if args.rest.is_empty() && args.mode == ent_modes::Mode::Static(StaticMode::Bot) {
                     write!(f, "{class}")
                 } else {
                     write!(f, "{class}@mode<{args}>")

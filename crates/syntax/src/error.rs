@@ -24,7 +24,10 @@ pub struct SyntaxError {
 impl SyntaxError {
     /// Creates a new error at `span`.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        SyntaxError { message: message.into(), span }
+        SyntaxError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// The error message (no location).

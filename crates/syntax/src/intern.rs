@@ -1,0 +1,169 @@
+//! A string interner mapping names to dense `u32` symbols.
+//!
+//! The runtime's lowering pass (see `ent-runtime`) compiles every name in a
+//! program — class names, field and method identifiers, mode names and mode
+//! variables — into an index into one of these tables, so the interpreter's
+//! hot paths compare integers instead of strings and index vectors instead
+//! of probing hash maps.
+//!
+//! # Example
+//!
+//! ```
+//! use ent_syntax::{Interner, Symbol};
+//!
+//! let mut names = Interner::new();
+//! let a = names.intern("battery");
+//! let b = names.intern("battery");
+//! assert_eq!(a, b);
+//! assert_eq!(names.resolve(a), "battery");
+//! assert_eq!(names.get("battery"), Some(a));
+//! assert_eq!(names.get("missing"), None);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dense handle for an interned string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Builds a symbol from a raw index (as stored in compact IR tables).
+    #[must_use]
+    pub fn from_raw(raw: u32) -> Self {
+        Symbol(raw)
+    }
+
+    /// The raw `u32` index, for storage in compact IR tables.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The index as a `usize`, for direct vector indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only map from strings to dense [`Symbol`]s.
+///
+/// Symbols are handed out in interning order starting at zero, so an
+/// interner doubles as an ordered name table: `resolve` is a plain vector
+/// index.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    ids: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.ids.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
+        Symbol(id)
+    }
+
+    /// Looks up `name` without interning it.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.ids.get(name).map(|&id| Symbol(id))
+    }
+
+    /// The string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    #[must_use]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// The shared string for `sym` (an `Arc` clone, no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    #[must_use]
+    pub fn resolve_arc(&self, sym: Symbol) -> Arc<str> {
+        Arc::clone(&self.names[sym.index()])
+    }
+
+    /// The number of interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let s = i.intern("snapshot");
+        assert_eq!(i.resolve(s), "snapshot");
+        assert_eq!(&*i.resolve_arc(s), "snapshot");
+        assert_eq!(i.resolve(Symbol::from_raw(s.raw())), "snapshot");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        assert!(i.is_empty());
+        let x = i.intern("x");
+        assert_eq!(i.get("x"), Some(x));
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("c");
+        i.intern("a");
+        i.intern("b");
+        let names: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(names, ["c", "a", "b"]);
+    }
+}

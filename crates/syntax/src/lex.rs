@@ -32,7 +32,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, SyntaxError> {
@@ -267,11 +271,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]

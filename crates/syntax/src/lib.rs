@@ -51,6 +51,7 @@
 
 mod ast;
 mod error;
+pub mod intern;
 mod lex;
 mod parse;
 mod pretty;
@@ -63,6 +64,7 @@ pub use ast::{
     PrimType, Program, Stmt, Type, UnOp,
 };
 pub use error::SyntaxError;
+pub use intern::{Interner, Symbol};
 pub use lex::lex;
 pub use parse::{parse_expr, parse_program};
 pub use pretty::{mode_args_string, print_expr_string, print_program};

@@ -66,7 +66,11 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, mode_names: HashSet::new() }
+        Parser {
+            tokens,
+            pos: 0,
+            mode_names: HashSet::new(),
+        }
     }
 
     // ---- token plumbing -------------------------------------------------
@@ -109,7 +113,11 @@ impl Parser {
             Ok(self.bump())
         } else {
             Err(SyntaxError::new(
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 self.span(),
             ))
         }
@@ -139,13 +147,20 @@ impl Parser {
             // them a single implicit mode.
             ModeTable::linear(["default"]).expect("singleton lattice is valid")
         };
-        self.mode_names = mode_table.modes().iter().map(|m| m.as_str().to_string()).collect();
+        self.mode_names = mode_table
+            .modes()
+            .iter()
+            .map(|m| m.as_str().to_string())
+            .collect();
 
         let mut classes = Vec::new();
         while *self.peek() != TokenKind::Eof {
             classes.push(self.class_decl()?);
         }
-        Ok(Program { mode_table, classes })
+        Ok(Program {
+            mode_table,
+            classes,
+        })
     }
 
     fn modes_block(&mut self) -> Result<ModeTable, SyntaxError> {
@@ -247,7 +262,9 @@ impl Parser {
                 };
                 bounds.push(Bounded::new(StaticMode::Bot, ModeVar::new(var), hi));
             } else {
-                bounds.push(Bounded::unconstrained(ModeVar::new(format!("Self_{class}"))));
+                bounds.push(Bounded::unconstrained(ModeVar::new(format!(
+                    "Self_{class}"
+                ))));
             }
         } else {
             bounds.push(self.bounded_param(class)?);
@@ -331,7 +348,10 @@ impl Parser {
         let start = self.span();
         self.expect(TokenKind::Attributor)?;
         let body = self.block()?;
-        Ok(Attributor { body, span: start.join(self.prev_span()) })
+        Ok(Attributor {
+            body,
+            span: start.join(self.prev_span()),
+        })
     }
 
     /// A field or method member.
@@ -476,7 +496,10 @@ impl Parser {
             // class is actually neutral (or pins the mode itself).
             ModeArgs::of_static(StaticMode::Bot)
         };
-        Ok(Type::Object { class: ClassName::new(name), args })
+        Ok(Type::Object {
+            class: ClassName::new(name),
+            args,
+        })
     }
 
     // ---- statements and blocks ---------------------------------------------
@@ -489,7 +512,10 @@ impl Parser {
             stmts.push(self.stmt()?);
         }
         self.expect(TokenKind::RBrace)?;
-        Ok(Expr::new(ExprKind::Block(stmts), start.join(self.prev_span())))
+        Ok(Expr::new(
+            ExprKind::Block(stmts),
+            start.join(self.prev_span()),
+        ))
     }
 
     fn stmt(&mut self) -> Result<Stmt, SyntaxError> {
@@ -510,7 +536,11 @@ impl Parser {
                 self.expect(TokenKind::Eq)?;
                 let value = self.expr()?;
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt::Let { ty, name: Ident::new(name), value })
+                Ok(Stmt::Let {
+                    ty,
+                    name: Ident::new(name),
+                    value,
+                })
             }
             TokenKind::Return => {
                 self.bump();
@@ -548,7 +578,11 @@ impl Parser {
             let rhs = self.and_expr()?;
             let span = lhs.span.join(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -561,7 +595,11 @@ impl Parser {
             let rhs = self.eq_expr()?;
             let span = lhs.span.join(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -580,7 +618,11 @@ impl Parser {
             let rhs = self.rel_expr()?;
             let span = lhs.span.join(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -601,7 +643,11 @@ impl Parser {
             let rhs = self.add_expr()?;
             let span = lhs.span.join(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -620,7 +666,11 @@ impl Parser {
             let rhs = self.mul_expr()?;
             let span = lhs.span.join(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -640,7 +690,11 @@ impl Parser {
             let rhs = self.unary_expr()?;
             let span = lhs.span.join(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -652,12 +706,24 @@ impl Parser {
         if self.eat(TokenKind::Bang) {
             let e = self.unary_expr()?;
             let span = start.join(e.span);
-            return Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                },
+                span,
+            ));
         }
         if self.eat(TokenKind::Minus) {
             let e = self.unary_expr()?;
             let span = start.join(e.span);
-            return Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                },
+                span,
+            ));
         }
         self.postfix_expr()
     }
@@ -708,14 +774,14 @@ impl Parser {
                     );
                 } else {
                     if !mode_args.is_empty() {
-                        return Err(SyntaxError::new(
-                            "mode arguments require a call",
-                            nspan,
-                        ));
+                        return Err(SyntaxError::new("mode arguments require a call", nspan));
                     }
                     let span = e.span.join(nspan);
                     e = Expr::new(
-                        ExprKind::Field { recv: Box::new(e), name: Ident::new(name) },
+                        ExprKind::Field {
+                            recv: Box::new(e),
+                            name: Ident::new(name),
+                        },
                         span,
                     );
                 }
@@ -726,7 +792,13 @@ impl Parser {
                     Some(self.static_mode()?)
                 };
                 let span = e.span.join(self.prev_span());
-                e = Expr::new(ExprKind::Elim { expr: Box::new(e), mode }, span);
+                e = Expr::new(
+                    ExprKind::Elim {
+                        expr: Box::new(e),
+                        mode,
+                    },
+                    span,
+                );
             } else {
                 return Ok(e);
             }
@@ -801,7 +873,10 @@ impl Parser {
                     }
                 }
                 self.expect(TokenKind::RBracket)?;
-                Ok(Expr::new(ExprKind::ArrayLit(items), start.join(self.prev_span())))
+                Ok(Expr::new(
+                    ExprKind::ArrayLit(items),
+                    start.join(self.prev_span()),
+                ))
             }
             TokenKind::LParen => self.paren_or_cast(),
             other => Err(SyntaxError::new(
@@ -833,7 +908,11 @@ impl Parser {
         };
         let ctor_args = self.call_args()?;
         Ok(Expr::new(
-            ExprKind::New { class: ClassName::new(class), args, ctor_args },
+            ExprKind::New {
+                class: ClassName::new(class),
+                args,
+                ctor_args,
+            },
             start.join(self.prev_span()),
         ))
     }
@@ -860,7 +939,11 @@ impl Parser {
             (StaticMode::Bot, StaticMode::Top)
         };
         Ok(Expr::new(
-            ExprKind::Snapshot { expr: Box::new(expr), lo, hi },
+            ExprKind::Snapshot {
+                expr: Box::new(expr),
+                lo,
+                hi,
+            },
             start.join(self.prev_span()),
         ))
     }
@@ -892,7 +975,10 @@ impl Parser {
             arms.push((ModeName::new(mode), value));
         }
         self.expect(TokenKind::RBrace)?;
-        Ok(Expr::new(ExprKind::MCase { ty, arms }, start.join(self.prev_span())))
+        Ok(Expr::new(
+            ExprKind::MCase { ty, arms },
+            start.join(self.prev_span()),
+        ))
     }
 
     fn if_expr(&mut self) -> Result<Expr, SyntaxError> {
@@ -912,7 +998,11 @@ impl Parser {
             None
         };
         Ok(Expr::new(
-            ExprKind::If { cond: Box::new(cond), then: Box::new(then), els },
+            ExprKind::If {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els,
+            },
             start.join(self.prev_span()),
         ))
     }
@@ -924,7 +1014,10 @@ impl Parser {
         self.expect(TokenKind::Catch)?;
         let handler = self.block()?;
         Ok(Expr::new(
-            ExprKind::Try { body: Box::new(body), handler: Box::new(handler) },
+            ExprKind::Try {
+                body: Box::new(body),
+                handler: Box::new(handler),
+            },
             start.join(self.prev_span()),
         ))
     }
@@ -941,10 +1034,8 @@ impl Parser {
         self.expect(TokenKind::LParen)?;
 
         // Attempt a cast parse.
-        let looks_like_type = matches!(
-            self.peek(),
-            TokenKind::MCase
-        ) || matches!(self.peek(), TokenKind::Ident(name)
+        let looks_like_type = matches!(self.peek(), TokenKind::MCase)
+            || matches!(self.peek(), TokenKind::Ident(name)
                 if name.chars().next().is_some_and(char::is_uppercase)
                     || matches!(name.as_str(), "int" | "double" | "bool" | "string" | "unit"));
         if looks_like_type {
@@ -953,7 +1044,10 @@ impl Parser {
                     let expr = self.unary_expr()?;
                     let span = start.join(expr.span);
                     return Ok(Expr::new(
-                        ExprKind::Cast { ty, expr: Box::new(expr) },
+                        ExprKind::Cast {
+                            ty,
+                            expr: Box::new(expr),
+                        },
                         span,
                     ));
                 }
@@ -1002,7 +1096,11 @@ mod tests {
     fn parses_arithmetic_with_precedence() {
         let e = expr("1 + 2 * 3");
         match e.kind {
-            ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+            ExprKind::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("expected addition, got {other:?}"),
@@ -1095,7 +1193,11 @@ mod tests {
     fn parses_new_with_mode_instantiation() {
         let e = expr("new Site@mode<full_throttle>(url)");
         match e.kind {
-            ExprKind::New { class, args, ctor_args } => {
+            ExprKind::New {
+                class,
+                args,
+                ctor_args,
+            } => {
                 assert_eq!(class, ClassName::new("Site"));
                 let args = args.unwrap();
                 assert_eq!(
@@ -1259,7 +1361,13 @@ mod tests {
         match e.kind {
             ExprKind::Block(stmts) => {
                 assert!(matches!(&stmts[0], Stmt::Let { ty: None, .. }));
-                assert!(matches!(&stmts[1], Stmt::Let { ty: Some(Type::Prim(PrimType::Int)), .. }));
+                assert!(matches!(
+                    &stmts[1],
+                    Stmt::Let {
+                        ty: Some(Type::Prim(PrimType::Int)),
+                        ..
+                    }
+                ));
                 assert!(matches!(&stmts[2], Stmt::Expr(_)));
             }
             other => panic!("expected block, got {other:?}"),
@@ -1271,7 +1379,9 @@ mod tests {
         let e = expr("{ return; }");
         match e.kind {
             ExprKind::Block(stmts) => {
-                assert!(matches!(&stmts[0], Stmt::Return(e) if matches!(e.kind, ExprKind::Lit(Lit::Unit))));
+                assert!(
+                    matches!(&stmts[0], Stmt::Return(e) if matches!(e.kind, ExprKind::Lit(Lit::Unit)))
+                );
             }
             other => panic!("expected block, got {other:?}"),
         }

@@ -49,7 +49,6 @@ mod ent_syntax_types {
     pub use crate::ast::Type;
 }
 
-
 /// Pretty-prints a program to parseable concrete syntax.
 ///
 /// # Example
@@ -133,7 +132,9 @@ fn print_class_mode_params(out: &mut String, c: &ClassDecl) {
     let mut parts = Vec::new();
     let mut bounds = mp.bounds.iter();
     if mp.dynamic {
-        let first = bounds.next().expect("dynamic class has an internal parameter");
+        let first = bounds
+            .next()
+            .expect("dynamic class has an internal parameter");
         if first.var.as_str().starts_with("Self_") {
             parts.push("?".to_string());
         } else if first.hi == StaticMode::Top {
@@ -214,7 +215,11 @@ fn print_expr(out: &mut String, e: &Expr, depth: usize) {
             print_postfix_operand(out, recv, depth);
             let _ = write!(out, ".{name}");
         }
-        ExprKind::New { class, args, ctor_args } => {
+        ExprKind::New {
+            class,
+            args,
+            ctor_args,
+        } => {
             let _ = write!(out, "new {class}");
             if let Some(args) = args {
                 let _ = write!(out, "@mode<{}>", src_margs(args));
@@ -223,7 +228,12 @@ fn print_expr(out: &mut String, e: &Expr, depth: usize) {
             print_comma(out, ctor_args, depth);
             out.push(')');
         }
-        ExprKind::Call { recv, method, mode_args, args } => {
+        ExprKind::Call {
+            recv,
+            method,
+            mode_args,
+            args,
+        } => {
             print_postfix_operand(out, recv, depth);
             let _ = write!(out, ".{method}");
             if !mode_args.is_empty() {
@@ -264,8 +274,16 @@ fn print_expr(out: &mut String, e: &Expr, depth: usize) {
                 print_expr(out, expr, depth);
                 out.push(')');
             }
-            let lo_s = if *lo == StaticMode::Bot { "_".to_string() } else { src_mode(lo) };
-            let hi_s = if *hi == StaticMode::Top { "_".to_string() } else { src_mode(hi) };
+            let lo_s = if *lo == StaticMode::Bot {
+                "_".to_string()
+            } else {
+                src_mode(lo)
+            };
+            let hi_s = if *hi == StaticMode::Top {
+                "_".to_string()
+            } else {
+                src_mode(hi)
+            };
             let _ = write!(out, " [{lo_s}, {hi_s}]");
         }
         ExprKind::MCase { ty, arms } => {

@@ -177,12 +177,9 @@ impl ClassTable {
                     return Err(TableError::InheritanceCycle(name.clone()));
                 }
                 seen.push(cur.superclass.clone());
-                cur = self
-                    .classes
-                    .get(&cur.superclass)
-                    .ok_or_else(|| {
-                        TableError::UnknownSuperclass(cur.name.clone(), cur.superclass.clone())
-                    })?;
+                cur = self.classes.get(&cur.superclass).ok_or_else(|| {
+                    TableError::UnknownSuperclass(cur.name.clone(), cur.superclass.clone())
+                })?;
             }
 
             // Superclass instantiation arity + own-mode preservation.
@@ -196,12 +193,8 @@ impl ClassTable {
                 let expected = sup.mode_params.bounds.len();
                 let found = c.super_args.len();
                 // Pinned-only superclasses may be instantiated implicitly.
-                let pinned_only = sup
-                    .mode_params
-                    .bounds
-                    .iter()
-                    .all(|b| b.lo == b.hi)
-                    && !sup.mode_params.dynamic;
+                let pinned_only =
+                    sup.mode_params.bounds.iter().all(|b| b.lo == b.hi) && !sup.mode_params.dynamic;
                 if found != expected && !(found == 0 && (expected == 0 || pinned_only)) {
                     return Err(TableError::SuperArgArity {
                         class: name.clone(),
@@ -350,7 +343,11 @@ impl ClassTable {
             let sup = &self.classes[&decl.superclass];
             let sup_params = sup.mode_params.params();
             let sup_args: Vec<StaticMode> = if decl.super_args.is_empty() {
-                sup.mode_params.bounds.iter().map(|b| b.lo.clone()).collect()
+                sup.mode_params
+                    .bounds
+                    .iter()
+                    .map(|b| b.lo.clone())
+                    .collect()
             } else {
                 decl.super_args.iter().map(|m| m.apply(subst)).collect()
             };
@@ -410,7 +407,11 @@ impl ClassTable {
             let sup = &self.classes[&decl.superclass];
             let sup_params = sup.mode_params.params();
             let sup_args: Vec<StaticMode> = if decl.super_args.is_empty() {
-                sup.mode_params.bounds.iter().map(|b| b.lo.clone()).collect()
+                sup.mode_params
+                    .bounds
+                    .iter()
+                    .map(|b| b.lo.clone())
+                    .collect()
             } else {
                 decl.super_args.iter().map(|m| m.apply(&subst)).collect()
             };
@@ -503,7 +504,11 @@ mod tests {
              class Site@mode<S> { }",
         );
         let m = t
-            .method(&"Agent".into(), &ModeArgs::of_dynamic(), &Ident::new("peek"))
+            .method(
+                &"Agent".into(),
+                &ModeArgs::of_dynamic(),
+                &Ident::new("peek"),
+            )
             .unwrap();
         assert_eq!(m.ret.to_string(), "Site@mode<X>");
         assert_eq!(
@@ -514,10 +519,7 @@ mod tests {
 
     #[test]
     fn duplicate_class_is_rejected() {
-        let err = ClassTable::new(
-            &parse_program("class A { } class A { }").unwrap(),
-        )
-        .unwrap_err();
+        let err = ClassTable::new(&parse_program("class A { } class A { }").unwrap()).unwrap_err();
         assert!(matches!(err, TableError::DuplicateClass(_)));
     }
 
@@ -529,10 +531,9 @@ mod tests {
 
     #[test]
     fn inheritance_cycle_is_rejected() {
-        let err = ClassTable::new(
-            &parse_program("class A extends B { } class B extends A { }").unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            ClassTable::new(&parse_program("class A extends B { } class B extends A { }").unwrap())
+                .unwrap_err();
         assert!(matches!(err, TableError::InheritanceCycle(_)));
     }
 
@@ -567,10 +568,9 @@ mod tests {
 
     #[test]
     fn dynamic_class_requires_attributor() {
-        let err = ClassTable::new(
-            &parse_program("modes { low <= high; } class D@mode<?> { }").unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            ClassTable::new(&parse_program("modes { low <= high; } class D@mode<?> { }").unwrap())
+                .unwrap_err();
         assert!(matches!(err, TableError::AttributorMismatch(_, _)));
     }
 

@@ -12,7 +12,10 @@ fn parse_err(src: &str) -> String {
 
 #[test]
 fn lexer_rejects_bad_numbers_and_chars() {
-    assert!(lex("999999999999999999999999999").is_err(), "integer overflow");
+    assert!(
+        lex("999999999999999999999999999").is_err(),
+        "integer overflow"
+    );
     assert!(lex("a $ b").is_err(), "unknown character");
     assert!(lex("\"unterminated").is_err());
     assert!(lex("\"bad \\q escape\"").is_err());
@@ -43,8 +46,10 @@ fn class_declaration_errors() {
 #[test]
 fn member_errors() {
     assert!(parse_err("class C { int ; }").contains("expected identifier"));
-    assert!(parse_err("class C { int f( { } }").contains("uppercase")
-        || !parse_err("class C { int f( { } }").is_empty());
+    assert!(
+        parse_err("class C { int f( { } }").contains("uppercase")
+            || !parse_err("class C { int f( { } }").is_empty()
+    );
     assert!(parse_err("class C { @mode<x> int f; }").contains("not allowed on fields"));
 }
 

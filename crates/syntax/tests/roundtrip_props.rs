@@ -10,9 +10,9 @@ fn leaf() -> impl Strategy<Value = Expr> {
     prop_oneof![
         (0i64..1000).prop_map(|n| mk(ExprKind::Lit(Lit::Int(n)))),
         any::<bool>().prop_map(|b| mk(ExprKind::Lit(Lit::Bool(b)))),
-        "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword or mode", |s| {
-            !is_reserved(s)
-        }).prop_map(|s| mk(ExprKind::Var(Ident::new(s)))),
+        "[a-z][a-z0-9_]{0,5}"
+            .prop_filter("not a keyword or mode", |s| { !is_reserved(s) })
+            .prop_map(|s| mk(ExprKind::Var(Ident::new(s)))),
         Just(mk(ExprKind::This)),
         "[a-z ]{0,8}".prop_map(|s| mk(ExprKind::Lit(Lit::Str(s)))),
     ]
@@ -22,9 +22,29 @@ fn is_reserved(s: &str) -> bool {
     MODES.contains(&s)
         || matches!(
             s,
-            "class" | "extends" | "modes" | "mode" | "attributor" | "snapshot" | "mcase"
-                | "new" | "let" | "if" | "else" | "return" | "try" | "catch" | "this"
-                | "true" | "false" | "bot" | "top" | "int" | "double" | "bool" | "string"
+            "class"
+                | "extends"
+                | "modes"
+                | "mode"
+                | "attributor"
+                | "snapshot"
+                | "mcase"
+                | "new"
+                | "let"
+                | "if"
+                | "else"
+                | "return"
+                | "try"
+                | "catch"
+                | "this"
+                | "true"
+                | "false"
+                | "bot"
+                | "top"
+                | "int"
+                | "double"
+                | "bool"
+                | "string"
                 | "unit"
         )
 }
@@ -40,16 +60,26 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone(), 0usize..6).prop_map(|(l, r, op)| {
                 use ent_syntax::BinOp::*;
                 let op = [Add, Sub, Mul, Lt, Eq, And][op];
-                mk(ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) })
+                mk(ExprKind::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                })
             }),
             // Field access
-            (inner.clone(), "[a-z][a-z0-9]{0,4}".prop_filter("reserved", |s| !is_reserved(s)))
+            (
+                inner.clone(),
+                "[a-z][a-z0-9]{0,4}".prop_filter("reserved", |s| !is_reserved(s))
+            )
                 .prop_map(|(e, f)| mk(ExprKind::Field {
                     recv: Box::new(e),
                     name: Ident::new(f),
                 })),
             // Method call
-            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(e, args)| mk(ExprKind::Call {
                     recv: Box::new(e),
                     method: Ident::new("work"),

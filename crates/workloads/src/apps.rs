@@ -380,7 +380,6 @@ class Main {
 "#
 }
 
-
 /// sunflow: scene rendering with per-mode anti-aliasing sampled per tile
 /// (the paper's "scene instances" workload).
 pub fn sunflow() -> &'static str {
@@ -769,13 +768,16 @@ mod tests {
     #[test]
     fn every_showcase_app_compiles_and_runs_on_its_platform() {
         for (name, system, src) in showcase_apps() {
-            let compiled = compile(src)
-                .unwrap_or_else(|e| panic!("{name} failed:\n{}", e.render(src)));
+            let compiled =
+                compile(src).unwrap_or_else(|e| panic!("{name} failed:\n{}", e.render(src)));
             for battery in [0.95, 0.6, 0.3] {
                 let r = run(
                     &compiled,
                     platform_of(system),
-                    RuntimeConfig { battery_level: battery, ..RuntimeConfig::default() },
+                    RuntimeConfig {
+                        battery_level: battery,
+                        ..RuntimeConfig::default()
+                    },
                 );
                 assert!(r.value.is_ok(), "{name} at {battery}: {:?}", r.value);
             }
@@ -788,7 +790,10 @@ mod tests {
         let r = run(
             &compiled,
             platform_of(ent_energy::PlatformKind::SystemA),
-            RuntimeConfig { trace_interval_s: Some(1.0), ..RuntimeConfig::default() },
+            RuntimeConfig {
+                trace_interval_s: Some(1.0),
+                ..RuntimeConfig::default()
+            },
         );
         assert!(r.value.is_ok());
         assert!(
@@ -806,7 +811,11 @@ mod tests {
             run(
                 &compiled,
                 platform_of(ent_energy::PlatformKind::SystemA),
-                RuntimeConfig { battery_level: battery, seed: 3, ..RuntimeConfig::default() },
+                RuntimeConfig {
+                    battery_level: battery,
+                    seed: 3,
+                    ..RuntimeConfig::default()
+                },
             )
         };
         let high = at(0.95);
@@ -823,7 +832,10 @@ mod tests {
         let low = run(
             &compiled,
             platform_of(ent_energy::PlatformKind::SystemA),
-            RuntimeConfig { battery_level: 0.3, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                battery_level: 0.3,
+                ..RuntimeConfig::default()
+            },
         );
         // Sites of 89, 240, 1058 and 1967 resources all exceed the
         // energy_saver mode; only the 30-resource site is crawled.
@@ -832,7 +844,10 @@ mod tests {
         let high = run(
             &compiled,
             platform_of(ent_energy::PlatformKind::SystemA),
-            RuntimeConfig { battery_level: 0.95, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                battery_level: 0.95,
+                ..RuntimeConfig::default()
+            },
         );
         assert_eq!(high.stats.energy_exceptions, 0);
         assert!(high.measurement.energy_j > low.measurement.energy_j);
@@ -845,7 +860,10 @@ mod tests {
             run(
                 &compiled,
                 platform_of(ent_energy::PlatformKind::SystemA),
-                RuntimeConfig { battery_level: battery, ..RuntimeConfig::default() },
+                RuntimeConfig {
+                    battery_level: battery,
+                    ..RuntimeConfig::default()
+                },
             )
         };
         let high = at(0.95);
@@ -862,7 +880,11 @@ mod tests {
             run(
                 &compiled,
                 platform_of(ent_energy::PlatformKind::SystemA),
-                RuntimeConfig { battery_level: battery, seed: 2, ..RuntimeConfig::default() },
+                RuntimeConfig {
+                    battery_level: battery,
+                    seed: 2,
+                    ..RuntimeConfig::default()
+                },
             )
             .measurement
             .energy_j
@@ -885,7 +907,11 @@ mod tests {
             let r = run(
                 &compiled,
                 platform_of(ent_energy::PlatformKind::SystemB),
-                RuntimeConfig { battery_level: battery, seed: 6, ..RuntimeConfig::default() },
+                RuntimeConfig {
+                    battery_level: battery,
+                    seed: 6,
+                    ..RuntimeConfig::default()
+                },
             );
             let m = r.measurement;
             (m.energy_j / m.time_s, m.time_s)

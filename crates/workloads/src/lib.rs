@@ -28,12 +28,12 @@ mod runner;
 mod settings;
 
 pub use apps::{
-    batik, camera, crypto, duckduckgo, findbugs, javaboy, jspider, jython, materiallife,
-    newpipe, pagerank, showcase_apps, soundrecorder, sunflow, video, xalan,
+    batik, camera, crypto, duckduckgo, findbugs, javaboy, jspider, jython, materiallife, newpipe,
+    pagerank, showcase_apps, soundrecorder, sunflow, video, xalan,
 };
 pub use programs::{e1_program, e2_program, e3_program, unit_scale, workload_duty_factor};
 pub use runner::{platform_for, platform_of, run_e1, run_e2, run_e3, run_overhead_pair, Outcome};
 pub use settings::{
-    all_benchmarks, battery_for_boot, benchmark, e3_benchmarks, BenchmarkSpec, E3Settings,
-    Shape, MODE_NAMES,
+    all_benchmarks, battery_for_boot, benchmark, e3_benchmarks, BenchmarkSpec, E3Settings, Shape,
+    MODE_NAMES,
 };

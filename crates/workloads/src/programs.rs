@@ -27,8 +27,7 @@ fn battery_attributor() -> &'static str {
       }"
 }
 
-const MODES_BLOCK: &str =
-    "modes { energy_saver <= managed; managed <= full_throttle; }\n";
+const MODES_BLOCK: &str = "modes { energy_saver <= managed; managed <= full_throttle; }\n";
 
 /// Work units per item at QoS factor 1.0, calibrated so the `managed`
 /// workload at default QoS takes the spec's target seconds on `platform`.
@@ -36,8 +35,7 @@ pub fn unit_scale(spec: &BenchmarkSpec, platform: &Platform) -> f64 {
     match spec.shape {
         Shape::Batch { managed_seconds } => {
             let kind = WorkKind::parse(spec.work_kind);
-            managed_seconds * platform.ops_per_sec
-                / (spec.workload_items[1] * kind.ops_per_unit())
+            managed_seconds * platform.ops_per_sec / (spec.workload_items[1] * kind.ops_per_unit())
         }
         Shape::TimeFixed { .. } => 0.0,
     }
@@ -344,9 +342,8 @@ mod tests {
         for spec in all_benchmarks() {
             let platform = platform_for(&spec);
             let src = e2_program(&spec, &platform, 2);
-            compile(&src).unwrap_or_else(|e| {
-                panic!("{} E2 failed:\n{}", spec.name, e.render(&src))
-            });
+            compile(&src)
+                .unwrap_or_else(|e| panic!("{} E2 failed:\n{}", spec.name, e.render(&src)));
         }
     }
 
@@ -357,9 +354,8 @@ mod tests {
         let settings = E3Settings::default();
         for ent in [true, false] {
             let src = e3_program(&spec, &platform, &settings, 10, 1.0, ent);
-            compile(&src).unwrap_or_else(|e| {
-                panic!("sunflow E3 (ent={ent}) failed:\n{}", e.render(&src))
-            });
+            compile(&src)
+                .unwrap_or_else(|e| panic!("sunflow E3 (ent={ent}) failed:\n{}", e.render(&src)));
         }
     }
 

@@ -46,9 +46,8 @@ pub struct Outcome {
 }
 
 fn compile_or_panic(name: &str, src: &str) -> CompiledProgram {
-    compile(src).unwrap_or_else(|e| {
-        panic!("benchmark `{name}` failed to compile:\n{}", e.render(src))
-    })
+    compile(src)
+        .unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile:\n{}", e.render(src)))
 }
 
 fn to_outcome(name: &str, result: RunResult) -> Outcome {
@@ -149,16 +148,24 @@ pub fn run_overhead_pair(spec: &BenchmarkSpec, system: PlatformKind, seed: u64) 
         seed,
         ..RuntimeConfig::default()
     };
-    let tagged = run(&compiled, platform_of(system), RuntimeConfig { tagging: true, ..base.clone() });
+    let tagged = run(
+        &compiled,
+        platform_of(system),
+        RuntimeConfig {
+            tagging: true,
+            ..base.clone()
+        },
+    );
     let plain = run(
         &compiled,
         platform,
-        RuntimeConfig { tagging: false, seed: seed + 1000, ..base },
+        RuntimeConfig {
+            tagging: false,
+            seed: seed + 1000,
+            ..base
+        },
     );
-    (
-        tagged.measurement.energy_j,
-        plain.measurement.energy_j,
-    )
+    (tagged.measurement.energy_j, plain.measurement.energy_j)
 }
 
 #[cfg(test)]
@@ -216,7 +223,12 @@ mod tests {
         let es = run_e2(&spec, SystemB, 0, 2, 5);
         let ft = run_e2(&spec, SystemB, 2, 2, 5);
         let rel = (es.time_s - ft.time_s).abs() / ft.time_s;
-        assert!(rel < 0.02, "durations should match: {} vs {}", es.time_s, ft.time_s);
+        assert!(
+            rel < 0.02,
+            "durations should match: {} vs {}",
+            es.time_s,
+            ft.time_s
+        );
         assert!(es.energy_j < ft.energy_j);
     }
 

@@ -109,7 +109,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             qos_labels: ["768", "1024", "1280"],
             qos_factors: [0.5, 1.0, 1.7],
             work_kind: "crypto",
-            shape: Shape::Batch { managed_seconds: 0.35 },
+            shape: Shape::Batch {
+                managed_seconds: 0.35,
+            },
         },
         BenchmarkSpec {
             name: "findbugs",
@@ -124,7 +126,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             qos_labels: ["min", "default", "max"],
             qos_factors: [0.55, 1.0, 1.6],
             work_kind: "cpu",
-            shape: Shape::Batch { managed_seconds: 25.0 },
+            shape: Shape::Batch {
+                managed_seconds: 25.0,
+            },
         },
         BenchmarkSpec {
             name: "jspider",
@@ -139,7 +143,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             qos_labels: ["3", "4", "5"],
             qos_factors: [0.6, 1.0, 1.55],
             work_kind: "net",
-            shape: Shape::Batch { managed_seconds: 22.0 },
+            shape: Shape::Batch {
+                managed_seconds: 22.0,
+            },
         },
         BenchmarkSpec {
             name: "jython",
@@ -154,7 +160,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             qos_labels: ["0", "1", "2"],
             qos_factors: [0.7, 1.0, 1.35],
             work_kind: "cpu",
-            shape: Shape::Batch { managed_seconds: 30.0 },
+            shape: Shape::Batch {
+                managed_seconds: 30.0,
+            },
         },
         BenchmarkSpec {
             name: "pagerank",
@@ -163,13 +171,19 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             cloc: 157,
             ent_changes: 49,
             workload_attr: "graph (number nodes)",
-            workload_labels: ["cnr-2000(325557)", "eswiki-2013(972933)", "frwiki-2013(1352053)"],
+            workload_labels: [
+                "cnr-2000(325557)",
+                "eswiki-2013(972933)",
+                "frwiki-2013(1352053)",
+            ],
             workload_items: [325_557.0, 972_933.0, 1_352_053.0],
             qos_knob: "minimum change",
             qos_labels: ["0.01", "0.001", "0.0001"],
             qos_factors: [0.55, 1.0, 1.45],
             work_kind: "cpu",
-            shape: Shape::Batch { managed_seconds: 70.0 },
+            shape: Shape::Batch {
+                managed_seconds: 70.0,
+            },
         },
         BenchmarkSpec {
             name: "sunflow",
@@ -184,7 +198,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             qos_labels: ["1/4", "1/4 - 4", "1/4 - 16"],
             qos_factors: [0.45, 1.0, 1.3],
             work_kind: "render",
-            shape: Shape::Batch { managed_seconds: 14.0 },
+            shape: Shape::Batch {
+                managed_seconds: 14.0,
+            },
         },
         BenchmarkSpec {
             name: "xalan",
@@ -199,7 +215,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             qos_labels: ["none", "default", "strict"],
             qos_factors: [0.65, 1.0, 1.4],
             work_kind: "io",
-            shape: Shape::Batch { managed_seconds: 18.0 },
+            shape: Shape::Batch {
+                managed_seconds: 18.0,
+            },
         },
         BenchmarkSpec {
             name: "camera",
@@ -268,7 +286,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             qos_labels: ["512x512", "1024x1024", "2048x2048"],
             qos_factors: [0.4, 1.0, 1.8],
             work_kind: "render",
-            shape: Shape::Batch { managed_seconds: 40.0 },
+            shape: Shape::Batch {
+                managed_seconds: 40.0,
+            },
         },
         BenchmarkSpec {
             name: "newpipe",
@@ -379,7 +399,11 @@ pub struct E3Settings {
 
 impl Default for E3Settings {
     fn default() -> Self {
-        E3Settings { hot_c: 60.0, overheating_c: 65.0, sleep_ms: [0, 250, 1000] }
+        E3Settings {
+            hot_c: 60.0,
+            overheating_c: 65.0,
+            sleep_ms: [0, 250, 1000],
+        }
     }
 }
 

@@ -59,7 +59,10 @@ fn main() {
         let result = run(
             &compiled,
             Platform::system_b(),
-            RuntimeConfig { battery_level: battery, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                battery_level: battery,
+                ..RuntimeConfig::default()
+            },
         );
         result.value.expect("camera run completes");
         let m = result.measurement;

@@ -48,7 +48,10 @@ fn main() {
         let result = run(
             &compiled,
             Platform::system_a(),
-            RuntimeConfig { battery_level: battery, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                battery_level: battery,
+                ..RuntimeConfig::default()
+            },
         );
         let chunk = result.value.expect("run succeeds");
         println!(

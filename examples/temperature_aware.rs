@@ -70,7 +70,10 @@ fn main() {
         result.value.expect("render run completes");
         let temps: Vec<f64> = result.trace.iter().map(|(_, c)| *c).collect();
         let peak = temps.iter().copied().fold(f64::MIN, f64::max);
-        println!("{label:<20} peak {peak:.1} °C over {:.0} s", result.measurement.time_s);
+        println!(
+            "{label:<20} peak {peak:.1} °C over {:.0} s",
+            result.measurement.time_s
+        );
         print!("  trace: ");
         for chunk in temps.chunks((temps.len() / 40).max(1)) {
             let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;

@@ -64,12 +64,18 @@ class Main {
 fn main() {
     let compiled = compile(CRAWLER).expect("the crawler typechecks");
 
-    for (label, battery) in [("full battery", 0.95), ("half battery", 0.6), ("low battery", 0.3)]
-    {
+    for (label, battery) in [
+        ("full battery", 0.95),
+        ("half battery", 0.6),
+        ("low battery", 0.3),
+    ] {
         let result = run(
             &compiled,
             Platform::system_a(),
-            RuntimeConfig { battery_level: battery, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                battery_level: battery,
+                ..RuntimeConfig::default()
+            },
         );
         println!("{label} ({:.0}%):", battery * 100.0);
         for line in &result.output {

@@ -67,14 +67,17 @@ class Main {
 
 #[test]
 fn listing1_compiles_and_adapts_to_battery() {
-    let compiled = compile(LISTING_1)
-        .unwrap_or_else(|e| panic!("listing 1 failed:\n{}", e.render(LISTING_1)));
+    let compiled =
+        compile(LISTING_1).unwrap_or_else(|e| panic!("listing 1 failed:\n{}", e.render(LISTING_1)));
 
     // Full battery: full_throttle agent, managed site, depth 3.
     let r = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.95, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.95,
+            ..RuntimeConfig::default()
+        },
     );
     assert_eq!(r.value.unwrap(), Value::Int(450));
 
@@ -82,7 +85,10 @@ fn listing1_compiles_and_adapts_to_battery() {
     let r = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.6, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.6,
+            ..RuntimeConfig::default()
+        },
     );
     assert_eq!(r.value.unwrap(), Value::Int(300));
 
@@ -91,7 +97,10 @@ fn listing1_compiles_and_adapts_to_battery() {
     let r = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.3, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.3,
+            ..RuntimeConfig::default()
+        },
     );
     assert_eq!(r.value.unwrap(), Value::Int(-1));
     assert_eq!(r.stats.energy_exceptions, 1);
@@ -109,7 +118,10 @@ fn listing1_configuration_dependence() {
     let r = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.3, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.3,
+            ..RuntimeConfig::default()
+        },
     );
     assert_eq!(r.value.unwrap(), Value::Int(450));
 }
@@ -219,7 +231,10 @@ fn uncaught_energy_exception_terminates_the_program() {
     let r = run(
         &compiled,
         Platform::system_a(),
-        RuntimeConfig { battery_level: 0.3, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            battery_level: 0.3,
+            ..RuntimeConfig::default()
+        },
     );
     assert!(matches!(r.value, Err(RtError::EnergyException(_))));
 }

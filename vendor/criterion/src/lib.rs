@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize` — with a
+//! simple fixed-budget measurement loop instead of criterion's statistics.
+//! Good enough to keep `cargo bench` runnable offline; not a precision
+//! instrument.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for parity with criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Measurement budget per benchmark. Deliberately small: these are smoke
+/// benches, not statistically rigorous measurements.
+const WARMUP: Duration = Duration::from_millis(50);
+const BUDGET: Duration = Duration::from_millis(300);
+
+pub struct Bencher {
+    /// Total time across timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations.
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < BUDGET {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while wall.elapsed() < BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed = timed;
+        self.iters = iters;
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no iterations)");
+    } else {
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{name:<40} {per_iter:>14.1} ns/iter ({} iters)", b.iters);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,847 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace must build and test without crates.io access, so this
+//! vendored crate re-implements the (small) proptest API surface the test
+//! suites use: the `proptest!`/`prop_oneof!`/`prop_assert*!` macros, the
+//! `Strategy` combinators (`prop_map`, `prop_flat_map`, `prop_filter`,
+//! `prop_filter_map`, `prop_recursive`), `Just`, `any`, numeric range and
+//! tuple strategies, `collection::vec`, `option::of`, `sample::select`,
+//! and string strategies from a small regex subset (`.`/char classes with
+//! `{m,n}` repetition).
+//!
+//! Differences from upstream, deliberately accepted:
+//! - no shrinking: a failing case panics with the assertion message;
+//! - deterministic seeding per test name (no persistence files — any
+//!   `.proptest-regressions` files in the tree are simply unread);
+//! - `prop_assume!` ends the case successfully instead of resampling.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Errors and configuration
+// ---------------------------------------------------------------------------
+
+/// A test-case failure (upstream: `proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RNG (SplitMix64 — deterministic per test name)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift reduction; bias is irrelevant for test generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Strategy trait and boxing
+// ---------------------------------------------------------------------------
+
+/// How many times filtering combinators locally resample before giving up
+/// and bubbling the rejection to the case loop.
+const LOCAL_RETRIES: u32 = 256;
+
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value; `None` means a filter rejected the draw.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    fn prop_filter_map<O, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Bounded recursive generation: after `depth` expansions the strategy
+    /// bottoms out at the original leaves. `_desired_size` and
+    /// `_expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let expanded = f(current).boxed();
+            current = WeightedUnion {
+                leaf: leaf.clone(),
+                expanded,
+                leaf_weight: 0.25,
+            }
+            .boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> Option<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.sample(rng)
+    }
+}
+
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.sample_dyn(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinator strategies
+// ---------------------------------------------------------------------------
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let v = self.inner.sample(rng)?;
+        (self.f)(v).sample(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.inner.sample(rng) {
+                if (self.f)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.inner.sample(rng) {
+                if let Some(o) = (self.f)(v) {
+                    return Some(o);
+                }
+            }
+        }
+        None
+    }
+}
+
+struct WeightedUnion<T> {
+    leaf: BoxedStrategy<T>,
+    expanded: BoxedStrategy<T>,
+    leaf_weight: f64,
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        if rng.unit_f64() < self.leaf_weight {
+            self.leaf.sample(rng)
+        } else {
+            self.expanded.sample(rng)
+        }
+    }
+}
+
+/// Uniform choice between boxed alternatives — the engine of `prop_oneof!`.
+pub struct UnionStrategy<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> UnionStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    UnionStrategy { arms }
+}
+
+impl<T> Strategy for UnionStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaf strategies: Just, any, ranges, tuples, strings
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Primitive types `any::<T>()` can generate.
+pub trait ArbPrimitive: Sized {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+impl ArbPrimitive for bool {
+    fn generate(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbPrimitive for f64 {
+    fn generate(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbPrimitive for $t {
+            fn generate(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: ArbPrimitive>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbPrimitive> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::generate(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let pick = (rng.next_u64() as u128 * span) >> 64;
+                Some((self.start as i128 + pick as i128) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let pick = (rng.next_u64() as u128 * span) >> 64;
+                Some((*self.start() as i128 + pick as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident $v:ident),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($v,)+) = self;
+                Some(($($v.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (S0 s0)
+    (S0 s0, S1 s1)
+    (S0 s0, S1 s1, S2 s2)
+    (S0 s0, S1 s1, S2 s2, S3 s3)
+    (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4)
+    (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5)
+    (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6)
+    (S0 s0, S1 s1, S2 s2, S3 s3, S4 s4, S5 s5, S6 s6, S7 s7)
+}
+
+/// String strategies from a small regex subset: `.`, `[a-z0-9_]`-style
+/// classes, literal characters, with optional `{m}`/`{m,n}`/`?`/`*`/`+`
+/// repetition. This covers every pattern the workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> Option<String> {
+        Some(pattern::generate(self, rng))
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    enum Atom {
+        Any,
+        Class(Vec<(char, char)>),
+        Lit(char),
+    }
+
+    fn parse(pat: &str) -> Vec<(Atom, u32, u32)> {
+        let mut atoms = Vec::new();
+        let mut chars = pat.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut inner: Vec<char> = Vec::new();
+                    for c2 in chars.by_ref() {
+                        if c2 == ']' {
+                            break;
+                        }
+                        inner.push(c2);
+                    }
+                    let mut i = 0;
+                    while i < inner.len() {
+                        if i + 2 < inner.len() && inner[i + 1] == '-' {
+                            ranges.push((inner[i], inner[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((inner[i], inner[i]));
+                            i += 1;
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => Atom::Lit(chars.next().unwrap_or('\\')),
+                other => Atom::Lit(other),
+            };
+            // Optional quantifier.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    for c2 in chars.by_ref() {
+                        if c2 == '}' {
+                            break;
+                        }
+                        body.push(c2);
+                    }
+                    match body.split_once(',') {
+                        Some((m, n)) => {
+                            (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(0))
+                        }
+                        None => {
+                            let m = body.trim().parse().unwrap_or(1);
+                            (m, m)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    fn sample_char(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Lit(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as u64).saturating_sub(*a as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total.max(1));
+                for (a, b) in ranges {
+                    let size = (*b as u64).saturating_sub(*a as u64) + 1;
+                    if pick < size {
+                        return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+                    }
+                    pick -= size;
+                }
+                ranges.first().map(|(a, _)| *a).unwrap_or('a')
+            }
+            Atom::Any => {
+                // Mostly printable ASCII, with occasional control and
+                // non-ASCII characters to stress lexers properly.
+                match rng.below(20) {
+                    0 => *['\n', '\t', '\r', '\0', '\x7f']
+                        .get(rng.below(5) as usize)
+                        .unwrap_or(&'\n'),
+                    1 => loop {
+                        if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                            break c;
+                        }
+                    },
+                    _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' '),
+                }
+            }
+        }
+    }
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pat) {
+            let count = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..count {
+                out.push(sample_char(&atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / option / sample modules
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+            if rng.below(4) == 0 {
+                Some(None)
+            } else {
+                Some(Some(self.inner.sample(rng)?))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select needs at least one choice");
+        Select { choices }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            let i = rng.below(self.choices.len() as u64) as usize;
+            Some(self.choices[i].clone())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut case = 0u32;
+            let mut rejects = 0u32;
+            while case < config.cases {
+                match $crate::Strategy::sample(&strategy, &mut rng) {
+                    ::std::option::Option::None => {
+                        rejects += 1;
+                        assert!(
+                            rejects < 65_536,
+                            "too many strategy rejections in {}",
+                            stringify!($name)
+                        );
+                    }
+                    ::std::option::Option::Some(($($arg,)+)) => {
+                        let outcome: $crate::TestCaseResult = (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        if let ::std::result::Result::Err(e) = outcome {
+                            panic!(
+                                "proptest `{}` failed at case {}: {}",
+                                stringify!($name), case, e
+                            );
+                        }
+                        case += 1;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // No resampling machinery: an unmet assumption just ends the
+            // case successfully.
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::TestRng::for_test("shape");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_]{0,5}", &mut rng).unwrap();
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(-50i64..50), &mut rng).unwrap();
+            assert!((-50..50).contains(&x));
+            let y = Strategy::sample(&(2usize..=6), &mut rng).unwrap();
+            assert!((2..=6).contains(&y));
+            let f = Strategy::sample(&(0.0f64..1.0), &mut rng).unwrap();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(a in 0usize..10, b in any::<bool>()) {
+            prop_assert!(a < 10);
+            if b {
+                return Ok(());
+            }
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_vec(v in crate::collection::vec(prop_oneof![Just(1), Just(2)], 0..5)) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+}
