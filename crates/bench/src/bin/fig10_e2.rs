@@ -2,7 +2,7 @@
 //! each boot mode against the full_throttle boot, large workload, all
 //! systems.
 
-use ent_bench::{fig10, mode_name, render_table, system_label};
+use ent_bench::{fig10, metrics, mode_name, render_table, system_label};
 
 fn main() {
     let repeats = std::env::args()
@@ -10,7 +10,22 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
     println!("Figure 10: battery-casing (E2) runs ({repeats} runs averaged)\n");
-    let rows: Vec<Vec<String>> = fig10::rows(repeats)
+    let data = fig10::rows(repeats);
+    let metric_rows: Vec<metrics::Row> = data
+        .iter()
+        .map(|r| {
+            metrics::Row::new(format!(
+                "{}/{}/{}",
+                system_label(r.system),
+                r.benchmark,
+                mode_name(r.boot)
+            ))
+            .with("energy_j", r.energy_j)
+            .with("normalized", r.normalized)
+            .with("savings_pct", r.savings_pct)
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![
@@ -37,4 +52,8 @@ fn main() {
             &rows,
         )
     );
+    match metrics::write("fig10_e2", "fig10_e2", &metric_rows) {
+        Ok(path) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics json: {e}"),
+    }
 }

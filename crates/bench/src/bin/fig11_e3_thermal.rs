@@ -1,7 +1,7 @@
 //! Regenerates Figure 11: temperature-casing (E3) runs — CPU temperature
 //! traces of the ENT and Java variants for the five System A benchmarks.
 
-use ent_bench::{fig11, sparkline};
+use ent_bench::{fig11, metrics, sparkline};
 
 fn main() {
     let seed = std::env::args()
@@ -10,6 +10,7 @@ fn main() {
         .unwrap_or(7);
     println!("Figure 11: System A temperature-casing (E3) runs (seed {seed})");
     println!("Thresholds: hot at 60 °C, overheating at 65 °C; sleep mcase 0/250/1000 ms.\n");
+    let mut metric_rows = Vec::new();
     for series in fig11::series(seed) {
         let summarize = |trace: &[(f64, f64)]| -> (f64, f64, Vec<f64>) {
             let temps: Vec<f64> = trace.iter().map(|(_, c)| *c).collect();
@@ -23,6 +24,13 @@ fn main() {
         };
         let (ent_peak, ent_avg, ent_line) = summarize(&series.ent);
         let (java_peak, java_avg, java_line) = summarize(&series.java);
+        metric_rows.push(
+            metrics::Row::new(series.benchmark)
+                .with("ent_peak_c", ent_peak)
+                .with("ent_steady_c", ent_avg)
+                .with("java_peak_c", java_peak)
+                .with("java_steady_c", java_avg),
+        );
         println!("== {} ==", series.benchmark);
         println!(
             "  ent  [{}] peak {ent_peak:.1} °C, steady ~{ent_avg:.1} °C",
@@ -36,4 +44,8 @@ fn main() {
     }
     println!("(Sparkline scale: 42–80 °C. The ENT runs hover near the hot threshold;");
     println!(" the Java runs climb toward thermal saturation, as in the paper.)");
+    match metrics::write("fig11_e3_thermal", "fig11_e3_thermal", &metric_rows) {
+        Ok(path) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics json: {e}"),
+    }
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: benchmark descriptions, statistics, and the
 //! percentage energy overhead of ENT's runtime versus a no-op baseline.
 
-use ent_bench::{fig6, render_table};
+use ent_bench::{fig6, metrics, render_table};
 
 fn main() {
     let repeats = std::env::args()
@@ -9,7 +9,12 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
     println!("Figure 6: ENT benchmark descriptions and statistics ({repeats} runs averaged)\n");
-    let rows: Vec<Vec<String>> = fig6::rows(repeats)
+    let data = fig6::rows(repeats);
+    let metric_rows: Vec<metrics::Row> = data
+        .iter()
+        .map(|r| metrics::Row::new(r.name).with("overhead_pct", r.overhead_pct))
+        .collect();
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![
@@ -38,4 +43,8 @@ fn main() {
     );
     println!("(CLOC and ENT-change counts reproduce the paper's table for context;");
     println!(" the overhead column is measured on this reproduction's runtime.)");
+    match metrics::write("fig6_overhead", "fig6_overhead", &metric_rows) {
+        Ok(path) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics json: {e}"),
+    }
 }

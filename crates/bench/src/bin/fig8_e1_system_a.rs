@@ -2,7 +2,7 @@
 //! nine boot × workload combinations per benchmark, with silent
 //! counterparts.
 
-use ent_bench::{fig8, mode_name, render_table};
+use ent_bench::{fig8, metrics, mode_name, render_table};
 
 fn main() {
     let repeats = std::env::args()
@@ -11,6 +11,20 @@ fn main() {
         .unwrap_or(5);
     println!("Figure 8: System A battery-exception (E1) runs ({repeats} runs averaged)\n");
     let rows = fig8::rows(repeats);
+    let metric_rows: Vec<metrics::Row> = rows
+        .iter()
+        .map(|r| {
+            metrics::Row::new(format!(
+                "{}/{}/{}/{}",
+                r.benchmark,
+                mode_name(r.workload),
+                mode_name(r.boot),
+                if r.silent { "silent" } else { "ent" }
+            ))
+            .with("energy_j", r.energy_j)
+            .with("exception", if r.exception { 1.0 } else { 0.0 })
+        })
+        .collect();
     let mut current = "";
     let mut table: Vec<Vec<String>> = Vec::new();
     for r in &rows {
@@ -29,6 +43,10 @@ fn main() {
     }
     if !table.is_empty() {
         print_benchmark(current, &table);
+    }
+    match metrics::write("fig8_e1_system_a", "fig8_e1_system_a", &metric_rows) {
+        Ok(path) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics json: {e}"),
     }
 }
 

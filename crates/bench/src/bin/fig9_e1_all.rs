@@ -2,7 +2,7 @@
 //! combinations where EnergyExceptions are thrown, on Systems A, B, and C,
 //! with the percentage savings of ENT versus the silent counterpart.
 
-use ent_bench::{fig9, mode_name, render_table, system_label};
+use ent_bench::{fig9, metrics, mode_name, render_table, system_label};
 
 fn main() {
     let repeats = std::env::args()
@@ -11,7 +11,25 @@ fn main() {
         .unwrap_or(5);
     println!("Figure 9: battery-exception (E1) runs on Systems A/B/C ({repeats} runs averaged)");
     println!("Normalized against the silent full_throttle-boot run of the same workload.\n");
-    let rows: Vec<Vec<String>> = fig9::rows(repeats)
+    let data = fig9::rows(repeats);
+    let metric_rows: Vec<metrics::Row> = data
+        .iter()
+        .map(|r| {
+            metrics::Row::new(format!(
+                "{}/{}/{}-{}",
+                system_label(r.system),
+                r.benchmark,
+                mode_name(r.boot),
+                mode_name(r.workload)
+            ))
+            .with("ent_j", r.ent_j)
+            .with("silent_j", r.silent_j)
+            .with("ent_normalized", r.ent_normalized)
+            .with("silent_normalized", r.silent_normalized)
+            .with("savings_pct", r.savings_pct)
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![
@@ -38,4 +56,8 @@ fn main() {
             &rows,
         )
     );
+    match metrics::write("fig9_e1_all", "fig9_e1_all", &metric_rows) {
+        Ok(path) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics json: {e}"),
+    }
 }

@@ -1,5 +1,7 @@
 //! Convenience driver: regenerates every figure and the two ablations,
-//! writing each to `results/<name>.txt` (and echoing progress).
+//! writing each to `results/<name>.txt` (and echoing progress). The
+//! measuring binaries additionally write their own machine-readable
+//! `results/<name>.json` alongside the text tables.
 //!
 //! ```sh
 //! cargo run --release -p ent-bench --bin fig_all [repeats]

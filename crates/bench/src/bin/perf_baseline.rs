@@ -83,6 +83,25 @@ fn measure() -> Vec<Sample> {
         let fp = fingerprint(&warm);
         let steps = warm.stats.steps;
 
+        // The observability layer must be a pure observer: a run with the
+        // event ring and the profiler enabled computes bit-for-bit the
+        // same thing as the plain run.
+        let observed = run_lowered(
+            &lowered,
+            platform.clone(),
+            RuntimeConfig {
+                record_events: true,
+                profile: true,
+                ..config()
+            },
+        );
+        assert_eq!(
+            fingerprint(&observed),
+            fp,
+            "{}: enabling events+profile changed the semantics fingerprint",
+            spec.name
+        );
+
         let start = Instant::now();
         let mut runs = 0u32;
         while start.elapsed().as_secs_f64() < BUDGET_S || runs < 3 {
@@ -240,6 +259,25 @@ fn main() {
     let path = repo_root().join("BENCH_interp.json");
     std::fs::write(&path, &json).unwrap();
     eprintln!("wrote {}", path.display());
+
+    let metric_rows: Vec<ent_bench::metrics::Row> = samples
+        .iter()
+        .map(|s| {
+            ent_bench::metrics::Row::new(&s.name)
+                .with("steps", s.steps as f64)
+                .with("steps_per_sec", s.steps_per_sec)
+                .with("wall_ms_per_run", s.wall_ms_per_run)
+        })
+        .collect();
+    match ent_bench::metrics::write_in(
+        repo_root(),
+        "perf_baseline",
+        "fig6_e2_system_a",
+        &metric_rows,
+    ) {
+        Ok(p) => eprintln!("metrics written to {}", p.display()),
+        Err(e) => eprintln!("could not write metrics json: {e}"),
+    }
     eprintln!(
         "steps/sec geomean: {:.0}   speedup vs baseline: {}",
         current_geo,

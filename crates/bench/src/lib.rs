@@ -367,6 +367,107 @@ pub mod fig11 {
     }
 }
 
+/// Machine-readable companions to the figure binaries' text output.
+///
+/// Every measuring `fig*` binary prints its human-oriented table and, via
+/// this module, drops the same numbers as `results/<bin>.json`, so
+/// downstream tooling reads structured rows instead of scraping tables.
+pub mod metrics {
+    use std::fmt::Write as _;
+    use std::io;
+    use std::path::{Path, PathBuf};
+
+    /// One benchmark/configuration row: a label plus named numeric values
+    /// in presentation order.
+    #[derive(Clone, Debug)]
+    pub struct Row {
+        /// Row label (benchmark name, optionally with system/mode suffixes).
+        pub name: String,
+        /// `(metric, value)` pairs, serialized in insertion order.
+        pub values: Vec<(&'static str, f64)>,
+    }
+
+    impl Row {
+        /// Starts a row with no values.
+        pub fn new(name: impl Into<String>) -> Self {
+            Row {
+                name: name.into(),
+                values: Vec::new(),
+            }
+        }
+
+        /// Appends one metric (builder style).
+        #[must_use]
+        pub fn with(mut self, key: &'static str, value: f64) -> Self {
+            self.values.push((key, value));
+            self
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn num(x: f64) -> String {
+        // `Display` round-trips f64 and never uses an exponent JSON can't
+        // parse; non-finite values have no JSON literal.
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Renders rows as one `ent-bench-metrics/1` JSON document.
+    pub fn to_json(suite: &str, rows: &[Row]) -> String {
+        let mut out = String::from("{\n  \"schema\": \"ent-bench-metrics/1\",\n");
+        let _ = writeln!(out, "  \"suite\": \"{}\",", escape(suite));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(out, "    {{\"name\": \"{}\"", escape(&r.name));
+            for (k, v) in &r.values {
+                let _ = write!(out, ", \"{}\": {}", escape(k), num(*v));
+            }
+            out.push('}');
+            out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `<dir>/results/<stem>.json`, creating `results/` if needed,
+    /// and returns the path written.
+    pub fn write_in(
+        dir: impl AsRef<Path>,
+        stem: &str,
+        suite: &str,
+        rows: &[Row],
+    ) -> io::Result<PathBuf> {
+        let dir = dir.as_ref().join("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{stem}.json"));
+        std::fs::write(&path, to_json(suite, rows))?;
+        Ok(path)
+    }
+
+    /// Writes `results/<stem>.json` under the current directory.
+    pub fn write(stem: &str, suite: &str, rows: &[Row]) -> io::Result<PathBuf> {
+        write_in(".", stem, suite, rows)
+    }
+}
+
 /// Renders a simple fixed-width text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -557,6 +658,21 @@ mod tests {
         );
         assert!(t.contains("long-name"));
         assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed() {
+        let rows = vec![
+            metrics::Row::new("batik")
+                .with("overhead_pct", 1.25)
+                .with("broken", f64::NAN),
+            metrics::Row::new("weird \"name\"\\x").with("energy_j", 3.0),
+        ];
+        let json = metrics::to_json("unit-test", &rows);
+        assert!(ent_runtime::json_is_valid(&json), "{json}");
+        assert!(json.contains("\"overhead_pct\": 1.25"));
+        assert!(json.contains("\"broken\": null"));
+        assert!(json.contains("ent-bench-metrics/1"));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! * `ent run <file.ent>` — compile and run `Main.main()` on a simulated
 //!   platform, printing the program output, the result, and the energy
 //!   measurement. Options: `--platform a|b|c`, `--battery <0..1>`,
-//!   `--seed <n>`, `--silent`, `--trace`.
+//!   `--seed <n>`, `--silent`, `--trace`, `--events`, `--events-limit <n>`,
+//!   `--profile`, `--metrics-json <path>`.
 //! * `ent fmt <file.ent>` — parse and pretty-print to canonical form.
 //!
 //! The library half exists so integration tests can drive the CLI without
@@ -19,7 +20,7 @@ use std::fmt::Write as _;
 use ent_baselines::{check_energy_types, EnergyTypesResult};
 use ent_core::compile;
 use ent_energy::Platform;
-use ent_runtime::{run, RuntimeConfig};
+use ent_runtime::{lower_program, render_event, run, run_lowered, RuntimeConfig};
 use ent_syntax::{parse_program, print_program};
 
 /// Parsed command-line options.
@@ -42,6 +43,13 @@ pub struct Options {
     /// Print the structured energy-event log after the run (§6.3's
     /// debugging view).
     pub events: bool,
+    /// Ring-buffer capacity for event recording (`None` = the runtime
+    /// default).
+    pub events_limit: Option<usize>,
+    /// Collect and print the per-method energy attribution profile.
+    pub profile: bool,
+    /// Write the machine-readable run telemetry JSON to this path.
+    pub metrics_json: Option<String>,
     /// Apply the Energy Types (static-only) restriction in `check`.
     pub energy_types: bool,
 }
@@ -77,6 +85,9 @@ options:
   --silent             suppress ENT runtime errors (the paper's silent mode)
   --trace              print a temperature trace after the run
   --events             print the energy-event log (snapshots, modes, failures)
+  --events-limit <n>   retain only the newest <n> events (ring buffer size)
+  --profile            print the per-method energy attribution profile
+  --metrics-json <p>   write machine-readable run telemetry JSON to <p>
   --energy-types       (check) also enforce the static-only Energy Types subset
 ";
 
@@ -108,6 +119,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         silent: false,
         trace: false,
         events: false,
+        events_limit: None,
+        profile: false,
+        metrics_json: None,
         energy_types: false,
     };
     while let Some(flag) = it.next() {
@@ -132,6 +146,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--silent" => options.silent = true,
             "--trace" => options.trace = true,
             "--events" => options.events = true,
+            "--events-limit" => {
+                let v = it.next().ok_or("--events-limit needs a value")?;
+                options.events_limit = Some(
+                    v.parse()
+                        .map_err(|_| format!("malformed events limit `{v}`"))?,
+                );
+            }
+            "--profile" => options.profile = true,
+            "--metrics-json" => {
+                let v = it.next().ok_or("--metrics-json needs a path")?;
+                options.metrics_json = Some(v.clone());
+            }
             "--energy-types" => options.energy_types = true,
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
@@ -239,15 +265,22 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 "c" => Platform::system_c(),
                 _ => Platform::system_a(),
             };
-            let config = RuntimeConfig {
+            let mut config = RuntimeConfig {
                 silent: options.silent,
                 battery_level: options.battery,
                 seed: options.seed,
                 trace_interval_s: options.trace.then_some(1.0),
-                record_events: options.events,
+                record_events: options.events || options.metrics_json.is_some(),
+                profile: options.profile,
                 ..RuntimeConfig::default()
             };
-            let result = run(&compiled, platform, config);
+            if let Some(limit) = options.events_limit {
+                config.events_capacity = limit;
+            }
+            // Lower explicitly: rendering events and profiles resolves
+            // interned ids through the lowered program.
+            let lowered = lower_program(&compiled);
+            let result = run_lowered(&lowered, platform, config);
             for line in &result.output {
                 let _ = writeln!(out, "{line}");
             }
@@ -281,44 +314,33 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
             );
             if options.events {
                 let _ = writeln!(out, "events:");
+                if result.events.dropped() > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  ({} older events dropped; raise --events-limit to keep more)",
+                        result.events.dropped()
+                    );
+                }
                 for event in &result.events {
-                    use ent_runtime::EnergyEvent::*;
-                    match event {
-                        DynamicAlloc { at_s, class } => {
-                            let _ = writeln!(out, "  [{at_s:8.3}s] alloc dynamic {class}");
-                        }
-                        Snapshot {
-                            at_s,
-                            class,
-                            mode,
-                            bounds,
-                            copied,
-                            failed,
-                        } => {
-                            let status = if *failed {
-                                "FAILED CHECK"
-                            } else if *copied {
-                                "copied"
-                            } else {
-                                "tagged in place"
-                            };
-                            let _ = writeln!(
-                                out,
-                                "  [{at_s:8.3}s] snapshot {class} -> {mode} in [{}, {}] ({status})",
-                                bounds.0, bounds.1
-                            );
-                        }
-                        DfallFailure {
-                            at_s,
-                            target,
-                            receiver_mode,
-                            sender_mode,
-                        } => {
-                            let _ = writeln!(
-                                out,
-                                "  [{at_s:8.3}s] waterfall violation at {target}: receiver {receiver_mode} > sender {sender_mode}"
-                            );
-                        }
+                    let _ = writeln!(out, "  {}", render_event(&lowered, event));
+                }
+            }
+            if options.profile {
+                if let Some(profile) = &result.profile {
+                    let _ = writeln!(out, "profile:");
+                    for line in profile.render_table().lines() {
+                        let _ = writeln!(out, "  {line}");
+                    }
+                }
+            }
+            if let Some(path) = &options.metrics_json {
+                match std::fs::write(path, result.to_json()) {
+                    Ok(()) => {
+                        let _ = writeln!(out, "metrics: wrote {path}");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "metrics: failed to write {path}: {e}");
+                        return (1, out);
                     }
                 }
             }
@@ -375,6 +397,49 @@ mod tests {
         assert_eq!(o.battery, 0.4);
         assert_eq!(o.seed, 9);
         assert!(o.silent && o.trace);
+    }
+
+    #[test]
+    fn parse_args_observability_flags() {
+        let o = parse_args(&args(&[
+            "run",
+            "x.ent",
+            "--events",
+            "--events-limit",
+            "64",
+            "--profile",
+            "--metrics-json",
+            "m.json",
+        ]))
+        .unwrap();
+        assert!(o.events && o.profile);
+        assert_eq!(o.events_limit, Some(64));
+        assert_eq!(o.metrics_json.as_deref(), Some("m.json"));
+        assert!(parse_args(&args(&["run", "x.ent", "--events-limit", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--metrics-json"])).is_err());
+    }
+
+    #[test]
+    fn run_with_profile_and_metrics_json() {
+        let path = std::env::temp_dir().join("ent_cli_metrics_test.json");
+        let o = parse_args(&args(&[
+            "run",
+            "x.ent",
+            "--profile",
+            "--metrics-json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let (code, out) = execute(&o, HELLO);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("profile:"));
+        assert!(out.contains("Main.main"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(ent_runtime::json_is_valid(&json));
+        assert!(json.contains("\"profile\""));
+        assert!(json.contains("\"stats\""));
+        assert!(json.contains("\"measurement\""));
     }
 
     #[test]

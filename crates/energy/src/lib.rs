@@ -34,5 +34,5 @@ mod thermal;
 
 pub use battery::BatteryModel;
 pub use platform::{Governor, Platform, PlatformKind, ThermalParams, WorkKind};
-pub use sim::{EnergySim, Measurement, RaplMeter, WattsUpMeter};
+pub use sim::{EnergySim, Measurement, RaplMeter, Sample, WattsUpMeter};
 pub use thermal::ThermalModel;

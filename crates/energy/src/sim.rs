@@ -21,6 +21,33 @@ pub struct Measurement {
     pub battery_level: f64,
 }
 
+/// One periodic reading of the simulator's observable state, taken on the
+/// virtual clock by the unified sampler ([`EnergySim::enable_sampling`]).
+///
+/// A sample carries everything the reporting layers need — the E3
+/// temperature traces read `(t_s, temp_c)`, telemetry summaries read the
+/// battery and energy trajectories — so one sampling pass feeds them all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Virtual time of the sample, in seconds.
+    pub t_s: f64,
+    /// CPU temperature, in °C.
+    pub temp_c: f64,
+    /// Battery level fraction.
+    pub battery: f64,
+    /// Cumulative energy consumed so far, in joules (noise-free).
+    pub energy_j: f64,
+}
+
+/// The single periodic-sampling mechanism: one interval, one stream of
+/// [`Sample`]s, consulted once per integration sub-step.
+#[derive(Clone, Debug, Default)]
+struct Sampler {
+    interval_s: Option<f64>,
+    next_s: f64,
+    points: Vec<Sample>,
+}
+
 /// The core simulator: executes abstract work and idle periods against a
 /// [`Platform`], integrating energy, battery drain, and CPU temperature on
 /// a virtual clock.
@@ -50,9 +77,7 @@ pub struct EnergySim {
     thermal: ThermalModel,
     peak_temp_c: f64,
     rng: StdRng,
-    trace_interval_s: Option<f64>,
-    next_sample_s: f64,
-    trace: Vec<(f64, f64)>,
+    sampler: Sampler,
 }
 
 /// Default battery capacity: a laptop-scale 50 Wh pack, in joules. The
@@ -72,9 +97,7 @@ impl EnergySim {
             thermal,
             peak_temp_c: peak,
             rng: StdRng::seed_from_u64(seed),
-            trace_interval_s: None,
-            next_sample_s: 0.0,
-            trace: Vec::new(),
+            sampler: Sampler::default(),
         }
     }
 
@@ -83,17 +106,18 @@ impl EnergySim {
         &self.platform
     }
 
-    /// Enables periodic `(time, temperature)` trace sampling (used by the
-    /// E3 temperature experiments).
-    pub fn enable_trace(&mut self, interval_s: f64) {
-        self.trace_interval_s = Some(interval_s.max(1e-3));
-        self.next_sample_s = self.time_s;
-        self.trace.clear();
+    /// Enables periodic state sampling at `interval_s` (the E3 temperature
+    /// experiments read the temperature column; telemetry summaries read
+    /// the battery and energy trajectories).
+    pub fn enable_sampling(&mut self, interval_s: f64) {
+        self.sampler.interval_s = Some(interval_s.max(1e-3));
+        self.sampler.next_s = self.time_s;
+        self.sampler.points.clear();
     }
 
-    /// The sampled temperature trace.
-    pub fn trace(&self) -> &[(f64, f64)] {
-        &self.trace
+    /// The collected samples, in virtual-time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.sampler.points
     }
 
     /// Pins the battery level (fraction), as the harness does before each
@@ -163,11 +187,15 @@ impl EnergySim {
             self.energy_j += watts * h;
             self.battery.drain(watts * h);
             self.time_s += h;
-            if let Some(interval) = self.trace_interval_s {
-                while self.time_s >= self.next_sample_s {
-                    self.trace
-                        .push((self.next_sample_s, self.thermal.temperature_c()));
-                    self.next_sample_s += interval;
+            if let Some(interval) = self.sampler.interval_s {
+                while self.time_s >= self.sampler.next_s {
+                    self.sampler.points.push(Sample {
+                        t_s: self.sampler.next_s,
+                        temp_c: self.thermal.temperature_c(),
+                        battery: self.battery.level(),
+                        energy_j: self.energy_j,
+                    });
+                    self.sampler.next_s += interval;
                 }
             }
             remaining -= h;
@@ -327,14 +355,17 @@ mod tests {
     }
 
     #[test]
-    fn trace_sampling_collects_points() {
+    fn sampling_collects_points() {
         let mut sim = EnergySim::new(Platform::system_a(), 7);
-        sim.enable_trace(0.5);
+        sim.enable_sampling(0.5);
         sim.do_work(WorkKind::Cpu, 4.0e9); // 2 s
-        assert!(sim.trace().len() >= 4);
-        // Times strictly increasing:
-        for w in sim.trace().windows(2) {
-            assert!(w[0].0 < w[1].0);
+        assert!(sim.samples().len() >= 4);
+        // Times strictly increasing, energy non-decreasing, battery
+        // non-increasing:
+        for w in sim.samples().windows(2) {
+            assert!(w[0].t_s < w[1].t_s);
+            assert!(w[0].energy_j <= w[1].energy_j);
+            assert!(w[0].battery >= w[1].battery);
         }
     }
 

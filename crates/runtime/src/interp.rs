@@ -29,15 +29,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ent_core::CompiledProgram;
-use ent_energy::{EnergySim, Measurement, Platform, WorkKind};
+use ent_energy::{EnergySim, Measurement, Platform, Sample, WorkKind};
 use ent_modes::ModeName;
 use ent_syntax::{BinOp, Symbol, UnOp};
 
 use crate::error::{Flow, RtError};
+use crate::events::{EnergyEvent, EventPayload, EventRing};
 use crate::lower::{
     lower_program, BOp, CastCheck, DefaultNew, EnvSrc, GMode, LExpr, LMethod, LMode, LOverride,
     LStmt, LoweredProgram, MDefault, NewPlan,
 };
+use crate::profile::{Profile, Profiler};
 use crate::value::{ObjRef, Value};
 
 /// Configuration for a single program run.
@@ -64,11 +66,21 @@ pub struct RuntimeConfig {
     /// Ablation: deep-copy the object graph on snapshot instead of the
     /// paper's shallow copy (§6.3 discusses this design choice).
     pub deep_copy: bool,
-    /// Record structured [`EnergyEvent`]s in [`RunResult::events`]. Off by
-    /// default: event recording allocates strings on snapshot/alloc/dfall
-    /// paths, which benchmark runs should not pay for. Enable for the §6.3
-    /// energy-debugging workflow.
+    /// Record structured [`EnergyEvent`]s in [`RunResult::events`]. Events
+    /// are fixed-size interned-id records written into a preallocated ring
+    /// buffer, so recording costs a branch plus a store and is safe to
+    /// leave on during benchmark runs. Off by default (the zero-overhead
+    /// configuration records nothing at all).
     pub record_events: bool,
+    /// Ring-buffer capacity for event recording: the newest
+    /// `events_capacity` events are retained, older ones are counted in
+    /// [`crate::EventRing::dropped`].
+    pub events_capacity: usize,
+    /// Attribute steps, simulated energy/time, snapshots, copies, and
+    /// check failures to the method call tree, reported as
+    /// [`RunResult::profile`]. Off by default; when off the interpreter
+    /// pays only a branch per step.
+    pub profile: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -83,52 +95,10 @@ impl Default for RuntimeConfig {
             eager_copy: false,
             deep_copy: false,
             record_events: false,
+            events_capacity: 16_384,
+            profile: false,
         }
     }
-}
-
-/// A structured runtime event, timestamped on the virtual clock — the
-/// raw material of the paper's §6.3 energy-debugging workflow (which
-/// object was assigned which mode, when, and which checks failed).
-///
-/// Only recorded when [`RuntimeConfig::record_events`] is set.
-#[derive(Clone, Debug, PartialEq)]
-pub enum EnergyEvent {
-    /// An object of a dynamic class was allocated (untagged).
-    DynamicAlloc {
-        /// Virtual time in seconds.
-        at_s: f64,
-        /// The class.
-        class: String,
-    },
-    /// A snapshot assigned a mode.
-    Snapshot {
-        /// Virtual time in seconds.
-        at_s: f64,
-        /// The class.
-        class: String,
-        /// The mode the attributor produced.
-        mode: String,
-        /// The declared bounds.
-        bounds: (String, String),
-        /// Whether a physical copy was made (lazy copying).
-        copied: bool,
-        /// Whether the check failed (an EnergyException was or would have
-        /// been raised).
-        failed: bool,
-    },
-    /// A dynamic waterfall check failed at a message send (method-level
-    /// attributors; impossible for statically-checked sends).
-    DfallFailure {
-        /// Virtual time in seconds.
-        at_s: f64,
-        /// `Class.method` of the receiver.
-        target: String,
-        /// The receiver-side mode.
-        receiver_mode: String,
-        /// The sender's mode.
-        sender_mode: String,
-    },
 }
 
 /// Statistics gathered during a run.
@@ -143,6 +113,13 @@ pub struct RunStats {
     pub copies: u64,
     /// `EnergyException`s raised (including caught ones).
     pub energy_exceptions: u64,
+    /// Snapshot checks whose produced mode fell outside the declared
+    /// bounds (a subset of `energy_exceptions`; also counted when
+    /// running silent).
+    pub snapshot_failures: u64,
+    /// Dynamic waterfall checks that failed at a message send (the other
+    /// subset of `energy_exceptions`).
+    pub dfall_failures: u64,
     /// Objects allocated with a dynamic mode (the tagged portion of the
     /// heap).
     pub dynamic_allocs: u64,
@@ -165,11 +142,20 @@ pub struct RunResult {
     pub output: Vec<String>,
     /// Runtime statistics.
     pub stats: RunStats,
-    /// The sampled temperature trace, if tracing was enabled.
+    /// The sampled `(time, temperature)` trace, if sampling was enabled —
+    /// the temperature column of [`RunResult::samples`], kept in this
+    /// shape for the E3 experiment harness.
     pub trace: Vec<(f64, f64)>,
-    /// Structured energy events, in order (§6.3 debugging). Empty unless
-    /// [`RuntimeConfig::record_events`] was set.
-    pub events: Vec<EnergyEvent>,
+    /// The full periodic state samples (time, temperature, battery,
+    /// energy), if [`RuntimeConfig::trace_interval_s`] was set.
+    pub samples: Vec<Sample>,
+    /// Structured energy events, oldest-first (§6.3 debugging). Empty
+    /// unless [`RuntimeConfig::record_events`] was set; render with
+    /// [`crate::render_event`].
+    pub events: EventRing,
+    /// The per-method attribution profile, when
+    /// [`RuntimeConfig::profile`] was set.
+    pub profile: Option<Profile>,
 }
 
 /// Runs a compiled program's `Main.main()` on a simulated platform.
@@ -283,22 +269,39 @@ fn run_on_current_thread(
     let mut sim = EnergySim::new(platform, config.seed);
     sim.set_battery_level(config.battery_level);
     if let Some(interval) = config.trace_interval_s {
-        sim.enable_trace(interval);
+        sim.enable_sampling(interval);
     }
     let mut interp = Interp {
         prog,
         heap: Vec::new(),
         sim,
-        config,
         output: Vec::new(),
         stats: RunStats::default(),
         depth: 0,
-        events: Vec::new(),
+        events: if config.record_events {
+            EventRing::with_capacity(config.events_capacity)
+        } else {
+            EventRing::default()
+        },
+        profiler: if config.profile {
+            Some(Profiler::new())
+        } else {
+            None
+        },
+        config,
     };
     let value = interp.run_main();
     let value_pretty = value.as_ref().ok().map(|v| interp.render_deep(v, 0));
     let measurement = interp.sim.finish();
-    let trace = interp.sim.trace().to_vec();
+    let samples = interp.sim.samples().to_vec();
+    let trace = samples.iter().map(|p| (p.t_s, p.temp_c)).collect();
+    let total_steps = interp.stats.steps;
+    let profile = interp.profiler.as_mut().map(|p| {
+        // The tail of the run (after the last frame transition) belongs
+        // to whatever frame is still open — normally the root.
+        p.flush(total_steps);
+        Profile::build(p, prog)
+    });
     RunResult {
         value,
         value_pretty,
@@ -306,7 +309,9 @@ fn run_on_current_thread(
         output: interp.output,
         stats: interp.stats,
         trace,
+        samples,
         events: interp.events,
+        profile,
     }
 }
 
@@ -408,8 +413,10 @@ struct Interp<'p> {
     stats: RunStats,
     /// Current ENT call depth (for the stack guard).
     depth: usize,
-    /// Structured event log (only fed when `record_events` is on).
-    events: Vec<EnergyEvent>,
+    /// Structured event ring (only fed when `record_events` is on).
+    events: EventRing,
+    /// The attribution profiler (only present when `profile` is on).
+    profiler: Option<Profiler>,
 }
 
 type EvalResult = Result<Value, Flow>;
@@ -444,6 +451,25 @@ impl<'p> Interp<'p> {
             Err(RtError::OutOfGas.into())
         } else {
             Ok(())
+        }
+    }
+
+    /// The single "virtual time advanced" hook: every interpreter-driven
+    /// simulator interaction that moves the clock goes through here, so
+    /// cross-cutting observers see one callback instead of scattered call
+    /// sites. The simulator's own sampler fires inside `f` at sub-step
+    /// resolution; the profiler reads the energy/time delta around it and
+    /// charges the innermost frame.
+    #[inline]
+    fn advance_sim(&mut self, f: impl FnOnce(&mut EnergySim)) {
+        match self.profiler.as_mut() {
+            None => f(&mut self.sim),
+            Some(p) => {
+                let e0 = self.sim.energy_j();
+                let t0 = self.sim.time_s();
+                f(&mut self.sim);
+                p.charge_sim(self.sim.energy_j() - e0, self.sim.time_s() - t0);
+            }
         }
     }
 
@@ -536,12 +562,15 @@ impl<'p> Interp<'p> {
         if matches!(mode, RtTag::Dynamic) {
             self.stats.dynamic_allocs += 1;
             if self.config.tagging {
-                self.sim.do_work(WorkKind::Cpu, TAG_OVERHEAD_OPS);
+                self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, TAG_OVERHEAD_OPS));
+            }
+            if let Some(p) = self.profiler.as_mut() {
+                p.own().dynamic_allocs += 1;
             }
             if self.config.record_events {
-                self.events.push(EnergyEvent::DynamicAlloc {
+                self.events.push(EnergyEvent {
                     at_s: self.sim.time_s(),
-                    class: layout.name.to_string(),
+                    payload: EventPayload::DynamicAlloc { class },
                 });
             }
         }
@@ -604,7 +633,21 @@ impl<'p> Interp<'p> {
             self.depth -= 1;
             return Err(RtError::StackOverflow.into());
         }
+        // The profiler frame opens before the attributor/dfall machinery in
+        // `invoke_inner`, so attribution charges those to the callee.
+        let now = self.stats.steps;
+        let entered = match self.profiler.as_mut() {
+            Some(p) => {
+                p.enter(self.heap[recv].class, method, now);
+                true
+            }
+            None => false,
+        };
         let result = self.invoke_inner(recv, method, args, mode_args, sender_mode);
+        if entered {
+            let now = self.stats.steps;
+            self.profiler.as_mut().expect("profiler stays on").exit(now);
+        }
         self.depth -= 1;
         result
     }
@@ -688,16 +731,19 @@ impl<'p> Interp<'p> {
             Some(rm) => {
                 if !prog.le(rm, sender_mode) {
                     self.stats.energy_exceptions += 1;
+                    self.stats.dfall_failures += 1;
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.own().dfall_failures += 1;
+                    }
                     if self.config.record_events {
-                        self.events.push(EnergyEvent::DfallFailure {
+                        self.events.push(EnergyEvent {
                             at_s: self.sim.time_s(),
-                            target: format!(
-                                "{}.{}",
-                                layout.name,
-                                prog.method_names.resolve(Symbol::from_raw(method))
-                            ),
-                            receiver_mode: prog.mode_disp(rm).to_string(),
-                            sender_mode: prog.mode_disp(sender_mode).to_string(),
+                            payload: EventPayload::DfallFailure {
+                                class,
+                                method,
+                                receiver_mode: rm,
+                                sender_mode,
+                            },
                         });
                     }
                     if !self.config.silent {
@@ -757,9 +803,13 @@ impl<'p> Interp<'p> {
         let prog = self.prog;
         self.stats.snapshots += 1;
         if self.config.tagging {
-            self.sim.do_work(WorkKind::Cpu, SNAPSHOT_OVERHEAD_OPS);
+            self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, SNAPSHOT_OVERHEAD_OPS));
         }
-        let layout = &prog.classes[self.heap[obj].class as usize];
+        if let Some(p) = self.profiler.as_mut() {
+            p.own().snapshots += 1;
+        }
+        let class = self.heap[obj].class;
+        let layout = &prog.classes[class as usize];
         let Some(attributor) = &layout.attributor else {
             return Err(RtError::Native(format!(
                 "class `{}` has no attributor; only dynamic objects can be snapshotted",
@@ -784,20 +834,24 @@ impl<'p> Interp<'p> {
         let failed = !(prog.le(lo, mode) && prog.le(mode, hi));
         let will_copy = self.heap[obj].snapshotted || self.config.eager_copy;
         if self.config.record_events {
-            self.events.push(EnergyEvent::Snapshot {
+            self.events.push(EnergyEvent {
                 at_s: self.sim.time_s(),
-                class: layout.name.to_string(),
-                mode: prog.mode_disp(mode).to_string(),
-                bounds: (
-                    prog.mode_disp(lo).to_string(),
-                    prog.mode_disp(hi).to_string(),
-                ),
-                copied: !failed && will_copy,
-                failed,
+                payload: EventPayload::Snapshot {
+                    class,
+                    mode,
+                    lo,
+                    hi,
+                    copied: !failed && will_copy,
+                    failed,
+                },
             });
         }
         if failed {
             self.stats.energy_exceptions += 1;
+            self.stats.snapshot_failures += 1;
+            if let Some(p) = self.profiler.as_mut() {
+                p.own().snapshot_failures += 1;
+            }
             if !self.config.silent {
                 return Err(RtError::EnergyException(format!(
                     "snapshot of `{}` produced mode `{}` outside bounds [{}, {}]",
@@ -828,7 +882,10 @@ impl<'p> Interp<'p> {
             // ablation clones the reachable object graph).
             self.stats.copies += 1;
             if self.config.tagging {
-                self.sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS);
+                self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS));
+            }
+            if let Some(p) = self.profiler.as_mut() {
+                p.own().copies += 1;
             }
             self.heap[obj].snapshotted = true;
             let copy = if self.config.deep_copy {
@@ -865,7 +922,7 @@ impl<'p> Interp<'p> {
             let field = self.heap[copy].fields[i].clone();
             if let Value::Obj(r) = field {
                 if self.config.tagging {
-                    self.sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS);
+                    self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS));
                 }
                 let cloned = self.deep_copy_obj(r, seen);
                 self.heap[copy].fields[i] = Value::Obj(cloned);
@@ -1243,11 +1300,13 @@ impl<'p> Interp<'p> {
             (BOp::ExtTemperature, []) => Ok(Value::Double(self.sim.temperature_c())),
             (BOp::ExtTimeMs, []) => Ok(Value::Double(self.sim.time_s() * 1000.0)),
             (BOp::SimWork, [Value::Str(kind), Value::Double(units)]) => {
-                self.sim.do_work(WorkKind::parse(kind), *units);
+                let (kind, units) = (WorkKind::parse(kind), *units);
+                self.advance_sim(|sim| sim.do_work(kind, units));
                 Ok(Value::Unit)
             }
             (BOp::SimSleepMs, [Value::Int(ms)]) => {
-                self.sim.sleep_ms(*ms as f64);
+                let ms = *ms as f64;
+                self.advance_sim(|sim| sim.sleep_ms(ms));
                 Ok(Value::Unit)
             }
             (BOp::SimRand, []) => Ok(Value::Double(self.sim.rand())),

@@ -42,12 +42,18 @@
 //! ```
 
 mod error;
+mod events;
 pub mod formal;
 mod interp;
 mod lower;
+mod profile;
+mod telemetry;
 mod value;
 
 pub use error::{Flow, RtError};
-pub use interp::{run, run_lowered, EnergyEvent, RunResult, RunStats, RuntimeConfig};
-pub use lower::{lower_program, LoweredProgram};
+pub use events::{render_event, EnergyEvent, EventPayload, EventRing};
+pub use interp::{run, run_lowered, RunResult, RunStats, RuntimeConfig};
+pub use lower::{lower_program, GMode, LoweredProgram};
+pub use profile::{Costs, MethodProfile, Profile};
+pub use telemetry::json_is_valid;
 pub use value::{ObjRef, RtMode, Value};

@@ -41,8 +41,12 @@ use crate::value::Value;
 /// interned ids, plus [`GMode::Missing`] — the slot value standing in for
 /// "this mode variable has no binding" (the old evaluator's absent hash-map
 /// key).
+///
+/// Public because compact [`crate::EnergyEvent`]s carry modes in this
+/// interned form; resolve one back to its display name with
+/// [`LoweredProgram::mode_string`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum GMode {
+pub enum GMode {
     /// `⊥`.
     Bot,
     /// `⊤`.
@@ -393,6 +397,30 @@ impl LoweredProgram {
     /// Displays a mode exactly as the old evaluator's `StaticMode` did.
     pub(crate) fn mode_disp(&self, g: GMode) -> DispMode<'_> {
         DispMode { prog: self, g }
+    }
+
+    // ---- id resolution (the event/profile rendering surface) ------------
+
+    /// The name of a class id, as carried by [`crate::EnergyEvent`]s.
+    pub fn class_name(&self, id: u32) -> &str {
+        self.classes[id as usize].name.as_str()
+    }
+
+    /// The name of a global method id, as carried by
+    /// [`crate::EnergyEvent`]s and profile frames.
+    pub fn method_name(&self, id: u32) -> &str {
+        self.method_names.resolve(ent_syntax::Symbol::from_raw(id))
+    }
+
+    /// Renders an interned mode back through the interner (`⊥`, `⊤`,
+    /// constant or variable name).
+    pub fn mode_string(&self, g: GMode) -> String {
+        self.mode_disp(g).to_string()
+    }
+
+    /// Number of classes (valid class ids are `0..n_classes`).
+    pub fn n_classes(&self) -> u32 {
+        self.classes.len() as u32
     }
 }
 

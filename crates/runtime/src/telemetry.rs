@@ -1,0 +1,371 @@
+//! Machine-readable run telemetry: [`RunResult::to_json`] and the small
+//! JSON utilities the reporting layers share.
+//!
+//! The workspace deliberately has no serde dependency (offline,
+//! vendored-deps-only builds), so JSON is emitted by hand here and in
+//! [`crate::profile`]. The emitters keep three invariants: strings go
+//! through [`json_escape`], floats go through [`json_f64`] (non-finite
+//! values become `null`), and the `*_bits` fields carry exact f64 bit
+//! patterns as hex strings so consumers can compare energy/time across
+//! configurations bit-for-bit, the same way the semantics fingerprints do.
+//!
+//! [`json_is_valid`] is a minimal syntax checker (not a parser) used by
+//! tests to guarantee every emitted document is well-formed without
+//! pulling in a JSON crate.
+
+use std::fmt::Write as _;
+
+use crate::interp::RunResult;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an f64 as a JSON number (`Display` for f64 is exact-round-trip
+/// and never uses exponent notation); non-finite values become `null`.
+pub(crate) fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `Display` prints integral floats without a fraction ("5"), which
+        // is still a valid JSON number.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The exact bit pattern of an f64, as a fixed-width hex string.
+pub(crate) fn json_f64_bits(x: f64) -> String {
+    format!("\"{:016x}\"", x.to_bits())
+}
+
+impl RunResult {
+    /// The whole run as one JSON document: status, counters, measurement
+    /// (with exact f64 bit patterns), battery/thermal trajectory summaries,
+    /// event-stream accounting, and the profile when one was collected.
+    ///
+    /// This is what the CLI writes for `--metrics-json` and what the bench
+    /// binaries embed in their per-benchmark metrics files.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\": \"ent-run-telemetry/1\"");
+
+        match &self.value {
+            Ok(_) => {
+                out.push_str(", \"status\": \"ok\", \"error\": null");
+                let _ = write!(
+                    out,
+                    ", \"value\": \"{}\"",
+                    json_escape(self.value_pretty.as_deref().unwrap_or(""))
+                );
+            }
+            Err(e) => {
+                let _ = write!(
+                    out,
+                    ", \"status\": \"error\", \"error\": \"{}\", \"value\": null",
+                    json_escape(&e.to_string())
+                );
+            }
+        }
+
+        let s = &self.stats;
+        let _ = write!(
+            out,
+            ", \"stats\": {{\"steps\": {}, \"snapshots\": {}, \"copies\": {}, \"energy_exceptions\": {}, \"snapshot_failures\": {}, \"dfall_failures\": {}, \"dynamic_allocs\": {}, \"allocs\": {}}}",
+            s.steps,
+            s.snapshots,
+            s.copies,
+            s.energy_exceptions,
+            s.snapshot_failures,
+            s.dfall_failures,
+            s.dynamic_allocs,
+            s.allocs,
+        );
+
+        let m = &self.measurement;
+        let _ = write!(
+            out,
+            ", \"measurement\": {{\"energy_j\": {}, \"energy_j_bits\": {}, \"time_s\": {}, \"time_s_bits\": {}, \"peak_temp_c\": {}, \"battery_level\": {}}}",
+            json_f64(m.energy_j),
+            json_f64_bits(m.energy_j),
+            json_f64(m.time_s),
+            json_f64_bits(m.time_s),
+            json_f64(m.peak_temp_c),
+            json_f64(m.battery_level),
+        );
+
+        // Trajectory summaries from the unified sampler (null when sampling
+        // was off).
+        if self.samples.is_empty() {
+            out.push_str(", \"trajectory\": null");
+        } else {
+            let first = self.samples.first().unwrap();
+            let last = self.samples.last().unwrap();
+            let n = self.samples.len();
+            let temp_min = self
+                .samples
+                .iter()
+                .map(|p| p.temp_c)
+                .fold(f64::INFINITY, f64::min);
+            let temp_max = self
+                .samples
+                .iter()
+                .map(|p| p.temp_c)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let temp_mean = self.samples.iter().map(|p| p.temp_c).sum::<f64>() / n as f64;
+            let _ = write!(
+                out,
+                ", \"trajectory\": {{\"samples\": {}, \"span_s\": {}, \"battery_start\": {}, \"battery_end\": {}, \"temp_min_c\": {}, \"temp_mean_c\": {}, \"temp_max_c\": {}}}",
+                n,
+                json_f64(last.t_s - first.t_s),
+                json_f64(first.battery),
+                json_f64(last.battery),
+                json_f64(temp_min),
+                json_f64(temp_mean),
+                json_f64(temp_max),
+            );
+        }
+
+        let _ = write!(
+            out,
+            ", \"output_lines\": {}, \"events\": {{\"recorded\": {}, \"retained\": {}, \"dropped\": {}, \"capacity\": {}}}",
+            self.output.len(),
+            self.events.recorded(),
+            self.events.len(),
+            self.events.dropped(),
+            self.events.capacity(),
+        );
+
+        match &self.profile {
+            Some(p) => {
+                let _ = write!(out, ", \"profile\": {}", p.to_json());
+            }
+            None => out.push_str(", \"profile\": null"),
+        }
+
+        out.push('}');
+        out
+    }
+}
+
+/// A minimal JSON well-formedness check — a recursive-descent scan over the
+/// grammar, accepting exactly one top-level value. Used by tests in place
+/// of a JSON crate; it validates syntax only and builds nothing.
+pub fn json_is_valid(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if !scan_value(b, &mut i, 0) {
+        return false;
+    }
+    skip_ws(b, &mut i);
+    i == b.len()
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn scan_value(b: &[u8], i: &mut usize, depth: usize) -> bool {
+    if depth > 128 {
+        return false;
+    }
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => scan_seq(b, i, depth, b'}', |b, i, depth| {
+            scan_string(b, i)
+                && {
+                    skip_ws(b, i);
+                    b.get(*i) == Some(&b':') && {
+                        *i += 1;
+                        true
+                    }
+                }
+                && scan_value(b, i, depth + 1)
+        }),
+        Some(b'[') => scan_seq(b, i, depth, b']', |b, i, depth| scan_value(b, i, depth + 1)),
+        Some(b'"') => scan_string(b, i),
+        Some(b't') => scan_lit(b, i, b"true"),
+        Some(b'f') => scan_lit(b, i, b"false"),
+        Some(b'n') => scan_lit(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => scan_number(b, i),
+        _ => false,
+    }
+}
+
+fn scan_seq(
+    b: &[u8],
+    i: &mut usize,
+    depth: usize,
+    close: u8,
+    item: impl Fn(&[u8], &mut usize, usize) -> bool,
+) -> bool {
+    *i += 1; // the opening bracket
+    skip_ws(b, i);
+    if b.get(*i) == Some(&close) {
+        *i += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, i);
+        if !item(b, i, depth) {
+            return false;
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(c) if *c == close => {
+                *i += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn scan_string(b: &[u8], i: &mut usize) -> bool {
+    if b.get(*i) != Some(&b'"') {
+        return false;
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return true;
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        *i += 1;
+                        for _ in 0..4 {
+                            if !b.get(*i).is_some_and(u8::is_ascii_hexdigit) {
+                                return false;
+                            }
+                            *i += 1;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            c if c < 0x20 => return false,
+            _ => *i += 1,
+        }
+    }
+    false
+}
+
+fn scan_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> bool {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn scan_number(b: &[u8], i: &mut usize) -> bool {
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| -> bool {
+        let start = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        *i > start
+    };
+    if !digits(b, i) {
+        return false;
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return false;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            "\"a \\\"b\\\" \\u00e9\"",
+            "{\"a\": [1, 2.5, true, null], \"b\": {\"c\": \"d\"}}",
+        ] {
+            assert!(json_is_valid(s), "should accept: {s}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for s in [
+            "",
+            "{",
+            "{\"a\": }",
+            "[1, ]",
+            "{'a': 1}",
+            "NaN",
+            "01a",
+            "{} extra",
+            "\"unterminated",
+            "{\"a\" 1}",
+        ] {
+            assert!(!json_is_valid(s), "should reject: {s}");
+        }
+    }
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert!(json_is_valid(&format!(
+            "\"{}\"",
+            json_escape("x\t\"y\"\u{2}")
+        )));
+    }
+
+    #[test]
+    fn floats_render_as_json_numbers() {
+        assert_eq!(json_f64(5.0), "5");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert!(json_is_valid(&json_f64(1e-9)));
+        assert!(json_is_valid(&json_f64_bits(1.5)));
+    }
+}

@@ -6,10 +6,13 @@
 //!    event log identifies exactly which Site was the energy hotspot;
 //! 3. they add the handler — the program completes, and the event log
 //!    records the degraded path.
+//!
+//! Events carry interned ids; the tests lower explicitly and resolve them
+//! back through the lowered program, the way the CLI does.
 
 use ent_core::{compile, CompileError, TypeErrorKind};
 use ent_energy::Platform;
-use ent_runtime::{run, EnergyEvent, RtError, RuntimeConfig};
+use ent_runtime::{lower_program, run, run_lowered, EventPayload, RtError, RuntimeConfig};
 
 fn crawler(bound: &str, handler: bool) -> String {
     let crawl = if handler {
@@ -86,8 +89,9 @@ fn step1_missing_bound_is_a_compile_time_error() {
 fn step2_bounded_snapshot_throws_and_the_event_log_names_the_hotspot() {
     let src = crawler("[_, X]", false);
     let compiled = compile(&src).expect("bounded version typechecks");
-    let result = run(
-        &compiled,
+    let lowered = lower_program(&compiled);
+    let result = run_lowered(
+        &lowered,
         Platform::system_a(),
         RuntimeConfig {
             battery_level: 0.3,
@@ -101,20 +105,21 @@ fn step2_bounded_snapshot_throws_and_the_event_log_names_the_hotspot() {
     let failure = result
         .events
         .iter()
-        .find_map(|e| match e {
-            EnergyEvent::Snapshot {
+        .find_map(|e| match e.payload {
+            EventPayload::Snapshot {
                 class,
                 mode,
+                hi,
                 failed: true,
-                bounds,
                 ..
-            } => Some((class.clone(), mode.clone(), bounds.clone())),
+            } => Some((class, mode, hi)),
             _ => None,
         })
         .expect("the failed check is in the log");
-    assert_eq!(failure.0, "Site");
-    assert_eq!(failure.1, "full_throttle");
-    assert_eq!(failure.2 .1, "energy_saver"); // the agent's (boot) mode bound
+    assert_eq!(lowered.class_name(failure.0), "Site");
+    assert_eq!(lowered.mode_string(failure.1), "full_throttle");
+    // The agent's (boot) mode bound:
+    assert_eq!(lowered.mode_string(failure.2), "energy_saver");
 }
 
 #[test]
@@ -164,15 +169,7 @@ fn event_log_orders_and_timestamps_snapshots() {
             ..RuntimeConfig::default()
         },
     );
-    let times: Vec<f64> = result
-        .events
-        .iter()
-        .map(|e| match e {
-            EnergyEvent::DynamicAlloc { at_s, .. }
-            | EnergyEvent::Snapshot { at_s, .. }
-            | EnergyEvent::DfallFailure { at_s, .. } => *at_s,
-        })
-        .collect();
+    let times: Vec<f64> = result.events.iter().map(|e| e.at_s).collect();
     assert!(
         times.windows(2).all(|w| w[0] <= w[1]),
         "monotone timestamps"
@@ -181,7 +178,41 @@ fn event_log_orders_and_timestamps_snapshots() {
     let snaps = result
         .events
         .iter()
-        .filter(|e| matches!(e, EnergyEvent::Snapshot { .. }))
+        .filter(|e| matches!(e.payload, EventPayload::Snapshot { .. }))
         .count();
     assert_eq!(snaps, 2);
+    assert_eq!(result.events.dropped(), 0);
+}
+
+#[test]
+fn rendered_event_stream_matches_the_golden_narrative() {
+    // The golden test pinning the lossless rendering: interned ids resolve
+    // back to the exact human-readable lines the CLI prints.
+    let src = crawler("[_, X]", true);
+    let compiled = compile(&src).unwrap();
+    let lowered = lower_program(&compiled);
+    let result = run_lowered(
+        &lowered,
+        Platform::system_a(),
+        RuntimeConfig {
+            battery_level: 0.3,
+            record_events: true,
+            ..RuntimeConfig::default()
+        },
+    );
+    assert_eq!(result.value.as_ref().unwrap(), &ent_runtime::Value::Int(25));
+    let rendered: Vec<String> = result
+        .events
+        .iter()
+        .map(|e| ent_runtime::render_event(&lowered, e))
+        .collect();
+    let expected = [
+        "[   0.000s] alloc dynamic Agent",
+        "[   0.000s] snapshot Agent -> energy_saver in [⊥, ⊤] (tagged in place)",
+        "[   0.000s] alloc dynamic Site",
+        "[   0.000s] snapshot Site -> full_throttle in [⊥, energy_saver] (FAILED CHECK)",
+        "[   0.000s] alloc dynamic Site",
+        "[   0.000s] snapshot Site -> energy_saver in [⊥, energy_saver] (tagged in place)",
+    ];
+    assert_eq!(rendered, expected, "rendered event stream drifted");
 }

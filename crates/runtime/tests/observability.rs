@@ -1,0 +1,280 @@
+//! The observability layer's contracts:
+//!
+//! * **Zero interference** — turning `record_events` and/or `profile` on
+//!   leaves every semantic observable (steps, counters, output, value,
+//!   exact energy/time f64 bit patterns) unchanged, in all four on/off
+//!   configurations.
+//! * **Determinism** — same program + seed ⇒ bit-identical event buffers
+//!   and profile tables across runs.
+//! * **Bounded recording** — the ring retains the newest `events_capacity`
+//!   events and accounts for the rest in `dropped`.
+//! * **Attribution sanity** — inclusive ≥ exclusive everywhere, the root
+//!   inclusive totals cover the whole run, and the JSON report is
+//!   well-formed.
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{
+    json_is_valid, lower_program, run_lowered, EventPayload, LoweredProgram, RunResult,
+    RuntimeConfig,
+};
+
+/// A workload exercising every event kind and a recursive call tree:
+/// dynamic allocs, passing and failing snapshots (caught), copies, sim
+/// work, and recursion.
+const WORKLOAD: &str = "
+modes { low <= mid; mid <= high; }
+class Job@mode<? <= J> {
+  int size;
+  attributor {
+    if (this.size > 100) { return high; }
+    else if (this.size > 10) { return mid; }
+    else { return low; }
+  }
+  int step(int n) {
+    Sim.work(\"cpu\", Math.toDouble(this.size) * 100000.0);
+    if (n <= 1) { return this.size; }
+    return this.step(n - 1);
+  }
+}
+class Runner@mode<? <= R> {
+  attributor {
+    if (Ext.battery() >= 0.5) { return high; } else { return low; }
+  }
+  int go() {
+    return this.one(3) + this.one(40) + this.one(7);
+  }
+  int one(int size) {
+    let dj = new Job(size);
+    let Job j = snapshot dj [_, R];
+    let Job j2 = snapshot dj [_, R];
+    return j2.step(3);
+  }
+}
+class Main {
+  int main() {
+    let dr = new Runner();
+    let Runner r = snapshot dr [_, _];
+    let bad = new Job(500);
+    let fallback = try {
+      let Job b = snapshot bad [_, low];
+      b.step(1)
+    } catch {
+      0 - 1
+    };
+    return r.go() + fallback;
+  }
+}";
+
+fn lowered() -> LoweredProgram {
+    lower_program(&compile(WORKLOAD).expect("workload compiles"))
+}
+
+fn config(events: bool, profile: bool) -> RuntimeConfig {
+    RuntimeConfig {
+        battery_level: 0.9,
+        seed: 42,
+        record_events: events,
+        profile,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn fingerprint(result: &RunResult) -> String {
+    let s = &result.stats;
+    let value = match &result.value {
+        Ok(v) => format!("ok:{v}"),
+        Err(e) => format!("err:{e}"),
+    };
+    format!(
+        "steps={};snaps={};copies={};exc={};sfail={};dfail={};dyn={};allocs={};value={};pretty={};out={};energy={:016x};time={:016x}",
+        s.steps,
+        s.snapshots,
+        s.copies,
+        s.energy_exceptions,
+        s.snapshot_failures,
+        s.dfall_failures,
+        s.dynamic_allocs,
+        s.allocs,
+        value,
+        result.value_pretty.clone().unwrap_or_default(),
+        result.output.join("\\n"),
+        result.measurement.energy_j.to_bits(),
+        result.measurement.time_s.to_bits(),
+    )
+}
+
+#[test]
+fn observability_never_perturbs_semantics() {
+    let prog = lowered();
+    let mut prints = Vec::new();
+    for (events, profile) in [(false, false), (true, false), (false, true), (true, true)] {
+        let result = run_lowered(&prog, Platform::system_a(), config(events, profile));
+        assert!(result.value.is_ok(), "workload runs clean: {result:?}");
+        prints.push((events, profile, fingerprint(&result)));
+    }
+    let baseline = &prints[0].2;
+    for (events, profile, fp) in &prints[1..] {
+        assert_eq!(
+            fp, baseline,
+            "fingerprint drifted with events={events} profile={profile}"
+        );
+    }
+}
+
+#[test]
+fn event_buffers_and_profiles_are_deterministic() {
+    let prog = lowered();
+    let a = run_lowered(&prog, Platform::system_a(), config(true, true));
+    let b = run_lowered(&prog, Platform::system_a(), config(true, true));
+    assert!(!a.events.is_empty(), "workload produces events");
+    assert_eq!(a.events, b.events, "event ring must be bit-identical");
+    assert_eq!(a.profile, b.profile, "profile must be bit-identical");
+    // A different seed still yields the same event structure here (no
+    // control flow depends on noise), but the profile energy comes from
+    // the same deterministic accumulation:
+    let c = run_lowered(&prog, Platform::system_a(), config(true, true));
+    assert_eq!(a.profile.unwrap(), c.profile.unwrap());
+}
+
+#[test]
+fn event_ring_retains_newest_and_counts_dropped() {
+    let prog = lowered();
+    let full = run_lowered(&prog, Platform::system_a(), config(true, false));
+    let total = full.events.recorded();
+    assert!(total > 4, "need enough events to truncate ({total})");
+
+    let mut small = config(true, false);
+    small.events_capacity = 3;
+    let clipped = run_lowered(&prog, Platform::system_a(), small);
+    assert_eq!(clipped.events.len(), 3);
+    assert_eq!(clipped.events.recorded(), total);
+    assert_eq!(clipped.events.dropped(), total - 3);
+    // The retained window is exactly the newest three:
+    let newest: Vec<_> = full.events.to_vec()[full.events.len() - 3..].to_vec();
+    assert_eq!(clipped.events.to_vec(), newest);
+}
+
+#[test]
+fn profile_attribution_is_coherent() {
+    let prog = lowered();
+    let result = run_lowered(&prog, Platform::system_a(), config(false, true));
+    let profile = result.profile.expect("profile requested");
+
+    // Every method: inclusive ≥ exclusive on every metric.
+    for m in &profile.methods {
+        assert!(m.inclusive.steps >= m.exclusive.steps, "{}", m.name);
+        assert!(m.inclusive.energy_j >= m.exclusive.energy_j, "{}", m.name);
+        assert!(m.inclusive.time_s >= m.exclusive.time_s, "{}", m.name);
+        assert!(m.inclusive.snapshots >= m.exclusive.snapshots, "{}", m.name);
+        assert!(m.inclusive.copies >= m.exclusive.copies, "{}", m.name);
+    }
+
+    // The root's inclusive totals are the whole run.
+    let total = profile.total();
+    assert_eq!(total.steps, result.stats.steps, "all steps attributed");
+    assert_eq!(total.snapshots, result.stats.snapshots);
+    assert_eq!(total.copies, result.stats.copies);
+    assert_eq!(total.dynamic_allocs, result.stats.dynamic_allocs);
+    assert_eq!(total.snapshot_failures, result.stats.snapshot_failures);
+
+    // Exclusive totals partition the run: summing them re-derives it.
+    let excl_steps: u64 = profile.methods.iter().map(|m| m.exclusive.steps).sum();
+    assert_eq!(excl_steps, result.stats.steps);
+    let excl_energy: f64 = profile.methods.iter().map(|m| m.exclusive.energy_j).sum();
+    assert!((excl_energy - total.energy_j).abs() < 1e-6);
+
+    // The expected frames are present and the recursive Job.step carries
+    // the work.
+    let names: Vec<&str> = profile.methods.iter().map(|m| m.name.as_str()).collect();
+    for expect in ["(root)", "Main.main", "Runner.go", "Runner.one", "Job.step"] {
+        assert!(names.contains(&expect), "missing frame {expect}: {names:?}");
+    }
+    let step = profile
+        .methods
+        .iter()
+        .find(|m| m.name == "Job.step")
+        .unwrap();
+    assert!(step.calls >= 9, "three sites × recursion depth 3");
+    assert!(step.exclusive.energy_j > 0.0, "Sim.work charged to step");
+
+    // Folded stacks: well-formed, weights match total steps.
+    let folded_total: u64 = profile
+        .folded
+        .iter()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(folded_total, result.stats.steps);
+    assert!(profile
+        .folded
+        .iter()
+        .any(|l| l.contains("Runner.one;Job.step")));
+}
+
+#[test]
+fn telemetry_json_is_well_formed_and_complete() {
+    let prog = lowered();
+    let mut cfg = config(true, true);
+    cfg.trace_interval_s = Some(0.005);
+    let result = run_lowered(&prog, Platform::system_a(), cfg);
+    let json = result.to_json();
+    assert!(json_is_valid(&json), "telemetry must parse: {json}");
+    for key in [
+        "\"schema\"",
+        "\"status\"",
+        "\"stats\"",
+        "\"measurement\"",
+        "\"energy_j_bits\"",
+        "\"trajectory\"",
+        "\"events\"",
+        "\"profile\"",
+        "\"folded\"",
+        "\"snapshot_failures\"",
+        "\"dfall_failures\"",
+    ] {
+        assert!(json.contains(key), "telemetry missing {key}");
+    }
+    assert!(!result.samples.is_empty(), "sampling was enabled");
+
+    // An error run is also representable.
+    let strict = RuntimeConfig {
+        battery_level: 0.3,
+        seed: 42,
+        ..RuntimeConfig::default()
+    };
+    let failing = compile(
+        "modes { low <= high; }
+         class D@mode<? <= X> { attributor { return high; } }
+         class Main { unit main() { let d = new D(); let D s = snapshot d [_, low]; return {}; } }",
+    )
+    .unwrap();
+    let failed = run_lowered(&lower_program(&failing), Platform::system_a(), strict);
+    assert!(failed.value.is_err());
+    let json = failed.to_json();
+    assert!(json_is_valid(&json), "{json}");
+    assert!(json.contains("\"status\": \"error\""));
+}
+
+#[test]
+fn events_off_records_nothing_and_profile_off_reports_none() {
+    let prog = lowered();
+    let result = run_lowered(&prog, Platform::system_a(), config(false, false));
+    assert!(result.events.is_empty());
+    assert_eq!(result.events.recorded(), 0);
+    assert_eq!(result.events.capacity(), 0);
+    assert!(result.profile.is_none());
+    // The stats still count check outcomes even with recording off.
+    assert!(result.stats.snapshot_failures >= 1, "the risky Job fails");
+    assert_eq!(
+        result.stats.snapshot_failures + result.stats.dfall_failures,
+        result.stats.energy_exceptions
+    );
+    // And the event kinds tally with stats when recording is on:
+    let with_events = run_lowered(&prog, Platform::system_a(), config(true, false));
+    let snaps = with_events
+        .events
+        .iter()
+        .filter(|e| matches!(e.payload, EventPayload::Snapshot { .. }))
+        .count() as u64;
+    assert_eq!(snaps, result.stats.snapshots);
+}
