@@ -1,0 +1,126 @@
+//! Scaling benchmark for the batch engine: the Figure-9 measurement grid
+//! (system × benchmark × violating combo, ENT + silent + reference runs)
+//! executed sequentially and then with a parallel worker pool, with a
+//! determinism fingerprint proving the two passes computed bit-for-bit
+//! the same rows.
+//!
+//! Usage:
+//!   cargo run -p ent-bench --release --bin engine_scaling [repeats] [--jobs N]
+//!
+//! Defaults: 3 repeats, 4 workers for the parallel pass. Writes
+//! `BENCH_engine.json` at the workspace root and exits nonzero if the
+//! parallel rows diverge from the sequential ones. The speedup is bounded
+//! by the host's core count (reported as `host_parallelism`); on a
+//! single-core container the interesting number is the fingerprint, not
+//! the ratio.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ent_bench::{fig9, parse_grid_args};
+use ent_workloads::resolve_jobs;
+
+/// FNV-1a over every row field, f64s by bit pattern, in job order.
+fn fingerprint(rows: &[fig9::Row]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in rows {
+        eat(r.benchmark.as_bytes());
+        eat(&(r.system as u64).to_le_bytes());
+        eat(&(r.boot as u64).to_le_bytes());
+        eat(&(r.workload as u64).to_le_bytes());
+        for v in [
+            r.ent_j,
+            r.silent_j,
+            r.ent_normalized,
+            r.silent_normalized,
+            r.savings_pct,
+        ] {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        eat(&r.snapshot_failures.to_le_bytes());
+        eat(&r.dfall_failures.to_le_bytes());
+    }
+    h
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn main() {
+    let args = parse_grid_args(3);
+    let repeats = args.value as usize;
+    // Unlike the figure binaries (reproducibility-first, jobs default 1),
+    // this benchmark exists to exercise the pool: default to 4 workers.
+    let jobs_given = std::env::args().any(|a| a == "--jobs" || a.starts_with("--jobs="));
+    let jobs = resolve_jobs(if jobs_given { args.jobs } else { 4 });
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+
+    eprintln!(
+        "engine scaling: Figure-9 grid, {repeats} repeats, 1 vs {jobs} workers \
+         (host parallelism {host})"
+    );
+
+    // Pre-warm the compile cache so both timed passes measure pure
+    // interpretation, as a long harness session would see.
+    let warm = fig9::rows(1, jobs);
+    let cells = warm.len();
+
+    let start = Instant::now();
+    let seq = fig9::rows(repeats, 1);
+    let sequential_s = start.elapsed().as_secs_f64();
+    let fp_seq = fingerprint(&seq);
+
+    let start = Instant::now();
+    let par = fig9::rows(repeats, jobs);
+    let parallel_s = start.elapsed().as_secs_f64();
+    let fp_par = fingerprint(&par);
+
+    let deterministic = fp_seq == fp_par;
+    let speedup = sequential_s / parallel_s;
+
+    let mut json = String::from("{\n  \"suite\": \"fig9_e1_all\",\n");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(json, "  \"grid_cells\": {cells},");
+    let _ = writeln!(json, "  \"sequential_s\": {sequential_s:.4},");
+    let _ = writeln!(json, "  \"parallel_s\": {parallel_s:.4},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"fingerprint_sequential\": \"{fp_seq:016x}\",");
+    let _ = writeln!(json, "  \"fingerprint_parallel\": \"{fp_par:016x}\",");
+    let _ = writeln!(json, "  \"deterministic\": {deterministic},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"Speedup is bounded by host_parallelism; the determinism \
+         fingerprint must match on every host.\""
+    );
+    json.push_str("}\n");
+
+    let path = repo_root().join("BENCH_engine.json");
+    std::fs::write(&path, &json).unwrap();
+    eprintln!("wrote {}", path.display());
+    eprintln!(
+        "sequential {sequential_s:.2}s, parallel ({jobs} workers) {parallel_s:.2}s \
+         -> {speedup:.2}x; fingerprint {fp_seq:016x} {}",
+        if deterministic {
+            "== parallel (deterministic)"
+        } else {
+            "!= parallel"
+        }
+    );
+    if !deterministic {
+        eprintln!("DETERMINISM VIOLATION: parallel rows differ from sequential rows");
+        std::process::exit(1);
+    }
+}

@@ -2,15 +2,13 @@
 //! each boot mode against the full_throttle boot, large workload, all
 //! systems.
 
-use ent_bench::{fig10, metrics, mode_name, render_table, system_label};
+use ent_bench::{fig10, metrics, mode_name, parse_grid_args, render_table, system_label};
 
 fn main() {
-    let repeats = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let args = parse_grid_args(5);
+    let repeats = args.value as usize;
     println!("Figure 10: battery-casing (E2) runs ({repeats} runs averaged)\n");
-    let data = fig10::rows(repeats);
+    let data = fig10::rows(repeats, args.jobs);
     let metric_rows: Vec<metrics::Row> = data
         .iter()
         .map(|r| {

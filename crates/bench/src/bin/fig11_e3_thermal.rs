@@ -1,17 +1,15 @@
 //! Regenerates Figure 11: temperature-casing (E3) runs — CPU temperature
 //! traces of the ENT and Java variants for the five System A benchmarks.
 
-use ent_bench::{fig11, metrics, sparkline};
+use ent_bench::{fig11, metrics, parse_grid_args, sparkline};
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
+    let args = parse_grid_args(7);
+    let seed = args.value;
     println!("Figure 11: System A temperature-casing (E3) runs (seed {seed})");
     println!("Thresholds: hot at 60 °C, overheating at 65 °C; sleep mcase 0/250/1000 ms.\n");
     let mut metric_rows = Vec::new();
-    for series in fig11::series(seed) {
+    for series in fig11::series(seed, args.jobs) {
         let summarize = |trace: &[(f64, f64)]| -> (f64, f64, Vec<f64>) {
             let temps: Vec<f64> = trace.iter().map(|(_, c)| *c).collect();
             let peak = temps.iter().copied().fold(f64::MIN, f64::max);

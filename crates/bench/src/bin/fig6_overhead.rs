@@ -1,15 +1,13 @@
 //! Regenerates Figure 6: benchmark descriptions, statistics, and the
 //! percentage energy overhead of ENT's runtime versus a no-op baseline.
 
-use ent_bench::{fig6, metrics, render_table};
+use ent_bench::{fig6, metrics, parse_grid_args, render_table};
 
 fn main() {
-    let repeats = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let args = parse_grid_args(5);
+    let repeats = args.value as usize;
     println!("Figure 6: ENT benchmark descriptions and statistics ({repeats} runs averaged)\n");
-    let data = fig6::rows(repeats);
+    let data = fig6::rows(repeats, args.jobs);
     let metric_rows: Vec<metrics::Row> = data
         .iter()
         .map(|r| metrics::Row::new(r.name).with("overhead_pct", r.overhead_pct))

@@ -2,15 +2,13 @@
 //! nine boot × workload combinations per benchmark, with silent
 //! counterparts.
 
-use ent_bench::{fig8, metrics, mode_name, render_table};
+use ent_bench::{fig8, metrics, mode_name, parse_grid_args, render_table};
 
 fn main() {
-    let repeats = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let args = parse_grid_args(5);
+    let repeats = args.value as usize;
     println!("Figure 8: System A battery-exception (E1) runs ({repeats} runs averaged)\n");
-    let rows = fig8::rows(repeats);
+    let rows = fig8::rows(repeats, args.jobs);
     let metric_rows: Vec<metrics::Row> = rows
         .iter()
         .map(|r| {
@@ -23,6 +21,8 @@ fn main() {
             ))
             .with("energy_j", r.energy_j)
             .with("exception", if r.exception { 1.0 } else { 0.0 })
+            .with("snapshot_failures", r.snapshot_failures as f64)
+            .with("dfall_failures", r.dfall_failures as f64)
         })
         .collect();
     let mut current = "";

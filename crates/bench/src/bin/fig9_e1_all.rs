@@ -2,16 +2,14 @@
 //! combinations where EnergyExceptions are thrown, on Systems A, B, and C,
 //! with the percentage savings of ENT versus the silent counterpart.
 
-use ent_bench::{fig9, metrics, mode_name, render_table, system_label};
+use ent_bench::{fig9, metrics, mode_name, parse_grid_args, render_table, system_label};
 
 fn main() {
-    let repeats = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let args = parse_grid_args(5);
+    let repeats = args.value as usize;
     println!("Figure 9: battery-exception (E1) runs on Systems A/B/C ({repeats} runs averaged)");
     println!("Normalized against the silent full_throttle-boot run of the same workload.\n");
-    let data = fig9::rows(repeats);
+    let data = fig9::rows(repeats, args.jobs);
     let metric_rows: Vec<metrics::Row> = data
         .iter()
         .map(|r| {
@@ -27,6 +25,8 @@ fn main() {
             .with("ent_normalized", r.ent_normalized)
             .with("silent_normalized", r.silent_normalized)
             .with("savings_pct", r.savings_pct)
+            .with("snapshot_failures", r.snapshot_failures as f64)
+            .with("dfall_failures", r.dfall_failures as f64)
         })
         .collect();
     let rows: Vec<Vec<String>> = data

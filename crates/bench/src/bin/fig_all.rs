@@ -4,14 +4,19 @@
 //! `results/<name>.json` alongside the text tables.
 //!
 //! ```sh
-//! cargo run --release -p ent-bench --bin fig_all [repeats]
+//! cargo run --release -p ent-bench --bin fig_all [repeats] [--jobs N]
 //! ```
+//!
+//! `--jobs` is forwarded to the measuring figure binaries; their output is
+//! bit-identical at every jobs count, so it only changes wall-clock time.
 
 use std::fs;
 use std::process::Command;
 
 fn main() {
-    let repeats = std::env::args().nth(1).unwrap_or_else(|| "5".to_string());
+    let args = ent_bench::parse_grid_args(5);
+    let repeats = args.value.to_string();
+    let jobs = args.jobs.to_string();
     fs::create_dir_all("results").expect("create results/");
     let exe_dir = std::env::current_exe()
         .expect("current exe")
@@ -19,21 +24,25 @@ fn main() {
         .expect("bin dir")
         .to_path_buf();
 
-    let bins: &[(&str, bool)] = &[
-        ("fig6_overhead", true),
-        ("fig7_settings", false),
-        ("fig8_e1_system_a", true),
-        ("fig9_e1_all", true),
-        ("fig10_e2", true),
-        ("fig11_e3_thermal", false),
-        ("ablation_snapshots", false),
-        ("ablation_governor", false),
-        ("data_collection_rsd", true),
+    // (binary, forward repeats?, forward --jobs?)
+    let bins: &[(&str, bool, bool)] = &[
+        ("fig6_overhead", true, true),
+        ("fig7_settings", false, false),
+        ("fig8_e1_system_a", true, true),
+        ("fig9_e1_all", true, true),
+        ("fig10_e2", true, true),
+        ("fig11_e3_thermal", false, true),
+        ("ablation_snapshots", false, false),
+        ("ablation_governor", false, false),
+        ("data_collection_rsd", true, false),
     ];
-    for (bin, takes_repeats) in bins {
+    for (bin, takes_repeats, takes_jobs) in bins {
         let mut cmd = Command::new(exe_dir.join(bin));
         if *takes_repeats {
             cmd.arg(&repeats);
+        }
+        if *takes_jobs {
+            cmd.args(["--jobs", &jobs]);
         }
         let out = cmd
             .output()

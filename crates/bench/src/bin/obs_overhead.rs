@@ -13,10 +13,9 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use ent_core::compile;
 use ent_energy::PlatformKind;
-use ent_runtime::{lower_program, run_lowered, RunResult, RuntimeConfig};
-use ent_workloads::{all_benchmarks, e2_program, platform_for};
+use ent_runtime::{default_stack_size, run_lowered, with_interp_stack, RunResult, RuntimeConfig};
+use ent_workloads::{all_benchmarks, prepare_e2};
 
 const SEED: u64 = 42;
 const BATTERY: f64 = 0.75;
@@ -76,15 +75,18 @@ struct Sample {
 }
 
 fn measure() -> Vec<Sample> {
+    // One reusable big-stack worker for the whole measurement loop: every
+    // `run_lowered` below is a direct call, not a thread spawn.
+    with_interp_stack(default_stack_size(), measure_on_worker)
+}
+
+fn measure_on_worker() -> Vec<Sample> {
     let mut samples = Vec::new();
     for spec in all_benchmarks() {
-        let platform = platform_for(&spec, PlatformKind::SystemA);
-        let src = e2_program(&spec, &platform, 1);
-        let compiled =
-            compile(&src).unwrap_or_else(|e| panic!("benchmark `{}` must compile: {e}", spec.name));
-        let lowered = lower_program(&compiled);
+        let prepared = prepare_e2(&spec, PlatformKind::SystemA, 1);
+        let (lowered, platform) = (&prepared.lowered, &prepared.platform);
 
-        let plain = run_lowered(&lowered, platform.clone(), config(false, false));
+        let plain = run_lowered(lowered, platform.clone(), config(false, false));
         let fp = fingerprint(&plain);
         let steps = plain.stats.steps;
 
@@ -92,7 +94,7 @@ fn measure() -> Vec<Sample> {
         let mut sps = [0.0f64; 4];
         for (i, (label, events, profile)) in CONFIGS.iter().enumerate() {
             // Warm-up run doubles as the fingerprint check.
-            let warm = run_lowered(&lowered, platform.clone(), config(*events, *profile));
+            let warm = run_lowered(lowered, platform.clone(), config(*events, *profile));
             if fingerprint(&warm) != fp {
                 semantics_match = false;
                 eprintln!("  {} [{}]: FINGERPRINT MISMATCH", spec.name, label);
@@ -100,7 +102,7 @@ fn measure() -> Vec<Sample> {
             let start = Instant::now();
             let mut runs = 0u32;
             while start.elapsed().as_secs_f64() < BUDGET_S || runs < 3 {
-                let r = run_lowered(&lowered, platform.clone(), config(*events, *profile));
+                let r = run_lowered(lowered, platform.clone(), config(*events, *profile));
                 assert_eq!(r.stats.steps, steps, "{} must be deterministic", spec.name);
                 runs += 1;
             }

@@ -8,18 +8,21 @@
 //! Usage:
 //!   cargo run -p ent-bench --release --bin perf_baseline -- --phase baseline
 //!     captures the reference numbers into crates/bench/data/perf_baseline.txt
-//!   cargo run -p ent-bench --release --bin perf_baseline
+//!   cargo run -p ent-bench --release --bin perf_baseline [-- --jobs N]
 //!     measures the current interpreter, compares against the stored
 //!     baseline, and writes BENCH_interp.json at the workspace root.
+//!
+//! `--jobs` parallelizes the compile + fingerprint-verification phase; the
+//! throughput timing loop always runs sequentially (concurrent timing on a
+//! shared machine would measure contention, not the interpreter).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use ent_core::compile;
 use ent_energy::PlatformKind;
-use ent_runtime::{lower_program, run_lowered, RunResult, RuntimeConfig};
-use ent_workloads::{all_benchmarks, e2_program, platform_for};
+use ent_runtime::{default_stack_size, run_lowered, with_interp_stack, RunResult, RuntimeConfig};
+use ent_workloads::{all_benchmarks, prepare_e2, run_batch};
 
 const SEED: u64 = 42;
 const BATTERY: f64 = 0.75;
@@ -67,67 +70,67 @@ fn fingerprint(result: &RunResult) -> String {
     )
 }
 
-fn measure() -> Vec<Sample> {
-    let mut samples = Vec::new();
-    for spec in all_benchmarks() {
-        let platform = platform_for(&spec, PlatformKind::SystemA);
-        let src = e2_program(&spec, &platform, 1);
-        let compiled =
-            compile(&src).unwrap_or_else(|e| panic!("benchmark `{}` must compile: {e}", spec.name));
-        // Lowering is a load-time cost, amortized like parsing and
-        // typechecking: lower once, run many times.
-        let lowered = lower_program(&compiled);
-
+fn measure(jobs: usize) -> Vec<Sample> {
+    // Phase 1 — compile (through the engine's shared cache), warm up, and
+    // verify fingerprints. Batch-parallel: each job is one benchmark.
+    let specs = all_benchmarks();
+    let verified = run_batch(jobs, &specs, |spec| {
+        let prog = prepare_e2(spec, PlatformKind::SystemA, 1);
         // Warm-up run doubles as the fingerprint capture.
-        let warm = run_lowered(&lowered, platform.clone(), config());
+        let warm = prog.run(config());
         let fp = fingerprint(&warm);
-        let steps = warm.stats.steps;
 
         // The observability layer must be a pure observer: a run with the
         // event ring and the profiler enabled computes bit-for-bit the
         // same thing as the plain run.
-        let observed = run_lowered(
-            &lowered,
-            platform.clone(),
-            RuntimeConfig {
-                record_events: true,
-                profile: true,
-                ..config()
-            },
-        );
+        let observed = prog.run(RuntimeConfig {
+            record_events: true,
+            profile: true,
+            ..config()
+        });
         assert_eq!(
             fingerprint(&observed),
             fp,
             "{}: enabling events+profile changed the semantics fingerprint",
             spec.name
         );
+        (prog, fp, warm.stats.steps)
+    });
 
-        let start = Instant::now();
-        let mut runs = 0u32;
-        while start.elapsed().as_secs_f64() < BUDGET_S || runs < 3 {
-            let r = run_lowered(&lowered, platform.clone(), config());
-            assert_eq!(r.stats.steps, steps, "{} must be deterministic", spec.name);
-            runs += 1;
-        }
-        let wall = start.elapsed().as_secs_f64();
-        let total_steps = steps as f64 * runs as f64;
-        samples.push(Sample {
-            name: spec.name.to_string(),
-            steps_per_sec: total_steps / wall,
-            wall_ms_per_run: wall * 1000.0 / runs as f64,
-            steps,
-            fingerprint: fp,
-        });
-        eprintln!(
-            "  {:<12} {:>12.0} steps/s  ({} steps, {:.2} ms/run, {} runs)",
-            spec.name,
-            total_steps / wall,
-            steps,
-            wall * 1000.0 / runs as f64,
-            runs
-        );
-    }
-    samples
+    // Phase 2 — the throughput timing loop: strictly sequential, on one
+    // reusable big-stack worker so each `run_lowered` is a direct call.
+    with_interp_stack(default_stack_size(), || {
+        specs
+            .iter()
+            .zip(verified)
+            .map(|(spec, (prog, fp, steps))| {
+                let start = Instant::now();
+                let mut runs = 0u32;
+                while start.elapsed().as_secs_f64() < BUDGET_S || runs < 3 {
+                    let r = run_lowered(&prog.lowered, prog.platform.clone(), config());
+                    assert_eq!(r.stats.steps, steps, "{} must be deterministic", spec.name);
+                    runs += 1;
+                }
+                let wall = start.elapsed().as_secs_f64();
+                let total_steps = steps as f64 * runs as f64;
+                eprintln!(
+                    "  {:<12} {:>12.0} steps/s  ({} steps, {:.2} ms/run, {} runs)",
+                    spec.name,
+                    total_steps / wall,
+                    steps,
+                    wall * 1000.0 / runs as f64,
+                    runs
+                );
+                Sample {
+                    name: spec.name.to_string(),
+                    steps_per_sec: total_steps / wall,
+                    wall_ms_per_run: wall * 1000.0 / runs as f64,
+                    steps,
+                    fingerprint: fp,
+                }
+            })
+            .collect()
+    })
 }
 
 fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
@@ -204,9 +207,10 @@ fn main() {
             .collect::<Vec<_>>()
             .windows(2)
             .any(|w| w[0] == "--phase" && w[1] == "baseline");
+    let jobs = ent_bench::parse_grid_args(0).jobs;
 
     eprintln!("measuring interpreter throughput (Figure-6 E2 suite)...");
-    let samples = measure();
+    let samples = measure(jobs);
 
     if capture_baseline {
         write_baseline(&samples);

@@ -20,8 +20,8 @@
 
 use ent_energy::PlatformKind;
 use ent_workloads::{
-    all_benchmarks, benchmark, e3_benchmarks, run_e1, run_e2, run_e3, run_overhead_pair,
-    BenchmarkSpec,
+    all_benchmarks, benchmark, e3_benchmarks, prepare_e1, prepare_e2, prepare_e3, run_batch,
+    run_e1_prepared, run_e2_prepared, run_e3_prepared, run_overhead_pair_prepared, BenchmarkSpec,
 };
 
 /// Benchmarks per system in the E1/E2 figures (Figures 8–10). `jython` and
@@ -54,6 +54,40 @@ pub fn average_runs(repeats: usize, mut f: impl FnMut(u64) -> f64) -> f64 {
     total / repeats as f64
 }
 
+/// Command-line arguments shared by the figure binaries:
+/// `[<value>] [--jobs N]`, where the positional value is the repeat count
+/// (the seed, for `fig11_e3_thermal`).
+#[derive(Clone, Copy, Debug)]
+pub struct GridArgs {
+    /// The positional value (repeats or seed).
+    pub value: u64,
+    /// Batch worker count; `0` means one per available CPU.
+    pub jobs: usize,
+}
+
+/// Parses `std::env::args()` as `[<value>] [--jobs N]`. The jobs default
+/// comes from the `ENT_JOBS` environment variable (else 1); figure output
+/// is bit-identical at every jobs count, so the flag only changes speed.
+pub fn parse_grid_args(default_value: u64) -> GridArgs {
+    let mut parsed = GridArgs {
+        value: default_value,
+        jobs: ent_workloads::default_jobs(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                parsed.jobs = n;
+            }
+        } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
+            parsed.jobs = n;
+        } else if let Ok(v) = a.parse() {
+            parsed.value = v;
+        }
+    }
+    parsed
+}
+
 /// Figure 6: benchmark statistics and the percentage energy overhead of
 /// ENT's runtime (tagging + snapshot metadata) versus the no-op baseline.
 pub mod fig6 {
@@ -76,43 +110,43 @@ pub mod fig6 {
         pub overhead_pct: f64,
     }
 
-    /// Runs the overhead experiment for every benchmark.
-    pub fn rows(repeats: usize) -> Vec<Row> {
-        all_benchmarks()
-            .into_iter()
-            .map(|spec| {
-                let system = spec.primary_platform();
-                // Mix the benchmark name into the seed so each row draws an
-                // independent noise sample, as distinct physical runs would.
-                let name_salt: u64 = spec
-                    .name
-                    .bytes()
-                    .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
-                let overhead_pct = average_runs(repeats, |seed| {
-                    let (tagged, baseline) =
-                        run_overhead_pair(&spec, system, seed * 31 + 7 + name_salt);
-                    (tagged - baseline) / baseline * 100.0
-                });
-                let systems = spec
-                    .systems
-                    .iter()
-                    .map(|s| match s {
-                        PlatformKind::SystemA => "A",
-                        PlatformKind::SystemB => "B",
-                        PlatformKind::SystemC => "C",
-                    })
-                    .collect::<Vec<_>>()
-                    .join(",");
-                Row {
-                    name: spec.name,
-                    description: spec.description,
-                    systems,
-                    cloc: spec.cloc,
-                    ent_changes: spec.ent_changes,
-                    overhead_pct,
-                }
-            })
-            .collect()
+    /// Runs the overhead experiment for every benchmark, one batch job per
+    /// table row.
+    pub fn rows(repeats: usize, jobs: usize) -> Vec<Row> {
+        let work = all_benchmarks();
+        run_batch(jobs, &work, |spec| {
+            let system = spec.primary_platform();
+            let prog = prepare_e2(spec, system, 1);
+            // Mix the benchmark name into the seed so each row draws an
+            // independent noise sample, as distinct physical runs would.
+            let name_salt: u64 = spec
+                .name
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+            let overhead_pct = average_runs(repeats, |seed| {
+                let (tagged, baseline) =
+                    run_overhead_pair_prepared(&prog, system, seed * 31 + 7 + name_salt);
+                (tagged - baseline) / baseline * 100.0
+            });
+            let systems = spec
+                .systems
+                .iter()
+                .map(|s| match s {
+                    PlatformKind::SystemA => "A",
+                    PlatformKind::SystemB => "B",
+                    PlatformKind::SystemC => "C",
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            Row {
+                name: spec.name,
+                description: spec.description,
+                systems,
+                cloc: spec.cloc,
+                ent_changes: spec.ent_changes,
+                overhead_pct,
+            }
+        })
     }
 }
 
@@ -170,41 +204,47 @@ pub mod fig8 {
         pub energy_j: f64,
         /// Whether the waterfall was violated during the run.
         pub exception: bool,
+        /// Snapshot-check failures in one run of this configuration.
+        pub snapshot_failures: u64,
+        /// Dynamic-waterfall failures in one run (zero for well-typed
+        /// programs, per Corollary 1).
+        pub dfall_failures: u64,
     }
 
-    /// Runs the grid for the six System A benchmarks.
-    pub fn rows(repeats: usize) -> Vec<Row> {
-        let mut out = Vec::new();
+    /// Runs the grid for the six System A benchmarks, one batch job per
+    /// benchmark × workload × boot × runtime cell.
+    pub fn rows(repeats: usize, jobs: usize) -> Vec<Row> {
+        let mut work = Vec::new();
         for spec in e_benchmarks(PlatformKind::SystemA) {
             for workload in 0..3 {
                 for boot in 0..3 {
                     for silent in [false, true] {
-                        let mut exception = false;
-                        let energy_j = average_runs(repeats, |seed| {
-                            let o = run_e1(
-                                &spec,
-                                PlatformKind::SystemA,
-                                boot,
-                                workload,
-                                silent,
-                                seed * 131 + 3,
-                            );
-                            exception = o.exception;
-                            o.energy_j
-                        });
-                        out.push(Row {
-                            benchmark: spec.name,
-                            workload,
-                            boot,
-                            silent,
-                            energy_j,
-                            exception,
-                        });
+                        work.push((spec.clone(), workload, boot, silent));
                     }
                 }
             }
         }
-        out
+        run_batch(jobs, &work, |(spec, workload, boot, silent)| {
+            let prog = prepare_e1(spec, PlatformKind::SystemA, *workload);
+            let mut last = None;
+            let energy_j = average_runs(repeats, |seed| {
+                let o = run_e1_prepared(&prog, *boot, *silent, seed * 131 + 3);
+                let energy_j = o.energy_j;
+                last = Some(o);
+                energy_j
+            });
+            let last = last.expect("average_runs ran at least once");
+            Row {
+                benchmark: spec.name,
+                workload: *workload,
+                boot: *boot,
+                silent: *silent,
+                energy_j,
+                exception: last.exception,
+                snapshot_failures: last.snapshot_failures,
+                dfall_failures: last.dfall_failures,
+            }
+        })
     }
 }
 
@@ -235,11 +275,17 @@ pub mod fig9 {
         pub silent_normalized: f64,
         /// Percentage savings of ENT versus its silent counterpart.
         pub savings_pct: f64,
+        /// Snapshot-check failures in one silent run of this cell (the
+        /// would-be `EnergyException` count the runtime suppresses).
+        pub snapshot_failures: u64,
+        /// Dynamic-waterfall failures in the same silent run.
+        pub dfall_failures: u64,
     }
 
-    /// Runs the violating combinations for every system.
-    pub fn rows(repeats: usize) -> Vec<Row> {
-        let mut out = Vec::new();
+    /// Runs the violating combinations for every system, one batch job per
+    /// system × benchmark × combination cell.
+    pub fn rows(repeats: usize, jobs: usize) -> Vec<Row> {
+        let mut work = Vec::new();
         for system in [
             PlatformKind::SystemA,
             PlatformKind::SystemB,
@@ -247,30 +293,43 @@ pub mod fig9 {
         ] {
             for spec in e_benchmarks(system) {
                 for (boot, workload) in VIOLATING_COMBOS {
-                    let ent_j = average_runs(repeats, |seed| {
-                        run_e1(&spec, system, boot, workload, false, seed * 17 + 1).energy_j
-                    });
-                    let silent_j = average_runs(repeats, |seed| {
-                        run_e1(&spec, system, boot, workload, true, seed * 17 + 5003).energy_j
-                    });
-                    let reference = average_runs(repeats, |seed| {
-                        run_e1(&spec, system, 2, workload, true, seed * 17 + 9001).energy_j
-                    });
-                    out.push(Row {
-                        system,
-                        benchmark: spec.name,
-                        boot,
-                        workload,
-                        ent_j,
-                        silent_j,
-                        ent_normalized: ent_j / reference,
-                        silent_normalized: silent_j / reference,
-                        savings_pct: (1.0 - ent_j / silent_j) * 100.0,
-                    });
+                    work.push((system, spec.clone(), boot, workload));
                 }
             }
         }
-        out
+        run_batch(jobs, &work, |&(system, ref spec, boot, workload)| {
+            // ENT, silent, and reference runs all share the one program
+            // for (benchmark, system, workload) — boot and silent are
+            // runtime configuration, not program shape.
+            let prog = prepare_e1(spec, system, workload);
+            let ent_j = average_runs(repeats, |seed| {
+                run_e1_prepared(&prog, boot, false, seed * 17 + 1).energy_j
+            });
+            let mut last_silent = None;
+            let silent_j = average_runs(repeats, |seed| {
+                let o = run_e1_prepared(&prog, boot, true, seed * 17 + 5003);
+                let energy_j = o.energy_j;
+                last_silent = Some(o);
+                energy_j
+            });
+            let reference = average_runs(repeats, |seed| {
+                run_e1_prepared(&prog, 2, true, seed * 17 + 9001).energy_j
+            });
+            let last_silent = last_silent.expect("average_runs ran at least once");
+            Row {
+                system,
+                benchmark: spec.name,
+                boot,
+                workload,
+                ent_j,
+                silent_j,
+                ent_normalized: ent_j / reference,
+                silent_normalized: silent_j / reference,
+                savings_pct: (1.0 - ent_j / silent_j) * 100.0,
+                snapshot_failures: last_silent.snapshot_failures,
+                dfall_failures: last_silent.dfall_failures,
+            }
+        })
     }
 }
 
@@ -296,38 +355,48 @@ pub mod fig10 {
         pub savings_pct: f64,
     }
 
-    /// Runs the casing experiment for every system and benchmark.
-    pub fn rows(repeats: usize) -> Vec<Row> {
-        let mut out = Vec::new();
+    /// Runs the casing experiment for every system and benchmark, one
+    /// batch job per system × benchmark (each job owns its full-throttle
+    /// reference and the three boot bars normalized against it).
+    pub fn rows(repeats: usize, jobs: usize) -> Vec<Row> {
+        let mut work = Vec::new();
         for system in [
             PlatformKind::SystemA,
             PlatformKind::SystemB,
             PlatformKind::SystemC,
         ] {
             for spec in e_benchmarks(system) {
-                let ft = average_runs(repeats, |seed| {
-                    run_e2(&spec, system, 2, 2, seed * 23 + 5).energy_j
-                });
-                for boot in 0..3 {
+                work.push((system, spec));
+            }
+        }
+        run_batch(jobs, &work, |&(system, ref spec)| {
+            let prog = prepare_e2(spec, system, 2);
+            let ft = average_runs(repeats, |seed| {
+                run_e2_prepared(&prog, 2, seed * 23 + 5).energy_j
+            });
+            (0..3)
+                .map(|boot| {
                     let energy_j = if boot == 2 {
                         ft
                     } else {
                         average_runs(repeats, |seed| {
-                            run_e2(&spec, system, boot, 2, seed * 23 + 5).energy_j
+                            run_e2_prepared(&prog, boot, seed * 23 + 5).energy_j
                         })
                     };
-                    out.push(Row {
+                    Row {
                         system,
                         benchmark: spec.name,
                         boot,
                         energy_j,
                         normalized: energy_j / ft,
                         savings_pct: (1.0 - energy_j / ft) * 100.0,
-                    });
-                }
-            }
-        }
-        out
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -351,17 +420,28 @@ pub mod fig11 {
         trace.into_iter().map(|(t, c)| (t / end, c)).collect()
     }
 
-    /// Runs the five E3 benchmarks.
-    pub fn series(seed: u64) -> Vec<Series> {
-        e3_benchmarks()
+    /// Runs the five E3 benchmarks, one batch job per benchmark × variant
+    /// (ENT and Java traces of one benchmark run concurrently).
+    pub fn series(seed: u64, jobs: usize) -> Vec<Series> {
+        let work: Vec<(&'static str, usize, f64, bool)> = e3_benchmarks()
             .into_iter()
-            .map(|(name, tasks, task_seconds)| {
-                let spec = benchmark(name).expect("E3 benchmark exists");
-                Series {
-                    benchmark: name,
-                    ent: normalize(run_e3(&spec, tasks, task_seconds, true, seed)),
-                    java: normalize(run_e3(&spec, tasks, task_seconds, false, seed)),
-                }
+            .flat_map(|(name, tasks, task_seconds)| {
+                [true, false].map(|ent| (name, tasks, task_seconds, ent))
+            })
+            .collect();
+        let traces = run_batch(jobs, &work, |&(name, tasks, task_seconds, ent)| {
+            let spec = benchmark(name).expect("E3 benchmark exists");
+            normalize(run_e3_prepared(
+                &prepare_e3(&spec, tasks, task_seconds, ent),
+                seed,
+            ))
+        });
+        work.chunks(2)
+            .zip(traces.chunks(2))
+            .map(|(w, t)| Series {
+                benchmark: w[0].0,
+                ent: t[0].clone(),
+                java: t[1].clone(),
             })
             .collect()
     }
@@ -449,6 +529,11 @@ pub mod metrics {
 
     /// Writes `<dir>/results/<stem>.json`, creating `results/` if needed,
     /// and returns the path written.
+    ///
+    /// The write is atomic (temp file + rename in the same directory), so
+    /// concurrent figure binaries sharing a `results/` directory can never
+    /// interleave partial documents — readers see the old file or the new
+    /// one, nothing in between.
     pub fn write_in(
         dir: impl AsRef<Path>,
         stem: &str,
@@ -458,7 +543,11 @@ pub mod metrics {
         let dir = dir.as_ref().join("results");
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{stem}.json"));
-        std::fs::write(&path, to_json(suite, rows))?;
+        let tmp = dir.join(format!(".{stem}.json.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, to_json(suite, rows))?;
+        std::fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
         Ok(path)
     }
 
@@ -543,18 +632,55 @@ mod tests {
 
     #[test]
     fn fig8_grid_shape() {
-        let rows = fig8::rows(1);
+        let rows = fig8::rows(1, 1);
         // 6 benchmarks × 3 workloads × 3 boots × {ent, silent}.
         assert_eq!(rows.len(), 6 * 3 * 3 * 2);
-        // Exceptions exactly where workload > boot.
+        // Exceptions exactly where workload > boot, and the split
+        // counters agree: every E1 violation enters as a snapshot-check
+        // failure. Checked runs abort there (Corollary 1: no waterfall
+        // failure can follow); silent runs keep going with the over-mode
+        // object, so they may additionally record dfall failures.
         for r in &rows {
             assert_eq!(r.exception, r.workload > r.boot, "{r:?}");
+            assert_eq!(r.exception, r.snapshot_failures > 0, "{r:?}");
+            if !r.silent {
+                assert_eq!(r.dfall_failures, 0, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rows_are_bit_identical_to_sequential() {
+        // The engine's determinism contract, end to end: the same grid at
+        // --jobs 1 and --jobs 4 must agree down to the f64 bit pattern.
+        let seq = fig9::rows(1, 1);
+        let par = fig9::rows(1, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.benchmark, p.benchmark);
+            assert_eq!(s.system, p.system);
+            assert_eq!((s.boot, s.workload), (p.boot, p.workload));
+            assert_eq!(s.ent_j.to_bits(), p.ent_j.to_bits(), "{}", s.benchmark);
+            assert_eq!(
+                s.silent_j.to_bits(),
+                p.silent_j.to_bits(),
+                "{}",
+                s.benchmark
+            );
+            assert_eq!(
+                s.savings_pct.to_bits(),
+                p.savings_pct.to_bits(),
+                "{}",
+                s.benchmark
+            );
+            assert_eq!(s.snapshot_failures, p.snapshot_failures);
+            assert_eq!(s.dfall_failures, p.dfall_failures);
         }
     }
 
     #[test]
     fn fig9_savings_are_positive_everywhere() {
-        for r in fig9::rows(2) {
+        for r in fig9::rows(2, 1) {
             assert!(
                 r.savings_pct > 0.0,
                 "{} {:?} boot {} workload {}: {:.2}%",
@@ -573,7 +699,7 @@ mod tests {
         // The paper's System A savings range roughly 14–58 %; with the
         // QoS-degradation handler the reproduction should land in a
         // comparable (not pathological) band.
-        let rows = fig9::rows(2);
+        let rows = fig9::rows(2, 1);
         for r in rows.iter().filter(|r| r.system == PlatformKind::SystemA) {
             assert!(
                 r.savings_pct > 10.0 && r.savings_pct < 80.0,
@@ -588,7 +714,7 @@ mod tests {
 
     #[test]
     fn fig9_time_fixed_systems_save_less_than_batch_system_a() {
-        let rows = fig9::rows(2);
+        let rows = fig9::rows(2, 1);
         let avg = |system: PlatformKind, time_fixed: bool| {
             let vals: Vec<f64> = rows
                 .iter()
@@ -609,7 +735,7 @@ mod tests {
 
     #[test]
     fn fig10_is_battery_proportional() {
-        let rows = fig10::rows(2);
+        let rows = fig10::rows(2, 2);
         for system in [
             PlatformKind::SystemA,
             PlatformKind::SystemB,
@@ -636,7 +762,7 @@ mod tests {
 
     #[test]
     fn fig11_ent_hovers_java_climbs() {
-        for series in fig11::series(3) {
+        for series in fig11::series(3, 2) {
             let peak = |t: &[(f64, f64)]| t.iter().map(|(_, c)| *c).fold(0.0, f64::max);
             assert!(
                 peak(&series.java) > peak(&series.ent),

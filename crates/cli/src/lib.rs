@@ -52,6 +52,9 @@ pub struct Options {
     pub metrics_json: Option<String>,
     /// Apply the Energy Types (static-only) restriction in `check`.
     pub energy_types: bool,
+    /// Interpreter stack size in bytes (`None` = the runtime default,
+    /// 512 MiB or `ENT_STACK_SIZE`).
+    pub stack_size: Option<usize>,
 }
 
 /// The CLI subcommands.
@@ -88,6 +91,8 @@ options:
   --events-limit <n>   retain only the newest <n> events (ring buffer size)
   --profile            print the per-method energy attribution profile
   --metrics-json <p>   write machine-readable run telemetry JSON to <p>
+  --stack-size <n>     interpreter stack size in bytes, or with a k/m/g
+                       suffix (default: 512m, or the ENT_STACK_SIZE env var)
   --energy-types       (check) also enforce the static-only Energy Types subset
 ";
 
@@ -123,6 +128,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         profile: false,
         metrics_json: None,
         energy_types: false,
+        stack_size: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -157,6 +163,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--metrics-json" => {
                 let v = it.next().ok_or("--metrics-json needs a path")?;
                 options.metrics_json = Some(v.clone());
+            }
+            "--stack-size" => {
+                let v = it.next().ok_or("--stack-size needs a value")?;
+                options.stack_size = Some(
+                    ent_runtime::parse_stack_size(v)
+                        .ok_or_else(|| format!("malformed stack size `{v}` (try 512m or 1g)"))?,
+                );
             }
             "--energy-types" => options.energy_types = true,
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
@@ -276,6 +289,9 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
             };
             if let Some(limit) = options.events_limit {
                 config.events_capacity = limit;
+            }
+            if let Some(stack) = options.stack_size {
+                config.stack_size = stack;
             }
             // Lower explicitly: rendering events and profiles resolves
             // interned ids through the lowered program.
@@ -440,6 +456,23 @@ mod tests {
         assert!(json.contains("\"profile\""));
         assert!(json.contains("\"stats\""));
         assert!(json.contains("\"measurement\""));
+    }
+
+    #[test]
+    fn parse_args_stack_size() {
+        let o = parse_args(&args(&["run", "x.ent", "--stack-size", "64m"])).unwrap();
+        assert_eq!(o.stack_size, Some(64 * 1024 * 1024));
+        let o = parse_args(&args(&["run", "x.ent"])).unwrap();
+        assert_eq!(o.stack_size, None);
+        assert!(parse_args(&args(&["run", "x.ent", "--stack-size", "huge"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--stack-size"])).is_err());
+
+        // A run with a small explicit stack still completes (the depth
+        // guard fires before the stack is exhausted on simple programs).
+        let o = parse_args(&args(&["run", "x.ent", "--stack-size", "8m"])).unwrap();
+        let (code, out) = execute(&o, HELLO);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("result: 42"));
     }
 
     #[test]

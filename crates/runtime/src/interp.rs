@@ -81,6 +81,13 @@ pub struct RuntimeConfig {
     /// [`RunResult::profile`]. Off by default; when off the interpreter
     /// pays only a branch per step.
     pub profile: bool,
+    /// Stack size, in bytes, of the worker thread the evaluator recurses
+    /// on (deep-but-legitimate ENT recursion needs far more stack than a
+    /// default thread provides). Defaults to
+    /// [`crate::default_stack_size`]: 512 MiB of lazily-committed virtual
+    /// memory, overridable process-wide via `ENT_STACK_SIZE` (bytes, or
+    /// with a `k`/`m`/`g` suffix). Clamped to at least 1 MiB.
+    pub stack_size: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -97,6 +104,7 @@ impl Default for RuntimeConfig {
             record_events: false,
             events_capacity: 16_384,
             profile: false,
+            stack_size: crate::stack::default_stack_size(),
         }
     }
 }
@@ -204,62 +212,27 @@ pub fn run(compiled: &CompiledProgram, platform: Platform, config: RuntimeConfig
 pub fn run_lowered(prog: &LoweredProgram, platform: Platform, config: RuntimeConfig) -> RunResult {
     // ENT iteration is recursion-based, and the evaluator is recursive, so
     // deep-but-legitimate programs need far more stack than a default test
-    // thread provides. Run the interpreter on a dedicated big-stack thread
-    // (the explicit call-depth guard below turns true runaway recursion
-    // into `RtError::StackOverflow` long before this stack is exhausted).
-    //
-    // The thread is spawned once and reused: spawning a fresh 512 MB-stack
-    // thread costs ~30 µs, which dominates sub-millisecond runs, while a
-    // round-trip through the persistent worker is ~3 µs.
-    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-    use std::sync::mpsc::{channel, Sender};
-    use std::sync::{Mutex, OnceLock};
-
-    type Job = Box<dyn FnOnce() + Send + 'static>;
-    static WORKER: OnceLock<Mutex<Sender<Job>>> = OnceLock::new();
-    let worker = WORKER.get_or_init(|| {
-        let (tx, rx) = channel::<Job>();
-        std::thread::Builder::new()
-            .name("ent-interp".into())
-            .stack_size(512 * 1024 * 1024)
-            .spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    job();
-                }
-            })
-            .expect("spawning the interpreter thread");
-        Mutex::new(tx)
-    });
-
-    let (done_tx, done_rx) = channel();
-    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-        // Panics must not kill the shared worker; they are re-raised on the
-        // calling thread below.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_on_current_thread(prog, platform, config)
-        }));
-        let _ = done_tx.send(result);
-    });
-    // SAFETY: erasing the closure's borrow of `prog` to ship it to the
-    // worker is sound because this thread blocks on `done_rx.recv()` until
-    // the job has finished executing; every use of `prog` happens before
-    // the completion send, so the borrow strictly outlives it. The mutex is
-    // held across send + recv so concurrent callers cannot interleave jobs
-    // and steal each other's completions.
-    let job: Job = unsafe {
-        std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
-            job,
-        )
-    };
-    let guard = worker.lock().unwrap_or_else(|e| e.into_inner());
-    guard.send(job).expect("interpreter thread exited");
-    let result = done_rx.recv().expect("interpreter thread dropped the job");
-    drop(guard);
-    match result {
-        Ok(r) => r,
-        Err(panic) => resume_unwind(panic),
-    }
+    // thread provides (the explicit call-depth guard turns true runaway
+    // recursion into `RtError::StackOverflow` long before the big stack is
+    // exhausted). `with_interp_stack` runs the evaluation on a scoped
+    // big-stack worker — or directly, when the current thread already is
+    // one (the batch engine's pool workers, which amortize one spawn over
+    // many runs). Re-entrant and concurrency-safe: any number of threads
+    // may run the same `LoweredProgram` simultaneously.
+    let stack_size = config.stack_size;
+    crate::stack::with_interp_stack(stack_size, move || {
+        run_on_current_thread(prog, platform, config)
+    })
 }
+
+// The engine hands one `LoweredProgram` to many worker threads at once and
+// `with_interp_stack` ships borrowed programs and results across threads;
+// both are sound only while these stay thread-safe (the interners inside
+// are `Arc<str>`-backed), so regressions fail here at compile time.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<LoweredProgram>();
+const _: () = assert_send_sync::<RunResult>();
+const _: () = assert_send_sync::<RuntimeConfig>();
 
 fn run_on_current_thread(
     prog: &LoweredProgram,
@@ -278,6 +251,7 @@ fn run_on_current_thread(
         output: Vec::new(),
         stats: RunStats::default(),
         depth: 0,
+        max_depth: max_call_depth(config.stack_size),
         events: if config.record_events {
             EventRing::with_capacity(config.events_capacity)
         } else {
@@ -317,6 +291,22 @@ fn run_on_current_thread(
 
 /// Maximum ENT call depth before [`RtError::StackOverflow`].
 const MAX_CALL_DEPTH: usize = 50_000;
+
+/// Native stack budgeted per ENT call frame when deriving the depth limit
+/// from a configured stack size. Measured usage is ~2.5 KiB per frame;
+/// the 3x headroom absorbs expression-nesting frames that add native
+/// depth without ENT depth. At the default 512 MiB stack the derived
+/// limit exceeds `MAX_CALL_DEPTH`, so default behavior is unchanged.
+const STACK_BYTES_PER_FRAME: usize = 8 * 1024;
+
+/// The ENT call-depth limit for a given interpreter stack size: small
+/// configured stacks must fail with [`RtError::StackOverflow`] rather
+/// than overflow the native stack and abort the process.
+fn max_call_depth(stack_size: usize) -> usize {
+    MAX_CALL_DEPTH
+        .min(stack_size / STACK_BYTES_PER_FRAME)
+        .max(64)
+}
 
 /// Simulator work charged per snapshot (attributor dispatch + metadata).
 const SNAPSHOT_OVERHEAD_OPS: f64 = 1.2e4;
@@ -413,6 +403,8 @@ struct Interp<'p> {
     stats: RunStats,
     /// Current ENT call depth (for the stack guard).
     depth: usize,
+    /// Depth limit derived from the configured stack size.
+    max_depth: usize,
     /// Structured event ring (only fed when `record_events` is on).
     events: EventRing,
     /// The attribution profiler (only present when `profile` is on).
@@ -629,7 +621,7 @@ impl<'p> Interp<'p> {
         sender_mode: GMode,
     ) -> EvalResult {
         self.depth += 1;
-        if self.depth > MAX_CALL_DEPTH {
+        if self.depth > self.max_depth {
             self.depth -= 1;
             return Err(RtError::StackOverflow.into());
         }

@@ -47,6 +47,7 @@ pub mod formal;
 mod interp;
 mod lower;
 mod profile;
+mod stack;
 mod telemetry;
 mod value;
 
@@ -55,5 +56,6 @@ pub use events::{render_event, EnergyEvent, EventPayload, EventRing};
 pub use interp::{run, run_lowered, RunResult, RunStats, RuntimeConfig};
 pub use lower::{lower_program, GMode, LoweredProgram};
 pub use profile::{Costs, MethodProfile, Profile};
+pub use stack::{default_stack_size, parse_stack_size, with_interp_stack, BUILTIN_STACK_SIZE};
 pub use telemetry::json_is_valid;
 pub use value::{ObjRef, RtMode, Value};

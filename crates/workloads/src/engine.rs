@@ -1,0 +1,182 @@
+//! The ENT execution engine: a compile-once program cache plus a
+//! deterministic parallel batch runner.
+//!
+//! The paper's evaluation (§6) is a measurement lattice — benchmark ×
+//! system × boot mode × workload mode × silent × trial — of hundreds of
+//! interpreter runs over a few dozen distinct programs. This module gives
+//! the figure generators two things:
+//!
+//! * **A program cache** ([`lowered_cached`]): programs are compiled and
+//!   lowered once per distinct source and shared as
+//!   `Arc<LoweredProgram>` across every run, thread, and figure that
+//!   needs them (`LoweredProgram` is `Send + Sync`, asserted at compile
+//!   time in `ent-runtime`).
+//! * **A batch executor** ([`run_batch`]): enumerates jobs up front, fans
+//!   them out across `jobs` reusable big-stack workers, and returns
+//!   results in job order.
+//!
+//! # Determinism contract
+//!
+//! Parallel output is **bit-identical** to sequential output. The
+//! contract has two halves:
+//!
+//! * the engine's half: results come back in job order, each worker wraps
+//!   one [`ent_runtime::with_interp_stack`] frame around its whole job
+//!   loop (so scheduling never perturbs a run), and nothing about a run
+//!   depends on which worker picks it up;
+//! * the caller's half: each job's behavior — in particular its RNG seed —
+//!   must derive from the job's *identity* (its position in the
+//!   enumerated grid), never from execution order or shared mutable
+//!   state. The figure generators' seed formulas (`seed * 17 + 1` and
+//!   friends, keyed on the trial index) satisfy this by construction.
+//!
+//! Under that contract `run_batch(n, jobs, f)` returns the same bytes for
+//! every `n`, which the `fig*` binaries' `--jobs` flag and the CI
+//! byte-equality check rely on.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ent_core::compile;
+use ent_runtime::{default_stack_size, with_interp_stack, LoweredProgram};
+
+/// Compiles and lowers `src` once, returning the shared lowered program.
+/// Subsequent calls with the same source (from any thread) hit the cache.
+///
+/// The cache key is the source text itself, so "benchmark identity" is
+/// exact: two benchmark cells share a program if and only if they generate
+/// the same ENT source. `name` labels compile errors only.
+///
+/// # Panics
+///
+/// Panics if `src` does not compile — benchmark programs are generated,
+/// so a compile error is a harness bug, not a measurement.
+pub fn lowered_cached(name: &str, src: &str) -> Arc<LoweredProgram> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<LoweredProgram>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(found) = map.get(src) {
+        return Arc::clone(found);
+    }
+    let compiled = compile(src)
+        .unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile:\n{}", e.render(src)));
+    let lowered = Arc::new(ent_runtime::lower_program(&compiled));
+    map.insert(src.to_string(), Arc::clone(&lowered));
+    lowered
+}
+
+/// The default worker count for batch runs: the `ENT_JOBS` environment
+/// variable when set and positive, else 1 (sequential, the reproducible
+/// default for published artifacts).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::env::var("ENT_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Resolves a `--jobs` request: `0` means "one worker per available CPU".
+#[must_use]
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Runs `f` over every job, fanning out across `jobs` big-stack workers,
+/// and returns the results **in job order** regardless of which worker
+/// finished what when.
+///
+/// Workers pull job indices from a shared counter, so a slow job never
+/// convoys the whole batch behind it. Each worker executes inside a
+/// single [`with_interp_stack`] frame, so every `run_lowered` a job makes
+/// runs directly on the worker's (already big) stack — the pool reuses
+/// one spawned worker per thread, not one per run. With `jobs == 1` the
+/// batch runs sequentially on one such worker; under the module-level
+/// determinism contract the results are bit-identical either way.
+///
+/// # Panics
+///
+/// A panicking job panics the batch: worker panics are re-raised on the
+/// calling thread after the scope unwinds.
+pub fn run_batch<J, R, F>(jobs: usize, work: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let stack_size = default_stack_size();
+    let workers = resolve_jobs(jobs).max(1).min(work.len().max(1));
+    if workers == 1 {
+        return with_interp_stack(stack_size, || work.iter().map(&f).collect());
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    with_interp_stack(stack_size, || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = work.get(i) else { break };
+                            mine.push((i, f(job)));
+                        }
+                        mine
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(part) => part,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_results_come_back_in_job_order() {
+        let work: Vec<usize> = (0..100).collect();
+        let seq = run_batch(1, &work, |&n| n * n);
+        let par = run_batch(8, &work, |&n| n * n);
+        assert_eq!(seq, par);
+        assert_eq!(seq[17], 289);
+    }
+
+    #[test]
+    fn batch_handles_empty_and_single_job_lists() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_batch(4, &none, |&n| n).is_empty());
+        assert_eq!(run_batch(4, &[7u32], |&n| n + 1), vec![8]);
+    }
+
+    #[test]
+    fn cache_returns_the_same_program_for_the_same_source() {
+        let src = "class Main { int main() { return 6 * 7; } }";
+        let a = lowered_cached("unit-test", src);
+        let b = lowered_cached("unit-test", src);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn resolve_jobs_expands_zero() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

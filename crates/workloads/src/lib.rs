@@ -23,6 +23,7 @@
 //! ```
 
 mod apps;
+pub mod engine;
 mod programs;
 mod runner;
 mod settings;
@@ -31,8 +32,13 @@ pub use apps::{
     batik, camera, crypto, duckduckgo, findbugs, javaboy, jspider, jython, materiallife, newpipe,
     pagerank, showcase_apps, soundrecorder, sunflow, video, xalan,
 };
+pub use engine::{default_jobs, lowered_cached, resolve_jobs, run_batch};
 pub use programs::{e1_program, e2_program, e3_program, unit_scale, workload_duty_factor};
-pub use runner::{platform_for, platform_of, run_e1, run_e2, run_e3, run_overhead_pair, Outcome};
+pub use runner::{
+    platform_for, platform_of, prepare_e1, prepare_e2, prepare_e3, run_e1, run_e1_prepared, run_e2,
+    run_e2_prepared, run_e3, run_e3_prepared, run_overhead_pair, run_overhead_pair_prepared,
+    Outcome, PreparedProgram,
+};
 pub use settings::{
     all_benchmarks, battery_for_boot, benchmark, e3_benchmarks, BenchmarkSpec, E3Settings, Shape,
     MODE_NAMES,

@@ -1,9 +1,24 @@
 //! Executes benchmark programs under the experiment configurations of §6.
+//!
+//! Each experiment shape comes in two layers:
+//!
+//! * `prepare_e*` builds (or fetches from the engine's compile-once
+//!   cache) the benchmark's [`PreparedProgram`] — the lowered program
+//!   plus the platform it runs on;
+//! * `run_e*_prepared` executes one configuration against a prepared
+//!   program. These are what the batch engine's workers call: a run
+//!   costs zero compiles and zero thread spawns (workers already sit on
+//!   big interpreter stacks).
+//!
+//! The `run_e*` convenience wrappers (prepare + run in one call) remain
+//! for one-off runs and tests.
 
-use ent_core::{compile, CompiledProgram};
+use std::sync::Arc;
+
 use ent_energy::{Platform, PlatformKind};
-use ent_runtime::{run, RunResult, RuntimeConfig};
+use ent_runtime::{run_lowered, LoweredProgram, RunResult, RuntimeConfig};
 
+use crate::engine::lowered_cached;
 use crate::programs::{e1_program, e2_program, e3_program};
 use crate::settings::{battery_for_boot, BenchmarkSpec, E3Settings};
 
@@ -33,8 +48,34 @@ pub fn platform_for(spec: &BenchmarkSpec, kind: PlatformKind) -> Platform {
     platform
 }
 
-/// The outcome of one experiment run.
+/// A benchmark program compiled and lowered once, ready to run any number
+/// of configurations — concurrently, if the caller likes (the lowered
+/// program is `Send + Sync` and shared by `Arc`).
 #[derive(Clone, Debug)]
+pub struct PreparedProgram {
+    /// Benchmark name (for panic messages).
+    pub name: &'static str,
+    /// The platform this program was generated against and runs on.
+    pub platform: Platform,
+    /// The shared lowered program.
+    pub lowered: Arc<LoweredProgram>,
+}
+
+impl PreparedProgram {
+    /// Runs one configuration on the prepared program's own platform.
+    pub fn run(&self, config: RuntimeConfig) -> RunResult {
+        run_lowered(&self.lowered, self.platform.clone(), config)
+    }
+
+    /// Runs one configuration on an explicit platform (the Figure 6
+    /// overhead pair runs the tagged leg on the base platform).
+    pub fn run_on(&self, platform: Platform, config: RuntimeConfig) -> RunResult {
+        run_lowered(&self.lowered, platform, config)
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Outcome {
     /// Energy consumed, in joules (with measurement noise).
     pub energy_j: f64,
@@ -43,11 +84,12 @@ pub struct Outcome {
     /// Whether an `EnergyException` was raised during the run (for silent
     /// runs: whether one *would* have been raised).
     pub exception: bool,
-}
-
-fn compile_or_panic(name: &str, src: &str) -> CompiledProgram {
-    compile(src)
-        .unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile:\n{}", e.render(src)))
+    /// Snapshot checks whose produced mode fell outside the declared
+    /// bounds (counted even when running silent).
+    pub snapshot_failures: u64,
+    /// Dynamic waterfall checks that failed at a message send (the other
+    /// cause of `EnergyException`s).
+    pub dfall_failures: u64,
 }
 
 fn to_outcome(name: &str, result: RunResult) -> Outcome {
@@ -58,7 +100,38 @@ fn to_outcome(name: &str, result: RunResult) -> Outcome {
         energy_j: result.measurement.energy_j,
         time_s: result.measurement.time_s,
         exception: result.stats.energy_exceptions > 0,
+        snapshot_failures: result.stats.snapshot_failures,
+        dfall_failures: result.stats.dfall_failures,
     }
+}
+
+/// Prepares a benchmark's E1 "battery-exception" program for a system and
+/// workload mode (compile-once cached).
+pub fn prepare_e1(spec: &BenchmarkSpec, system: PlatformKind, workload: usize) -> PreparedProgram {
+    let platform = platform_for(spec, system);
+    let src = e1_program(spec, &platform, workload);
+    PreparedProgram {
+        name: spec.name,
+        lowered: lowered_cached(spec.name, &src),
+        platform,
+    }
+}
+
+/// Runs one E1 configuration against a prepared program: a boot mode
+/// (0–2), with or without the runtime type system ("silent").
+///
+/// # Panics
+///
+/// Panics if the run stops with a runtime error — a harness bug, not a
+/// measurement.
+pub fn run_e1_prepared(prog: &PreparedProgram, boot: usize, silent: bool, seed: u64) -> Outcome {
+    let config = RuntimeConfig {
+        silent,
+        battery_level: battery_for_boot(boot),
+        seed,
+        ..RuntimeConfig::default()
+    };
+    to_outcome(prog.name, prog.run(config))
 }
 
 /// Runs one E1 "battery-exception" configuration: a boot mode (0–2), a
@@ -78,16 +151,30 @@ pub fn run_e1(
     silent: bool,
     seed: u64,
 ) -> Outcome {
+    run_e1_prepared(&prepare_e1(spec, system, workload), boot, silent, seed)
+}
+
+/// Prepares a benchmark's E2 "battery-casing" program for a system and
+/// workload mode (compile-once cached).
+pub fn prepare_e2(spec: &BenchmarkSpec, system: PlatformKind, workload: usize) -> PreparedProgram {
     let platform = platform_for(spec, system);
-    let src = e1_program(spec, &platform, workload);
-    let compiled = compile_or_panic(spec.name, &src);
+    let src = e2_program(spec, &platform, workload);
+    PreparedProgram {
+        name: spec.name,
+        lowered: lowered_cached(spec.name, &src),
+        platform,
+    }
+}
+
+/// Runs one E2 configuration against a prepared program: the boot mode
+/// selects QoS through mode cases.
+pub fn run_e2_prepared(prog: &PreparedProgram, boot: usize, seed: u64) -> Outcome {
     let config = RuntimeConfig {
-        silent,
         battery_level: battery_for_boot(boot),
         seed,
         ..RuntimeConfig::default()
     };
-    to_outcome(spec.name, run(&compiled, platform, config))
+    to_outcome(prog.name, prog.run(config))
 }
 
 /// Runs one E2 "battery-casing" configuration: the boot mode selects QoS
@@ -99,15 +186,39 @@ pub fn run_e2(
     workload: usize,
     seed: u64,
 ) -> Outcome {
-    let platform = platform_for(spec, system);
-    let src = e2_program(spec, &platform, workload);
-    let compiled = compile_or_panic(spec.name, &src);
+    run_e2_prepared(&prepare_e2(spec, system, workload), boot, seed)
+}
+
+/// Prepares a benchmark's E3 "temperature-casing" program on System A.
+/// `ent == false` is the plain-Java variant.
+pub fn prepare_e3(
+    spec: &BenchmarkSpec,
+    tasks: usize,
+    task_seconds: f64,
+    ent: bool,
+) -> PreparedProgram {
+    let platform = platform_of(PlatformKind::SystemA);
+    let settings = E3Settings::default();
+    let src = e3_program(spec, &platform, &settings, tasks, task_seconds, ent);
+    PreparedProgram {
+        name: spec.name,
+        lowered: lowered_cached(spec.name, &src),
+        platform,
+    }
+}
+
+/// Runs a prepared E3 program and returns the sampled `(time, °C)` trace.
+pub fn run_e3_prepared(prog: &PreparedProgram, seed: u64) -> Vec<(f64, f64)> {
     let config = RuntimeConfig {
-        battery_level: battery_for_boot(boot),
         seed,
+        trace_interval_s: Some(1.0),
         ..RuntimeConfig::default()
     };
-    to_outcome(spec.name, run(&compiled, platform, config))
+    let result = prog.run(config);
+    if let Err(e) = &result.value {
+        panic!("benchmark `{}` E3 failed at runtime: {e}", prog.name);
+    }
+    result.trace
 }
 
 /// Runs one E3 "temperature-casing" configuration on System A and returns
@@ -119,20 +230,36 @@ pub fn run_e3(
     ent: bool,
     seed: u64,
 ) -> Vec<(f64, f64)> {
-    let platform = platform_of(PlatformKind::SystemA);
-    let settings = E3Settings::default();
-    let src = e3_program(spec, &platform, &settings, tasks, task_seconds, ent);
-    let compiled = compile_or_panic(spec.name, &src);
-    let config = RuntimeConfig {
+    run_e3_prepared(&prepare_e3(spec, tasks, task_seconds, ent), seed)
+}
+
+/// Runs a prepared E2 program twice — once with runtime tagging modeled
+/// (on the base platform), once without (on the benchmark's platform) —
+/// and returns `(tagged_energy, baseline_energy)`: the Figure 6 overhead
+/// measurement.
+pub fn run_overhead_pair_prepared(
+    prog: &PreparedProgram,
+    system: PlatformKind,
+    seed: u64,
+) -> (f64, f64) {
+    let base = RuntimeConfig {
+        battery_level: battery_for_boot(1),
         seed,
-        trace_interval_s: Some(1.0),
         ..RuntimeConfig::default()
     };
-    let result = run(&compiled, platform, config);
-    if let Err(e) = &result.value {
-        panic!("benchmark `{}` E3 failed at runtime: {e}", spec.name);
-    }
-    result.trace
+    let tagged = prog.run_on(
+        platform_of(system),
+        RuntimeConfig {
+            tagging: true,
+            ..base.clone()
+        },
+    );
+    let plain = prog.run(RuntimeConfig {
+        tagging: false,
+        seed: seed + 1000,
+        ..base
+    });
+    (tagged.measurement.energy_j, plain.measurement.energy_j)
 }
 
 /// Runs the benchmark in its E2 shape with the default (managed) workload
@@ -140,32 +267,7 @@ pub fn run_e3(
 /// `(tagged_energy, baseline_energy)`. This is the Figure 6 overhead
 /// measurement.
 pub fn run_overhead_pair(spec: &BenchmarkSpec, system: PlatformKind, seed: u64) -> (f64, f64) {
-    let platform = platform_for(spec, system);
-    let src = e2_program(spec, &platform, 1);
-    let compiled = compile_or_panic(spec.name, &src);
-    let base = RuntimeConfig {
-        battery_level: battery_for_boot(1),
-        seed,
-        ..RuntimeConfig::default()
-    };
-    let tagged = run(
-        &compiled,
-        platform_of(system),
-        RuntimeConfig {
-            tagging: true,
-            ..base.clone()
-        },
-    );
-    let plain = run(
-        &compiled,
-        platform,
-        RuntimeConfig {
-            tagging: false,
-            seed: seed + 1000,
-            ..base
-        },
-    );
-    (tagged.measurement.energy_j, plain.measurement.energy_j)
+    run_overhead_pair_prepared(&prepare_e2(spec, system, 1), system, seed)
 }
 
 #[cfg(test)]
@@ -185,8 +287,30 @@ mod tests {
                     workload > boot,
                     "boot {boot}, workload {workload}"
                 );
+                // The split counters must agree with the collapsed flag.
+                assert_eq!(
+                    out.exception,
+                    out.snapshot_failures + out.dfall_failures > 0,
+                    "boot {boot}, workload {workload}: {out:?}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn e1_violations_enter_as_snapshot_failures() {
+        // Every E1 violation is first a failed snapshot check. A checked
+        // run aborts right there, so the waterfall never fails
+        // (Corollary 1). A silent run suppresses the check and carries
+        // the over-mode object forward, so later sends may additionally
+        // record dfall failures — but the snapshot counter still leads.
+        let spec = benchmark("sunflow").unwrap();
+        let checked = run_e1(&spec, SystemA, 0, 2, false, 9);
+        assert!(checked.snapshot_failures > 0, "{checked:?}");
+        assert_eq!(checked.dfall_failures, 0, "{checked:?}");
+
+        let silent = run_e1(&spec, SystemA, 0, 2, true, 9);
+        assert!(silent.snapshot_failures > 0, "{silent:?}");
     }
 
     #[test]
@@ -206,13 +330,23 @@ mod tests {
     }
 
     #[test]
+    fn prepared_runs_match_the_convenience_wrappers() {
+        let spec = benchmark("crypto").unwrap();
+        let prog = prepare_e1(&spec, SystemA, 2);
+        let prepared = run_e1_prepared(&prog, 1, false, 13);
+        let direct = run_e1(&spec, SystemA, 1, 2, false, 13);
+        assert_eq!(prepared, direct);
+    }
+
+    #[test]
     fn e2_energy_is_mode_proportional() {
         for name in ["pagerank", "crypto", "video", "newpipe"] {
             let spec = benchmark(name).unwrap();
             let system = spec.primary_platform();
-            let es = run_e2(&spec, system, 0, 2, 11).energy_j;
-            let mg = run_e2(&spec, system, 1, 2, 11).energy_j;
-            let ft = run_e2(&spec, system, 2, 2, 11).energy_j;
+            let prog = prepare_e2(&spec, system, 2);
+            let es = run_e2_prepared(&prog, 0, 11).energy_j;
+            let mg = run_e2_prepared(&prog, 1, 11).energy_j;
+            let ft = run_e2_prepared(&prog, 2, 11).energy_j;
             assert!(es < mg && mg < ft, "{name}: {es} < {mg} < {ft}");
         }
     }
