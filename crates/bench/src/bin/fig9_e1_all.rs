@@ -10,25 +10,7 @@ fn main() {
     println!("Figure 9: battery-exception (E1) runs on Systems A/B/C ({repeats} runs averaged)");
     println!("Normalized against the silent full_throttle-boot run of the same workload.\n");
     let data = fig9::rows(repeats, args.jobs);
-    let metric_rows: Vec<metrics::Row> = data
-        .iter()
-        .map(|r| {
-            metrics::Row::new(format!(
-                "{}/{}/{}-{}",
-                system_label(r.system),
-                r.benchmark,
-                mode_name(r.boot),
-                mode_name(r.workload)
-            ))
-            .with("ent_j", r.ent_j)
-            .with("silent_j", r.silent_j)
-            .with("ent_normalized", r.ent_normalized)
-            .with("silent_normalized", r.silent_normalized)
-            .with("savings_pct", r.savings_pct)
-            .with("snapshot_failures", r.snapshot_failures as f64)
-            .with("dfall_failures", r.dfall_failures as f64)
-        })
-        .collect();
+    let metric_rows = fig9::metric_rows(&data);
     let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {

@@ -18,10 +18,11 @@
 //! * Figure 11 — E3 traces: ENT hovers near the `hot` threshold while the
 //!   Java runs climb.
 
-use ent_energy::PlatformKind;
+use ent_energy::{FaultPlan, PlatformKind};
 use ent_workloads::{
     all_benchmarks, benchmark, e3_benchmarks, prepare_e1, prepare_e2, prepare_e3, run_batch,
-    run_e1_prepared, run_e2_prepared, run_e3_prepared, run_overhead_pair_prepared, BenchmarkSpec,
+    run_e1_chaos_prepared, run_e1_prepared, run_e2_prepared, run_e3_prepared,
+    run_overhead_pair_prepared, BenchmarkSpec,
 };
 
 /// Benchmarks per system in the E1/E2 figures (Figures 8–10). `jython` and
@@ -55,25 +56,41 @@ pub fn average_runs(repeats: usize, mut f: impl FnMut(u64) -> f64) -> f64 {
 }
 
 /// Command-line arguments shared by the figure binaries:
-/// `[<value>] [--jobs N]`, where the positional value is the repeat count
-/// (the seed, for `fig11_e3_thermal`).
-#[derive(Clone, Copy, Debug)]
+/// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]`, where the
+/// positional value is the repeat count (the seed, for `fig11_e3_thermal`).
+#[derive(Clone, Debug)]
 pub struct GridArgs {
     /// The positional value (repeats or seed).
     pub value: u64,
     /// Batch worker count; `0` means one per available CPU.
     pub jobs: usize,
+    /// Fault plan from `--faults` ("off", "chaos", or a key=value spec);
+    /// `None` when the flag is absent or the plan is a no-op.
+    pub faults: Option<FaultPlan>,
+    /// Seed for the fault injector's deterministic schedule.
+    pub fault_seed: u64,
 }
 
-/// Parses `std::env::args()` as `[<value>] [--jobs N]`. The jobs default
-/// comes from the `ENT_JOBS` environment variable (else 1); figure output
-/// is bit-identical at every jobs count, so the flag only changes speed.
+/// Parses `std::env::args()` as
+/// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]`. The jobs
+/// default comes from the `ENT_JOBS` environment variable (else 1);
+/// figure output is bit-identical at every jobs count, so that flag only
+/// changes speed. A malformed `--faults` spec exits with status 1.
 pub fn parse_grid_args(default_value: u64) -> GridArgs {
     let mut parsed = GridArgs {
         value: default_value,
         jobs: ent_workloads::default_jobs(),
+        faults: None,
+        fault_seed: 0,
     };
     let mut args = std::env::args().skip(1);
+    let set_faults = |spec: &str, parsed: &mut GridArgs| match FaultPlan::parse(spec) {
+        Ok(plan) => parsed.faults = (!plan.is_noop()).then_some(plan),
+        Err(e) => {
+            eprintln!("invalid --faults spec: {e}");
+            std::process::exit(1);
+        }
+    };
     while let Some(a) = args.next() {
         if a == "--jobs" {
             if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
@@ -81,6 +98,18 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
             }
         } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
             parsed.jobs = n;
+        } else if a == "--faults" {
+            let spec = args.next().unwrap_or_default();
+            set_faults(&spec, &mut parsed);
+        } else if let Some(spec) = a.strip_prefix("--faults=") {
+            let spec = spec.to_string();
+            set_faults(&spec, &mut parsed);
+        } else if a == "--fault-seed" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                parsed.fault_seed = n;
+            }
+        } else if let Some(n) = a.strip_prefix("--fault-seed=").and_then(|v| v.parse().ok()) {
+            parsed.fault_seed = n;
         } else if let Ok(v) = a.parse() {
             parsed.value = v;
         }
@@ -246,6 +275,123 @@ pub mod fig8 {
             }
         })
     }
+
+    /// Converts figure rows to the machine-readable metric rows the
+    /// `fig8_e1_system_a` binary writes — the failure split (exception
+    /// flag plus the snapshot/dfall counters behind it) rides along with
+    /// the energy number.
+    pub fn metric_rows(rows: &[Row]) -> Vec<metrics::Row> {
+        rows.iter()
+            .map(|r| {
+                metrics::Row::new(format!(
+                    "{}/{}/{}/{}",
+                    r.benchmark,
+                    mode_name(r.workload),
+                    mode_name(r.boot),
+                    if r.silent { "silent" } else { "ent" }
+                ))
+                .with("energy_j", r.energy_j)
+                .with("exception", if r.exception { 1.0 } else { 0.0 })
+                .with("snapshot_failures", r.snapshot_failures as f64)
+                .with("dfall_failures", r.dfall_failures as f64)
+            })
+            .collect()
+    }
+
+    /// One cell of the fault-injected grid. Runtime errors are recorded
+    /// results here (a degraded cell may legitimately fail), so the grid
+    /// always has its full shape.
+    #[derive(Clone, Debug)]
+    pub struct ChaosRow {
+        /// Benchmark name.
+        pub benchmark: &'static str,
+        /// Workload mode index (0–2).
+        pub workload: usize,
+        /// Boot mode index (0–2).
+        pub boot: usize,
+        /// Whether this is the silent counterpart.
+        pub silent: bool,
+        /// Energy in joules (`None` when the run failed).
+        pub energy_j: Option<f64>,
+        /// The runtime error, when the run failed.
+        pub error: Option<String>,
+        /// Whether the waterfall was violated during the run.
+        pub exception: bool,
+        /// Sensor reads the fault injector faulted.
+        pub sensor_faults: u64,
+        /// Faulted reads served from last-known-good.
+        pub stale_reads: u64,
+        /// Mode decisions forced to the conservative bound.
+        pub degraded_decisions: u64,
+    }
+
+    /// Runs the Figure 8 grid with a fault plan installed: one run per
+    /// cell, fault realization salted by the cell's grid position. The
+    /// whole sweep is a pure function of `(plan, fault_seed)` — two calls
+    /// with the same arguments produce identical rows, which the chaos
+    /// bench and CI byte-diff rely on.
+    pub fn chaos_rows(jobs: usize, plan: &FaultPlan, fault_seed: u64) -> Vec<ChaosRow> {
+        let mut work = Vec::new();
+        for spec in e_benchmarks(PlatformKind::SystemA) {
+            for workload in 0..3 {
+                for boot in 0..3 {
+                    for silent in [false, true] {
+                        let cell = work.len() as u64;
+                        work.push((spec.clone(), workload, boot, silent, cell));
+                    }
+                }
+            }
+        }
+        run_batch(jobs, &work, |(spec, workload, boot, silent, cell)| {
+            let prog = prepare_e1(spec, PlatformKind::SystemA, *workload);
+            let o = run_e1_chaos_prepared(
+                &prog,
+                *boot,
+                *silent,
+                131 + 3,
+                Some(plan.clone()),
+                fault_seed.wrapping_add(*cell),
+            );
+            let (energy_j, error, exception) = match &o.result {
+                Ok(out) => (Some(out.energy_j), None, out.exception),
+                Err(e) => (None, Some(e.clone()), false),
+            };
+            ChaosRow {
+                benchmark: spec.name,
+                workload: *workload,
+                boot: *boot,
+                silent: *silent,
+                energy_j,
+                error,
+                exception,
+                sensor_faults: o.sensor_faults,
+                stale_reads: o.stale_reads,
+                degraded_decisions: o.degraded_decisions,
+            }
+        })
+    }
+
+    /// Metric rows for a chaos sweep: the failure split (`failed`, the
+    /// resilience counters) next to the energy of the surviving cells.
+    pub fn chaos_metric_rows(rows: &[ChaosRow]) -> Vec<metrics::Row> {
+        rows.iter()
+            .map(|r| {
+                metrics::Row::new(format!(
+                    "{}/{}/{}/{}",
+                    r.benchmark,
+                    mode_name(r.workload),
+                    mode_name(r.boot),
+                    if r.silent { "silent" } else { "ent" }
+                ))
+                .with("energy_j", r.energy_j.unwrap_or(f64::NAN))
+                .with("failed", if r.error.is_some() { 1.0 } else { 0.0 })
+                .with("exception", if r.exception { 1.0 } else { 0.0 })
+                .with("sensor_faults", r.sensor_faults as f64)
+                .with("stale_reads", r.stale_reads as f64)
+                .with("degraded_decisions", r.degraded_decisions as f64)
+            })
+            .collect()
+    }
 }
 
 /// Figure 9: E1 normalized energy and percentage savings for the three
@@ -330,6 +476,29 @@ pub mod fig9 {
                 dfall_failures: last_silent.dfall_failures,
             }
         })
+    }
+
+    /// Converts figure rows to the machine-readable metric rows the
+    /// `fig9_e1_all` binary writes, failure split included.
+    pub fn metric_rows(rows: &[Row]) -> Vec<metrics::Row> {
+        rows.iter()
+            .map(|r| {
+                metrics::Row::new(format!(
+                    "{}/{}/{}-{}",
+                    system_label(r.system),
+                    r.benchmark,
+                    mode_name(r.boot),
+                    mode_name(r.workload)
+                ))
+                .with("ent_j", r.ent_j)
+                .with("silent_j", r.silent_j)
+                .with("ent_normalized", r.ent_normalized)
+                .with("silent_normalized", r.silent_normalized)
+                .with("savings_pct", r.savings_pct)
+                .with("snapshot_failures", r.snapshot_failures as f64)
+                .with("dfall_failures", r.dfall_failures as f64)
+            })
+            .collect()
     }
 }
 
@@ -647,6 +816,82 @@ mod tests {
                 assert_eq!(r.dfall_failures, 0, "{r:?}");
             }
         }
+    }
+
+    #[test]
+    fn fig8_metric_rows_render_the_failure_split() {
+        let rows = fig8::rows(1, 2);
+        let metric_rows = fig8::metric_rows(&rows);
+        assert_eq!(metric_rows.len(), rows.len());
+        let json = metrics::to_json("fig8-test", &metric_rows);
+        assert!(ent_runtime::json_is_valid(&json), "{json}");
+        for (r, m) in rows.iter().zip(&metric_rows) {
+            let get = |key: &str| {
+                m.values
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .unwrap_or_else(|| panic!("row {} missing {key}", m.name))
+                    .1
+            };
+            // The collapsed flag and the split counters must agree in the
+            // rendered metrics exactly as they do in the figure rows.
+            assert_eq!(get("exception"), if r.exception { 1.0 } else { 0.0 });
+            assert_eq!(get("snapshot_failures"), r.snapshot_failures as f64);
+            assert_eq!(get("dfall_failures"), r.dfall_failures as f64);
+            assert_eq!(get("exception") > 0.0, get("snapshot_failures") > 0.0);
+            if !r.silent {
+                assert_eq!(get("dfall_failures"), 0.0, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_metric_rows_render_the_failure_split() {
+        let rows = fig9::rows(1, 2);
+        let metric_rows = fig9::metric_rows(&rows);
+        assert_eq!(metric_rows.len(), rows.len());
+        let json = metrics::to_json("fig9-test", &metric_rows);
+        assert!(ent_runtime::json_is_valid(&json), "{json}");
+        for (r, m) in rows.iter().zip(&metric_rows) {
+            let get = |key: &str| {
+                m.values
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .unwrap_or_else(|| panic!("row {} missing {key}", m.name))
+                    .1
+            };
+            assert_eq!(get("snapshot_failures"), r.snapshot_failures as f64);
+            assert_eq!(get("dfall_failures"), r.dfall_failures as f64);
+            // Every fig9 cell is a violating combination, so the silent
+            // run it reports must have seen snapshot failures.
+            assert!(get("snapshot_failures") > 0.0, "{}", m.name);
+            assert_eq!(get("savings_pct"), r.savings_pct);
+        }
+    }
+
+    #[test]
+    fn fig8_chaos_rows_are_deterministic_and_fault_off_cells_match() {
+        let plan = ent_energy::FaultPlan {
+            dropout_rate: 0.6,
+            window_s: 0.5,
+            ..ent_energy::FaultPlan::default()
+        };
+        let a = fig8::chaos_rows(2, &plan, 5);
+        let b = fig8::chaos_rows(1, &plan, 5);
+        assert_eq!(a.len(), 6 * 3 * 3 * 2);
+        let total_faults: u64 = a.iter().map(|r| r.sensor_faults).sum();
+        assert!(total_faults > 0, "the plan should fault some reads");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.energy_j.map(f64::to_bits), y.energy_j.map(f64::to_bits));
+            assert_eq!(x.error, y.error);
+            assert_eq!(
+                (x.sensor_faults, x.stale_reads, x.degraded_decisions),
+                (y.sensor_faults, y.stale_reads, y.degraded_decisions)
+            );
+        }
+        let json = metrics::to_json("fig8-chaos-test", &fig8::chaos_metric_rows(&a));
+        assert!(ent_runtime::json_is_valid(&json), "{json}");
+        assert!(json.contains("\"degraded_decisions\""), "{json}");
     }
 
     #[test]

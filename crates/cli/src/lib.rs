@@ -9,7 +9,12 @@
 //!   platform, printing the program output, the result, and the energy
 //!   measurement. Options: `--platform a|b|c`, `--battery <0..1>`,
 //!   `--seed <n>`, `--silent`, `--trace`, `--events`, `--events-limit <n>`,
-//!   `--profile`, `--metrics-json <path>`.
+//!   `--profile`, `--metrics-json <path>`, `--faults <spec>`,
+//!   `--fault-seed <n>`, `--staleness-bound <s>`.
+//!
+//! Exit codes distinguish failure classes (see [`USAGE`]): 1 usage,
+//! 2 compile, 3 runtime, 4 completed-but-degraded under `--faults`,
+//! 5 requires-ENT under `check --energy-types`.
 //! * `ent fmt <file.ent>` — parse and pretty-print to canonical form.
 //!
 //! The library half exists so integration tests can drive the CLI without
@@ -19,9 +24,25 @@ use std::fmt::Write as _;
 
 use ent_baselines::{check_energy_types, EnergyTypesResult};
 use ent_core::compile;
-use ent_energy::Platform;
+use ent_energy::{FaultPlan, Platform};
 use ent_runtime::{lower_program, render_event, run, run_lowered, RuntimeConfig};
 use ent_syntax::{parse_program, print_program};
+
+/// Exit code: success.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: bad invocation (unknown flag, unreadable file, bad spec).
+pub const EXIT_USAGE: i32 = 1;
+/// Exit code: the program failed to parse or typecheck.
+pub const EXIT_COMPILE: i32 = 2;
+/// Exit code: the program compiled but stopped with a runtime error.
+pub const EXIT_RUNTIME: i32 = 3;
+/// Exit code: the run completed, but only by degrading mode decisions to
+/// their conservative bound after sensor faults exhausted the
+/// last-known-good window (only reachable with `--faults`).
+pub const EXIT_DEGRADED: i32 = 4;
+/// Exit code: `check --energy-types` found a well-typed program that
+/// needs ENT's dynamic features (mixed typechecking's "requires ENT").
+pub const EXIT_REQUIRES_ENT: i32 = 5;
 
 /// Parsed command-line options.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,6 +76,14 @@ pub struct Options {
     /// Interpreter stack size in bytes (`None` = the runtime default,
     /// 512 MiB or `ENT_STACK_SIZE`).
     pub stack_size: Option<usize>,
+    /// Fault plan from `--faults` ("off", "chaos", or key=value pairs);
+    /// `None` when absent or a no-op.
+    pub faults: Option<FaultPlan>,
+    /// Seed for the fault injector's deterministic schedule.
+    pub fault_seed: u64,
+    /// How long a last-known-good sensor reading may be served after a
+    /// fault before decisions degrade (`None` = the runtime default).
+    pub staleness_bound: Option<f64>,
 }
 
 /// The CLI subcommands.
@@ -94,6 +123,23 @@ options:
   --stack-size <n>     interpreter stack size in bytes, or with a k/m/g
                        suffix (default: 512m, or the ENT_STACK_SIZE env var)
   --energy-types       (check) also enforce the static-only Energy Types subset
+  --faults <spec>      inject deterministic sensor faults: off, chaos, or
+                       key=value pairs (dropout=0.2,stale=0.1,spike=0.1,
+                       spike_mag=0.5,brownouts=2,brownout_drop=0.05,bursts=1,
+                       burst_temp=30,burst_width=5,stall=0.1,window=1,horizon=60)
+  --fault-seed <n>     seed for the fault schedule (default: 0); the same
+                       seed replays the identical fault realization
+  --staleness-bound <s> seconds a last-known-good sensor reading may be served
+                       after a fault before decisions degrade (default: 5)
+
+exit codes:
+  0  success
+  1  bad invocation (unknown flag, unreadable file, malformed spec)
+  2  the program failed to parse or typecheck
+  3  the program stopped with a runtime error
+  4  the run completed only by degrading mode decisions to their
+     conservative bound (sensor faults outlived the staleness bound)
+  5  check --energy-types: well-typed, but requires ENT's dynamic features
 ";
 
 /// Parses command-line arguments (excluding the program name).
@@ -129,6 +175,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         metrics_json: None,
         energy_types: false,
         stack_size: None,
+        faults: None,
+        fault_seed: 0,
+        staleness_bound: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -172,6 +221,32 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--energy-types" => options.energy_types = true,
+            "--faults" => {
+                let v = it
+                    .next()
+                    .ok_or("--faults needs a spec (off, chaos, or key=value pairs)")?;
+                let plan =
+                    FaultPlan::parse(v).map_err(|e| format!("invalid --faults spec: {e}"))?;
+                options.faults = (!plan.is_noop()).then_some(plan);
+            }
+            "--fault-seed" => {
+                let v = it.next().ok_or("--fault-seed needs a value")?;
+                options.fault_seed = v
+                    .parse()
+                    .map_err(|_| format!("malformed fault seed `{v}`"))?;
+            }
+            "--staleness-bound" => {
+                let v = it
+                    .next()
+                    .ok_or("--staleness-bound needs a value in seconds")?;
+                let bound: f64 = v
+                    .parse()
+                    .map_err(|_| format!("malformed staleness bound `{v}`"))?;
+                if bound.is_nan() || bound < 0.0 {
+                    return Err(format!("staleness bound must be non-negative, got `{v}`"));
+                }
+                options.staleness_bound = Some(bound);
+            }
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
     }
@@ -193,7 +268,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 Ok(c) => c,
                 Err(e) => {
                     let _ = writeln!(out, "error: {e}");
-                    return (1, out);
+                    return (EXIT_COMPILE, out);
                 }
             };
             let config = RuntimeConfig {
@@ -207,22 +282,22 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                     for line in &result.output {
                         let _ = writeln!(out, "{line}");
                     }
-                    (0, out)
+                    (EXIT_OK, out)
                 }
                 Err(e) => {
                     let _ = writeln!(out, "runtime error: {e}");
-                    (1, out)
+                    (EXIT_RUNTIME, out)
                 }
             }
         }
         Command::Fmt => match parse_program(src) {
             Ok(program) => {
                 out.push_str(&print_program(&program));
-                (0, out)
+                (EXIT_OK, out)
             }
             Err(e) => {
                 let _ = writeln!(out, "error: {}", e.render(src));
-                (1, out)
+                (EXIT_COMPILE, out)
             }
         },
         Command::Check => {
@@ -230,7 +305,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 match check_energy_types(src) {
                     EnergyTypesResult::Static(_) => {
                         let _ = writeln!(out, "ok: well-typed under Energy Types (fully static)");
-                        (0, out)
+                        (EXIT_OK, out)
                     }
                     EnergyTypesResult::RequiresEnt(features) => {
                         let _ = writeln!(
@@ -240,11 +315,11 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                         for f in features {
                             let _ = writeln!(out, "  - {f}");
                         }
-                        (2, out)
+                        (EXIT_REQUIRES_ENT, out)
                     }
                     EnergyTypesResult::Rejected(e) => {
                         let _ = writeln!(out, "error: {}", e.render(src));
-                        (1, out)
+                        (EXIT_COMPILE, out)
                     }
                 }
             } else {
@@ -256,11 +331,11 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                             compiled.program.classes.len(),
                             compiled.program.mode_table.modes().len()
                         );
-                        (0, out)
+                        (EXIT_OK, out)
                     }
                     Err(e) => {
                         let _ = writeln!(out, "error: {}", e.render(src));
-                        (1, out)
+                        (EXIT_COMPILE, out)
                     }
                 }
             }
@@ -270,7 +345,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 Ok(c) => c,
                 Err(e) => {
                     let _ = writeln!(out, "error: {}", e.render(src));
-                    return (1, out);
+                    return (EXIT_COMPILE, out);
                 }
             };
             let platform = match options.platform.as_str() {
@@ -285,6 +360,8 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 trace_interval_s: options.trace.then_some(1.0),
                 record_events: options.events || options.metrics_json.is_some(),
                 profile: options.profile,
+                faults: options.faults.clone(),
+                fault_seed: options.fault_seed,
                 ..RuntimeConfig::default()
             };
             if let Some(limit) = options.events_limit {
@@ -292,6 +369,9 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
             }
             if let Some(stack) = options.stack_size {
                 config.stack_size = stack;
+            }
+            if let Some(bound) = options.staleness_bound {
+                config.staleness_bound_s = bound;
             }
             // Lower explicitly: rendering events and profiles resolves
             // interned ids through the lowered program.
@@ -304,11 +384,17 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 Ok(v) => {
                     let pretty = result.value_pretty.clone().unwrap_or_else(|| v.to_string());
                     let _ = writeln!(out, "result: {pretty}");
-                    0
+                    if result.stats.degraded_decisions > 0 {
+                        // Only reachable with --faults: the run finished, but
+                        // some decisions fell back to the conservative bound.
+                        EXIT_DEGRADED
+                    } else {
+                        EXIT_OK
+                    }
                 }
                 Err(e) => {
                     let _ = writeln!(out, "runtime error: {e}");
-                    1
+                    EXIT_RUNTIME
                 }
             };
             let m = &result.measurement;
@@ -328,6 +414,15 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 result.stats.energy_exceptions,
                 result.stats.dynamic_allocs
             );
+            if options.faults.is_some() {
+                let _ = writeln!(
+                    out,
+                    "faults: {} sensor faults, {} served stale, {} degraded decisions",
+                    result.stats.sensor_faults,
+                    result.stats.stale_reads,
+                    result.stats.degraded_decisions
+                );
+            }
             if options.events {
                 let _ = writeln!(out, "events:");
                 if result.events.dropped() > 0 {
@@ -356,7 +451,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                     }
                     Err(e) => {
                         let _ = writeln!(out, "metrics: failed to write {path}: {e}");
-                        return (1, out);
+                        return (EXIT_USAGE, out);
                     }
                 }
             }
@@ -497,7 +592,7 @@ mod tests {
     fn check_reports_errors_with_locations() {
         let o = parse_args(&args(&["check", "x.ent"])).unwrap();
         let (code, out) = execute(&o, "class Main { int main() { return true; } }");
-        assert_eq!(code, 1);
+        assert_eq!(code, EXIT_COMPILE);
         assert!(out.contains("1:"));
     }
 
@@ -532,7 +627,7 @@ mod tests {
         assert_eq!(out.trim(), "snap");
 
         let (code, out) = execute(&o, "1 +");
-        assert_eq!(code, 1);
+        assert_eq!(code, EXIT_COMPILE);
         assert!(out.contains("error"));
     }
 
@@ -546,7 +641,49 @@ mod tests {
             class D@mode<?> { attributor { return low; } }
             class Main { unit main() { let d = new D(); return {}; } }";
         let (code, out) = execute(&o, dynamic);
-        assert_eq!(code, 2);
+        assert_eq!(code, EXIT_REQUIRES_ENT);
         assert!(out.contains("requires ENT"));
+    }
+
+    #[test]
+    fn parse_args_fault_flags() {
+        let o = parse_args(&args(&[
+            "run",
+            "x.ent",
+            "--faults",
+            "dropout=0.5,window=0.5",
+            "--fault-seed",
+            "9",
+            "--staleness-bound",
+            "2.5",
+        ]))
+        .unwrap();
+        let plan = o.faults.expect("plan parsed");
+        assert_eq!(plan.dropout_rate, 0.5);
+        assert_eq!(o.fault_seed, 9);
+        assert_eq!(o.staleness_bound, Some(2.5));
+
+        // "off" and a no-op spec both leave faults unset.
+        let o = parse_args(&args(&["run", "x.ent", "--faults", "off"])).unwrap();
+        assert!(o.faults.is_none());
+
+        assert!(parse_args(&args(&["run", "x.ent", "--faults", "dropout=nope"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--staleness-bound", "-1"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--fault-seed"])).is_err());
+    }
+
+    #[test]
+    fn usage_documents_the_exit_codes_and_fault_flags() {
+        assert!(USAGE.contains("exit codes:"));
+        assert!(USAGE.contains("--faults"));
+        assert!(USAGE.contains("--fault-seed"));
+        assert!(USAGE.contains("--staleness-bound"));
+        for needle in [
+            "0  success",
+            "2  the program failed to parse",
+            "5  check --energy-types",
+        ] {
+            assert!(USAGE.contains(needle), "usage missing: {needle}");
+        }
     }
 }

@@ -64,7 +64,7 @@ fn media_agent_runs_and_its_waterfall_variant_fails_to_check() {
         .replace("new Site@mode<full_throttle>", "new Site@mode<managed>")
         .replace("new Saver@mode<full_throttle>", "new Saver@mode<managed>");
     let (code, out) = cli(&["check", "x.ent"], &broken);
-    assert_eq!(code, 1, "{out}");
+    assert_eq!(code, ent_cli::EXIT_COMPILE, "{out}");
     assert!(out.contains("waterfall"), "{out}");
 }
 

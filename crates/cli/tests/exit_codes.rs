@@ -1,0 +1,175 @@
+//! The CLI's exit-code contract: each failure class gets a distinct,
+//! documented code, and the degraded-completion code is reachable only
+//! through `--faults`.
+
+use ent_cli::{
+    execute, parse_args, EXIT_COMPILE, EXIT_DEGRADED, EXIT_OK, EXIT_REQUIRES_ENT, EXIT_RUNTIME,
+};
+
+fn cli(args: &[&str], src: &str) -> (i32, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let options = parse_args(&args).expect("valid arguments");
+    execute(&options, src)
+}
+
+const OK_PROGRAM: &str = "class Main { int main() { return 42; } }";
+
+/// An adaptive program whose snapshot decision depends on a battery read:
+/// under total sensor dropout every decision degrades to `low`.
+const ADAPTIVE: &str = "modes { low <= high; }
+    class App@mode<? <= X> {
+      attributor {
+        if (Ext.battery() >= 0.5) { return high; } else { return low; }
+      }
+      int effort() { return mcase{ low: 1; high: 9; } <| X; }
+    }
+    class Main {
+      int main() {
+        let dapp = new App();
+        let App a = snapshot dapp [low, high];
+        return a.effort();
+      }
+    }";
+
+#[test]
+fn success_is_zero() {
+    let (code, out) = cli(&["run", "x.ent"], OK_PROGRAM);
+    assert_eq!(code, EXIT_OK, "{out}");
+}
+
+#[test]
+fn compile_errors_are_distinct_from_runtime_errors() {
+    let (code, out) = cli(
+        &["run", "x.ent"],
+        "class Main { int main() { return true; } }",
+    );
+    assert_eq!(code, EXIT_COMPILE, "{out}");
+
+    let crash = "class Main { int main() { return Arr.get([1], 5); } }";
+    let (code, out) = cli(&["run", "x.ent"], crash);
+    assert_eq!(code, EXIT_RUNTIME, "{out}");
+    assert!(out.contains("runtime error"), "{out}");
+}
+
+#[test]
+fn check_uses_the_compile_code_and_energy_types_its_own() {
+    let (code, _) = cli(
+        &["check", "x.ent"],
+        "class Main { int main() { return true; } }",
+    );
+    assert_eq!(code, EXIT_COMPILE);
+
+    let dynamic = "modes { low <= high; }
+        class D@mode<?> { attributor { return low; } }
+        class Main { unit main() { let d = new D(); return {}; } }";
+    let (code, out) = cli(&["check", "x.ent", "--energy-types"], dynamic);
+    assert_eq!(code, EXIT_REQUIRES_ENT, "{out}");
+}
+
+#[test]
+fn fault_exhausted_degradation_gets_its_own_code() {
+    // Fault-off: clean success.
+    let (code, out) = cli(&["run", "x.ent", "--battery", "0.9"], ADAPTIVE);
+    assert_eq!(code, EXIT_OK, "{out}");
+    assert!(out.contains("result: 9"), "{out}");
+
+    // Total dropout: the snapshot can never read the battery, degrades to
+    // the conservative `low`, and the run completes with the degraded code.
+    let (code, out) = cli(
+        &[
+            "run",
+            "x.ent",
+            "--battery",
+            "0.9",
+            "--faults",
+            "dropout=1.0",
+            "--fault-seed",
+            "1",
+        ],
+        ADAPTIVE,
+    );
+    assert_eq!(code, EXIT_DEGRADED, "{out}");
+    assert!(out.contains("result: 1"), "{out}");
+    assert!(out.contains("degraded decisions"), "{out}");
+}
+
+#[test]
+fn fault_runs_replay_exactly_per_fault_seed() {
+    let run = |fault_seed: &str| {
+        cli(
+            &[
+                "run",
+                "x.ent",
+                "--battery",
+                "0.9",
+                "--faults",
+                "chaos",
+                "--fault-seed",
+                fault_seed,
+            ],
+            ADAPTIVE,
+        )
+    };
+    let (code_a, out_a) = run("7");
+    let (code_b, out_b) = run("7");
+    assert_eq!((code_a, &out_a), (code_b, &out_b), "same seed, same bytes");
+}
+
+#[test]
+fn staleness_bound_flag_reaches_the_runtime() {
+    // An infinite staleness bound can never degrade (the first read in
+    // this program is also the only one, so with dropout it degrades by
+    // default but serves nothing stale — use a spike-free intermittent
+    // plan where a clean read precedes a faulted one).
+    let src = "modes { low <= high; }
+        class App@mode<? <= X> {
+          attributor {
+            if (Ext.battery() >= 0.5) { return high; } else { return low; }
+          }
+          int effort() { return mcase{ low: 1; high: 9; } <| X; }
+          int twice() {
+            let d = new App();
+            Sim.sleepMs(2000);
+            let App a = snapshot d [low, X];
+            return a.effort();
+          }
+        }
+        class Main {
+          int main() {
+            let dapp = new App();
+            let App a = snapshot dapp [low, high];
+            return a.twice();
+          }
+        }";
+    // Find a fault seed where the second read (at t≈2s) drops while the
+    // first (t=0) stays clean. Under a strict 0.5s bound the 2s-old
+    // last-known-good is too stale, so the decision degrades.
+    for seed in 0..64 {
+        let fs = seed.to_string();
+        let base = [
+            "run",
+            "x.ent",
+            "--battery",
+            "0.9",
+            "--faults",
+            "dropout=0.5,window=1",
+            "--fault-seed",
+            &fs,
+            "--staleness-bound",
+            "0.5",
+        ];
+        let (code_default, out) = cli(&base, src);
+        if !out.contains("1 sensor faults") || code_default != EXIT_DEGRADED {
+            continue;
+        }
+        // Same realization, but an infinite bound serves last-known-good
+        // instead of degrading.
+        let mut relaxed = base.to_vec();
+        relaxed.extend(["--staleness-bound", "1e18"]);
+        let (code_relaxed, out_relaxed) = cli(&relaxed, src);
+        assert_eq!(code_relaxed, EXIT_OK, "{out_relaxed}");
+        assert!(out_relaxed.contains("1 served stale"), "{out_relaxed}");
+        return;
+    }
+    panic!("no fault seed dropped exactly the second read");
+}

@@ -1,0 +1,555 @@
+//! Deterministic fault injection for the simulated sensors.
+//!
+//! Real energy-aware runtimes see sensors that drop out, return stale or
+//! noisy readings, batteries that brown out in steps, thermal sensors that
+//! run away, and samplers that stall. A [`FaultPlan`] describes such a
+//! fault regime; a [`FaultInjector`] realizes it *deterministically*: every
+//! fault decision is a pure function of the fault seed, the fault kind, and
+//! the virtual-time window it lands in — never of read order, wall-clock
+//! time, or thread scheduling. Two runs with the same plan, seed, and
+//! program are therefore bit-identical, which is what makes chaos runs
+//! diffable and regressions bisectable.
+//!
+//! The injector perturbs *observations* (what `Ext.battery()` /
+//! `Ext.temperature()` and the sampler see) plus the battery *state*
+//! (brownouts are genuine charge drops). The underlying energy/time
+//! integration is never touched, so a faulted run still measures the work
+//! the program actually did. With no injector installed the simulator
+//! executes exactly the code it always has — the zero-overhead-when-off
+//! discipline of the observability layer, applied to faults.
+
+/// Which simulated sensor a read targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SensorKind {
+    /// The battery level fraction (`Ext.battery()`).
+    Battery,
+    /// The CPU temperature in °C (`Ext.temperature()`).
+    Temperature,
+}
+
+impl SensorKind {
+    /// Dense index (0 = battery, 1 = temperature), for per-sensor tables.
+    pub fn index(self) -> usize {
+        match self {
+            SensorKind::Battery => 0,
+            SensorKind::Temperature => 1,
+        }
+    }
+}
+
+/// The outcome of one sensor read under fault injection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SensorRead {
+    /// The sensor answered with the true value.
+    Clean(f64),
+    /// The sensor answered, but the value is silently corrupted (a noise
+    /// spike or a thermal-runaway excursion). The reading looks plausible;
+    /// the runtime cannot distinguish it from a clean one.
+    Corrupted(f64),
+    /// The sensor returned its previous value: the reading is frozen for
+    /// the rest of this fault window. The caller should serve its
+    /// last-known-good reading.
+    Stale,
+    /// The sensor did not answer at all.
+    Dropped,
+}
+
+/// A declarative fault regime: per-kind rates, magnitudes, and event
+/// counts. All rates are per fault *window* (a `window_s`-second bucket of
+/// virtual time); discrete events (brownouts, bursts) are scheduled over
+/// `[0, horizon_s)`. The default plan is a no-op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a sensor-read window is dropped entirely.
+    pub dropout_rate: f64,
+    /// Probability that a window serves stale (frozen) readings.
+    pub stale_rate: f64,
+    /// Probability that a window corrupts readings with a noise spike.
+    pub spike_rate: f64,
+    /// Relative spike magnitude: a spiked reading is scaled by a factor in
+    /// `[1 - spike_mag, 1 + spike_mag]`.
+    pub spike_mag: f64,
+    /// Number of battery brownout steps scheduled over the horizon.
+    pub brownouts: u32,
+    /// Battery fraction lost per brownout step.
+    pub brownout_drop: f64,
+    /// Number of thermal-runaway bursts scheduled over the horizon.
+    pub bursts: u32,
+    /// Peak temperature excursion of a burst, in °C (observed, not real:
+    /// the sensor runs away, the die does not).
+    pub burst_temp_c: f64,
+    /// Full width of a burst's triangular excursion, in seconds.
+    pub burst_width_s: f64,
+    /// Probability that a sampler tick stalls (the periodic sample for
+    /// that tick is lost).
+    pub stall_rate: f64,
+    /// Fault-window granularity, in seconds.
+    pub window_s: f64,
+    /// Horizon over which brownouts and bursts are scheduled, in seconds.
+    pub horizon_s: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            dropout_rate: 0.0,
+            stale_rate: 0.0,
+            spike_rate: 0.0,
+            spike_mag: 0.5,
+            brownouts: 0,
+            brownout_drop: 0.05,
+            bursts: 0,
+            burst_temp_c: 25.0,
+            burst_width_s: 5.0,
+            stall_rate: 0.0,
+            window_s: 1.0,
+            horizon_s: 60.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether this plan injects nothing: a no-op plan installed in the
+    /// simulator must observe exactly what no plan observes.
+    pub fn is_noop(&self) -> bool {
+        self.dropout_rate <= 0.0
+            && self.stale_rate <= 0.0
+            && self.spike_rate <= 0.0
+            && self.brownouts == 0
+            && self.bursts == 0
+            && self.stall_rate <= 0.0
+    }
+
+    /// The standard chaos mix used by `--faults chaos` and the
+    /// `chaos_resilience` bench: every fault kind active at a rate that
+    /// stresses the degradation path without making every run fail.
+    pub fn chaos() -> Self {
+        FaultPlan {
+            dropout_rate: 0.2,
+            stale_rate: 0.2,
+            spike_rate: 0.15,
+            spike_mag: 0.6,
+            brownouts: 3,
+            brownout_drop: 0.04,
+            bursts: 2,
+            burst_temp_c: 30.0,
+            burst_width_s: 5.0,
+            stall_rate: 0.25,
+            window_s: 0.5,
+            horizon_s: 60.0,
+        }
+    }
+
+    /// Parses a fault spec string: `off`, `chaos`, or a comma-separated
+    /// `key=value` list over the plan's fields (`dropout`, `stale`,
+    /// `spike`, `spike_mag`, `brownouts`, `brownout_drop`, `bursts`,
+    /// `burst_c`, `burst_width`, `stall`, `window`, `horizon`). A list may
+    /// start from the chaos preset by leading with `chaos`, e.g.
+    /// `chaos,dropout=0.5`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed key or value.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for (i, part) in spec.split(',').map(str::trim).enumerate() {
+            match part {
+                "" => continue,
+                "off" => plan = FaultPlan::default(),
+                "chaos" => {
+                    if i != 0 {
+                        return Err("`chaos` must come first in a fault spec".to_string());
+                    }
+                    plan = FaultPlan::chaos();
+                }
+                kv => {
+                    let (key, value) = kv.split_once('=').ok_or_else(|| {
+                        format!("malformed fault spec entry `{kv}` (want key=value)")
+                    })?;
+                    let fval = || -> Result<f64, String> {
+                        value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|v| v.is_finite() && *v >= 0.0)
+                            .ok_or_else(|| format!("malformed fault value `{value}` for `{key}`"))
+                    };
+                    let uval = || -> Result<u32, String> {
+                        value
+                            .parse::<u32>()
+                            .map_err(|_| format!("malformed fault count `{value}` for `{key}`"))
+                    };
+                    match key {
+                        "dropout" => plan.dropout_rate = fval()?.min(1.0),
+                        "stale" => plan.stale_rate = fval()?.min(1.0),
+                        "spike" => plan.spike_rate = fval()?.min(1.0),
+                        "spike_mag" => plan.spike_mag = fval()?,
+                        "brownouts" => plan.brownouts = uval()?,
+                        "brownout_drop" => plan.brownout_drop = fval()?.min(1.0),
+                        "bursts" => plan.bursts = uval()?,
+                        "burst_c" => plan.burst_temp_c = fval()?,
+                        "burst_width" => plan.burst_width_s = fval()?.max(1e-3),
+                        "stall" => plan.stall_rate = fval()?.min(1.0),
+                        "window" => plan.window_s = fval()?.max(1e-3),
+                        "horizon" => plan.horizon_s = fval()?.max(1e-3),
+                        other => return Err(format!("unknown fault spec key `{other}`")),
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Per-fault-kind salts mixed into the window hash, so each fault stream
+/// draws independent decisions from the one seed.
+mod salt {
+    pub const DROPOUT: u64 = 0x01;
+    pub const STALE: u64 = 0x02;
+    pub const SPIKE: u64 = 0x03;
+    pub const SPIKE_MAG: u64 = 0x04;
+    pub const STALL: u64 = 0x05;
+    pub const BROWNOUT: u64 = 0x06;
+    pub const BURST: u64 = 0x07;
+    /// Sensor-kind stride: battery and temperature streams are disjoint.
+    pub const SENSOR_STRIDE: u64 = 0x100;
+}
+
+/// splitmix64: a strong, cheap stateless mixer — the standard choice for
+/// hash-derived per-cell randomness.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A realized fault regime: pure, deterministic queries keyed on virtual
+/// time. Cloneable and `Send + Sync`; all state is immutable after
+/// construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+    /// Scheduled brownout times over the horizon, sorted ascending.
+    brownout_times: Vec<f64>,
+    /// Scheduled burst-peak times over the horizon, sorted ascending.
+    burst_times: Vec<f64>,
+}
+
+impl FaultInjector {
+    /// Realizes a plan at a fault seed, scheduling the discrete events.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let schedule = |count: u32, salt: u64| -> Vec<f64> {
+            let mut times: Vec<f64> = (0..count)
+                .map(|k| {
+                    let u = Self::unit_from(seed, salt, k as u64);
+                    u * plan.horizon_s
+                })
+                .collect();
+            times.sort_by(|a, b| a.partial_cmp(b).expect("event times are finite"));
+            times
+        };
+        let brownout_times = schedule(plan.brownouts, salt::BROWNOUT);
+        let burst_times = schedule(plan.bursts, salt::BURST);
+        FaultInjector {
+            plan,
+            seed,
+            brownout_times,
+            burst_times,
+        }
+    }
+
+    /// The plan this injector realizes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The fault seed this injector was realized at.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn unit_from(seed: u64, salt: u64, cell: u64) -> f64 {
+        let h = splitmix64(seed ^ splitmix64(salt) ^ splitmix64(cell));
+        // 53 high bits → uniform in [0, 1).
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A deterministic uniform draw in `[0, 1)` for `(salt, cell)`.
+    fn unit(&self, salt: u64, cell: u64) -> f64 {
+        Self::unit_from(self.seed, salt, cell)
+    }
+
+    /// The fault window a virtual time lands in.
+    fn window(&self, t_s: f64) -> u64 {
+        (t_s.max(0.0) / self.plan.window_s) as u64
+    }
+
+    /// Classifies one sensor read at virtual time `t_s`. `true_value` is
+    /// the simulator's actual state; the result says what the sensor
+    /// reports. Deterministic in `(seed, kind, window(t_s))` — rereading
+    /// within one window gives the same classification.
+    ///
+    /// Fault priority within a window: dropout > stale > spike. A thermal
+    /// burst overlapping `t_s` corrupts temperature reads that would
+    /// otherwise be clean.
+    pub fn observe(&self, kind: SensorKind, t_s: f64, true_value: f64) -> SensorRead {
+        let w = self.window(t_s);
+        let stride = salt::SENSOR_STRIDE * (kind.index() as u64 + 1);
+        if self.plan.dropout_rate > 0.0
+            && self.unit(stride | salt::DROPOUT, w) < self.plan.dropout_rate
+        {
+            return SensorRead::Dropped;
+        }
+        if self.plan.stale_rate > 0.0 && self.unit(stride | salt::STALE, w) < self.plan.stale_rate {
+            return SensorRead::Stale;
+        }
+        if self.plan.spike_rate > 0.0 && self.unit(stride | salt::SPIKE, w) < self.plan.spike_rate {
+            let u = self.unit(stride | salt::SPIKE_MAG, w);
+            let factor = 1.0 + self.plan.spike_mag * (2.0 * u - 1.0);
+            return SensorRead::Corrupted(true_value * factor);
+        }
+        if kind == SensorKind::Temperature {
+            let boost = self.thermal_boost(t_s);
+            if boost > 0.0 {
+                return SensorRead::Corrupted(true_value + boost);
+            }
+        }
+        SensorRead::Clean(true_value)
+    }
+
+    /// The observed thermal-runaway excursion at `t_s`, in °C: the sum of
+    /// triangular pulses (peak `burst_temp_c`, full width `burst_width_s`)
+    /// centered on the scheduled burst times.
+    pub fn thermal_boost(&self, t_s: f64) -> f64 {
+        let half = self.plan.burst_width_s / 2.0;
+        self.burst_times
+            .iter()
+            .map(|&tb| {
+                let d = (t_s - tb).abs();
+                if d < half {
+                    self.plan.burst_temp_c * (1.0 - d / half)
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Total battery fraction lost to brownout steps scheduled in the
+    /// half-open virtual-time interval `(t0, t1]`.
+    pub fn brownout_drop(&self, t0: f64, t1: f64) -> f64 {
+        let n = self
+            .brownout_times
+            .iter()
+            .filter(|&&t| t > t0 && t <= t1)
+            .count();
+        n as f64 * self.plan.brownout_drop
+    }
+
+    /// The scheduled brownout times (for reports and tests).
+    pub fn brownout_times(&self) -> &[f64] {
+        &self.brownout_times
+    }
+
+    /// Whether the periodic sampler tick at `t_s` stalls (that sample is
+    /// lost). Deterministic in `(seed, window(t_s))`.
+    pub fn sampler_stalled(&self, t_s: f64) -> bool {
+        self.plan.stall_rate > 0.0
+            && self.unit(salt::STALL, self.window(t_s)) < self.plan.stall_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop_and_chaos_is_not() {
+        assert!(FaultPlan::default().is_noop());
+        assert!(!FaultPlan::chaos().is_noop());
+    }
+
+    #[test]
+    fn noop_injector_observes_cleanly() {
+        let inj = FaultInjector::new(FaultPlan::default(), 7);
+        for t in 0..200 {
+            let t_s = t as f64 * 0.37;
+            assert_eq!(
+                inj.observe(SensorKind::Battery, t_s, 0.5),
+                SensorRead::Clean(0.5)
+            );
+            assert_eq!(
+                inj.observe(SensorKind::Temperature, t_s, 40.0),
+                SensorRead::Clean(40.0)
+            );
+            assert!(!inj.sampler_stalled(t_s));
+        }
+        assert_eq!(inj.brownout_drop(0.0, 1e6), 0.0);
+        assert_eq!(inj.thermal_boost(30.0), 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_same_decisions() {
+        let a = FaultInjector::new(FaultPlan::chaos(), 42);
+        let b = FaultInjector::new(FaultPlan::chaos(), 42);
+        assert_eq!(a, b);
+        for t in 0..500 {
+            let t_s = t as f64 * 0.13;
+            assert_eq!(
+                a.observe(SensorKind::Battery, t_s, 0.6),
+                b.observe(SensorKind::Battery, t_s, 0.6)
+            );
+            assert_eq!(a.sampler_stalled(t_s), b.sampler_stalled(t_s));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = FaultInjector::new(FaultPlan::chaos(), 1);
+        let b = FaultInjector::new(FaultPlan::chaos(), 2);
+        let differs = (0..500).any(|t| {
+            let t_s = t as f64 * 0.13;
+            a.observe(SensorKind::Battery, t_s, 0.6) != b.observe(SensorKind::Battery, t_s, 0.6)
+        });
+        assert!(differs, "seeds 1 and 2 produced identical fault streams");
+    }
+
+    #[test]
+    fn decisions_are_stable_within_a_window_and_read_order_free() {
+        let inj = FaultInjector::new(FaultPlan::chaos(), 9);
+        // Two reads in the same window classify identically, regardless of
+        // how many reads happened before them.
+        let w = inj.plan().window_s;
+        for k in 0..50u64 {
+            let base = k as f64 * w;
+            let first = inj.observe(SensorKind::Battery, base + 0.1 * w, 0.5);
+            let second = inj.observe(SensorKind::Battery, base + 0.9 * w, 0.5);
+            assert_eq!(first, second, "window {k}");
+        }
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honored() {
+        let plan = FaultPlan {
+            dropout_rate: 0.3,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan, 5);
+        let dropped = (0..1000)
+            .filter(|&k| {
+                matches!(
+                    inj.observe(SensorKind::Battery, k as f64, 0.5),
+                    SensorRead::Dropped
+                )
+            })
+            .count();
+        assert!((200..400).contains(&dropped), "dropped {dropped}/1000");
+    }
+
+    #[test]
+    fn brownouts_schedule_within_horizon_and_drop_counts() {
+        let plan = FaultPlan {
+            brownouts: 4,
+            brownout_drop: 0.1,
+            horizon_s: 50.0,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan, 11);
+        assert_eq!(inj.brownout_times().len(), 4);
+        for &t in inj.brownout_times() {
+            assert!((0.0..50.0).contains(&t));
+        }
+        let total = inj.brownout_drop(0.0, 50.0);
+        assert!((total - 0.4).abs() < 1e-12, "total drop {total}");
+        // Disjoint intervals partition the drops.
+        let split = inj.brownout_drop(0.0, 25.0) + inj.brownout_drop(25.0, 50.0);
+        assert!((split - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_bursts_peak_at_their_centers() {
+        let plan = FaultPlan {
+            bursts: 1,
+            burst_temp_c: 20.0,
+            burst_width_s: 4.0,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan.clone(), 3);
+        let center = {
+            // Find the peak by scanning.
+            let mut best = (0.0, 0.0);
+            for k in 0..6000 {
+                let t = k as f64 * 0.01;
+                let b = inj.thermal_boost(t);
+                if b > best.1 {
+                    best = (t, b);
+                }
+            }
+            assert!(best.1 > 19.5, "peak boost {}", best.1);
+            best.0
+        };
+        assert_eq!(inj.thermal_boost(center + 3.0), 0.0);
+        // A burst-overlapping temperature read is corrupted upward.
+        match inj.observe(SensorKind::Temperature, center, 40.0) {
+            SensorRead::Corrupted(v) => assert!(v > 55.0, "{v}"),
+            other => panic!("expected corrupted read, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spikes_scale_within_the_declared_magnitude() {
+        let plan = FaultPlan {
+            spike_rate: 1.0,
+            spike_mag: 0.5,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan, 13);
+        for k in 0..200 {
+            match inj.observe(SensorKind::Battery, k as f64, 0.8) {
+                SensorRead::Corrupted(v) => {
+                    assert!((0.4..=1.2).contains(&v), "spiked value {v}")
+                }
+                other => panic!("spike_rate 1.0 should always spike, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_presets_and_overrides() {
+        assert_eq!(FaultPlan::parse("off").unwrap(), FaultPlan::default());
+        assert_eq!(FaultPlan::parse("chaos").unwrap(), FaultPlan::chaos());
+        let p = FaultPlan::parse("chaos,dropout=0.5,brownouts=7").unwrap();
+        assert_eq!(p.dropout_rate, 0.5);
+        assert_eq!(p.brownouts, 7);
+        assert_eq!(p.stale_rate, FaultPlan::chaos().stale_rate);
+        let q = FaultPlan::parse("dropout=0.1,stall=0.2,window=2.0").unwrap();
+        assert_eq!(q.dropout_rate, 0.1);
+        assert_eq!(q.stall_rate, 0.2);
+        assert_eq!(q.window_s, 2.0);
+        assert!(FaultPlan::parse("dropout").is_err());
+        assert!(FaultPlan::parse("dropout=lots").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("dropout=0.1,chaos").is_err());
+        assert!(FaultPlan::parse("dropout=-1").is_err());
+        assert!(FaultPlan::parse("dropout=nan").is_err());
+    }
+
+    #[test]
+    fn battery_and_temperature_streams_are_independent() {
+        let inj = FaultInjector::new(FaultPlan::chaos(), 21);
+        let differs = (0..500).any(|k| {
+            let t = k as f64 * 0.25;
+            let b = matches!(
+                inj.observe(SensorKind::Battery, t, 0.5),
+                SensorRead::Dropped
+            );
+            let c = matches!(
+                inj.observe(SensorKind::Temperature, t, 40.0),
+                SensorRead::Dropped
+            );
+            b != c
+        });
+        assert!(differs, "sensor fault streams should not be correlated");
+    }
+}

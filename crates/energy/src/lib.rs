@@ -28,11 +28,13 @@
 //! ```
 
 mod battery;
+mod fault;
 mod platform;
 mod sim;
 mod thermal;
 
 pub use battery::BatteryModel;
+pub use fault::{FaultInjector, FaultPlan, SensorKind, SensorRead};
 pub use platform::{Governor, Platform, PlatformKind, ThermalParams, WorkKind};
 pub use sim::{EnergySim, Measurement, RaplMeter, Sample, WattsUpMeter};
 pub use thermal::ThermalModel;

@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::battery::BatteryModel;
+use crate::fault::{FaultInjector, SensorKind, SensorRead};
 use crate::platform::{Platform, WorkKind};
 use crate::thermal::ThermalModel;
 
@@ -46,6 +47,8 @@ struct Sampler {
     interval_s: Option<f64>,
     next_s: f64,
     points: Vec<Sample>,
+    /// Sample ticks lost to injected sampler stalls.
+    stalled: u64,
 }
 
 /// The core simulator: executes abstract work and idle periods against a
@@ -78,6 +81,9 @@ pub struct EnergySim {
     peak_temp_c: f64,
     rng: StdRng,
     sampler: Sampler,
+    /// Optional deterministic fault injector. `None` (the default) keeps
+    /// the simulator on exactly its historical code path.
+    faults: Option<FaultInjector>,
 }
 
 /// Default battery capacity: a laptop-scale 50 Wh pack, in joules. The
@@ -98,6 +104,7 @@ impl EnergySim {
             peak_temp_c: peak,
             rng: StdRng::seed_from_u64(seed),
             sampler: Sampler::default(),
+            faults: None,
         }
     }
 
@@ -118,6 +125,41 @@ impl EnergySim {
     /// The collected samples, in virtual-time order.
     pub fn samples(&self) -> &[Sample] {
         &self.sampler.points
+    }
+
+    /// Sample ticks that were lost to injected sampler stalls.
+    pub fn samples_stalled(&self) -> u64 {
+        self.sampler.stalled
+    }
+
+    /// Installs (or removes) a deterministic fault injector. Brownouts
+    /// drain real charge during [`advance`](Self::advance); sensor reads
+    /// through [`read_sensor`](Self::read_sensor) observe the injected
+    /// dropout/stale/spike/burst regime; sampler ticks may stall. With a
+    /// no-op plan (or `None`) every observable is bit-identical to an
+    /// uninjected run.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Reads a sensor through the fault layer. Without an injector this is
+    /// exactly [`battery_level`](Self::battery_level) /
+    /// [`temperature_c`](Self::temperature_c) wrapped in
+    /// [`SensorRead::Clean`].
+    pub fn read_sensor(&self, kind: SensorKind) -> SensorRead {
+        let true_value = match kind {
+            SensorKind::Battery => self.battery.level(),
+            SensorKind::Temperature => self.thermal.temperature_c(),
+        };
+        match &self.faults {
+            None => SensorRead::Clean(true_value),
+            Some(inj) => inj.observe(kind, self.time_s, true_value),
+        }
     }
 
     /// Pins the battery level (fraction), as the harness does before each
@@ -171,30 +213,55 @@ impl EnergySim {
         self.rng.gen::<f64>()
     }
 
+    /// The longest single `advance` the simulator will integrate: about
+    /// 11.5 virtual days. A hostile `Sim.sleepMs(9e18)` must not spin the
+    /// 0.25 s sub-step loop effectively forever.
+    const MAX_ADVANCE_S: f64 = 1.0e6;
+
     /// Advances the clock by `dt` seconds at the given utilization,
     /// integrating power, battery, temperature, and the trace.
     fn advance(&mut self, dt: f64, utilization: f64) {
-        if dt <= 0.0 {
+        // NaN returns here rather than reaching the clamp below —
+        // NaN.min(x) is x in Rust.
+        if dt.is_nan() || dt <= 0.0 {
             return;
         }
+        let dt = dt.min(Self::MAX_ADVANCE_S);
         let watts = self.platform.power_at(utilization);
         // Integrate in sub-steps so traces and thermal dynamics resolve.
         let mut remaining = dt;
         while remaining > 0.0 {
             let h = remaining.min(0.25);
+            let step_start_s = self.time_s;
             self.thermal.step(watts, h);
             self.peak_temp_c = self.peak_temp_c.max(self.thermal.temperature_c());
             self.energy_j += watts * h;
             self.battery.drain(watts * h);
             self.time_s += h;
+            if let Some(inj) = &self.faults {
+                // Brownout steps scheduled inside this sub-step drain real
+                // charge (fraction of capacity), beyond the consumed energy.
+                let drop = inj.brownout_drop(step_start_s, self.time_s);
+                if drop > 0.0 {
+                    self.battery.drain(drop * self.battery.capacity_joules());
+                }
+            }
             if let Some(interval) = self.sampler.interval_s {
                 while self.time_s >= self.sampler.next_s {
-                    self.sampler.points.push(Sample {
-                        t_s: self.sampler.next_s,
-                        temp_c: self.thermal.temperature_c(),
-                        battery: self.battery.level(),
-                        energy_j: self.energy_j,
-                    });
+                    let stalled = self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|inj| inj.sampler_stalled(self.sampler.next_s));
+                    if stalled {
+                        self.sampler.stalled += 1;
+                    } else {
+                        self.sampler.points.push(Sample {
+                            t_s: self.sampler.next_s,
+                            temp_c: self.thermal.temperature_c(),
+                            battery: self.battery.level(),
+                            energy_j: self.energy_j,
+                        });
+                    }
                     self.sampler.next_s += interval;
                 }
             }
@@ -398,5 +465,100 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(a.rand(), b.rand());
         }
+    }
+
+    #[test]
+    fn hostile_durations_terminate_instead_of_spinning() {
+        let mut sim = EnergySim::new(Platform::system_a(), 7);
+        sim.sleep_ms(f64::NAN);
+        assert_eq!(sim.time_s(), 0.0);
+        sim.sleep_ms(i64::MAX as f64); // ~292 million years requested
+        assert!((sim.time_s() - EnergySim::MAX_ADVANCE_S).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noop_injector_changes_nothing() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let run = |inject: bool| {
+            let mut sim = EnergySim::new(Platform::system_a(), 42);
+            if inject {
+                sim.set_fault_injector(Some(FaultInjector::new(FaultPlan::default(), 9)));
+            }
+            sim.set_battery_level(0.75);
+            sim.enable_sampling(0.5);
+            sim.do_work(WorkKind::Cpu, 4.0e9);
+            sim.sleep_ms(300.0);
+            (
+                sim.samples().to_vec(),
+                sim.samples_stalled(),
+                sim.battery_level(),
+                sim.finish(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn brownouts_drain_real_charge() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            brownouts: 2,
+            brownout_drop: 0.1,
+            horizon_s: 5.0,
+            ..FaultPlan::default()
+        };
+        let base = {
+            let mut sim = EnergySim::new(Platform::system_a(), 42);
+            sim.set_battery_level(0.9);
+            sim.do_work(WorkKind::Cpu, 2.0e10); // 10 s, past the horizon
+            sim.battery_level()
+        };
+        let mut sim = EnergySim::new(Platform::system_a(), 42);
+        sim.set_fault_injector(Some(FaultInjector::new(plan, 3)));
+        sim.set_battery_level(0.9);
+        sim.do_work(WorkKind::Cpu, 2.0e10);
+        let faulted = sim.battery_level();
+        assert!(
+            (base - faulted - 0.2).abs() < 1e-9,
+            "expected two 0.1 brownout steps: base {base}, faulted {faulted}"
+        );
+    }
+
+    #[test]
+    fn sampler_stalls_drop_ticks_but_count_them() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            stall_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let mut sim = EnergySim::new(Platform::system_a(), 42);
+        sim.set_fault_injector(Some(FaultInjector::new(plan, 3)));
+        sim.enable_sampling(0.5);
+        sim.do_work(WorkKind::Cpu, 4.0e9); // 2 s
+        assert!(sim.samples().is_empty());
+        assert!(sim.samples_stalled() >= 4);
+    }
+
+    #[test]
+    fn read_sensor_reports_faults_only_when_injected() {
+        use crate::fault::{FaultInjector, FaultPlan, SensorKind, SensorRead};
+        let mut sim = EnergySim::new(Platform::system_a(), 42);
+        sim.set_battery_level(0.6);
+        assert_eq!(
+            sim.read_sensor(SensorKind::Battery),
+            SensorRead::Clean(sim.battery_level())
+        );
+        sim.set_fault_injector(Some(FaultInjector::new(
+            FaultPlan {
+                dropout_rate: 1.0,
+                ..FaultPlan::default()
+            },
+            5,
+        )));
+        assert_eq!(sim.read_sensor(SensorKind::Battery), SensorRead::Dropped);
+        assert_eq!(
+            sim.read_sensor(SensorKind::Temperature),
+            SensorRead::Dropped
+        );
     }
 }

@@ -11,6 +11,8 @@
 //! ([`render_event`]) that resolves them through the lowered program's
 //! interners, losslessly reproducing the human-readable stream.
 
+use ent_energy::SensorKind;
+
 use crate::lower::{GMode, LoweredProgram};
 
 /// A compact structured runtime event, timestamped on the virtual clock.
@@ -64,6 +66,29 @@ pub enum EventPayload {
         /// The sender's mode.
         sender_mode: GMode,
     },
+    /// A sensor read was faulted (only possible under fault injection) and
+    /// the runtime's degradation policy decided what to serve instead.
+    SensorFault {
+        /// Which sensor the read targeted.
+        sensor: SensorKind,
+        /// What the degradation policy served for the faulted read.
+        served: FaultServe,
+    },
+}
+
+/// How a faulted sensor read was served (the degradation ladder of the
+/// fault model: corrupted values pass through undetected; detectable
+/// faults fall back to last-known-good within the staleness bound, then to
+/// the conservative sentinel past it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultServe {
+    /// A silently corrupted value was returned as-is (undetectable).
+    Corrupted,
+    /// The last-known-good reading was served (within the staleness bound).
+    LastKnownGood,
+    /// No usable reading existed: the conservative sentinel was served and
+    /// the run was marked degraded.
+    Conservative,
 }
 
 /// A preallocated ring buffer of [`EnergyEvent`]s.
@@ -205,6 +230,18 @@ pub fn render_event(prog: &LoweredProgram, ev: &EnergyEvent) -> String {
             prog.mode_string(receiver_mode),
             prog.mode_string(sender_mode),
         ),
+        EventPayload::SensorFault { sensor, served } => {
+            let sensor = match sensor {
+                SensorKind::Battery => "battery",
+                SensorKind::Temperature => "temperature",
+            };
+            let served = match served {
+                FaultServe::Corrupted => "corrupted value passed through",
+                FaultServe::LastKnownGood => "served last-known-good",
+                FaultServe::Conservative => "served conservative sentinel (degraded)",
+            };
+            format!("[{at_s:8.3}s] sensor fault on {sensor}: {served}")
+        }
     }
 }
 

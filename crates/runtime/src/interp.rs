@@ -29,12 +29,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ent_core::CompiledProgram;
-use ent_energy::{EnergySim, Measurement, Platform, Sample, WorkKind};
+use ent_energy::{
+    EnergySim, FaultInjector, FaultPlan, Measurement, Platform, Sample, SensorKind, SensorRead,
+    WorkKind,
+};
 use ent_modes::ModeName;
 use ent_syntax::{BinOp, Symbol, UnOp};
 
 use crate::error::{Flow, RtError};
-use crate::events::{EnergyEvent, EventPayload, EventRing};
+use crate::events::{EnergyEvent, EventPayload, EventRing, FaultServe};
 use crate::lower::{
     lower_program, BOp, CastCheck, DefaultNew, EnvSrc, GMode, LExpr, LMethod, LMode, LOverride,
     LStmt, LoweredProgram, MDefault, NewPlan,
@@ -88,6 +91,19 @@ pub struct RuntimeConfig {
     /// memory, overridable process-wide via `ENT_STACK_SIZE` (bytes, or
     /// with a `k`/`m`/`g` suffix). Clamped to at least 1 MiB.
     pub stack_size: usize,
+    /// Deterministic sensor-fault regime to inject, seeded by
+    /// [`RuntimeConfig::fault_seed`]. `None` (or a no-op plan) keeps the
+    /// interpreter on exactly its historical code path — one branch per
+    /// sensor read, bit-identical results.
+    pub faults: Option<FaultPlan>,
+    /// Seed for the fault injector's decision stream — deliberately
+    /// separate from [`RuntimeConfig::seed`] so the same program run can
+    /// be replayed under different fault schedules (and vice versa).
+    pub fault_seed: u64,
+    /// How long (virtual seconds) a last-known-good sensor reading may be
+    /// served for a faulted read before the runtime stops trusting it and
+    /// degrades to the conservative sentinel.
+    pub staleness_bound_s: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -105,6 +121,9 @@ impl Default for RuntimeConfig {
             events_capacity: 16_384,
             profile: false,
             stack_size: crate::stack::default_stack_size(),
+            faults: None,
+            fault_seed: 0,
+            staleness_bound_s: 5.0,
         }
     }
 }
@@ -133,6 +152,17 @@ pub struct RunStats {
     pub dynamic_allocs: u64,
     /// Total objects allocated.
     pub allocs: u64,
+    /// Sensor reads that came back faulted (dropped, stale, or silently
+    /// corrupted). Always 0 without fault injection.
+    pub sensor_faults: u64,
+    /// Faulted reads served from the last-known-good value within the
+    /// staleness bound (a subset of `sensor_faults`).
+    pub stale_reads: u64,
+    /// Mode decisions (snapshots or method attributions) taken while a
+    /// sensor read had degraded past the staleness bound: the runtime
+    /// substituted the conservative mode (the snapshot's `lo`, or the
+    /// sender's mode for method attributors).
+    pub degraded_decisions: u64,
 }
 
 /// The result of running an ENT program.
@@ -244,6 +274,15 @@ fn run_on_current_thread(
     if let Some(interval) = config.trace_interval_s {
         sim.enable_sampling(interval);
     }
+    // A no-op plan must not even install an injector: the fault-off run
+    // (and the `--faults off` run) stays on the historical code path.
+    let faults_on = match &config.faults {
+        Some(plan) if !plan.is_noop() => {
+            sim.set_fault_injector(Some(FaultInjector::new(plan.clone(), config.fault_seed)));
+            true
+        }
+        _ => false,
+    };
     let mut interp = Interp {
         prog,
         heap: Vec::new(),
@@ -262,6 +301,9 @@ fn run_on_current_thread(
         } else {
             None
         },
+        faults_on,
+        last_good: [None; 2],
+        degraded: false,
         config,
     };
     let value = interp.run_main();
@@ -297,7 +339,14 @@ const MAX_CALL_DEPTH: usize = 50_000;
 /// the 3x headroom absorbs expression-nesting frames that add native
 /// depth without ENT depth. At the default 512 MiB stack the derived
 /// limit exceeds `MAX_CALL_DEPTH`, so default behavior is unchanged.
+#[cfg(not(debug_assertions))]
 const STACK_BYTES_PER_FRAME: usize = 8 * 1024;
+/// Unoptimized evaluator frames are several times larger than release
+/// frames; without the bigger budget a debug-build run with a small
+/// configured stack overflows the native stack (aborting the process)
+/// before the depth guard can return [`RtError::StackOverflow`].
+#[cfg(debug_assertions)]
+const STACK_BYTES_PER_FRAME: usize = 24 * 1024;
 
 /// The ENT call-depth limit for a given interpreter stack size: small
 /// configured stacks must fail with [`RtError::StackOverflow`] rather
@@ -307,6 +356,11 @@ fn max_call_depth(stack_size: usize) -> usize {
         .min(stack_size / STACK_BYTES_PER_FRAME)
         .max(64)
 }
+
+/// Largest array a single `Arr.make`/`Arr.range` may allocate (16M
+/// elements ≈ 0.5 GiB of `Value`s): a hostile `Arr.make(9e18, v)` must
+/// surface as a runtime error, not an allocator abort.
+const MAX_ARRAY_LEN: i64 = 1 << 24;
 
 /// Simulator work charged per snapshot (attributor dispatch + metadata).
 const SNAPSHOT_OVERHEAD_OPS: f64 = 1.2e4;
@@ -409,6 +463,16 @@ struct Interp<'p> {
     events: EventRing,
     /// The attribution profiler (only present when `profile` is on).
     profiler: Option<Profiler>,
+    /// Whether a (non-noop) fault injector is installed. When false,
+    /// sensor reads take the historical direct path — one predictable
+    /// branch, bit-identical behavior.
+    faults_on: bool,
+    /// Last clean `(virtual time, value)` per sensor
+    /// ([`SensorKind::index`]-indexed), for the last-known-good fallback.
+    last_good: [Option<(f64, f64)>; 2],
+    /// Set when a faulted read degrades past the staleness bound; mode
+    /// decisions consult and clear it to substitute conservative modes.
+    degraded: bool,
 }
 
 type EvalResult = Result<Value, Flow>;
@@ -462,6 +526,68 @@ impl<'p> Interp<'p> {
                 f(&mut self.sim);
                 p.charge_sim(self.sim.energy_j() - e0, self.sim.time_s() - t0);
             }
+        }
+    }
+
+    /// Reads a sensor through the fault layer and the degradation policy.
+    /// With faults off this is exactly the historical direct read.
+    ///
+    /// The degradation ladder: a clean read refreshes last-known-good; a
+    /// corrupted read passes through undetected (the runtime cannot tell);
+    /// a detectable fault (dropped/stale) serves last-known-good while it
+    /// is younger than the staleness bound, and past the bound serves the
+    /// conservative sentinel (battery empty / temperature hot) and sets
+    /// the `degraded` flag so the surrounding mode decision can substitute
+    /// its conservative mode.
+    fn read_sensor(&mut self, kind: SensorKind) -> f64 {
+        if !self.faults_on {
+            return match kind {
+                SensorKind::Battery => self.sim.battery_level(),
+                SensorKind::Temperature => self.sim.temperature_c(),
+            };
+        }
+        let t = self.sim.time_s();
+        let idx = kind.index();
+        match self.sim.read_sensor(kind) {
+            SensorRead::Clean(v) => {
+                self.last_good[idx] = Some((t, v));
+                v
+            }
+            SensorRead::Corrupted(v) => {
+                self.stats.sensor_faults += 1;
+                self.record_sensor_fault(kind, FaultServe::Corrupted);
+                v
+            }
+            SensorRead::Stale | SensorRead::Dropped => {
+                self.stats.sensor_faults += 1;
+                match self.last_good[idx] {
+                    Some((t0, v)) if t - t0 <= self.config.staleness_bound_s => {
+                        self.stats.stale_reads += 1;
+                        self.record_sensor_fault(kind, FaultServe::LastKnownGood);
+                        v
+                    }
+                    _ => {
+                        self.degraded = true;
+                        self.record_sensor_fault(kind, FaultServe::Conservative);
+                        match kind {
+                            SensorKind::Battery => 0.0,
+                            SensorKind::Temperature => 999.0,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_sensor_fault(&mut self, sensor: SensorKind, served: FaultServe) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.own().sensor_faults += 1;
+        }
+        if self.config.record_events {
+            self.events.push(EnergyEvent {
+                at_s: self.sim.time_s(),
+                payload: EventPayload::SensorFault { sensor, served },
+            });
         }
     }
 
@@ -529,14 +655,18 @@ impl<'p> Interp<'p> {
     }
 
     /// Maps an attributor-produced mode name back to its dense id.
-    fn mode_const(&self, m: &ModeName) -> GMode {
-        GMode::Const(
-            self.prog
-                .mode_names
-                .get(m.as_str())
-                .expect("mode constants are interned at lowering")
-                .raw(),
-        )
+    ///
+    /// Lowering interns every mode name the program mentions, so the
+    /// lookup cannot fail for programs produced by `lower_program`; it is
+    /// still surfaced as a structured runtime error rather than a panic so
+    /// a hand-assembled or corrupted IR degrades instead of aborting.
+    fn mode_const(&self, m: &ModeName) -> Result<GMode, Flow> {
+        match self.prog.mode_names.get(m.as_str()) {
+            Some(sym) => Ok(GMode::Const(sym.raw())),
+            None => {
+                Err(RtError::Native(format!("mode `{m}` is not declared by this program")).into())
+            }
+        }
     }
 
     // ---- heap -------------------------------------------------------------
@@ -696,7 +826,23 @@ impl<'p> Interp<'p> {
                 unbound_lo,
                 n_params: m.n_params,
             };
-            let produced = self.eval_attributor_body(&mut aframe, attr_body)?;
+            // Sensor reads inside the attributor may degrade past the
+            // staleness bound; the flag is scoped to this one decision
+            // (saved/restored around it so an outer decision in progress
+            // keeps its own view).
+            let outer_degraded = self.degraded;
+            self.degraded = false;
+            let attributed = self.eval_attributor_body(&mut aframe, attr_body)?;
+            let produced = if self.degraded {
+                // Degraded decision: fall back to the sender's mode — the
+                // conservative choice that always satisfies the waterfall
+                // invariant (a lower mode is never forced upward).
+                self.stats.degraded_decisions += 1;
+                sender_mode
+            } else {
+                attributed
+            };
+            self.degraded = outer_degraded;
             // The method's internal view (its first declared mode
             // parameter, if any) is bound to the attributed mode.
             if !m.mode_params.is_empty() {
@@ -778,7 +924,7 @@ impl<'p> Interp<'p> {
             Err(e) => return Err(e),
         };
         match v {
-            Value::Mode(m) => Ok(self.mode_const(&m)),
+            Value::Mode(m) => self.mode_const(&m),
             other => Err(RtError::Native(format!(
                 "attributor returned a {} instead of a mode",
                 other.kind()
@@ -817,12 +963,27 @@ impl<'p> Interp<'p> {
             unbound_lo: u32::MAX,
             n_params: 0,
         };
-        let mode = self.eval_attributor_body(&mut aframe, &attributor.body)?;
+        // Scope the degradation flag to this snapshot's attributor run
+        // (nested snapshots inside the attributor manage their own).
+        let outer_degraded = self.degraded;
+        self.degraded = false;
+        let attributed = self.eval_attributor_body(&mut aframe, &attributor.body)?;
+        let attr_degraded = self.degraded;
+        self.degraded = outer_degraded;
 
         // check(m, m1, m2, o): bad check throws the catchable
         // EnergyException unless running silent.
         let lo = self.resolve_mode(frame, lo)?;
         let hi = self.resolve_mode(frame, hi)?;
+        // Degraded decision: the attributor ran on sentinel sensor data, so
+        // its answer is untrustworthy — substitute the snapshot's declared
+        // conservative `lo` mode, which by construction passes the check.
+        let mode = if attr_degraded {
+            self.stats.degraded_decisions += 1;
+            lo
+        } else {
+            attributed
+        };
         let failed = !(prog.le(lo, mode) && prog.le(mode, hi));
         let will_copy = self.heap[obj].snapshotted || self.config.eager_copy;
         if self.config.record_events {
@@ -931,7 +1092,7 @@ impl<'p> Interp<'p> {
         let prog = self.prog;
         let mut best: Option<(GMode, &Value)> = None;
         for (m, v) in arms {
-            let am = self.mode_const(m);
+            let am = self.mode_const(m)?;
             if prog.le(am, target) {
                 let better = match best {
                     None => true,
@@ -1137,7 +1298,7 @@ impl<'p> Interp<'p> {
                 let v = self.force(frame, v)?;
                 match (op, v) {
                     (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(-n)),
+                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
                     (UnOp::Neg, Value::Double(x)) => Ok(Value::Double(-x)),
                     (op, v) => Err(RtError::Native(format!(
                         "cannot apply `{op}` to a {}",
@@ -1288,8 +1449,10 @@ impl<'p> Interp<'p> {
     ) -> EvalResult {
         let native = |msg: String| -> Flow { RtError::Native(msg).into() };
         match (op, args.as_slice()) {
-            (BOp::ExtBattery, []) => Ok(Value::Double(self.sim.battery_level())),
-            (BOp::ExtTemperature, []) => Ok(Value::Double(self.sim.temperature_c())),
+            (BOp::ExtBattery, []) => Ok(Value::Double(self.read_sensor(SensorKind::Battery))),
+            (BOp::ExtTemperature, []) => {
+                Ok(Value::Double(self.read_sensor(SensorKind::Temperature)))
+            }
             (BOp::ExtTimeMs, []) => Ok(Value::Double(self.sim.time_s() * 1000.0)),
             (BOp::SimWork, [Value::Str(kind), Value::Double(units)]) => {
                 let (kind, units) = (WorkKind::parse(kind), *units);
@@ -1321,10 +1484,17 @@ impl<'p> Interp<'p> {
             (BOp::MathMax, [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
             (BOp::MathFmin, [Value::Double(a), Value::Double(b)]) => Ok(Value::Double(a.min(*b))),
             (BOp::MathFmax, [Value::Double(a), Value::Double(b)]) => Ok(Value::Double(a.max(*b))),
-            (BOp::MathAbs, [Value::Int(n)]) => Ok(Value::Int(n.abs())),
+            // Wrapping on i64::MIN, consistent with the arithmetic ops.
+            (BOp::MathAbs, [Value::Int(n)]) => Ok(Value::Int(n.wrapping_abs())),
             (BOp::MathSqrt, [Value::Double(x)]) => Ok(Value::Double(x.sqrt())),
             (BOp::MathPow, [Value::Double(a), Value::Double(b)]) => Ok(Value::Double(a.powf(*b))),
             (BOp::ArrRange, [Value::Int(a), Value::Int(b)]) => {
+                let len = (*b as i128 - *a as i128).max(0);
+                if len > MAX_ARRAY_LEN as i128 {
+                    return Err(native(format!(
+                        "Arr.range of {len} elements exceeds the limit of {MAX_ARRAY_LEN}"
+                    )));
+                }
                 let items: Vec<Value> = (*a..*b).map(Value::Int).collect();
                 Ok(Value::Array(Arc::new(items)))
             }
@@ -1352,11 +1522,15 @@ impl<'p> Interp<'p> {
                 out.push(v.clone());
                 Ok(Value::Array(Arc::new(out)))
             }
-            (BOp::ArrMake, [Value::Int(n), v]) => Ok(Value::Array(Arc::new(vec![
-                v.clone();
-                (*n).max(0)
-                    as usize
-            ]))),
+            (BOp::ArrMake, [Value::Int(n), v]) => {
+                let n = (*n).max(0);
+                if n > MAX_ARRAY_LEN {
+                    return Err(native(format!(
+                        "Arr.make of {n} elements exceeds the limit of {MAX_ARRAY_LEN}"
+                    )));
+                }
+                Ok(Value::Array(Arc::new(vec![v.clone(); n as usize])))
+            }
             _ => Err(native(format!(
                 "unknown or misapplied builtin `{ns}.{name}` with {} args",
                 args.len()

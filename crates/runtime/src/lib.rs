@@ -52,7 +52,7 @@ mod telemetry;
 mod value;
 
 pub use error::{Flow, RtError};
-pub use events::{render_event, EnergyEvent, EventPayload, EventRing};
+pub use events::{render_event, EnergyEvent, EventPayload, EventRing, FaultServe};
 pub use interp::{run, run_lowered, RunResult, RunStats, RuntimeConfig};
 pub use lower::{lower_program, GMode, LoweredProgram};
 pub use profile::{Costs, MethodProfile, Profile};

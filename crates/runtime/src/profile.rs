@@ -50,6 +50,8 @@ pub struct Costs {
     pub dfall_failures: u64,
     /// Objects allocated with a dynamic mode.
     pub dynamic_allocs: u64,
+    /// Sensor reads that came back faulted under fault injection.
+    pub sensor_faults: u64,
 }
 
 impl Costs {
@@ -62,6 +64,7 @@ impl Costs {
         self.snapshot_failures += other.snapshot_failures;
         self.dfall_failures += other.dfall_failures;
         self.dynamic_allocs += other.dynamic_allocs;
+        self.sensor_faults += other.sensor_faults;
     }
 }
 
@@ -301,8 +304,13 @@ impl Profile {
                 entry.inclusive.add(&inclusive[i]);
             }
         }
-        let mut methods: Vec<MethodProfile> =
-            order.into_iter().map(|k| agg.remove(&k).unwrap()).collect();
+        let mut methods: Vec<MethodProfile> = order
+            .into_iter()
+            .map(|k| {
+                agg.remove(&k)
+                    .expect("every key in `order` was inserted into `agg` in the same sweep")
+            })
+            .collect();
         methods.sort_by(|a, b| {
             b.inclusive
                 .energy_j
@@ -398,7 +406,7 @@ impl Profile {
     pub fn to_json(&self) -> String {
         let costs = |c: &Costs| -> String {
             format!(
-                "{{\"steps\": {}, \"energy_j\": {}, \"time_s\": {}, \"snapshots\": {}, \"copies\": {}, \"snapshot_failures\": {}, \"dfall_failures\": {}, \"dynamic_allocs\": {}}}",
+                "{{\"steps\": {}, \"energy_j\": {}, \"time_s\": {}, \"snapshots\": {}, \"copies\": {}, \"snapshot_failures\": {}, \"dfall_failures\": {}, \"dynamic_allocs\": {}, \"sensor_faults\": {}}}",
                 c.steps,
                 json_f64(c.energy_j),
                 json_f64(c.time_s),
@@ -407,6 +415,7 @@ impl Profile {
                 c.snapshot_failures,
                 c.dfall_failures,
                 c.dynamic_allocs,
+                c.sensor_faults,
             )
         };
         let mut out = String::from("{\"methods\": [");

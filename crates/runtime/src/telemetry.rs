@@ -86,7 +86,7 @@ impl RunResult {
         let s = &self.stats;
         let _ = write!(
             out,
-            ", \"stats\": {{\"steps\": {}, \"snapshots\": {}, \"copies\": {}, \"energy_exceptions\": {}, \"snapshot_failures\": {}, \"dfall_failures\": {}, \"dynamic_allocs\": {}, \"allocs\": {}}}",
+            ", \"stats\": {{\"steps\": {}, \"snapshots\": {}, \"copies\": {}, \"energy_exceptions\": {}, \"snapshot_failures\": {}, \"dfall_failures\": {}, \"dynamic_allocs\": {}, \"allocs\": {}, \"sensor_faults\": {}, \"stale_reads\": {}, \"degraded_decisions\": {}}}",
             s.steps,
             s.snapshots,
             s.copies,
@@ -95,6 +95,9 @@ impl RunResult {
             s.dfall_failures,
             s.dynamic_allocs,
             s.allocs,
+            s.sensor_faults,
+            s.stale_reads,
+            s.degraded_decisions,
         );
 
         let m = &self.measurement;

@@ -150,3 +150,43 @@ fn integer_arithmetic_wraps_rather_than_panics() {
     let src = "class Main { int main() { return 9223372036854775807 + 1; } }";
     assert_eq!(run_src(src).value.unwrap(), Value::Int(i64::MIN));
 }
+
+#[test]
+fn negation_and_abs_wrap_on_int_min_rather_than_panicking() {
+    // `-i64::MIN` and `Math.abs(i64::MIN)` have no i64 representation;
+    // both wrap (to i64::MIN) like the binary arithmetic ops do, instead
+    // of tripping the host's debug overflow check.
+    let src = "class Main { int main() { return -(-9223372036854775807 - 1); } }";
+    assert_eq!(run_src(src).value.unwrap(), Value::Int(i64::MIN));
+    let src = "class Main { int main() { return Math.abs(-9223372036854775807 - 1); } }";
+    assert_eq!(run_src(src).value.unwrap(), Value::Int(i64::MIN));
+}
+
+#[test]
+fn hostile_array_allocations_error_instead_of_aborting() {
+    // `Arr.make`/`Arr.range` with astronomic sizes must surface as runtime
+    // errors, not exhaust the allocator.
+    let src = "class Main { int main() { return Arr.len(Arr.make(9000000000000000000, 0)); } }";
+    let r = run_src(src);
+    match r.value {
+        Err(RtError::Native(msg)) => assert!(msg.contains("exceeds the limit"), "{msg}"),
+        other => panic!("expected a native error, got {other:?}"),
+    }
+    let src = "class Main { int main() { return Arr.len(Arr.range(0, 9000000000000000000)); } }";
+    match run_src(src).value {
+        Err(RtError::Native(msg)) => assert!(msg.contains("exceeds the limit"), "{msg}"),
+        other => panic!("expected a native error, got {other:?}"),
+    }
+    // Reversed range stays an empty array, as before.
+    assert_eq!(eval_int("Arr.len(Arr.range(5, -5))"), Value::Int(0));
+}
+
+#[test]
+fn hostile_sleep_durations_terminate() {
+    // A sleep of i64::MAX ms must not spin the integrator effectively
+    // forever: the simulator clamps a single advance.
+    let src = "class Main { unit main() { Sim.sleepMs(9223372036854775807); return {}; } }";
+    let r = run_src(src);
+    assert!(r.value.is_ok(), "{:?}", r.value);
+    assert!(r.measurement.time_s <= 1.0e6 + 1.0);
+}

@@ -1,0 +1,300 @@
+//! Fault injection and graceful degradation at the runtime layer: the
+//! fault-off path is bit-identical to a no-fault run, fault runs are
+//! deterministic per fault seed, and faulted sensor reads walk the
+//! degradation ladder (last-known-good → staleness bound → conservative
+//! mode) instead of crashing or silently mis-moding.
+
+use ent_core::compile;
+use ent_energy::{FaultPlan, Platform, SensorKind};
+use ent_runtime::{
+    lower_program, run_lowered, EventPayload, FaultServe, LoweredProgram, RunResult, RuntimeConfig,
+};
+
+/// An adaptive program in the benchmark suite's shape: a battery-threshold
+/// attributor, an explicit conservative `low` snapshot bound, work scaled
+/// by the produced mode, and a catchable failure path.
+const PROGRAM: &str = r#"
+modes { low <= mid; mid <= high; }
+class App@mode<? <= X> {
+  attributor {
+    if (Ext.battery() >= 0.7) { return high; }
+    else if (Ext.battery() >= 0.3) { return mid; }
+    else { return low; }
+  }
+  int effort() {
+    return mcase{ low: 1; mid: 4; high: 9; } <| X;
+  }
+  int round(int i) {
+    Sim.work("cpu", 500.0);
+    Sim.sleepMs(400);
+    let dapp = new App();
+    let got = try {
+      let App a = snapshot dapp [low, X];
+      a.effort()
+    } catch { 0 };
+    if (i <= 0) { return got; }
+    return got + this.round(i - 1);
+  }
+}
+class Main {
+  int main() {
+    let dapp = new App();
+    let App a = snapshot dapp [low, high];
+    let total = a.round(20);
+    IO.print("total " + total);
+    return total;
+  }
+}
+"#;
+
+fn lowered() -> LoweredProgram {
+    let compiled = compile(PROGRAM).expect("chaos program compiles");
+    lower_program(&compiled)
+}
+
+/// Every semantic observable of a run, f64s by bit pattern.
+fn fingerprint(result: &RunResult) -> String {
+    let s = &result.stats;
+    let value = match &result.value {
+        Ok(v) => format!("ok:{v}"),
+        Err(e) => format!("err:{e}"),
+    };
+    format!(
+        "steps={};snaps={};exc={};sf={};sr={};dd={};value={};out={};energy={:016x};time={:016x};batt={:016x}",
+        s.steps,
+        s.snapshots,
+        s.energy_exceptions,
+        s.sensor_faults,
+        s.stale_reads,
+        s.degraded_decisions,
+        value,
+        result.output.join("\\n"),
+        result.measurement.energy_j.to_bits(),
+        result.measurement.time_s.to_bits(),
+        result.measurement.battery_level.to_bits(),
+    )
+}
+
+fn run_with(prog: &LoweredProgram, faults: Option<FaultPlan>, fault_seed: u64) -> RunResult {
+    run_lowered(
+        prog,
+        Platform::system_a(),
+        RuntimeConfig {
+            seed: 42,
+            battery_level: 0.8,
+            faults,
+            fault_seed,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+#[test]
+fn noop_plan_is_bit_identical_to_fault_off() {
+    let prog = lowered();
+    let off = run_with(&prog, None, 0);
+    assert!(off.value.is_ok(), "{:?}", off.value);
+    assert_eq!(off.stats.sensor_faults, 0);
+    // An installed-but-empty plan and a different fault seed must change
+    // nothing at all: the injector is not even constructed.
+    let noop = run_with(&prog, Some(FaultPlan::default()), 99);
+    assert_eq!(fingerprint(&off), fingerprint(&noop));
+}
+
+#[test]
+fn chaos_runs_are_deterministic_per_fault_seed() {
+    let prog = lowered();
+    let a = run_with(&prog, Some(FaultPlan::chaos()), 7);
+    let b = run_with(&prog, Some(FaultPlan::chaos()), 7);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert!(a.stats.sensor_faults > 0, "chaos should fault some reads");
+
+    // A different fault seed realizes a different schedule somewhere.
+    let c = run_with(&prog, Some(FaultPlan::chaos()), 8);
+    assert_ne!(fingerprint(&a), fingerprint(&c));
+}
+
+#[test]
+fn total_dropout_degrades_to_the_conservative_low_bound() {
+    let prog = lowered();
+    let plan = FaultPlan {
+        dropout_rate: 1.0,
+        ..FaultPlan::default()
+    };
+    let r = run_with(&prog, Some(plan), 1);
+    // Every read drops and no last-known-good ever forms, so every
+    // snapshot decision degrades to `low` — the program still completes,
+    // throws nothing, and does the conservative amount of work.
+    assert!(r.value.is_ok(), "{:?}", r.value);
+    assert_eq!(r.output, vec!["total 21"], "every round at low effort (1)");
+    assert!(r.stats.sensor_faults > 0);
+    assert_eq!(r.stats.stale_reads, 0);
+    assert_eq!(r.stats.degraded_decisions, r.stats.snapshots);
+    assert_eq!(r.stats.energy_exceptions, 0);
+}
+
+#[test]
+fn intermittent_faults_serve_last_known_good_within_the_bound() {
+    let prog = lowered();
+    // Half the windows drop; the virtual clock moves ~0.9 s per round, so
+    // faulted reads usually have a sub-second-old last-known-good to lean
+    // on. Scan fault seeds for a run that exercises the middle rung of the
+    // ladder (stale service without any degraded decision).
+    let found = (0..64).any(|fs| {
+        let plan = FaultPlan {
+            dropout_rate: 0.5,
+            window_s: 0.5,
+            ..FaultPlan::default()
+        };
+        let r = run_with(&prog, Some(plan), fs);
+        r.value.is_ok()
+            && r.stats.stale_reads > 0
+            && r.stats.degraded_decisions == 0
+            && r.stats.stale_reads <= r.stats.sensor_faults
+    });
+    assert!(
+        found,
+        "some fault seed should serve last-known-good without degrading"
+    );
+}
+
+#[test]
+fn staleness_bound_controls_when_degradation_kicks_in() {
+    let prog = lowered();
+    let plan = FaultPlan {
+        dropout_rate: 0.5,
+        window_s: 0.5,
+        ..FaultPlan::default()
+    };
+    // With an infinite bound, a last-known-good reading never expires, so
+    // nothing degrades after the first clean read; with a zero bound every
+    // faulted read degrades immediately.
+    let mut saw_non_degraded = false;
+    let mut saw_degraded = false;
+    for fs in 0..64 {
+        let relaxed = run_lowered(
+            &prog,
+            Platform::system_a(),
+            RuntimeConfig {
+                seed: 42,
+                battery_level: 0.8,
+                faults: Some(plan.clone()),
+                fault_seed: fs,
+                staleness_bound_s: f64::INFINITY,
+                ..RuntimeConfig::default()
+            },
+        );
+        let strict = run_lowered(
+            &prog,
+            Platform::system_a(),
+            RuntimeConfig {
+                seed: 42,
+                battery_level: 0.8,
+                faults: Some(plan.clone()),
+                fault_seed: fs,
+                staleness_bound_s: 0.0,
+                ..RuntimeConfig::default()
+            },
+        );
+        if relaxed.stats.sensor_faults > 0 && relaxed.stats.stale_reads > 0 {
+            saw_non_degraded = true;
+            // Under the infinite bound, the only degraded decisions come
+            // from faults before the first clean read.
+            assert!(relaxed.stats.stale_reads >= strict.stats.stale_reads);
+        }
+        if strict.stats.sensor_faults > 0 {
+            // A zero bound never serves last-known-good.
+            assert_eq!(strict.stats.stale_reads, 0);
+            if strict.stats.degraded_decisions > 0 {
+                saw_degraded = true;
+            }
+        }
+    }
+    assert!(saw_non_degraded && saw_degraded);
+}
+
+#[test]
+fn noise_spikes_pass_through_but_are_counted() {
+    let compiled = compile(
+        r#"
+        class Main {
+          double main() { return Ext.battery(); }
+        }
+        "#,
+    )
+    .expect("probe compiles");
+    let prog = lower_program(&compiled);
+    let clean = run_with(&prog, None, 0);
+    let plan = FaultPlan {
+        spike_rate: 1.0,
+        spike_mag: 0.5,
+        ..FaultPlan::default()
+    };
+    let spiked = run_with(&prog, Some(plan), 3);
+    assert!(spiked.value.is_ok());
+    assert_ne!(clean.value, spiked.value, "the spike must corrupt the read");
+    assert_eq!(spiked.stats.sensor_faults, 1);
+    assert_eq!(spiked.stats.stale_reads, 0);
+    assert_eq!(spiked.stats.degraded_decisions, 0);
+}
+
+#[test]
+fn sensor_fault_events_are_recorded_and_renderable() {
+    let prog = lowered();
+    let plan = FaultPlan {
+        dropout_rate: 1.0,
+        ..FaultPlan::default()
+    };
+    let r = run_lowered(
+        &prog,
+        Platform::system_a(),
+        RuntimeConfig {
+            seed: 42,
+            battery_level: 0.8,
+            faults: Some(plan),
+            fault_seed: 1,
+            record_events: true,
+            ..RuntimeConfig::default()
+        },
+    );
+    let faults: Vec<_> = r
+        .events
+        .iter()
+        .filter_map(|ev| match ev.payload {
+            EventPayload::SensorFault { sensor, served } => Some((sensor, served)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(faults.len() as u64, r.stats.sensor_faults);
+    assert!(faults
+        .iter()
+        .all(|&(s, v)| s == SensorKind::Battery && v == FaultServe::Conservative));
+    let fault_event = r
+        .events
+        .iter()
+        .find(|ev| matches!(ev.payload, EventPayload::SensorFault { .. }))
+        .expect("at least one sensor-fault event");
+    let rendered = ent_runtime::render_event(&prog, fault_event);
+    assert!(
+        rendered.contains("sensor fault on battery"),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn telemetry_json_carries_the_resilience_counters() {
+    let prog = lowered();
+    let r = run_with(
+        &prog,
+        Some(FaultPlan {
+            dropout_rate: 1.0,
+            ..FaultPlan::default()
+        }),
+        1,
+    );
+    let json = r.to_json();
+    assert!(ent_runtime::json_is_valid(&json), "{json}");
+    assert!(json.contains("\"sensor_faults\""), "{json}");
+    assert!(json.contains("\"stale_reads\""), "{json}");
+    assert!(json.contains("\"degraded_decisions\""), "{json}");
+}

@@ -1,0 +1,104 @@
+//! Error-path telemetry: a run that *fails* — out of gas, stack overflow,
+//! bad cast — must still emit a well-formed `ent-run-telemetry/1` document
+//! with the error recorded and every counter intact, because chaos sweeps
+//! and CI consume the JSON of failed runs the same way as successful ones.
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{json_is_valid, run, RtError, RunResult, RuntimeConfig};
+
+fn run_src(src: &str, config: RuntimeConfig) -> RunResult {
+    let compiled = compile(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    run(&compiled, Platform::system_a(), config)
+}
+
+/// Checks the invariants every failed-run document must satisfy.
+fn assert_error_document(result: &RunResult, expect_error_fragment: &str) {
+    let err = result
+        .value
+        .as_ref()
+        .expect_err("the run is supposed to fail");
+    assert!(
+        err.to_string().contains(expect_error_fragment),
+        "unexpected error: {err}"
+    );
+    let json = result.to_json();
+    assert!(json_is_valid(&json), "malformed telemetry: {json}");
+    assert!(
+        json.contains("\"schema\": \"ent-run-telemetry/1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"status\": \"error\""), "{json}");
+    assert!(json.contains("\"value\": null"), "{json}");
+    // The error text is embedded (escaped) in the document.
+    assert!(
+        json.contains(&expect_error_fragment.replace('"', "\\\"")),
+        "{json}"
+    );
+    // Counters survive the failure.
+    assert!(json.contains("\"stats\": {\"steps\": "), "{json}");
+    assert!(json.contains("\"sensor_faults\": "), "{json}");
+}
+
+#[test]
+fn out_of_gas_still_emits_valid_telemetry() {
+    let src = "class Loop { int spin(int n) { return this.spin(n + 1); } }
+        class Main { int main() { let l = new Loop(); return l.spin(0); } }";
+    let result = run_src(
+        src,
+        RuntimeConfig {
+            gas_limit: 50_000,
+            ..RuntimeConfig::default()
+        },
+    );
+    assert!(matches!(result.value, Err(RtError::OutOfGas)));
+    assert_error_document(&result, "gas");
+}
+
+#[test]
+fn stack_overflow_still_emits_valid_telemetry() {
+    let src = "class Main {
+        int go(int n) { if (n <= 0) { return 0; } return this.go(n - 1); }
+        int main() { return this.go(300000); }
+      }";
+    let result = run_src(src, RuntimeConfig::default());
+    assert!(matches!(result.value, Err(RtError::StackOverflow)));
+    assert_error_document(&result, "call depth");
+}
+
+#[test]
+fn bad_cast_still_emits_valid_telemetry() {
+    let src = "modes { low <= high; }
+        class Rule@mode<R> { }
+        class DepthRule@mode<X> extends Rule@mode<X> { }
+        class Main {
+          unit main() {
+            let Rule@mode<low> r = new Rule@mode<low>();
+            let d = (DepthRule@mode<low>)r;
+            return {};
+          }
+        }";
+    let result = run_src(src, RuntimeConfig::default());
+    assert!(matches!(result.value, Err(RtError::BadCast(_))));
+    assert_error_document(&result, "is not a");
+}
+
+#[test]
+fn failed_runs_report_partial_measurements() {
+    // The failed run's measurement reflects the work done before the
+    // failure — consumers chart energy of failed cells too.
+    let src = "class Main {
+        unit main() {
+          Sim.work(\"cpu\", 100000.0);
+          let a = [1, 2, 3];
+          let x = Arr.get(a, 99);
+          return {};
+        }
+      }";
+    let result = run_src(src, RuntimeConfig::default());
+    assert!(matches!(result.value, Err(RtError::Native(_))));
+    assert!(result.measurement.energy_j > 0.0);
+    let json = result.to_json();
+    assert!(json_is_valid(&json), "{json}");
+    assert!(json.contains("out of bounds"), "{json}");
+}

@@ -10,10 +10,15 @@
 //!   lowered once per distinct source and shared as
 //!   `Arc<LoweredProgram>` across every run, thread, and figure that
 //!   needs them (`LoweredProgram` is `Send + Sync`, asserted at compile
-//!   time in `ent-runtime`).
-//! * **A batch executor** ([`run_batch`]): enumerates jobs up front, fans
-//!   them out across `jobs` reusable big-stack workers, and returns
-//!   results in job order.
+//!   time in `ent-runtime`). The cache is bounded ([`LOWERED_CACHE_CAP`])
+//!   with insertion-order eviction, so long-lived processes sweeping many
+//!   generated programs cannot grow it without limit.
+//! * **A batch executor** ([`run_batch_outcomes`] and the infallible
+//!   wrapper [`run_batch`]): enumerates jobs up front, fans them out
+//!   across `jobs` reusable big-stack workers, and returns per-job
+//!   outcomes in job order. A panicking job is caught at the job
+//!   boundary, optionally retried ([`BatchPolicy::retries`]), and
+//!   recorded as a [`JobError`] — the rest of the batch always completes.
 //!
 //! # Determinism contract
 //!
@@ -32,37 +37,68 @@
 //!
 //! Under that contract `run_batch(n, jobs, f)` returns the same bytes for
 //! every `n`, which the `fig*` binaries' `--jobs` flag and the CI
-//! byte-equality check rely on.
+//! byte-equality check rely on. Wall-clock deadlines
+//! ([`BatchPolicy::deadline`]) are the one escape hatch: they depend on
+//! host timing, so the published-artifact configurations leave them off.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use ent_core::compile;
 use ent_runtime::{default_stack_size, with_interp_stack, LoweredProgram};
+
+/// The most distinct programs [`lowered_cached`] retains at once. Past the
+/// cap the oldest entry is evicted (insertion order); the figure suite
+/// uses a few dozen programs, so eviction only fires for adversarial or
+/// very-long-lived callers.
+pub const LOWERED_CACHE_CAP: usize = 256;
+
+struct LoweredCache {
+    map: HashMap<String, Arc<LoweredProgram>>,
+    /// Keys in insertion order, oldest first.
+    order: VecDeque<String>,
+}
 
 /// Compiles and lowers `src` once, returning the shared lowered program.
 /// Subsequent calls with the same source (from any thread) hit the cache.
 ///
 /// The cache key is the source text itself, so "benchmark identity" is
 /// exact: two benchmark cells share a program if and only if they generate
-/// the same ENT source. `name` labels compile errors only.
+/// the same ENT source. `name` labels compile errors only. Entries past
+/// [`LOWERED_CACHE_CAP`] evict the oldest cached program; outstanding
+/// `Arc`s keep evicted programs alive, so eviction is invisible to
+/// callers except as a recompile on a later repeat.
 ///
 /// # Panics
 ///
 /// Panics if `src` does not compile — benchmark programs are generated,
 /// so a compile error is a harness bug, not a measurement.
 pub fn lowered_cached(name: &str, src: &str) -> Arc<LoweredProgram> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Arc<LoweredProgram>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(Mutex::default);
-    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(found) = map.get(src) {
+    static CACHE: OnceLock<Mutex<LoweredCache>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        Mutex::new(LoweredCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        })
+    });
+    let mut c = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(found) = c.map.get(src) {
         return Arc::clone(found);
     }
     let compiled = compile(src)
         .unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile:\n{}", e.render(src)));
     let lowered = Arc::new(ent_runtime::lower_program(&compiled));
-    map.insert(src.to_string(), Arc::clone(&lowered));
+    while c.map.len() >= LOWERED_CACHE_CAP {
+        let Some(oldest) = c.order.pop_front() else {
+            break;
+        };
+        c.map.remove(&oldest);
+    }
+    c.map.insert(src.to_string(), Arc::clone(&lowered));
+    c.order.push_back(src.to_string());
     lowered
 }
 
@@ -90,9 +126,84 @@ pub fn resolve_jobs(requested: usize) -> usize {
     }
 }
 
+/// Per-job failure policy for [`run_batch_outcomes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// How many times a panicking job is re-run before its failure is
+    /// recorded. `0` (the default) means one attempt, no retries.
+    pub retries: u32,
+    /// Wall-clock budget per job attempt. An attempt that completes but
+    /// overran the budget is recorded as a failure (post-hoc: the engine
+    /// never kills a running interpreter mid-step, it judges the attempt
+    /// after it returns). `None` (the default) disables the check, which
+    /// published-artifact runs rely on for host-independence.
+    pub deadline: Option<Duration>,
+}
+
+/// Why a job in a batch produced no result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobError {
+    /// The panic payload (or deadline report) of the final attempt.
+    pub message: String,
+    /// How many attempts were made (always ≥ 1).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (after {} attempts)", self.message, self.attempts)
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs one job under the policy: catch panics at the job boundary, retry
+/// up to `policy.retries` times, apply the post-hoc deadline check.
+fn run_job<J, R>(
+    job: &J,
+    policy: &BatchPolicy,
+    f: &(impl Fn(&J, u32) -> R + Sync),
+) -> Result<R, JobError> {
+    let mut last = None;
+    for attempt in 0..=policy.retries {
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| f(job, attempt))) {
+            Ok(r) => match policy.deadline {
+                Some(deadline) if started.elapsed() > deadline => {
+                    last = Some(format!(
+                        "job exceeded its {:?} deadline (took {:?})",
+                        deadline,
+                        started.elapsed()
+                    ));
+                }
+                _ => return Ok(r),
+            },
+            Err(panic) => last = Some(panic_message(panic)),
+        }
+    }
+    Err(JobError {
+        message: last.unwrap_or_else(|| "job failed".to_string()),
+        attempts: policy.retries + 1,
+    })
+}
+
 /// Runs `f` over every job, fanning out across `jobs` big-stack workers,
-/// and returns the results **in job order** regardless of which worker
-/// finished what when.
+/// and returns per-job outcomes **in job order** regardless of which
+/// worker finished what when.
+///
+/// Each attempt runs inside `catch_unwind` at the job boundary: a
+/// panicking or deadline-blown job becomes `Err(JobError)` for that slot
+/// and every other job still runs to completion. `f` receives the attempt
+/// index (0 for the first try) so retry-aware jobs can vary their
+/// behavior; deterministic callers ignore it.
 ///
 /// Workers pull job indices from a shared counter, so a slow job never
 /// convoys the whole batch behind it. Each worker executes inside a
@@ -101,24 +212,26 @@ pub fn resolve_jobs(requested: usize) -> usize {
 /// one spawned worker per thread, not one per run. With `jobs == 1` the
 /// batch runs sequentially on one such worker; under the module-level
 /// determinism contract the results are bit-identical either way.
-///
-/// # Panics
-///
-/// A panicking job panics the batch: worker panics are re-raised on the
-/// calling thread after the scope unwinds.
-pub fn run_batch<J, R, F>(jobs: usize, work: &[J], f: F) -> Vec<R>
+pub fn run_batch_outcomes<J, R, F>(
+    jobs: usize,
+    work: &[J],
+    policy: &BatchPolicy,
+    f: F,
+) -> Vec<Result<R, JobError>>
 where
     J: Sync,
     R: Send,
-    F: Fn(&J) -> R + Sync,
+    F: Fn(&J, u32) -> R + Sync,
 {
     let stack_size = default_stack_size();
     let workers = resolve_jobs(jobs).max(1).min(work.len().max(1));
     if workers == 1 {
-        return with_interp_stack(stack_size, || work.iter().map(&f).collect());
+        return with_interp_stack(stack_size, || {
+            work.iter().map(|job| run_job(job, policy, &f)).collect()
+        });
     }
     let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+    let mut indexed: Vec<(usize, Result<R, JobError>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
@@ -127,7 +240,7 @@ where
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(job) = work.get(i) else { break };
-                            mine.push((i, f(job)));
+                            mine.push((i, run_job(job, policy, &f)));
                         }
                         mine
                     })
@@ -136,14 +249,51 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(part) => part,
-                Err(panic) => std::panic::resume_unwind(panic),
+            .flat_map(|h| {
+                // Job panics are caught inside `run_job`; a worker can only
+                // die from a harness bug outside any job.
+                h.join().expect("batch worker died outside a job boundary")
             })
             .collect()
     });
     indexed.sort_unstable_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Infallible wrapper over [`run_batch_outcomes`] for callers whose jobs
+/// are not supposed to fail (the figure generators).
+///
+/// # Panics
+///
+/// If any job failed, panics **after the whole batch has completed** with
+/// an aggregate message naming the first failure — failures surface as
+/// one harness error instead of a half-finished batch.
+pub fn run_batch<J, R, F>(jobs: usize, work: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let outcomes = run_batch_outcomes(jobs, work, &BatchPolicy::default(), |job, _| f(job));
+    let total = outcomes.len();
+    let mut failed = 0usize;
+    let mut first: Option<(usize, JobError)> = None;
+    let mut results = Vec::with_capacity(total);
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                failed += 1;
+                if first.is_none() {
+                    first = Some((i, e));
+                }
+            }
+        }
+    }
+    if let Some((i, e)) = first {
+        panic!("{failed} of {total} batch jobs failed; first failure (job {i}): {e}");
+    }
+    results
 }
 
 #[cfg(test)]
@@ -167,6 +317,100 @@ mod tests {
     }
 
     #[test]
+    fn a_panicking_job_fails_alone_and_the_batch_completes() {
+        let work: Vec<usize> = (0..32).collect();
+        for jobs in [1, 8] {
+            let outcomes = run_batch_outcomes(jobs, &work, &BatchPolicy::default(), |&n, _| {
+                assert!(n != 13, "unlucky job");
+                n * 2
+            });
+            assert_eq!(outcomes.len(), work.len());
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if i == 13 {
+                    let err = outcome.as_ref().unwrap_err();
+                    assert!(err.message.contains("unlucky job"), "{err}");
+                    assert_eq!(err.attempts, 1);
+                } else {
+                    assert_eq!(outcome.as_ref().unwrap(), &(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_rerun_the_job_and_record_the_attempt_count() {
+        use std::sync::atomic::AtomicU32;
+        // A job that fails on its first two attempts and succeeds on the
+        // third; with one retry it still fails, with two it recovers.
+        let tries = AtomicU32::new(0);
+        let policy = BatchPolicy {
+            retries: 1,
+            ..BatchPolicy::default()
+        };
+        let outcomes = run_batch_outcomes(1, &[()], &policy, |_, _| {
+            let t = tries.fetch_add(1, Ordering::Relaxed);
+            assert!(t >= 2, "flaky");
+            t
+        });
+        let err = outcomes[0].as_ref().unwrap_err();
+        assert_eq!(err.attempts, 2);
+        assert!(err.message.contains("flaky"));
+
+        tries.store(0, Ordering::Relaxed);
+        let policy = BatchPolicy {
+            retries: 2,
+            ..BatchPolicy::default()
+        };
+        let outcomes = run_batch_outcomes(1, &[()], &policy, |_, attempt| {
+            let t = tries.fetch_add(1, Ordering::Relaxed);
+            assert!(t >= 2, "flaky");
+            attempt
+        });
+        assert_eq!(outcomes[0], Ok(2), "succeeds on the third attempt");
+    }
+
+    #[test]
+    fn a_blown_deadline_is_recorded_as_a_failure() {
+        let policy = BatchPolicy {
+            deadline: Some(Duration::ZERO),
+            ..BatchPolicy::default()
+        };
+        let outcomes = run_batch_outcomes(1, &[()], &policy, |_, _| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        let err = outcomes[0].as_ref().unwrap_err();
+        assert!(err.message.contains("deadline"), "{err}");
+
+        // A generous deadline passes.
+        let policy = BatchPolicy {
+            deadline: Some(Duration::from_secs(3600)),
+            ..BatchPolicy::default()
+        };
+        let outcomes = run_batch_outcomes(1, &[()], &policy, |_, _| 5);
+        assert_eq!(outcomes[0], Ok(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 of 3 batch jobs failed")]
+    fn run_batch_aggregates_failures_after_finishing() {
+        use std::sync::atomic::AtomicUsize;
+        static COMPLETED: AtomicUsize = AtomicUsize::new(0);
+        let work = [0usize, 1, 2];
+        let _ = std::panic::catch_unwind(|| {
+            run_batch(1, &work, |&n| {
+                assert!(n != 1, "boom");
+                COMPLETED.fetch_add(1, Ordering::Relaxed);
+                n
+            })
+        })
+        .map_err(|p| {
+            // Every non-failing job ran even though job 1 panicked.
+            assert_eq!(COMPLETED.load(Ordering::Relaxed), 2);
+            std::panic::resume_unwind(p)
+        });
+    }
+
+    #[test]
     fn cache_returns_the_same_program_for_the_same_source() {
         let src = "class Main { int main() { return 6 * 7; } }";
         let a = lowered_cached("unit-test", src);
@@ -175,8 +419,30 @@ mod tests {
     }
 
     #[test]
+    fn cache_evicts_oldest_entries_past_the_cap() {
+        // Distinct trivial programs: fill the cache past the cap, then
+        // confirm the earliest entry was evicted (a repeat lookup compiles
+        // a fresh Arc) while a recent one is still shared.
+        let src_for = |n: usize| format!("class Main {{ int main() {{ return {n}; }} }}");
+        let first_src = src_for(9_000_000);
+        let first = lowered_cached("evict-test", &first_src);
+        for n in 0..LOWERED_CACHE_CAP {
+            let _ = lowered_cached("evict-test", &src_for(9_100_000 + n));
+        }
+        let last_src = src_for(9_100_000 + LOWERED_CACHE_CAP - 1);
+        let last = lowered_cached("evict-test", &last_src);
+        let last_again = lowered_cached("evict-test", &last_src);
+        assert!(Arc::ptr_eq(&last, &last_again), "recent entry still cached");
+        let first_again = lowered_cached("evict-test", &first_src);
+        assert!(
+            !Arc::ptr_eq(&first, &first_again),
+            "oldest entry should have been evicted"
+        );
+    }
+
+    #[test]
     fn resolve_jobs_expands_zero() {
+        assert!(resolve_jobs(3) == 3);
         assert!(resolve_jobs(0) >= 1);
-        assert_eq!(resolve_jobs(3), 3);
     }
 }

@@ -32,12 +32,15 @@ pub use apps::{
     batik, camera, crypto, duckduckgo, findbugs, javaboy, jspider, jython, materiallife, newpipe,
     pagerank, showcase_apps, soundrecorder, sunflow, video, xalan,
 };
-pub use engine::{default_jobs, lowered_cached, resolve_jobs, run_batch};
+pub use engine::{
+    default_jobs, lowered_cached, resolve_jobs, run_batch, run_batch_outcomes, BatchPolicy,
+    JobError, LOWERED_CACHE_CAP,
+};
 pub use programs::{e1_program, e2_program, e3_program, unit_scale, workload_duty_factor};
 pub use runner::{
-    platform_for, platform_of, prepare_e1, prepare_e2, prepare_e3, run_e1, run_e1_prepared, run_e2,
-    run_e2_prepared, run_e3, run_e3_prepared, run_overhead_pair, run_overhead_pair_prepared,
-    Outcome, PreparedProgram,
+    platform_for, platform_of, prepare_e1, prepare_e2, prepare_e3, run_e1, run_e1_chaos_prepared,
+    run_e1_prepared, run_e2, run_e2_prepared, run_e3, run_e3_prepared, run_overhead_pair,
+    run_overhead_pair_prepared, ChaosOutcome, Outcome, PreparedProgram,
 };
 pub use settings::{
     all_benchmarks, battery_for_boot, benchmark, e3_benchmarks, BenchmarkSpec, E3Settings, Shape,

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use ent_energy::{Platform, PlatformKind};
+use ent_energy::{FaultPlan, Platform, PlatformKind};
 use ent_runtime::{run_lowered, LoweredProgram, RunResult, RuntimeConfig};
 
 use crate::engine::lowered_cached;
@@ -132,6 +132,64 @@ pub fn run_e1_prepared(prog: &PreparedProgram, boot: usize, silent: bool, seed: 
         ..RuntimeConfig::default()
     };
     to_outcome(prog.name, prog.run(config))
+}
+
+/// The outcome of one fault-injected experiment run. Unlike [`Outcome`],
+/// a runtime error is a *recorded result*, not a harness panic — degraded
+/// programs may legitimately fail, and chaos sweeps chart those failures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosOutcome {
+    /// The regular measurement, or the runtime error message.
+    pub result: Result<Outcome, String>,
+    /// Sensor reads the injector faulted.
+    pub sensor_faults: u64,
+    /// Faulted reads served from last-known-good within the staleness
+    /// bound.
+    pub stale_reads: u64,
+    /// Mode decisions forced to the conservative bound because no
+    /// fresh-enough reading existed.
+    pub degraded_decisions: u64,
+}
+
+fn to_chaos_outcome(result: RunResult) -> ChaosOutcome {
+    ChaosOutcome {
+        result: match &result.value {
+            Ok(_) => Ok(Outcome {
+                energy_j: result.measurement.energy_j,
+                time_s: result.measurement.time_s,
+                exception: result.stats.energy_exceptions > 0,
+                snapshot_failures: result.stats.snapshot_failures,
+                dfall_failures: result.stats.dfall_failures,
+            }),
+            Err(e) => Err(e.to_string()),
+        },
+        sensor_faults: result.stats.sensor_faults,
+        stale_reads: result.stats.stale_reads,
+        degraded_decisions: result.stats.degraded_decisions,
+    }
+}
+
+/// Runs one E1 configuration with a fault plan installed. `faults: None`
+/// is the control leg: the exact fault-off configuration of
+/// [`run_e1_prepared`], differing only in that runtime errors are
+/// recorded instead of panicking.
+pub fn run_e1_chaos_prepared(
+    prog: &PreparedProgram,
+    boot: usize,
+    silent: bool,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    fault_seed: u64,
+) -> ChaosOutcome {
+    let config = RuntimeConfig {
+        silent,
+        battery_level: battery_for_boot(boot),
+        seed,
+        faults,
+        fault_seed,
+        ..RuntimeConfig::default()
+    };
+    to_chaos_outcome(prog.run(config))
 }
 
 /// Runs one E1 "battery-exception" configuration: a boot mode (0–2), a
@@ -327,6 +385,43 @@ mod tests {
             silent.energy_j,
             ent.energy_j
         );
+    }
+
+    #[test]
+    fn chaos_control_leg_matches_the_fault_off_runner() {
+        let spec = benchmark("jspider").unwrap();
+        let prog = prepare_e1(&spec, SystemA, 1);
+        let plain = run_e1_prepared(&prog, 1, false, 7);
+        let control = run_e1_chaos_prepared(&prog, 1, false, 7, None, 0);
+        assert_eq!(control.result, Ok(plain));
+        assert_eq!(control.sensor_faults, 0);
+        assert_eq!(control.stale_reads, 0);
+        assert_eq!(control.degraded_decisions, 0);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_and_record_faults() {
+        let spec = benchmark("jspider").unwrap();
+        let prog = prepare_e1(&spec, SystemA, 1);
+        let a = run_e1_chaos_prepared(&prog, 1, false, 7, Some(FaultPlan::chaos()), 11);
+        let b = run_e1_chaos_prepared(&prog, 1, false, 7, Some(FaultPlan::chaos()), 11);
+        assert_eq!(a, b);
+        assert!(a.sensor_faults > 0, "{a:?}");
+    }
+
+    #[test]
+    fn total_dropout_degrades_e1_instead_of_crashing_it() {
+        // E1 programs eliminate their mode cases at explicit targets, so
+        // even an App degraded to the conservative bound completes.
+        let spec = benchmark("jspider").unwrap();
+        let prog = prepare_e1(&spec, SystemA, 1);
+        let plan = FaultPlan {
+            dropout_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let r = run_e1_chaos_prepared(&prog, 2, false, 7, Some(plan), 3);
+        assert!(r.result.is_ok(), "{r:?}");
+        assert!(r.degraded_decisions > 0, "{r:?}");
     }
 
     #[test]
