@@ -1,51 +1,83 @@
 //! Interpreter perf baseline over the Figure-6 benchmark suite.
 //!
 //! Measures raw interpreter throughput (`RunStats::steps` per wall-clock
-//! second) for every benchmark's E2 program at a fixed seed, plus a
-//! semantics fingerprint (stats, output, pretty value, energy bits) so a
-//! faster interpreter can prove it computes *exactly* the same thing.
+//! second) for every benchmark's E2 program at a fixed seed, under both
+//! execution engines (the recursive tree walker and the register-bytecode
+//! VM), plus a semantics fingerprint (stats, output, pretty value, energy
+//! bits) so the faster engine can prove it computes *exactly* the same
+//! thing — with fault injection on as well as off.
 //!
 //! Usage:
 //!   cargo run -p ent-bench --release --bin perf_baseline -- --phase baseline
-//!     captures the reference numbers into crates/bench/data/perf_baseline.txt
-//!   cargo run -p ent-bench --release --bin perf_baseline [-- --jobs N]
-//!     measures the current interpreter, compares against the stored
+//!     captures the reference numbers (tree engine) into
+//!     crates/bench/data/perf_baseline.txt
+//!   cargo run -p ent-bench --release --bin perf_baseline [-- --jobs N] [--engine E]
+//!     measures both engines (or just E), compares against the stored
 //!     baseline, and writes BENCH_interp.json at the workspace root.
 //!
 //! `--jobs` parallelizes the compile + fingerprint-verification phase; the
 //! throughput timing loop always runs sequentially (concurrent timing on a
-//! shared machine would measure contention, not the interpreter).
+//! shared machine would measure contention, not the interpreter). Timing
+//! runs in rounds after untimed warmup runs, and each benchmark reports
+//! the relative standard deviation across rounds so a noisy number is
+//! visibly noisy.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use ent_energy::PlatformKind;
-use ent_runtime::{default_stack_size, run_lowered, with_interp_stack, RunResult, RuntimeConfig};
+use ent_energy::{FaultPlan, PlatformKind};
+use ent_runtime::{
+    default_stack_size, run_lowered, with_interp_stack, Engine, RunResult, RuntimeConfig,
+};
 use ent_workloads::{all_benchmarks, prepare_e2, run_batch};
 
 const SEED: u64 = 42;
 const BATTERY: f64 = 0.75;
-/// Per-benchmark measurement budget (seconds of wall time).
+/// Per-benchmark, per-engine measurement budget (seconds of wall time).
 const BUDGET_S: f64 = 0.25;
+/// Timing rounds per engine (the RSD sample size).
+const ROUNDS: usize = 4;
+/// Untimed runs before the first timing round.
+const WARMUP_RUNS: u32 = 2;
+
+const ENGINES: [Engine; 2] = [Engine::Tree, Engine::Bytecode];
+
+struct EngineSample {
+    steps_per_sec: f64,
+    wall_ms_per_run: f64,
+    /// Relative standard deviation of the per-round throughput, percent.
+    rsd_pct: f64,
+}
 
 struct Sample {
     name: String,
-    steps_per_sec: f64,
-    wall_ms_per_run: f64,
     steps: u64,
+    /// One measurement per engine probed, in the order requested.
+    by_engine: Vec<(Engine, EngineSample)>,
+    /// Plain-run fingerprint (identical across engines by construction:
+    /// verification asserts it, faults off and on, before timing starts).
     fingerprint: String,
 }
 
-fn config() -> RuntimeConfig {
+fn config(engine: Engine) -> RuntimeConfig {
     RuntimeConfig {
         battery_level: BATTERY,
         seed: SEED,
+        engine,
         ..RuntimeConfig::default()
     }
 }
 
-/// A semantics fingerprint: every observable the lowering pass must
+fn faulted_config(engine: Engine) -> RuntimeConfig {
+    RuntimeConfig {
+        faults: Some(FaultPlan::chaos()),
+        fault_seed: 17,
+        ..config(engine)
+    }
+}
+
+/// A semantics fingerprint: every observable the execution engine must
 /// preserve, in one `|`-separated line. Energy and time are compared by
 /// f64 bit pattern — "close" is not "identical".
 fn fingerprint(result: &RunResult) -> String {
@@ -70,62 +102,126 @@ fn fingerprint(result: &RunResult) -> String {
     )
 }
 
-fn measure(jobs: usize) -> Vec<Sample> {
+fn measure(jobs: usize, engines: &[Engine]) -> Vec<Sample> {
     // Phase 1 — compile (through the engine's shared cache), warm up, and
     // verify fingerprints. Batch-parallel: each job is one benchmark.
+    // Every engine must match the first engine's fingerprint, both on the
+    // plain configuration and under chaos fault injection.
     let specs = all_benchmarks();
+    let reference = engines[0];
     let verified = run_batch(jobs, &specs, |spec| {
         let prog = prepare_e2(spec, PlatformKind::SystemA, 1);
-        // Warm-up run doubles as the fingerprint capture.
-        let warm = prog.run(config());
+        let rl = |c: RuntimeConfig| run_lowered(&prog.lowered, prog.platform.clone(), c);
+        let warm = rl(config(reference));
         let fp = fingerprint(&warm);
+        let fp_faulted = fingerprint(&rl(faulted_config(reference)));
 
-        // The observability layer must be a pure observer: a run with the
-        // event ring and the profiler enabled computes bit-for-bit the
-        // same thing as the plain run.
-        let observed = prog.run(RuntimeConfig {
-            record_events: true,
-            profile: true,
-            ..config()
-        });
-        assert_eq!(
-            fingerprint(&observed),
-            fp,
-            "{}: enabling events+profile changed the semantics fingerprint",
-            spec.name
-        );
+        for &engine in engines {
+            assert_eq!(
+                fingerprint(&rl(config(engine))),
+                fp,
+                "{}: {} disagrees with {} on the plain run",
+                spec.name,
+                engine.name(),
+                reference.name()
+            );
+            assert_eq!(
+                fingerprint(&rl(faulted_config(engine))),
+                fp_faulted,
+                "{}: {} disagrees with {} under fault injection",
+                spec.name,
+                engine.name(),
+                reference.name()
+            );
+            // The observability layer must be a pure observer: a run with
+            // the event ring and the profiler enabled computes bit-for-bit
+            // the same thing as the plain run.
+            let observed = rl(RuntimeConfig {
+                record_events: true,
+                profile: true,
+                ..config(engine)
+            });
+            assert_eq!(
+                fingerprint(&observed),
+                fp,
+                "{}: enabling events+profile changed the {} fingerprint",
+                spec.name,
+                engine.name()
+            );
+        }
         (prog, fp, warm.stats.steps)
     });
 
     // Phase 2 — the throughput timing loop: strictly sequential, on one
     // reusable big-stack worker so each `run_lowered` is a direct call.
+    // Per engine: untimed warmup runs, then `ROUNDS` timed rounds whose
+    // spread is the reported RSD.
     with_interp_stack(default_stack_size(), || {
         specs
             .iter()
             .zip(verified)
             .map(|(spec, (prog, fp, steps))| {
-                let start = Instant::now();
-                let mut runs = 0u32;
-                while start.elapsed().as_secs_f64() < BUDGET_S || runs < 3 {
-                    let r = run_lowered(&prog.lowered, prog.platform.clone(), config());
-                    assert_eq!(r.stats.steps, steps, "{} must be deterministic", spec.name);
-                    runs += 1;
-                }
-                let wall = start.elapsed().as_secs_f64();
-                let total_steps = steps as f64 * runs as f64;
-                eprintln!(
-                    "  {:<12} {:>12.0} steps/s  ({} steps, {:.2} ms/run, {} runs)",
-                    spec.name,
-                    total_steps / wall,
-                    steps,
-                    wall * 1000.0 / runs as f64,
-                    runs
-                );
+                let by_engine = engines
+                    .iter()
+                    .map(|&engine| {
+                        let run_once = || {
+                            let r =
+                                run_lowered(&prog.lowered, prog.platform.clone(), config(engine));
+                            assert_eq!(
+                                r.stats.steps,
+                                steps,
+                                "{} must be deterministic under {}",
+                                spec.name,
+                                engine.name()
+                            );
+                        };
+                        for _ in 0..WARMUP_RUNS {
+                            run_once();
+                        }
+                        let mut round_sps = Vec::with_capacity(ROUNDS);
+                        let mut total_runs = 0u32;
+                        let mut total_wall = 0.0f64;
+                        let round_budget = BUDGET_S / ROUNDS as f64;
+                        for _ in 0..ROUNDS {
+                            let start = Instant::now();
+                            let mut runs = 0u32;
+                            while start.elapsed().as_secs_f64() < round_budget || runs < 3 {
+                                run_once();
+                                runs += 1;
+                            }
+                            let wall = start.elapsed().as_secs_f64();
+                            round_sps.push(steps as f64 * runs as f64 / wall);
+                            total_runs += runs;
+                            total_wall += wall;
+                        }
+                        let mean = round_sps.iter().sum::<f64>() / round_sps.len() as f64;
+                        let var = round_sps
+                            .iter()
+                            .map(|x| (x - mean) * (x - mean))
+                            .sum::<f64>()
+                            / round_sps.len() as f64;
+                        let sample = EngineSample {
+                            steps_per_sec: steps as f64 * total_runs as f64 / total_wall,
+                            wall_ms_per_run: total_wall * 1000.0 / total_runs as f64,
+                            rsd_pct: var.sqrt() / mean * 100.0,
+                        };
+                        eprintln!(
+                            "  {:<12} {:<8} {:>12.0} steps/s  ({} steps, {:.3} ms/run, {} runs, RSD {:.1}%)",
+                            spec.name,
+                            engine.name(),
+                            sample.steps_per_sec,
+                            steps,
+                            sample.wall_ms_per_run,
+                            total_runs,
+                            sample.rsd_pct
+                        );
+                        (engine, sample)
+                    })
+                    .collect();
                 Sample {
                     name: spec.name.to_string(),
-                    steps_per_sec: total_steps / wall,
-                    wall_ms_per_run: wall * 1000.0 / runs as f64,
                     steps,
+                    by_engine,
                     fingerprint: fp,
                 }
             })
@@ -156,14 +252,15 @@ fn baseline_path() -> PathBuf {
 
 fn write_baseline(samples: &[Sample]) {
     let mut out = String::from(
-        "# Pre-lowering interpreter baseline (Figure-6 E2 suite, System A, seed 42).\n\
+        "# Tree-walking interpreter baseline (Figure-6 E2 suite, System A, seed 42).\n\
          # name<TAB>steps<TAB>steps_per_sec<TAB>wall_ms_per_run<TAB>fingerprint\n",
     );
     for s in samples {
+        let tree = &s.by_engine[0].1;
         let _ = writeln!(
             out,
             "{}\t{}\t{:.3}\t{:.6}\t{}",
-            s.name, s.steps, s.steps_per_sec, s.wall_ms_per_run, s.fingerprint
+            s.name, s.steps, tree.steps_per_sec, tree.wall_ms_per_run, s.fingerprint
         );
     }
     let path = baseline_path();
@@ -207,10 +304,26 @@ fn main() {
             .collect::<Vec<_>>()
             .windows(2)
             .any(|w| w[0] == "--phase" && w[1] == "baseline");
-    let jobs = ent_bench::parse_grid_args(0).jobs;
+    let grid = ent_bench::parse_grid_args(0);
+    let engines: Vec<Engine> = if capture_baseline {
+        // The stored baseline is the tree walker's numbers by definition.
+        vec![Engine::Tree]
+    } else {
+        match grid.engine {
+            Some(e) => vec![e],
+            None => ENGINES.to_vec(),
+        }
+    };
 
-    eprintln!("measuring interpreter throughput (Figure-6 E2 suite)...");
-    let samples = measure(jobs);
+    eprintln!(
+        "measuring interpreter throughput (Figure-6 E2 suite) under {}...",
+        engines
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    );
+    let samples = measure(grid.jobs, &engines);
 
     if capture_baseline {
         write_baseline(&samples);
@@ -221,8 +334,12 @@ fn main() {
     let mut json = String::from("{\n  \"suite\": \"fig6_e2_system_a\",\n  \"seed\": 42,\n");
     let _ = writeln!(json, "  \"benchmarks\": [");
     let mut speedups = Vec::new();
+    let mut engine_speedups = Vec::new();
     let mut mismatches = Vec::new();
     for (i, s) in samples.iter().enumerate() {
+        // The headline number is the last engine probed (bytecode in the
+        // default two-engine sweep).
+        let fastest = s.by_engine.last().expect("engine measured").1.steps_per_sec;
         let (base_sps, speedup, semantics_match) =
             match baseline.as_ref().and_then(|b| b.get(&s.name)) {
                 Some(b) => {
@@ -230,7 +347,7 @@ fn main() {
                     if !matches {
                         mismatches.push(s.name.clone());
                     }
-                    (b.steps_per_sec, s.steps_per_sec / b.steps_per_sec, matches)
+                    (b.steps_per_sec, fastest / b.steps_per_sec, matches)
                 }
                 None => (0.0, 0.0, true),
             };
@@ -239,15 +356,47 @@ fn main() {
         }
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"steps\": {}, \"steps_per_sec\": {:.1}, \"wall_ms_per_run\": {:.4}, \"baseline_steps_per_sec\": {:.1}, \"speedup\": {:.3}, \"semantics_match\": {}}}",
-            s.name, s.steps, s.steps_per_sec, s.wall_ms_per_run, base_sps, speedup, semantics_match
+            "    {{\"name\": \"{}\", \"steps\": {}, \"engines\": {{",
+            s.name, s.steps
+        );
+        for (j, (engine, e)) in s.by_engine.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{}\"{}\": {{\"steps_per_sec\": {:.1}, \"wall_ms_per_run\": {:.4}, \"rsd_pct\": {:.2}}}",
+                if j == 0 { "" } else { ", " },
+                engine.name(),
+                e.steps_per_sec,
+                e.wall_ms_per_run,
+                e.rsd_pct
+            );
+        }
+        let _ = write!(json, "}}");
+        if let [(_, tree), (_, vm)] = s.by_engine.as_slice() {
+            let ratio = vm.steps_per_sec / tree.steps_per_sec;
+            engine_speedups.push(ratio);
+            let _ = write!(json, ", \"bytecode_over_tree\": {ratio:.3}");
+        }
+        let _ = write!(
+            json,
+            ", \"baseline_steps_per_sec\": {base_sps:.1}, \"speedup\": {speedup:.3}, \"semantics_match\": {semantics_match}}}"
         );
         json.push_str(if i + 1 == samples.len() { "\n" } else { ",\n" });
     }
     let _ = writeln!(json, "  ],");
-    let current_geo = geomean(samples.iter().map(|s| s.steps_per_sec));
+    let current_geo = geomean(
+        samples
+            .iter()
+            .map(|s| s.by_engine.last().unwrap().1.steps_per_sec),
+    );
     let speedup_geo = geomean(speedups.iter().copied());
     let _ = writeln!(json, "  \"steps_per_sec_geomean\": {current_geo:.1},");
+    if !engine_speedups.is_empty() {
+        let _ = writeln!(
+            json,
+            "  \"bytecode_over_tree_geomean\": {:.3},",
+            geomean(engine_speedups.iter().copied())
+        );
+    }
     let _ = writeln!(
         json,
         "  \"speedup_geomean\": {:.3},",
@@ -266,11 +415,14 @@ fn main() {
 
     let metric_rows: Vec<ent_bench::metrics::Row> = samples
         .iter()
-        .map(|s| {
-            ent_bench::metrics::Row::new(&s.name)
-                .with("steps", s.steps as f64)
-                .with("steps_per_sec", s.steps_per_sec)
-                .with("wall_ms_per_run", s.wall_ms_per_run)
+        .flat_map(|s| {
+            s.by_engine.iter().map(|(engine, e)| {
+                ent_bench::metrics::Row::new(format!("{}/{}", s.name, engine.name()))
+                    .with("steps", s.steps as f64)
+                    .with("steps_per_sec", e.steps_per_sec)
+                    .with("wall_ms_per_run", e.wall_ms_per_run)
+                    .with("rsd_pct", e.rsd_pct)
+            })
         })
         .collect();
     match ent_bench::metrics::write_in(
@@ -281,6 +433,12 @@ fn main() {
     ) {
         Ok(p) => eprintln!("metrics written to {}", p.display()),
         Err(e) => eprintln!("could not write metrics json: {e}"),
+    }
+    if !engine_speedups.is_empty() {
+        eprintln!(
+            "bytecode over tree geomean: {:.2}x",
+            geomean(engine_speedups.iter().copied())
+        );
     }
     eprintln!(
         "steps/sec geomean: {:.0}   speedup vs baseline: {}",

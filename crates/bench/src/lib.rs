@@ -56,8 +56,9 @@ pub fn average_runs(repeats: usize, mut f: impl FnMut(u64) -> f64) -> f64 {
 }
 
 /// Command-line arguments shared by the figure binaries:
-/// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]`, where the
-/// positional value is the repeat count (the seed, for `fig11_e3_thermal`).
+/// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]
+/// [--engine tree|bytecode]`, where the positional value is the repeat
+/// count (the seed, for `fig11_e3_thermal`).
 #[derive(Clone, Debug)]
 pub struct GridArgs {
     /// The positional value (repeats or seed).
@@ -69,25 +70,43 @@ pub struct GridArgs {
     pub faults: Option<FaultPlan>,
     /// Seed for the fault injector's deterministic schedule.
     pub fault_seed: u64,
+    /// Engine from `--engine`; `None` when the flag is absent (the
+    /// process default — `ENT_ENGINE`, else bytecode — stays in force).
+    pub engine: Option<ent_runtime::Engine>,
 }
 
 /// Parses `std::env::args()` as
-/// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]`. The jobs
-/// default comes from the `ENT_JOBS` environment variable (else 1);
-/// figure output is bit-identical at every jobs count, so that flag only
-/// changes speed. A malformed `--faults` spec exits with status 1.
+/// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]
+/// [--engine tree|bytecode]`. The jobs default comes from the `ENT_JOBS`
+/// environment variable (else 1); figure output is bit-identical at every
+/// jobs count and under both engines, so those flags only change speed. A
+/// malformed `--faults` or `--engine` value exits with status 1.
+/// `--engine` is installed process-wide via
+/// [`ent_workloads::set_default_engine`], so every subsequently prepared
+/// program runs on the requested engine.
 pub fn parse_grid_args(default_value: u64) -> GridArgs {
     let mut parsed = GridArgs {
         value: default_value,
         jobs: ent_workloads::default_jobs(),
         faults: None,
         fault_seed: 0,
+        engine: None,
     };
     let mut args = std::env::args().skip(1);
     let set_faults = |spec: &str, parsed: &mut GridArgs| match FaultPlan::parse(spec) {
         Ok(plan) => parsed.faults = (!plan.is_noop()).then_some(plan),
         Err(e) => {
             eprintln!("invalid --faults spec: {e}");
+            std::process::exit(1);
+        }
+    };
+    let set_engine = |name: &str, parsed: &mut GridArgs| match ent_runtime::Engine::parse(name) {
+        Some(engine) => {
+            ent_workloads::set_default_engine(engine);
+            parsed.engine = Some(engine);
+        }
+        None => {
+            eprintln!("invalid --engine value {name:?} (expected tree or bytecode)");
             std::process::exit(1);
         }
     };
@@ -110,6 +129,12 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
             }
         } else if let Some(n) = a.strip_prefix("--fault-seed=").and_then(|v| v.parse().ok()) {
             parsed.fault_seed = n;
+        } else if a == "--engine" {
+            let name = args.next().unwrap_or_default();
+            set_engine(&name, &mut parsed);
+        } else if let Some(name) = a.strip_prefix("--engine=") {
+            let name = name.to_string();
+            set_engine(&name, &mut parsed);
         } else if let Ok(v) = a.parse() {
             parsed.value = v;
         }

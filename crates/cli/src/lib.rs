@@ -25,7 +25,7 @@ use std::fmt::Write as _;
 use ent_baselines::{check_energy_types, EnergyTypesResult};
 use ent_core::compile;
 use ent_energy::{FaultPlan, Platform};
-use ent_runtime::{lower_program, render_event, run, run_lowered, RuntimeConfig};
+use ent_runtime::{lower_program, render_event, run, run_lowered, Engine, RuntimeConfig};
 use ent_syntax::{parse_program, print_program};
 
 /// Exit code: success.
@@ -84,6 +84,9 @@ pub struct Options {
     /// How long a last-known-good sensor reading may be served after a
     /// fault before decisions degrade (`None` = the runtime default).
     pub staleness_bound: Option<f64>,
+    /// Engine from `--engine` (`None` = the runtime default: bytecode,
+    /// overridable via the `ENT_ENGINE` environment variable).
+    pub engine: Option<Engine>,
 }
 
 /// The CLI subcommands.
@@ -131,6 +134,9 @@ options:
                        seed replays the identical fault realization
   --staleness-bound <s> seconds a last-known-good sensor reading may be served
                        after a fault before decisions degrade (default: 5)
+  --engine <e>         method-body execution engine: bytecode (the register
+                       VM, default) or tree (the recursive evaluator); both
+                       produce bit-identical results (ENT_ENGINE env default)
 
 exit codes:
   0  success
@@ -178,6 +184,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         faults: None,
         fault_seed: 0,
         staleness_bound: None,
+        engine: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -247,6 +254,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 options.staleness_bound = Some(bound);
             }
+            "--engine" => {
+                let v = it
+                    .next()
+                    .ok_or("--engine needs a value (tree or bytecode)")?;
+                options.engine =
+                    Some(Engine::parse(v).ok_or_else(|| {
+                        format!("unknown engine `{v}` (expected tree or bytecode)")
+                    })?);
+            }
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
     }
@@ -274,6 +290,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
             let config = RuntimeConfig {
                 battery_level: options.battery,
                 seed: options.seed,
+                engine: options.engine.unwrap_or_default(),
                 ..RuntimeConfig::default()
             };
             let result = run(&compiled, Platform::system_a(), config);
@@ -362,6 +379,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 profile: options.profile,
                 faults: options.faults.clone(),
                 fault_seed: options.fault_seed,
+                engine: options.engine.unwrap_or_default(),
                 ..RuntimeConfig::default()
             };
             if let Some(limit) = options.events_limit {
@@ -670,6 +688,21 @@ mod tests {
         assert!(parse_args(&args(&["run", "x.ent", "--faults", "dropout=nope"])).is_err());
         assert!(parse_args(&args(&["run", "x.ent", "--staleness-bound", "-1"])).is_err());
         assert!(parse_args(&args(&["run", "x.ent", "--fault-seed"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_engine_flag_and_runs_agree() {
+        let o = parse_args(&args(&["run", "x.ent", "--engine", "tree"])).unwrap();
+        assert_eq!(o.engine, Some(Engine::Tree));
+        let o = parse_args(&args(&["run", "x.ent", "--engine", "bytecode"])).unwrap();
+        assert_eq!(o.engine, Some(Engine::Bytecode));
+        assert!(parse_args(&args(&["run", "x.ent", "--engine", "jit"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--engine"])).is_err());
+
+        // The flag must not change a single output byte.
+        let tree = parse_args(&args(&["run", "x.ent", "--engine", "tree"])).unwrap();
+        let vm = parse_args(&args(&["run", "x.ent", "--engine", "bytecode"])).unwrap();
+        assert_eq!(execute(&tree, HELLO), execute(&vm, HELLO));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! assert!(result.measurement.energy_j > 0.0);
 //! ```
 
+mod compile;
 mod error;
 mod events;
 pub mod formal;
@@ -53,7 +54,7 @@ mod value;
 
 pub use error::{Flow, RtError};
 pub use events::{render_event, EnergyEvent, EventPayload, EventRing, FaultServe};
-pub use interp::{run, run_lowered, RunResult, RunStats, RuntimeConfig};
+pub use interp::{run, run_lowered, Engine, RunResult, RunStats, RuntimeConfig};
 pub use lower::{lower_program, GMode, LoweredProgram};
 pub use profile::{Costs, MethodProfile, Profile};
 pub use stack::{default_stack_size, parse_stack_size, with_interp_stack, BUILTIN_STACK_SIZE};

@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use ent_core::CompiledProgram;
 use ent_modes::{Mode, ModeVar, StaticMode};
@@ -132,6 +132,10 @@ pub(crate) struct LMethod {
     /// Method-level `@mode<η>` override, if any.
     pub(crate) mode_override: Option<LOverride>,
     pub(crate) body: LExpr,
+    /// Lazily compiled bytecode for `body` (see [`crate::compile`]).
+    pub(crate) body_code: OnceLock<crate::compile::Code>,
+    /// Lazily compiled bytecode for `attributor`.
+    pub(crate) attr_code: OnceLock<crate::compile::Code>,
 }
 
 /// A vtable entry: the lowered method plus the environment projection from
@@ -149,6 +153,8 @@ pub(crate) struct InitJob {
     /// Projection onto the declaring class's mode parameters.
     pub(crate) env_map: Arc<[EnvSrc]>,
     pub(crate) body: LExpr,
+    /// Lazily compiled bytecode for `body`.
+    pub(crate) code: OnceLock<crate::compile::Code>,
 }
 
 /// The constructor protocol for a class: positional fields in chain order,
@@ -168,6 +174,8 @@ pub(crate) struct ClassAttributor {
     /// Whether the class has an internal mode parameter (slot 0) to bind
     /// to the snapshot-produced mode.
     pub(crate) has_internal: bool,
+    /// Lazily compiled bytecode for `body`.
+    pub(crate) code: OnceLock<crate::compile::Code>,
 }
 
 /// Instantiation when `new C(...)` is written without mode arguments.
@@ -199,7 +207,7 @@ pub(crate) struct ClassLayout {
 }
 
 /// How a `new` expression instantiates its class's mode parameters.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum NewPlan {
     /// `new C@mode<?, …>(…)`: untagged; `rest` binds parameter slots
     /// `1..=rest.len()` (already truncated to the parameter count, matching
@@ -214,7 +222,7 @@ pub(crate) enum NewPlan {
 }
 
 /// The target of a checked cast.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum CastCheck {
     /// A known class, checked against the subclass matrix.
     Class(u32),
@@ -369,6 +377,8 @@ pub struct LoweredProgram {
     /// `(class id, method id)` of `Main.main`, when `Main` declares it
     /// directly.
     pub(crate) main: Option<(u32, u32)>,
+    /// Inline-cache site-id counters for lazily compiled bytecode bodies.
+    pub(crate) ic: crate::compile::IcCounters,
 }
 
 impl LoweredProgram {
@@ -531,6 +541,7 @@ pub fn lower_program(compiled: &CompiledProgram) -> LoweredProgram {
         classes,
         subclass,
         main,
+        ic: crate::compile::IcCounters::default(),
     }
 }
 
@@ -702,6 +713,7 @@ impl Lowerer<'_> {
                         slot,
                         env_map,
                         body,
+                        code: OnceLock::new(),
                     });
                 } else {
                     positional.push((slot, f.name.clone()));
@@ -735,6 +747,7 @@ impl Lowerer<'_> {
         let attributor = decl.attributor.as_ref().map(|a| ClassAttributor {
             body: self.lower_expr_in(&class_params, &[], &a.body),
             has_internal: !decl.mode_params.bounds.is_empty(),
+            code: OnceLock::new(),
         });
 
         let default_new = if decl.mode_params.dynamic {
@@ -810,6 +823,8 @@ impl Lowerer<'_> {
             attributor,
             mode_override,
             body,
+            body_code: OnceLock::new(),
+            attr_code: OnceLock::new(),
         });
         self.method_cache.insert((owner, mid), Arc::clone(&method));
         method

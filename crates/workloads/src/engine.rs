@@ -48,7 +48,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ent_core::compile;
-use ent_runtime::{default_stack_size, with_interp_stack, LoweredProgram};
+use ent_runtime::{default_stack_size, with_interp_stack, Engine, LoweredProgram};
 
 /// The most distinct programs [`lowered_cached`] retains at once. Past the
 /// cap the oldest entry is evicted (insertion order); the figure suite
@@ -100,6 +100,38 @@ pub fn lowered_cached(name: &str, src: &str) -> Arc<LoweredProgram> {
     c.map.insert(src.to_string(), Arc::clone(&lowered));
     c.order.push_back(src.to_string());
     lowered
+}
+
+/// Process-wide engine override: 0 = unset, 1 = tree, 2 = bytecode.
+static ENGINE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Selects the evaluation engine every subsequently-prepared program runs
+/// on (harness binaries call this from their `--engine` flag before any
+/// grid work starts). Programs already prepared keep the engine they were
+/// prepared with.
+pub fn set_default_engine(engine: Engine) {
+    let tag = match engine {
+        Engine::Tree => 1,
+        Engine::Bytecode => 2,
+    };
+    ENGINE_OVERRIDE.store(tag, Ordering::Relaxed);
+}
+
+/// The engine newly-prepared programs run on: the [`set_default_engine`]
+/// override when one was installed, else the `ENT_ENGINE` environment
+/// variable (`tree` or `bytecode`), else the runtime default (bytecode).
+/// Bytecode compiled for a cached program is part of the shared
+/// `LoweredProgram`, so switching engines never recompiles anything.
+#[must_use]
+pub fn default_engine() -> Engine {
+    match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Engine::Tree,
+        2 => Engine::Bytecode,
+        _ => std::env::var("ENT_ENGINE")
+            .ok()
+            .and_then(|v| Engine::parse(v.trim()))
+            .unwrap_or_default(),
+    }
 }
 
 /// The default worker count for batch runs: the `ENT_JOBS` environment

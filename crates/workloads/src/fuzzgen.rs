@@ -1,0 +1,434 @@
+//! A seeded generator of well-typed ENT programs for differential engine
+//! testing.
+//!
+//! The bytecode VM (DESIGN.md §11) must be bit-identical to the tree
+//! walker in every observable. The golden suite pins that on hand-written
+//! programs; this module generates *random* ones so the differential
+//! harness (`tests/engine_differential.rs`, the `engine_fuzz` binary) can
+//! sweep program shapes nobody thought to write: deep expression trees,
+//! odd fusion patterns, mode-case arms feeding arithmetic, snapshots
+//! whose bounds sometimes fail, out-of-bounds indexing, uncaught energy
+//! exceptions.
+//!
+//! Programs are well-typed by construction — every generator tracks the
+//! static type of what it emits — so a differential failure always means
+//! an engine bug, never a generator bug. Some seeds intentionally produce
+//! programs whose *run* fails (array out of bounds, uncaught
+//! `EnergyException`): both engines must fail with byte-identical errors.
+//!
+//! Everything is driven by one splitmix64 stream per seed: the same seed
+//! always yields the same source text, on every platform.
+
+use std::fmt::Write as _;
+
+/// Deterministic splitmix64 stream (no external RNG dependencies).
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a stream. The seed goes through the splitmix64 finalizer
+    /// first: seeding with `seed * gamma` alone would make seed `k`'s
+    /// stream equal seed `0`'s stream shifted by `k` positions, so
+    /// consecutive seeds would explore almost identical programs.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng(z ^ (z >> 31))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `lo..hi` (half-open; `hi > lo`).
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+
+    /// True with probability `pct`/100.
+    fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+const MODES: [&str; 3] = ["energy_saver", "managed", "full_throttle"];
+const WORK_KINDS: [&str; 4] = ["cpu", "net", "io", "crypto"];
+const WORDS: [&str; 8] = [
+    "alpha", "beam", "core", "delta", "ember", "flux", "grid", "helix",
+];
+
+/// One generated scenario method: its source text and the call `main`
+/// makes to it. Most scenarios live on `App`; snapshot scenarios with
+/// constant mode bounds live on `Main`, whose (top) mode makes any bound
+/// waterfall-provable.
+struct Scenario {
+    body: String,
+    call: String,
+    /// Statements inlined into `main` that must define `t{I}` (the
+    /// literal `{I}` is replaced with the scenario index) instead of a
+    /// method call. Only `Main.main` itself boots under the top mode, so
+    /// constant-bound snapshots cannot live in helper methods.
+    main_inline: Option<String>,
+}
+
+/// Generates one well-typed ENT program from `seed`. Larger `size` grows
+/// the scenario count (the differential test uses the default 1).
+#[must_use]
+pub fn program(seed: u64) -> String {
+    let mut rng = Rng::new(seed);
+    let n_fields = rng.range(1, 4) as usize;
+    let fields: Vec<String> = (0..n_fields).map(|i| format!("q{i}")).collect();
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let n_rec = rng.range(1, 3);
+    for i in 0..n_rec {
+        scenarios.push(recursive_scenario(&mut rng, i, &fields));
+    }
+    scenarios.push(array_scenario(&mut rng, &fields));
+    scenarios.push(string_scenario(&mut rng, &fields));
+    scenarios.push(snapshot_scenario(&mut rng));
+    scenarios.push(main_snapshot_scenario(&mut rng));
+    scenarios.push(mcase_scenario(&mut rng, &fields));
+    if rng.chance(60) {
+        scenarios.push(math_scenario(&mut rng));
+    }
+
+    let mut app_body = String::new();
+    // Randomized battery attributor: thresholds descend, so the class mode
+    // tracks the configured battery level.
+    let hi = rng.range(60, 95);
+    let lo = rng.range(20, hi - 10);
+    let _ = write!(
+        app_body,
+        "  attributor {{
+    if (Ext.battery() >= 0.{hi}) {{ return full_throttle; }}
+    else if (Ext.battery() >= 0.{lo}) {{ return managed; }}
+    else {{ return energy_saver; }}
+  }}\n"
+    );
+    for f in &fields {
+        // Mode case literals must cover every declared mode.
+        let _ = writeln!(
+            app_body,
+            "  mcase<int> {f} = mcase{{ energy_saver: {}; managed: {}; full_throttle: {}; }};",
+            rng.range(0, 50),
+            rng.range(0, 50),
+            rng.range(0, 50)
+        );
+    }
+    for s in &scenarios {
+        app_body.push_str(&s.body);
+    }
+
+    let t2 = rng.range(20, 50);
+    let t1 = rng.range(5, t2 - 5);
+    let sum = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, _)| format!("t{i}"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let mut main_body = String::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        match &s.main_inline {
+            Some(stmts) => main_body.push_str(&stmts.replace("{I}", &i.to_string())),
+            None => {
+                let _ = writeln!(main_body, "    let t{i} = a.{};", s.call);
+            }
+        }
+    }
+
+    format!(
+        "modes {{ energy_saver <= managed; managed <= full_throttle; }}
+class Workload@mode<? <= W> {{
+  double items;
+  attributor {{
+    if (this.items >= {t2}.0) {{ return full_throttle; }}
+    else if (this.items >= {t1}.0) {{ return managed; }}
+    else {{ return energy_saver; }}
+  }}
+  double size() {{ return this.items; }}
+}}
+class App@mode<? <= X> {{
+{app_body}}}
+class Main {{
+  int main() {{
+    let dapp = new App();
+    let App a = snapshot dapp [_, _];
+{main_body}    let total = {sum};
+    IO.print(\"total=\" + Str.ofInt(total));
+    return total;
+  }}
+}}
+"
+    )
+}
+
+/// An int expression over the in-scope int variables (and mcase fields),
+/// depth-bounded. Division and remainder keep literal divisors, so the
+/// only runtime errors a generated program can hit are the ones a
+/// scenario opts into deliberately.
+fn int_expr(rng: &mut Rng, depth: u32, vars: &[&str], fields: &[String]) -> String {
+    if depth == 0 || rng.chance(30) {
+        return match rng.range(0, 4) {
+            0 if !vars.is_empty() => (*rng.pick(vars)).to_string(),
+            1 if !fields.is_empty() => {
+                format!("(this.{} <| {})", rng.pick(fields), rng.pick(&MODES))
+            }
+            _ => rng.range(0, 20).to_string(),
+        };
+    }
+    let a = int_expr(rng, depth - 1, vars, fields);
+    let b = int_expr(rng, depth - 1, vars, fields);
+    match rng.range(0, 7) {
+        0 => format!("({a} + {b})"),
+        1 => format!("({a} - {b})"),
+        2 => format!("({a} * {b})"),
+        3 => format!("({a} / {})", rng.range(2, 8)),
+        4 => format!("({a} % {})", rng.range(2, 8)),
+        5 => format!("Math.min({a}, {b})"),
+        _ => format!("Math.max({a}, {b})"),
+    }
+}
+
+/// A bool expression (comparisons over int expressions, connectives).
+fn bool_expr(rng: &mut Rng, depth: u32, vars: &[&str], fields: &[String]) -> String {
+    if depth == 0 || rng.chance(50) {
+        let a = int_expr(rng, 1, vars, fields);
+        let b = int_expr(rng, 1, vars, fields);
+        let cmp = rng.pick(&["<", "<=", ">", ">=", "==", "!="]);
+        return format!("({a} {cmp} {b})");
+    }
+    let a = bool_expr(rng, depth - 1, vars, fields);
+    let b = bool_expr(rng, depth - 1, vars, fields);
+    match rng.range(0, 3) {
+        0 => format!("({a} && {b})"),
+        1 => format!("({a} || {b})"),
+        _ => format!("!{a}"),
+    }
+}
+
+/// A recursion-driven loop: the workhorse shape (ENT iterates by
+/// recursion), with optional simulated work and a branch in the step.
+fn recursive_scenario(rng: &mut Rng, i: i64, fields: &[String]) -> Scenario {
+    let vars = ["n", "acc"];
+    let step = int_expr(rng, 2, &vars, fields);
+    let cond = bool_expr(rng, 1, &vars, fields);
+    let then_e = int_expr(rng, 1, &vars, fields);
+    let work = if rng.chance(50) {
+        format!(
+            "    Sim.work(\"{}\", {}.0);\n",
+            rng.pick(&WORK_KINDS),
+            rng.range(1000, 200_000)
+        )
+    } else {
+        String::new()
+    };
+    let body = format!(
+        "  int rec{i}(int n, int acc) {{
+    if (n <= 0) {{ return acc; }}
+{work}    if ({cond}) {{ return this.rec{i}(n - 1, {then_e}); }}
+    return this.rec{i}(n - 1, acc + {step});
+  }}\n"
+    );
+    let call = format!("rec{i}({}, {})", rng.range(4, 30), rng.range(0, 5));
+    Scenario {
+        body,
+        call,
+        main_inline: None,
+    }
+}
+
+/// Arrays end to end: range/push/concat/sub/make construction, a
+/// recursive indexed sum, and (on some seeds) a deliberate out-of-bounds
+/// read both engines must fail identically on.
+fn array_scenario(rng: &mut Rng, fields: &[String]) -> Scenario {
+    let lo = rng.range(0, 5);
+    let hi = lo + rng.range(5, 15);
+    let oob = rng.chance(10);
+    let index = if oob {
+        "Arr.len(zs) + 1".to_string()
+    } else {
+        "Arr.len(zs) - 1".to_string()
+    };
+    let weight = rng.range(1, 4);
+    let vars = ["i", "acc"];
+    let extra = int_expr(rng, 1, &vars, fields);
+    let body = format!(
+        "  int sumArr(int[] xs, int i, int acc) {{
+    if (i >= Arr.len(xs)) {{ return acc; }}
+    return this.sumArr(xs, i + 1, acc + Arr.get(xs, i) * {weight} + {extra});
+  }}
+  int arrays0() {{
+    let xs = Arr.range({lo}, {hi});
+    let ys = Arr.push(Arr.push(xs, {}), {});
+    let zs = Arr.concat(Arr.sub(ys, 1, 6), Arr.make({}, {}));
+    return this.sumArr(zs, 0, 0) + Arr.get(zs, {index});
+  }}\n",
+        rng.range(0, 99),
+        rng.range(0, 99),
+        rng.range(1, 5),
+        rng.range(0, 9),
+    );
+    Scenario {
+        body,
+        call: "arrays0()".to_string(),
+        main_inline: None,
+    }
+}
+
+/// Strings: literals, `Str.ofInt`/`ofDouble`, concatenation both ways,
+/// `sub`, `len`, and printing (exercises the output stream).
+fn string_scenario(rng: &mut Rng, fields: &[String]) -> Scenario {
+    let w1 = rng.pick(&WORDS);
+    let w2 = rng.pick(&WORDS);
+    let n = int_expr(rng, 1, &[], fields);
+    let d = format!("{}.{}", rng.range(0, 30), rng.range(0, 10));
+    let a = rng.range(0, 3);
+    let b = a + rng.range(1, 4);
+    let body = format!(
+        "  int strings0() {{
+    let s = \"{w1}\" + Str.ofInt({n});
+    let t = s + \"-{w2}-\" + Str.ofDouble({d});
+    IO.print(Str.sub(t, {a}, {b}));
+    return Str.len(s) * 10 + Str.len(Str.sub(t, 0, 4));
+  }}\n"
+    );
+    Scenario {
+        body,
+        call: "strings0()".to_string(),
+        main_inline: None,
+    }
+}
+
+/// A bounded snapshot inside `App`: the upper bound is App's own mode
+/// variable `X` (the only statically waterfall-provable bound from inside
+/// the class), so the check fails exactly when the workload's attributed
+/// mode exceeds the battery-derived mode — the paper's E1 shape.
+fn snapshot_scenario(rng: &mut Rng) -> Scenario {
+    let items = rng.range(1, 60);
+    let body = format!(
+        "  int snaps0() {{
+    let d = new Workload({items}.0);
+    try {{
+      let Workload w = snapshot d [_, X];
+      return Math.floor(w.size());
+    }} catch {{
+      return 0 - 1;
+    }}
+  }}\n"
+    );
+    Scenario {
+        body,
+        call: "snaps0()".to_string(),
+        main_inline: None,
+    }
+}
+
+/// A bounded snapshot inlined into `main` (the only method booted under
+/// the top mode, where any constant bound is waterfall-provable): most
+/// seeds catch the potential `EnergyException`, a few let it escape so
+/// error runs are compared too.
+fn main_snapshot_scenario(rng: &mut Rng) -> Scenario {
+    let items = rng.range(1, 60);
+    let bound = rng.pick(&["_", "energy_saver", "managed", "full_throttle"]);
+    let caught = rng.chance(85);
+    let stmts = if caught {
+        format!(
+            "    let d{{I}} = new Workload({items}.0);
+    let t{{I}} = try {{
+      let Workload w{{I}} = snapshot d{{I}} [_, {bound}];
+      Math.floor(w{{I}}.size())
+    }} catch {{
+      0 - 1
+    }};\n"
+        )
+    } else {
+        format!(
+            "    let d{{I}} = new Workload({items}.0);
+    let Workload w{{I}} = snapshot d{{I}} [_, {bound}];
+    let t{{I}} = Math.floor(w{{I}}.size());\n"
+        )
+    };
+    Scenario {
+        body: String::new(),
+        call: String::new(),
+        main_inline: Some(stmts),
+    }
+}
+
+/// Mode cases as first-class data: a local mcase literal plus field
+/// eliminations at every target, combined arithmetically.
+fn mcase_scenario(rng: &mut Rng, fields: &[String]) -> Scenario {
+    let local = format!(
+        "mcase{{ energy_saver: {}; managed: {}; full_throttle: {}; }}",
+        rng.range(0, 9),
+        rng.range(0, 9),
+        rng.range(0, 9)
+    );
+    let e1 = int_expr(rng, 2, &[], fields);
+    let target = rng.pick(&MODES);
+    let body = format!(
+        "  int cases0() {{
+    let mcase<int> c = {local};
+    let p = (c <| {target}) * 100 + (c <| energy_saver);
+    return p + {e1};
+  }}\n"
+    );
+    Scenario {
+        body,
+        call: "cases0()".to_string(),
+        main_inline: None,
+    }
+}
+
+/// Double arithmetic through the math namespace, floored back to int.
+fn math_scenario(rng: &mut Rng) -> Scenario {
+    let x = format!("{}.{}", rng.range(1, 40), rng.range(0, 10));
+    let y = format!("{}.{}", rng.range(1, 40), rng.range(0, 10));
+    let body = format!(
+        "  int maths0() {{
+    let x = Math.fmax({x} * Ext.battery(), {y});
+    let z = Math.sqrt(x) + Math.pow(x, 0.5) + Math.toDouble(Math.floor(x));
+    return Math.floor(z * 10.0) + Math.abs(Math.floor({y} - x));
+  }}\n"
+    );
+    Scenario {
+        body,
+        call: "maths0()".to_string(),
+        main_inline: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(program(7), program(7));
+        assert_ne!(program(7), program(8));
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..50 {
+            let src = program(seed);
+            if let Err(e) = ent_core::compile(&src) {
+                panic!(
+                    "seed {seed} generated a non-compiling program:\n{}\n{src}",
+                    e.render(&src)
+                );
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 mod apps;
 pub mod engine;
+pub mod fuzzgen;
 mod programs;
 mod runner;
 mod settings;
@@ -33,8 +34,8 @@ pub use apps::{
     pagerank, showcase_apps, soundrecorder, sunflow, video, xalan,
 };
 pub use engine::{
-    default_jobs, lowered_cached, resolve_jobs, run_batch, run_batch_outcomes, BatchPolicy,
-    JobError, LOWERED_CACHE_CAP,
+    default_engine, default_jobs, lowered_cached, resolve_jobs, run_batch, run_batch_outcomes,
+    set_default_engine, BatchPolicy, JobError, LOWERED_CACHE_CAP,
 };
 pub use programs::{e1_program, e2_program, e3_program, unit_scale, workload_duty_factor};
 pub use runner::{

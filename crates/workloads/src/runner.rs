@@ -16,9 +16,9 @@
 use std::sync::Arc;
 
 use ent_energy::{FaultPlan, Platform, PlatformKind};
-use ent_runtime::{run_lowered, LoweredProgram, RunResult, RuntimeConfig};
+use ent_runtime::{run_lowered, Engine, LoweredProgram, RunResult, RuntimeConfig};
 
-use crate::engine::lowered_cached;
+use crate::engine::{default_engine, lowered_cached};
 use crate::programs::{e1_program, e2_program, e3_program};
 use crate::settings::{battery_for_boot, BenchmarkSpec, E3Settings};
 
@@ -59,18 +59,37 @@ pub struct PreparedProgram {
     pub platform: Platform,
     /// The shared lowered program.
     pub lowered: Arc<LoweredProgram>,
+    /// The evaluation engine every run of this program uses (captured
+    /// from [`crate::default_engine`] at prepare time). Bytecode lives in
+    /// the shared `LoweredProgram`, compiled at most once per method no
+    /// matter how many runs, threads, or engines touch the program.
+    pub engine: Engine,
 }
 
 impl PreparedProgram {
     /// Runs one configuration on the prepared program's own platform.
     pub fn run(&self, config: RuntimeConfig) -> RunResult {
-        run_lowered(&self.lowered, self.platform.clone(), config)
+        self.run_on(self.platform.clone(), config)
     }
 
     /// Runs one configuration on an explicit platform (the Figure 6
-    /// overhead pair runs the tagged leg on the base platform).
+    /// overhead pair runs the tagged leg on the base platform). The
+    /// prepared engine overrides whatever the config carries, so every
+    /// `run_e*_prepared` entry point honors the harness `--engine` flag.
     pub fn run_on(&self, platform: Platform, config: RuntimeConfig) -> RunResult {
+        let config = RuntimeConfig {
+            engine: self.engine,
+            ..config
+        };
         run_lowered(&self.lowered, platform, config)
+    }
+
+    /// Returns the same prepared program pinned to an explicit engine
+    /// (the differential harness runs one program under both).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -114,6 +133,7 @@ pub fn prepare_e1(spec: &BenchmarkSpec, system: PlatformKind, workload: usize) -
         name: spec.name,
         lowered: lowered_cached(spec.name, &src),
         platform,
+        engine: default_engine(),
     }
 }
 
@@ -221,6 +241,7 @@ pub fn prepare_e2(spec: &BenchmarkSpec, system: PlatformKind, workload: usize) -
         name: spec.name,
         lowered: lowered_cached(spec.name, &src),
         platform,
+        engine: default_engine(),
     }
 }
 
@@ -262,6 +283,7 @@ pub fn prepare_e3(
         name: spec.name,
         lowered: lowered_cached(spec.name, &src),
         platform,
+        engine: default_engine(),
     }
 }
 

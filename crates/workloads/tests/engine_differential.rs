@@ -1,0 +1,149 @@
+//! Differential fuzzing between the tree-walking evaluator and the
+//! register-bytecode VM.
+//!
+//! Every seeded program from [`ent_workloads::fuzzgen`] is run under both
+//! engines across a small grid of battery levels and fault regimes, and
+//! the complete observable surface — result value (or error), pretty
+//! value, printed output, run statistics, energy/time bit patterns, and
+//! the rendered event stream — must match byte for byte.
+//!
+//! Iteration count defaults to 40 seeds and can be raised via the
+//! `ENT_FUZZ_ITERS` environment variable (the `engine_fuzz` bench binary
+//! exposes the same knob as `--fuzz-iters`).
+
+use ent_core::compile;
+use ent_energy::{FaultPlan, Platform};
+use ent_runtime::{lower_program, render_event, Engine, LoweredProgram, RunResult, RuntimeConfig};
+use ent_workloads::fuzzgen;
+
+fn fuzz_iters() -> u64 {
+    std::env::var("ENT_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(40)
+}
+
+/// Everything a run observably produces, in one comparable string.
+fn observe(prog: &LoweredProgram, r: &RunResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let value = match &r.value {
+        Ok(v) => format!("ok:{v:?}"),
+        Err(e) => format!("err:{e}"),
+    };
+    let s = &r.stats;
+    let _ = writeln!(out, "value={value}");
+    let _ = writeln!(out, "pretty={:?}", r.value_pretty);
+    let _ = writeln!(out, "stats={s:?}");
+    let _ = writeln!(
+        out,
+        "energy={:016x} time={:016x} peak_temp={:016x}",
+        r.measurement.energy_j.to_bits(),
+        r.measurement.time_s.to_bits(),
+        r.measurement.peak_temp_c.to_bits(),
+    );
+    for line in &r.output {
+        let _ = writeln!(out, "out|{line}");
+    }
+    let _ = writeln!(out, "events_dropped={}", r.events.dropped());
+    for ev in r.events.iter() {
+        let _ = writeln!(out, "ev|{}", render_event(prog, ev));
+    }
+    out
+}
+
+fn config(engine: Engine, battery: f64, faults: Option<FaultPlan>) -> RuntimeConfig {
+    RuntimeConfig {
+        engine,
+        battery_level: battery,
+        seed: 7,
+        record_events: true,
+        faults,
+        fault_seed: 11,
+        ..RuntimeConfig::default()
+    }
+}
+
+#[test]
+fn engines_agree_on_generated_programs() {
+    let iters = fuzz_iters();
+    let mut error_runs = 0u64;
+    for seed in 0..iters {
+        let src = fuzzgen::program(seed);
+        let compiled = compile(&src)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated program rejected: {e}\n{src}"));
+        let lowered = lower_program(&compiled);
+        for battery in [0.15, 0.55, 0.95] {
+            for faults in [None, Some(FaultPlan::chaos())] {
+                let tree = ent_runtime::run_lowered(
+                    &lowered,
+                    Platform::system_a(),
+                    config(Engine::Tree, battery, faults.clone()),
+                );
+                let vm = ent_runtime::run_lowered(
+                    &lowered,
+                    Platform::system_a(),
+                    config(Engine::Bytecode, battery, faults.clone()),
+                );
+                if tree.value.is_err() {
+                    error_runs += 1;
+                }
+                let (a, b) = (observe(&lowered, &tree), observe(&lowered, &vm));
+                assert_eq!(
+                    a,
+                    b,
+                    "engine divergence at seed {seed} battery {battery} faults {}\n\
+                     program:\n{src}",
+                    faults.is_some(),
+                );
+            }
+        }
+    }
+    // The generator injects out-of-bounds reads and uncaught energy
+    // exceptions at a low rate; with the default iteration count the
+    // error paths must actually be exercised, not just the happy path.
+    if iters >= 40 {
+        assert!(
+            error_runs > 0,
+            "fuzz corpus never exercised an error path — generator drifted"
+        );
+    }
+}
+
+/// Satellite 4: the per-method attribution profiler must see the same
+/// call tree (same folded stacks, same costs) regardless of engine.
+#[test]
+fn profiler_parity_on_recursive_workload() {
+    // Seeded generator programs always contain a recursive scenario;
+    // use a handful so the check is not hostage to one shape.
+    for seed in [0u64, 3, 9] {
+        let src = fuzzgen::program(seed);
+        let compiled = compile(&src).expect("generated program compiles");
+        let lowered = lower_program(&compiled);
+        let run = |engine| {
+            ent_runtime::run_lowered(
+                &lowered,
+                Platform::system_a(),
+                RuntimeConfig {
+                    engine,
+                    battery_level: 0.6,
+                    seed: 5,
+                    profile: true,
+                    ..RuntimeConfig::default()
+                },
+            )
+        };
+        let tree = run(Engine::Tree);
+        let vm = run(Engine::Bytecode);
+        let tree_folded = tree.profile.expect("tree profile").folded_stacks();
+        let vm_folded = vm.profile.expect("vm profile").folded_stacks();
+        assert_eq!(
+            tree_folded, vm_folded,
+            "folded stacks diverge between engines at seed {seed}"
+        );
+        assert!(
+            tree_folded.contains("Main.main"),
+            "profile must attribute to the call tree root"
+        );
+    }
+}
