@@ -1,0 +1,114 @@
+//! Lowered-program-cache contention microbenchmark: hot-lookup throughput
+//! under concurrent workers, exercising the lock-striped shards.
+//!
+//!   cargo run -p ent-bench --release --example cache_contention [threads...]
+//!
+//! Two access patterns bracket the cache's regimes:
+//!
+//! * `spread` — each lookup targets one of 64 distinct programs spread
+//!   across all [`ent_workloads::LOWERED_CACHE_SHARDS`] shards, the
+//!   fig-suite shape (many benchmarks × modes prepared concurrently).
+//!   Striping lets workers in different shards proceed in parallel; the
+//!   pre-sharding global mutex serialized every lookup.
+//! * `hammer` — every lookup hits the *same* program (one shard, maximal
+//!   contention), the worst case striping cannot help with; it bounds the
+//!   per-shard mutex cost.
+//!
+//! Numbers are wall-clock and machine-local; treat them as ratios across
+//! thread counts, not absolutes. On a single-core host the parallel runs
+//! measure lock overhead, not speedup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ent_workloads::{cache_shard_of, lowered_cache_stats, lowered_cached, LOWERED_CACHE_SHARDS};
+
+const LOOKUPS_PER_THREAD: u64 = 200_000;
+
+fn program_src(n: usize) -> String {
+    format!("class Main {{ int main() {{ return {n} + 1; }} }}")
+}
+
+/// 64 sources spread across every shard (8 per shard, found by probing).
+fn spread_sources() -> Vec<String> {
+    let mut per_shard = [0usize; LOWERED_CACHE_SHARDS];
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    while out.len() < 8 * LOWERED_CACHE_SHARDS {
+        let src = program_src(n);
+        let shard = cache_shard_of(&src);
+        if per_shard[shard] < 8 {
+            per_shard[shard] += 1;
+            out.push(src);
+        }
+        n += 1;
+    }
+    out
+}
+
+fn bench(label: &str, threads: usize, sources: &[String]) -> f64 {
+    // Warm the cache so the measured loop is pure lookup traffic.
+    for src in sources {
+        let _ = lowered_cached("contention", src);
+    }
+    let done = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let done = &done;
+            s.spawn(move || {
+                for i in 0..LOOKUPS_PER_THREAD {
+                    // Stride by a per-thread offset so threads walk the
+                    // source list out of phase.
+                    let src = &sources[(i as usize * 7 + t * 13) % sources.len()];
+                    let prog = lowered_cached("contention", src);
+                    std::hint::black_box(&prog);
+                }
+                done.fetch_add(LOOKUPS_PER_THREAD, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let rate = done.load(Ordering::Relaxed) as f64 / wall;
+    println!(
+        "{label:<8} {threads:>2} threads  {:>12.0} lookups/s  ({wall:.3}s)",
+        rate
+    );
+    rate
+}
+
+fn main() {
+    let threads: Vec<usize> = {
+        let requested: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if requested.is_empty() {
+            vec![1, 2, 4, 8]
+        } else {
+            requested
+        }
+    };
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "lowered-program cache contention ({} shards, host parallelism {host})\n",
+        LOWERED_CACHE_SHARDS
+    );
+    let spread = spread_sources();
+    let hammer = vec![program_src(0)];
+    let mut base_spread = None;
+    let mut base_hammer = None;
+    for &t in &threads {
+        let r = bench("spread", t, &spread);
+        let b = *base_spread.get_or_insert(r);
+        println!("{:>32}: {:.2}x vs 1 thread", "scaling", r / b);
+        let r = bench("hammer", t, &hammer);
+        let b = *base_hammer.get_or_insert(r);
+        println!("{:>32}: {:.2}x vs 1 thread\n", "scaling", r / b);
+    }
+    let stats = lowered_cache_stats();
+    println!(
+        "cache: {} hits, {} misses, {} evictions across {} shards (capacity {})",
+        stats.hits, stats.misses, stats.evictions, stats.shards, stats.capacity
+    );
+}

@@ -54,4 +54,8 @@ fn main() {
         Ok(path) => eprintln!("metrics written to {}", path.display()),
         Err(e) => eprintln!("could not write metrics json: {e}"),
     }
+    match metrics::write_sched("fig10_e2") {
+        Ok(path) => eprintln!("scheduler telemetry written to {}", path.display()),
+        Err(e) => eprintln!("could not write scheduler telemetry: {e}"),
+    }
 }

@@ -45,4 +45,8 @@ fn main() {
         Ok(path) => eprintln!("metrics written to {}", path.display()),
         Err(e) => eprintln!("could not write metrics json: {e}"),
     }
+    match metrics::write_sched("fig6_overhead") {
+        Ok(path) => eprintln!("scheduler telemetry written to {}", path.display()),
+        Err(e) => eprintln!("could not write scheduler telemetry: {e}"),
+    }
 }

@@ -44,6 +44,10 @@ fn main() {
         Ok(path) => eprintln!("metrics written to {}", path.display()),
         Err(e) => eprintln!("could not write metrics json: {e}"),
     }
+    match metrics::write_sched("fig8_e1_system_a") {
+        Ok(path) => eprintln!("scheduler telemetry written to {}", path.display()),
+        Err(e) => eprintln!("could not write scheduler telemetry: {e}"),
+    }
 }
 
 fn run_chaos(plan: &ent_energy::FaultPlan, fault_seed: u64, jobs: usize) {
@@ -88,6 +92,10 @@ fn run_chaos(plan: &ent_energy::FaultPlan, fault_seed: u64, jobs: usize) {
     match metrics::write("fig8_chaos", "fig8_chaos", &metric_rows) {
         Ok(path) => eprintln!("metrics written to {}", path.display()),
         Err(e) => eprintln!("could not write metrics json: {e}"),
+    }
+    match metrics::write_sched("fig8_chaos") {
+        Ok(path) => eprintln!("scheduler telemetry written to {}", path.display()),
+        Err(e) => eprintln!("could not write scheduler telemetry: {e}"),
     }
 }
 

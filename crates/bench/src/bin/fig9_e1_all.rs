@@ -42,4 +42,8 @@ fn main() {
         Ok(path) => eprintln!("metrics written to {}", path.display()),
         Err(e) => eprintln!("could not write metrics json: {e}"),
     }
+    match metrics::write_sched("fig9_e1_all") {
+        Ok(path) => eprintln!("scheduler telemetry written to {}", path.display()),
+        Err(e) => eprintln!("could not write scheduler telemetry: {e}"),
+    }
 }

@@ -57,8 +57,9 @@ pub fn average_runs(repeats: usize, mut f: impl FnMut(u64) -> f64) -> f64 {
 
 /// Command-line arguments shared by the figure binaries:
 /// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]
-/// [--engine tree|bytecode]`, where the positional value is the repeat
-/// count (the seed, for `fig11_e3_thermal`).
+/// [--engine tree|bytecode] [--adapt on|off|frozen] [--chunk N]`, where
+/// the positional value is the repeat count (the seed, for
+/// `fig11_e3_thermal`).
 #[derive(Clone, Debug)]
 pub struct GridArgs {
     /// The positional value (repeats or seed).
@@ -73,17 +74,25 @@ pub struct GridArgs {
     /// Engine from `--engine`; `None` when the flag is absent (the
     /// process default — `ENT_ENGINE`, else bytecode — stays in force).
     pub engine: Option<ent_runtime::Engine>,
+    /// Adaptation mode from `--adapt`; `None` when the flag is absent
+    /// (the `ENT_ADAPT` environment variable, else off, stays in force).
+    pub adapt: Option<ent_runtime::AdaptMode>,
+    /// Scheduler chunk pin from `--chunk`; `None` when the flag is absent
+    /// (the scheduler derives a chunk from the batch shape).
+    pub chunk: Option<u32>,
 }
 
 /// Parses `std::env::args()` as
 /// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]
-/// [--engine tree|bytecode]`. The jobs default comes from the `ENT_JOBS`
-/// environment variable (else 1); figure output is bit-identical at every
-/// jobs count and under both engines, so those flags only change speed. A
-/// malformed `--faults` or `--engine` value exits with status 1.
-/// `--engine` is installed process-wide via
-/// [`ent_workloads::set_default_engine`], so every subsequently prepared
-/// program runs on the requested engine.
+/// [--engine tree|bytecode] [--adapt on|off|frozen] [--chunk N]`. The
+/// jobs default comes from the `ENT_JOBS` environment variable (else 1);
+/// figure output is bit-identical at every jobs count, under both
+/// engines, at every chunk size, and in every adaptation mode, so those
+/// flags only change speed (and, for `--adapt`, telemetry stamps). A
+/// malformed `--faults`, `--engine`, or `--adapt` value exits with
+/// status 1. `--engine` is installed process-wide via
+/// [`ent_workloads::set_default_engine`]; `--adapt` and `--chunk` via
+/// [`ent_runtime::adapt::set_mode`] / [`ent_runtime::adapt::pin_chunk`].
 pub fn parse_grid_args(default_value: u64) -> GridArgs {
     let mut parsed = GridArgs {
         value: default_value,
@@ -91,6 +100,8 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
         faults: None,
         fault_seed: 0,
         engine: None,
+        adapt: None,
+        chunk: None,
     };
     let mut args = std::env::args().skip(1);
     let set_faults = |spec: &str, parsed: &mut GridArgs| match FaultPlan::parse(spec) {
@@ -109,6 +120,20 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
             eprintln!("invalid --engine value {name:?} (expected tree or bytecode)");
             std::process::exit(1);
         }
+    };
+    let set_adapt = |name: &str, parsed: &mut GridArgs| match ent_runtime::AdaptMode::parse(name) {
+        Some(mode) => {
+            ent_runtime::adapt::set_mode(mode);
+            parsed.adapt = Some(mode);
+        }
+        None => {
+            eprintln!("invalid --adapt value {name:?} (expected on, off, or frozen)");
+            std::process::exit(1);
+        }
+    };
+    let set_chunk = |n: u32, parsed: &mut GridArgs| {
+        ent_runtime::adapt::pin_chunk(n);
+        parsed.chunk = Some(n);
     };
     while let Some(a) = args.next() {
         if a == "--jobs" {
@@ -135,6 +160,18 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
         } else if let Some(name) = a.strip_prefix("--engine=") {
             let name = name.to_string();
             set_engine(&name, &mut parsed);
+        } else if a == "--adapt" {
+            let name = args.next().unwrap_or_default();
+            set_adapt(&name, &mut parsed);
+        } else if let Some(name) = a.strip_prefix("--adapt=") {
+            let name = name.to_string();
+            set_adapt(&name, &mut parsed);
+        } else if a == "--chunk" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                set_chunk(n, &mut parsed);
+            }
+        } else if let Some(n) = a.strip_prefix("--chunk=").and_then(|v| v.parse().ok()) {
+            set_chunk(n, &mut parsed);
         } else if let Ok(v) = a.parse() {
             parsed.value = v;
         }
@@ -749,6 +786,30 @@ pub mod metrics {
     pub fn write(stem: &str, suite: &str, rows: &[Row]) -> io::Result<PathBuf> {
         write_in(".", stem, suite, rows)
     }
+
+    /// Writes `<dir>/results/<stem>_sched.json`: the process-lifetime
+    /// scheduler and cache telemetry ([`ent_workloads::sched_totals`]) as
+    /// one `ent-batch-telemetry/1` document. Kept in a separate file from
+    /// the figure metrics because steal counts vary with `--jobs` and the
+    /// host's timing, while `results/<stem>.json` must stay byte-identical
+    /// at every jobs count (CI byte-diffs the figure outputs and excludes
+    /// `*_sched.json`). Atomic like [`write_in`].
+    pub fn write_sched_in(dir: impl AsRef<Path>, stem: &str) -> io::Result<PathBuf> {
+        let dir = dir.as_ref().join("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{stem}_sched.json"));
+        let tmp = dir.join(format!(".{stem}_sched.json.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, ent_workloads::sched_totals().to_json())?;
+        std::fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
+        Ok(path)
+    }
+
+    /// Writes `results/<stem>_sched.json` under the current directory.
+    pub fn write_sched(stem: &str) -> io::Result<PathBuf> {
+        write_sched_in(".", stem)
+    }
 }
 
 /// Renders a simple fixed-width text table.
@@ -1076,5 +1137,28 @@ mod tests {
         let s = sparkline(&[0.0, 0.5, 1.0], 0.0, 1.0);
         assert_eq!(s.chars().count(), 3);
         assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn write_sched_emits_valid_batch_telemetry() {
+        // Drive at least one batch so the totals are non-trivial, then
+        // check the emitted document's schema and required counters.
+        let _ = ent_workloads::run_batch(2, &[1u32, 2, 3, 4], |&n| n);
+        let dir = std::env::temp_dir().join(format!("ent-sched-test-{}", std::process::id()));
+        let path = metrics::write_sched_in(&dir, "unit").expect("write sched telemetry");
+        assert!(path.ends_with("results/unit_sched.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(ent_runtime::json_is_valid(&text), "{text}");
+        for needle in [
+            "\"schema\": \"ent-batch-telemetry/1\"",
+            "\"batches\":",
+            "\"steals\":",
+            "\"chunks_claimed\":",
+            "\"adapt\":",
+            "\"cache\":",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -87,6 +87,11 @@ pub struct Options {
     /// Engine from `--engine` (`None` = the runtime default: bytecode,
     /// overridable via the `ENT_ENGINE` environment variable).
     pub engine: Option<Engine>,
+    /// Adaptation mode from `--adapt` (`None` = the runtime default: off,
+    /// overridable via the `ENT_ADAPT` environment variable).
+    pub adapt: Option<ent_runtime::AdaptMode>,
+    /// Scheduler chunk pin from `--chunk` (`None` = derived per batch).
+    pub chunk: Option<u32>,
 }
 
 /// The CLI subcommands.
@@ -137,6 +142,13 @@ options:
   --engine <e>         method-body execution engine: bytecode (the register
                        VM, default) or tree (the recursive evaluator); both
                        produce bit-identical results (ENT_ENGINE env default)
+  --adapt <m>          online adaptive tuning: off (default), on (tune the
+                       scheduler/cache/engine from run telemetry; changes
+                       timing only, never values), or frozen (pin the current
+                       config generation for byte-stable telemetry stamps)
+                       (ENT_ADAPT env default)
+  --chunk <n>          pin the batch scheduler's owner-side chunk size (jobs
+                       claimed per grab); 0 or absent derives it per batch
 
 exit codes:
   0  success
@@ -185,6 +197,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         fault_seed: 0,
         staleness_bound: None,
         engine: None,
+        adapt: None,
+        chunk: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -263,6 +277,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                         format!("unknown engine `{v}` (expected tree or bytecode)")
                     })?);
             }
+            "--adapt" => {
+                let v = it
+                    .next()
+                    .ok_or("--adapt needs a value (on, off, or frozen)")?;
+                options.adapt = Some(ent_runtime::AdaptMode::parse(v).ok_or_else(|| {
+                    format!("unknown adapt mode `{v}` (expected on, off, or frozen)")
+                })?);
+            }
+            "--chunk" => {
+                let v = it.next().ok_or("--chunk needs a value")?;
+                options.chunk = Some(
+                    v.parse()
+                        .map_err(|_| format!("malformed chunk size `{v}`"))?,
+                );
+            }
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
     }
@@ -272,6 +301,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
 /// Runs the CLI against already-loaded source text, returning
 /// `(exit_code, output)`.
 pub fn execute(options: &Options, src: &str) -> (i32, String) {
+    // Install the adaptation knobs process-wide before any run: the run's
+    // telemetry stamps the mode and config generation it observed.
+    if let Some(mode) = options.adapt {
+        ent_runtime::adapt::set_mode(mode);
+    }
+    if let Some(chunk) = options.chunk {
+        ent_runtime::adapt::pin_chunk(chunk);
+    }
     let mut out = String::new();
     match options.command {
         Command::Eval => {
@@ -711,6 +748,8 @@ mod tests {
         assert!(USAGE.contains("--faults"));
         assert!(USAGE.contains("--fault-seed"));
         assert!(USAGE.contains("--staleness-bound"));
+        assert!(USAGE.contains("--adapt"));
+        assert!(USAGE.contains("--chunk"));
         for needle in [
             "0  success",
             "2  the program failed to parse",
@@ -718,5 +757,39 @@ mod tests {
         ] {
             assert!(USAGE.contains(needle), "usage missing: {needle}");
         }
+    }
+
+    #[test]
+    fn parse_args_adapt_and_chunk_flags() {
+        use ent_runtime::AdaptMode;
+        let o = parse_args(&args(&["run", "x.ent"])).unwrap();
+        assert_eq!(o.adapt, None);
+        assert_eq!(o.chunk, None);
+        let o = parse_args(&args(&[
+            "run", "x.ent", "--adapt", "frozen", "--chunk", "16",
+        ]))
+        .unwrap();
+        assert_eq!(o.adapt, Some(AdaptMode::Frozen));
+        assert_eq!(o.chunk, Some(16));
+        for mode in ["on", "off"] {
+            assert!(parse_args(&args(&["run", "x.ent", "--adapt", mode])).is_ok());
+        }
+        assert!(parse_args(&args(&["run", "x.ent", "--adapt", "warm"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--adapt"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--chunk", "lots"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--chunk"])).is_err());
+    }
+
+    #[test]
+    fn adapt_frozen_runs_are_byte_identical_and_stamp_telemetry() {
+        // `--adapt frozen` pins the config generation; two identical runs
+        // must agree byte for byte, and the telemetry must carry the
+        // adapt stamp. (No `--adapt on` leg here: mode is process-wide
+        // state and `on` would leak into parallel tests' telemetry.)
+        let o = parse_args(&args(&["run", "x.ent", "--adapt", "frozen"])).unwrap();
+        let a = execute(&o, HELLO);
+        let b = execute(&o, HELLO);
+        assert_eq!(a, b);
+        assert_eq!(a.0, EXIT_OK);
     }
 }

@@ -245,6 +245,13 @@ pub struct RunResult {
     /// The per-method attribution profile, when
     /// [`RuntimeConfig::profile`] was set.
     pub profile: Option<Profile>,
+    /// The adaptation mode in force when the run executed (see
+    /// [`crate::adapt`]); `frozen` pins [`RunResult::adapt_generation`].
+    pub adapt_mode: crate::adapt::AdaptMode,
+    /// The adaptive-config generation the run observed. Stable across
+    /// runs under `--adapt frozen`/`off`; advances as the tuner publishes
+    /// under `--adapt on`. Never affects values, stats, or measurements.
+    pub adapt_generation: u64,
 }
 
 /// Runs a compiled program's `Main.main()` on a simulated platform.
@@ -383,6 +390,8 @@ fn run_on_current_thread(
         samples,
         events: interp.events,
         profile,
+        adapt_mode: crate::adapt::mode(),
+        adapt_generation: crate::adapt::snapshot().0,
     }
 }
 

@@ -41,6 +41,7 @@
 //! assert!(result.measurement.energy_j > 0.0);
 //! ```
 
+pub mod adapt;
 mod compile;
 mod error;
 mod events;
@@ -52,6 +53,7 @@ mod stack;
 mod telemetry;
 mod value;
 
+pub use adapt::{AdaptConfig, AdaptMode, AtomicConfig};
 pub use error::{Flow, RtError};
 pub use events::{render_event, EnergyEvent, EventPayload, EventRing, FaultServe};
 pub use interp::{run, run_lowered, Engine, RunResult, RunStats, RuntimeConfig};

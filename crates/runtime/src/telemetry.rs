@@ -154,6 +154,13 @@ impl RunResult {
             self.events.capacity(),
         );
 
+        let _ = write!(
+            out,
+            ", \"adapt\": {{\"mode\": \"{}\", \"generation\": {}}}",
+            self.adapt_mode.as_str(),
+            self.adapt_generation,
+        );
+
         match &self.profile {
             Some(p) => {
                 let _ = write!(out, ", \"profile\": {}", p.to_json());

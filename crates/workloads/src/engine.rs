@@ -10,25 +10,47 @@
 //!   lowered once per distinct source and shared as
 //!   `Arc<LoweredProgram>` across every run, thread, and figure that
 //!   needs them (`LoweredProgram` is `Send + Sync`, asserted at compile
-//!   time in `ent-runtime`). The cache is bounded ([`LOWERED_CACHE_CAP`])
-//!   with insertion-order eviction, so long-lived processes sweeping many
-//!   generated programs cannot grow it without limit.
+//!   time in `ent-runtime`). The cache is lock-striped into
+//!   [`LOWERED_CACHE_SHARDS`] shards keyed by a hash of the source, so
+//!   concurrent workers preparing different programs never contend on one
+//!   global mutex; each shard keeps bounded insertion-order (FIFO)
+//!   eviction, so long-lived processes sweeping many generated programs
+//!   cannot grow it without limit.
 //! * **A batch executor** ([`run_batch_outcomes`] and the infallible
 //!   wrapper [`run_batch`]): enumerates jobs up front, fans them out
-//!   across `jobs` reusable big-stack workers, and returns per-job
-//!   outcomes in job order. A panicking job is caught at the job
-//!   boundary, optionally retried ([`BatchPolicy::retries`]), and
-//!   recorded as a [`JobError`] — the rest of the batch always completes.
+//!   across `jobs` reusable big-stack workers under a **work-stealing
+//!   scheduler**, and returns per-job outcomes in job order. A panicking
+//!   job is caught at the job boundary, optionally retried
+//!   ([`BatchPolicy::retries`]), and recorded as a [`JobError`] — the
+//!   rest of the batch always completes.
+//!
+//! # The work-stealing scheduler
+//!
+//! Jobs are known up front, so there is no shared injector queue to keep
+//! hot: the scheduler partitions `0..n` into one contiguous
+//! [`StealRange`] per worker (a single atomic word packing `(lo, hi)`).
+//! An **owner** claims [`chunk`-sized](ent_runtime::adapt::AdaptConfig)
+//! blocks from the front of its own range with a CAS; a **thief** whose
+//! range has drained takes the *back half* of a victim's remainder with a
+//! CAS on the same word, adopts the stolen block as its new range, and
+//! goes back to owner-side claiming — so stolen work is itself stealable,
+//! and a skewed job mix diffuses across workers instead of convoying
+//! behind the slowest range. Steals, stolen jobs, and owner grabs are
+//! counted ([`BatchTelemetry`]) and fed to the adaptive tuner
+//! ([`ent_runtime::adapt`]) which refines the chunk size between batches
+//! when `--adapt on`.
 //!
 //! # Determinism contract
 //!
-//! Parallel output is **bit-identical** to sequential output. The
-//! contract has two halves:
+//! Parallel output is **bit-identical** to sequential output at any
+//! worker count, under any steal schedule. The contract has two halves:
 //!
-//! * the engine's half: results come back in job order, each worker wraps
-//!   one [`ent_runtime::with_interp_stack`] frame around its whole job
-//!   loop (so scheduling never perturbs a run), and nothing about a run
-//!   depends on which worker picks it up;
+//! * the engine's half: every job index is claimed by exactly one worker
+//!   (front-claims and back-steals CAS the same range word, so the blocks
+//!   they remove are disjoint), results are tagged with their job index
+//!   and assembled in job order after the batch, each worker wraps one
+//!   [`ent_runtime::with_interp_stack`] frame around its whole loop, and
+//!   nothing about a run depends on which worker picks it up;
 //! * the caller's half: each job's behavior — in particular its RNG seed —
 //!   must derive from the job's *identity* (its position in the
 //!   enumerated grid), never from execution order or shared mutable
@@ -43,23 +65,103 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ent_core::compile;
+use ent_runtime::adapt;
 use ent_runtime::{default_stack_size, with_interp_stack, Engine, LoweredProgram};
 
-/// The most distinct programs [`lowered_cached`] retains at once. Past the
-/// cap the oldest entry is evicted (insertion order); the figure suite
-/// uses a few dozen programs, so eviction only fires for adversarial or
-/// very-long-lived callers.
+/// Lock stripes in the lowered-program cache. Sized for the workloads the
+/// harness actually runs: enough stripes that an 8-worker batch preparing
+/// distinct programs rarely collides, few enough that per-shard FIFO
+/// bounds stay meaningful.
+pub const LOWERED_CACHE_SHARDS: usize = 8;
+
+/// The most distinct programs the cache retains at once across all
+/// shards, by default (the adaptive tuner may raise it up to 4× under
+/// `--adapt on`; see [`ent_runtime::adapt::observe_cache`]). Past the
+/// per-shard bound the oldest entry in that shard is evicted (insertion
+/// order); the figure suite uses a few dozen programs, so eviction only
+/// fires for adversarial or very-long-lived callers.
 pub const LOWERED_CACHE_CAP: usize = 256;
 
-struct LoweredCache {
+struct Shard {
     map: HashMap<String, Arc<LoweredProgram>>,
     /// Keys in insertion order, oldest first.
     order: VecDeque<String>,
+}
+
+fn shards() -> &'static [Mutex<Shard>] {
+    static SHARDS: OnceLock<Vec<Mutex<Shard>>> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        (0..LOWERED_CACHE_SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                })
+            })
+            .collect()
+    })
+}
+
+/// FNV-1a over the source text; the shard key.
+fn source_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in src.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard a source string lives in (public for tests that need to
+/// construct same-shard or cross-shard key sets deliberately).
+#[must_use]
+pub fn cache_shard_of(src: &str) -> usize {
+    (source_hash(src) % LOWERED_CACHE_SHARDS as u64) as usize
+}
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time counters for the sharded lowered-program cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lock stripes ([`LOWERED_CACHE_SHARDS`]).
+    pub shards: u64,
+    /// Total capacity currently in force (default or adaptively raised).
+    pub capacity: u64,
+    /// Lookups served from a shard.
+    pub hits: u64,
+    /// Lookups that compiled fresh.
+    pub misses: u64,
+    /// Entries evicted to keep a shard under its bound.
+    pub evictions: u64,
+}
+
+/// Reads the cache counters (monotone since process start).
+#[must_use]
+pub fn lowered_cache_stats() -> CacheStats {
+    CacheStats {
+        shards: LOWERED_CACHE_SHARDS as u64,
+        capacity: cache_capacity() as u64,
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// The total cache capacity in force: the adaptive config's when it set
+/// one, else [`LOWERED_CACHE_CAP`].
+fn cache_capacity() -> usize {
+    match adapt::snapshot().1.cache_capacity {
+        0 => LOWERED_CACHE_CAP,
+        n => n as usize,
+    }
 }
 
 /// Compiles and lowers `src` once, returning the shared lowered program.
@@ -67,38 +169,48 @@ struct LoweredCache {
 ///
 /// The cache key is the source text itself, so "benchmark identity" is
 /// exact: two benchmark cells share a program if and only if they generate
-/// the same ENT source. `name` labels compile errors only. Entries past
-/// [`LOWERED_CACHE_CAP`] evict the oldest cached program; outstanding
-/// `Arc`s keep evicted programs alive, so eviction is invisible to
-/// callers except as a recompile on a later repeat.
+/// the same ENT source. `name` labels compile errors only. The map is
+/// lock-striped by source hash; compilation happens *outside* the shard
+/// lock, so a worker compiling a large program never blocks other workers'
+/// lookups in the same shard (two threads racing to compile the same new
+/// source may both compile it; the first insert wins and both share its
+/// `Arc` from then on). Entries past the per-shard bound evict that
+/// shard's oldest program; outstanding `Arc`s keep evicted programs
+/// alive, so eviction is invisible to callers except as a recompile on a
+/// later repeat.
 ///
 /// # Panics
 ///
 /// Panics if `src` does not compile — benchmark programs are generated,
 /// so a compile error is a harness bug, not a measurement.
 pub fn lowered_cached(name: &str, src: &str) -> Arc<LoweredProgram> {
-    static CACHE: OnceLock<Mutex<LoweredCache>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| {
-        Mutex::new(LoweredCache {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-        })
-    });
-    let mut c = cache.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(found) = c.map.get(src) {
-        return Arc::clone(found);
+    let shard = &shards()[cache_shard_of(src)];
+    {
+        let s = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(found) = s.map.get(src) {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
     }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     let compiled = compile(src)
         .unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile:\n{}", e.render(src)));
     let lowered = Arc::new(ent_runtime::lower_program(&compiled));
-    while c.map.len() >= LOWERED_CACHE_CAP {
-        let Some(oldest) = c.order.pop_front() else {
+    let per_shard = (cache_capacity() / LOWERED_CACHE_SHARDS).max(1);
+    let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(raced) = s.map.get(src) {
+        // Another worker compiled and inserted while we were compiling.
+        return Arc::clone(raced);
+    }
+    while s.map.len() >= per_shard {
+        let Some(oldest) = s.order.pop_front() else {
             break;
         };
-        c.map.remove(&oldest);
+        s.map.remove(&oldest);
+        CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
     }
-    c.map.insert(src.to_string(), Arc::clone(&lowered));
-    c.order.push_back(src.to_string());
+    s.map.insert(src.to_string(), Arc::clone(&lowered));
+    s.order.push_back(src.to_string());
     lowered
 }
 
@@ -119,9 +231,13 @@ pub fn set_default_engine(engine: Engine) {
 
 /// The engine newly-prepared programs run on: the [`set_default_engine`]
 /// override when one was installed, else the `ENT_ENGINE` environment
-/// variable (`tree` or `bytecode`), else the runtime default (bytecode).
-/// Bytecode compiled for a cached program is part of the shared
-/// `LoweredProgram`, so switching engines never recompiles anything.
+/// variable (`tree` or `bytecode`), else — under `--adapt on` — the
+/// adaptive tuner's preference when it has one, else the runtime default
+/// (bytecode). Engine choice is value-neutral (the differential harness
+/// proves both engines bit-identical), so the adaptive rung can only
+/// change timing. Bytecode compiled for a cached program is part of the
+/// shared `LoweredProgram`, so switching engines never recompiles
+/// anything.
 #[must_use]
 pub fn default_engine() -> Engine {
     match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
@@ -130,6 +246,7 @@ pub fn default_engine() -> Engine {
         _ => std::env::var("ENT_ENGINE")
             .ok()
             .and_then(|v| Engine::parse(v.trim()))
+            .or_else(adapt::preferred_engine)
             .unwrap_or_default(),
     }
 }
@@ -227,9 +344,227 @@ fn run_job<J, R>(
     })
 }
 
-/// Runs `f` over every job, fanning out across `jobs` big-stack workers,
-/// and returns per-job outcomes **in job order** regardless of which
-/// worker finished what when.
+/// A contiguous block of pending job indices, packed `(lo << 32) | hi`
+/// into one atomic word so owner front-claims and thief back-steals
+/// contend on a single CAS — a claim and a steal can never hand the same
+/// index to two workers, because both must succeed their CAS against the
+/// same observed value.
+struct StealRange(AtomicU64);
+
+fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl StealRange {
+    fn new(lo: u32, hi: u32) -> Self {
+        StealRange(AtomicU64::new(pack(lo, hi)))
+    }
+
+    /// Owner side: claims up to `n` jobs from the front, returning the
+    /// half-open claimed block.
+    fn claim_front(&self, n: u32) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let take = n.max(1).min(hi - lo);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(lo + take, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((lo, lo + take)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Thief side: steals the back half of the remainder (at least
+    /// `min_take`, never more than the remainder), returning the stolen
+    /// half-open block.
+    fn steal_back(&self, min_take: u32) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            let rem = hi.saturating_sub(lo);
+            if rem == 0 {
+                return None;
+            }
+            let take = (rem - rem / 2).max(min_take.max(1)).min(rem);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(lo, hi - take),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((hi - take, hi)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Owner side only, and only when the owner's range is empty: adopt a
+    /// stolen block as the new range. Sound because owners are the only
+    /// writers that *grow* a range, and the owner just observed its own
+    /// range empty (thieves only shrink).
+    fn adopt(&self, lo: u32, hi: u32) {
+        self.0.store(pack(lo, hi), Ordering::Release);
+    }
+}
+
+/// What the scheduler did for one batch (and, summed process-wide, for
+/// [`sched_totals`]). Counter semantics: a **steal** is one successful
+/// back-half transfer between workers; **stolen_jobs** is how many job
+/// indices those transfers moved; **chunks_claimed** is owner-side front
+/// grabs (including grabs from adopted stolen blocks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchTelemetry {
+    /// Jobs in the batch.
+    pub jobs: u64,
+    /// Workers the batch actually ran on (after clamping to batch size).
+    pub workers: u64,
+    /// The owner-side chunk size in force.
+    pub chunk: u64,
+    /// The thief-side minimum steal granularity in force.
+    pub steal_min: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Job indices moved by steals.
+    pub stolen_jobs: u64,
+    /// Owner-side chunk grabs.
+    pub chunks_claimed: u64,
+    /// The adaptive-config generation the batch was scheduled under.
+    pub adapt_generation: u64,
+}
+
+#[derive(Default)]
+struct SchedCounters {
+    steals: AtomicU64,
+    stolen_jobs: AtomicU64,
+    chunks_claimed: AtomicU64,
+}
+
+/// Process-lifetime scheduler totals (every batch summed), plus the cache
+/// counters — what the fig harnesses dump as `results/<stem>_sched.json`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedTotals {
+    /// Batches executed.
+    pub batches: u64,
+    /// Jobs across all batches.
+    pub jobs: u64,
+    /// Widest worker pool any batch used.
+    pub max_workers: u64,
+    /// Successful steals across all batches.
+    pub steals: u64,
+    /// Job indices moved by steals.
+    pub stolen_jobs: u64,
+    /// Owner-side chunk grabs.
+    pub chunks_claimed: u64,
+    /// The most recent batch's telemetry.
+    pub last: BatchTelemetry,
+    /// Cache counters at read time.
+    pub cache: CacheStats,
+}
+
+static TOTAL_BATCHES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_JOBS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MAX_WORKERS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_STEALS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_STOLEN_JOBS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_CHUNKS: AtomicU64 = AtomicU64::new(0);
+
+fn last_batch_cell() -> &'static Mutex<BatchTelemetry> {
+    static LAST: OnceLock<Mutex<BatchTelemetry>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(BatchTelemetry::default()))
+}
+
+fn record_batch(t: &BatchTelemetry) {
+    TOTAL_BATCHES.fetch_add(1, Ordering::Relaxed);
+    TOTAL_JOBS.fetch_add(t.jobs, Ordering::Relaxed);
+    TOTAL_MAX_WORKERS.fetch_max(t.workers, Ordering::Relaxed);
+    TOTAL_STEALS.fetch_add(t.steals, Ordering::Relaxed);
+    TOTAL_STOLEN_JOBS.fetch_add(t.stolen_jobs, Ordering::Relaxed);
+    TOTAL_CHUNKS.fetch_add(t.chunks_claimed, Ordering::Relaxed);
+    *last_batch_cell().lock().unwrap_or_else(|e| e.into_inner()) = *t;
+}
+
+/// Reads the process-lifetime scheduler totals.
+#[must_use]
+pub fn sched_totals() -> SchedTotals {
+    SchedTotals {
+        batches: TOTAL_BATCHES.load(Ordering::Relaxed),
+        jobs: TOTAL_JOBS.load(Ordering::Relaxed),
+        max_workers: TOTAL_MAX_WORKERS.load(Ordering::Relaxed),
+        steals: TOTAL_STEALS.load(Ordering::Relaxed),
+        stolen_jobs: TOTAL_STOLEN_JOBS.load(Ordering::Relaxed),
+        chunks_claimed: TOTAL_CHUNKS.load(Ordering::Relaxed),
+        last: *last_batch_cell().lock().unwrap_or_else(|e| e.into_inner()),
+        cache: lowered_cache_stats(),
+    }
+}
+
+impl SchedTotals {
+    /// Renders the totals as one `ent-batch-telemetry/1` JSON document
+    /// (hand-emitted; the workspace has no serde). Every field is a
+    /// counter or a fixed-vocabulary string, so no escaping is needed.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\": \"ent-batch-telemetry/1\", \
+             \"batches\": {}, \"jobs\": {}, \"max_workers\": {}, \
+             \"steals\": {}, \"stolen_jobs\": {}, \"chunks_claimed\": {}, \
+             \"last\": {{\"jobs\": {}, \"workers\": {}, \"chunk\": {}, \
+             \"steal_min\": {}, \"steals\": {}, \"stolen_jobs\": {}, \
+             \"chunks_claimed\": {}}}, \
+             \"adapt\": {{\"mode\": \"{}\", \"generation\": {}}}, \
+             \"cache\": {{\"shards\": {}, \"capacity\": {}, \"hits\": {}, \
+             \"misses\": {}, \"evictions\": {}}}}}",
+            self.batches,
+            self.jobs,
+            self.max_workers,
+            self.steals,
+            self.stolen_jobs,
+            self.chunks_claimed,
+            self.last.jobs,
+            self.last.workers,
+            self.last.chunk,
+            self.last.steal_min,
+            self.last.steals,
+            self.last.stolen_jobs,
+            self.last.chunks_claimed,
+            adapt::mode().as_str(),
+            adapt::snapshot().0,
+            self.cache.shards,
+            self.cache.capacity,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+        )
+    }
+}
+
+/// The owner-side chunk size for a batch: the adaptive config's pin when
+/// one is set, else `max(1, jobs / (workers * 8))` clamped to 64 — about
+/// eight grabs per worker on a balanced mix, fine enough that a skewed
+/// mix leaves blocks worth stealing.
+fn effective_chunk(cfg_chunk: u32, jobs: usize, workers: usize) -> u32 {
+    if cfg_chunk > 0 {
+        return cfg_chunk;
+    }
+    (jobs / (workers.max(1) * 8)).clamp(1, 64) as u32
+}
+
+/// Runs `f` over every job, fanning out across `jobs` big-stack workers
+/// under the work-stealing scheduler, and returns per-job outcomes **in
+/// job order** regardless of which worker finished what when — plus the
+/// batch's scheduler telemetry.
 ///
 /// Each attempt runs inside `catch_unwind` at the job boundary: a
 /// panicking or deadline-blown job becomes `Err(JobError)` for that slot
@@ -237,13 +572,138 @@ fn run_job<J, R>(
 /// index (0 for the first try) so retry-aware jobs can vary their
 /// behavior; deterministic callers ignore it.
 ///
-/// Workers pull job indices from a shared counter, so a slow job never
-/// convoys the whole batch behind it. Each worker executes inside a
-/// single [`with_interp_stack`] frame, so every `run_lowered` a job makes
-/// runs directly on the worker's (already big) stack — the pool reuses
-/// one spawned worker per thread, not one per run. With `jobs == 1` the
-/// batch runs sequentially on one such worker; under the module-level
-/// determinism contract the results are bit-identical either way.
+/// Each worker executes inside a single [`with_interp_stack`] frame, so
+/// every `run_lowered` a job makes runs directly on the worker's (already
+/// big) stack — the pool reuses one spawned worker per thread, not one
+/// per run. With `jobs == 1` the batch runs sequentially on one such
+/// worker; under the module-level determinism contract the results are
+/// bit-identical either way.
+pub fn run_batch_outcomes_with_telemetry<J, R, F>(
+    jobs: usize,
+    work: &[J],
+    policy: &BatchPolicy,
+    f: F,
+) -> (Vec<Result<R, JobError>>, BatchTelemetry)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J, u32) -> R + Sync,
+{
+    let stack_size = default_stack_size();
+    let workers = resolve_jobs(jobs).max(1).min(work.len().max(1));
+    let (generation, cfg) = adapt::snapshot();
+    let mut telemetry = BatchTelemetry {
+        jobs: work.len() as u64,
+        workers: workers as u64,
+        chunk: u64::from(effective_chunk(cfg.chunk, work.len(), workers)),
+        steal_min: u64::from(cfg.steal_min.max(1)),
+        adapt_generation: generation,
+        ..BatchTelemetry::default()
+    };
+    if workers == 1 {
+        let outcomes = with_interp_stack(stack_size, || {
+            work.iter().map(|job| run_job(job, policy, &f)).collect()
+        });
+        record_batch(&telemetry);
+        observe(&telemetry);
+        return (outcomes, telemetry);
+    }
+
+    let n = u32::try_from(work.len()).expect("batch too large for the range scheduler");
+    let chunk = telemetry.chunk as u32;
+    let steal_min = telemetry.steal_min as u32;
+    // Even contiguous partition: worker w owns [w*n/W, (w+1)*n/W).
+    let ranges: Vec<StealRange> = (0..workers)
+        .map(|w| {
+            let lo = (w as u64 * n as u64 / workers as u64) as u32;
+            let hi = ((w as u64 + 1) * n as u64 / workers as u64) as u32;
+            StealRange::new(lo, hi)
+        })
+        .collect();
+    let counters = SchedCounters::default();
+
+    let mut indexed: Vec<(usize, Result<R, JobError>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let ranges = &ranges;
+                let counters = &counters;
+                let f = &f;
+                s.spawn(move || {
+                    with_interp_stack(stack_size, || {
+                        let mut mine = Vec::new();
+                        'work: loop {
+                            // Owner side: drain our own range chunk by chunk.
+                            while let Some((a, b)) = ranges[w].claim_front(chunk) {
+                                counters.chunks_claimed.fetch_add(1, Ordering::Relaxed);
+                                for i in a..b {
+                                    let job = &work[i as usize];
+                                    mine.push((i as usize, run_job(job, policy, f)));
+                                }
+                            }
+                            // Thief side: adopt the back half of the first
+                            // victim with work left, then go back to
+                            // owner-side claiming (the adopted block is
+                            // itself stealable by others).
+                            for off in 1..workers {
+                                let victim = (w + off) % workers;
+                                if let Some((a, b)) = ranges[victim].steal_back(steal_min) {
+                                    counters.steals.fetch_add(1, Ordering::Relaxed);
+                                    counters
+                                        .stolen_jobs
+                                        .fetch_add(u64::from(b - a), Ordering::Relaxed);
+                                    ranges[w].adopt(a, b);
+                                    continue 'work;
+                                }
+                            }
+                            // Every range is empty: all indices are claimed
+                            // (by us or by workers still finishing theirs).
+                            break;
+                        }
+                        mine
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| {
+                // Job panics are caught inside `run_job`; a worker can only
+                // die from a harness bug outside any job boundary.
+                h.join().expect("batch worker died outside a job boundary")
+            })
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), work.len(), "every job claimed exactly once");
+
+    telemetry.steals = counters.steals.load(Ordering::Relaxed);
+    telemetry.stolen_jobs = counters.stolen_jobs.load(Ordering::Relaxed);
+    telemetry.chunks_claimed = counters.chunks_claimed.load(Ordering::Relaxed);
+    record_batch(&telemetry);
+    observe(&telemetry);
+    (indexed.into_iter().map(|(_, r)| r).collect(), telemetry)
+}
+
+/// Feeds one finished batch to the adaptive tuner (no-ops unless
+/// `--adapt on`).
+fn observe(t: &BatchTelemetry) {
+    adapt::observe_batch(&adapt::BatchObservation {
+        jobs: t.jobs,
+        workers: t.workers,
+        chunk: t.chunk,
+        steals: t.steals,
+        chunks_claimed: t.chunks_claimed,
+    });
+    let cache = lowered_cache_stats();
+    adapt::observe_cache(&adapt::CacheObservation {
+        hits: cache.hits,
+        misses: cache.misses,
+        evictions: cache.evictions,
+    });
+}
+
+/// [`run_batch_outcomes_with_telemetry`] minus the telemetry — the
+/// historical per-job-outcome entry point.
 pub fn run_batch_outcomes<J, R, F>(
     jobs: usize,
     work: &[J],
@@ -255,41 +715,7 @@ where
     R: Send,
     F: Fn(&J, u32) -> R + Sync,
 {
-    let stack_size = default_stack_size();
-    let workers = resolve_jobs(jobs).max(1).min(work.len().max(1));
-    if workers == 1 {
-        return with_interp_stack(stack_size, || {
-            work.iter().map(|job| run_job(job, policy, &f)).collect()
-        });
-    }
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, Result<R, JobError>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    with_interp_stack(stack_size, || {
-                        let mut mine = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(job) = work.get(i) else { break };
-                            mine.push((i, run_job(job, policy, &f)));
-                        }
-                        mine
-                    })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| {
-                // Job panics are caught inside `run_job`; a worker can only
-                // die from a harness bug outside any job.
-                h.join().expect("batch worker died outside a job boundary")
-            })
-            .collect()
-    });
-    indexed.sort_unstable_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    run_batch_outcomes_with_telemetry(jobs, work, policy, f).0
 }
 
 /// Infallible wrapper over [`run_batch_outcomes`] for callers whose jobs
@@ -346,6 +772,55 @@ mod tests {
         let none: Vec<u32> = Vec::new();
         assert!(run_batch(4, &none, |&n| n).is_empty());
         assert_eq!(run_batch(4, &[7u32], |&n| n + 1), vec![8]);
+    }
+
+    #[test]
+    fn steal_range_claims_and_steals_disjoint_blocks() {
+        let r = StealRange::new(0, 10);
+        assert_eq!(r.claim_front(3), Some((0, 3)));
+        // Remainder 3..10 (7 jobs); the thief takes the back ceil-half.
+        assert_eq!(r.steal_back(1), Some((6, 10)));
+        assert_eq!(r.claim_front(5), Some((3, 6)));
+        assert_eq!(r.claim_front(1), None);
+        assert_eq!(r.steal_back(1), None);
+
+        // min_take covers the whole remainder: the thief drains it.
+        let r = StealRange::new(4, 6);
+        assert_eq!(r.steal_back(8), Some((4, 6)));
+        assert_eq!(r.claim_front(1), None);
+    }
+
+    #[test]
+    fn skewed_batches_steal_and_stay_in_order() {
+        // Worker 0's range starts with slow jobs; with chunk 1 the other
+        // workers drain their ranges and then steal the slow tail. The
+        // telemetry must show steals, and the output must stay in job
+        // order with every index present exactly once.
+        let prev = adapt::snapshot().1.chunk;
+        adapt::pin_chunk(1);
+        let work: Vec<usize> = (0..48).collect();
+        let (outcomes, telemetry) =
+            run_batch_outcomes_with_telemetry(4, &work, &BatchPolicy::default(), |&n, _| {
+                if n < 6 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                n * 3
+            });
+        adapt::pin_chunk(prev);
+        assert_eq!(outcomes.len(), work.len());
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.as_ref().unwrap(), &(i * 3));
+        }
+        assert_eq!(telemetry.jobs, 48);
+        assert_eq!(telemetry.workers, 4);
+        assert!(
+            telemetry.steals > 0,
+            "skewed chunk-1 batch should steal: {telemetry:?}"
+        );
+        assert!(telemetry.stolen_jobs >= telemetry.steals);
+        // With chunk 1 every job is one owner-side grab (stolen blocks are
+        // re-claimed chunk by chunk after adoption).
+        assert_eq!(telemetry.chunks_claimed, 48);
     }
 
     #[test]
@@ -445,31 +920,76 @@ mod tests {
     #[test]
     fn cache_returns_the_same_program_for_the_same_source() {
         let src = "class Main { int main() { return 6 * 7; } }";
+        let before = lowered_cache_stats();
         let a = lowered_cached("unit-test", src);
         let b = lowered_cached("unit-test", src);
         assert!(Arc::ptr_eq(&a, &b));
+        let after = lowered_cache_stats();
+        assert!(after.hits > before.hits, "{before:?} -> {after:?}");
     }
 
     #[test]
-    fn cache_evicts_oldest_entries_past_the_cap() {
-        // Distinct trivial programs: fill the cache past the cap, then
-        // confirm the earliest entry was evicted (a repeat lookup compiles
-        // a fresh Arc) while a recent one is still shared.
+    fn cache_evicts_oldest_entries_in_shard_past_the_cap() {
+        // Fill the *first entry's shard* past its per-shard bound, then
+        // confirm the first entry was evicted (a repeat lookup compiles a
+        // fresh Arc) while a recent same-shard entry is still shared.
+        // Cross-shard entries never evict each other.
         let src_for = |n: usize| format!("class Main {{ int main() {{ return {n}; }} }}");
         let first_src = src_for(9_000_000);
+        let shard = cache_shard_of(&first_src);
         let first = lowered_cached("evict-test", &first_src);
-        for n in 0..LOWERED_CACHE_CAP {
-            let _ = lowered_cached("evict-test", &src_for(9_100_000 + n));
+        let per_shard = (LOWERED_CACHE_CAP / LOWERED_CACHE_SHARDS).max(1);
+        let mut same_shard = Vec::new();
+        let mut n = 9_100_000;
+        while same_shard.len() < per_shard {
+            let src = src_for(n);
+            if cache_shard_of(&src) == shard {
+                same_shard.push(src);
+            }
+            n += 1;
         }
-        let last_src = src_for(9_100_000 + LOWERED_CACHE_CAP - 1);
-        let last = lowered_cached("evict-test", &last_src);
-        let last_again = lowered_cached("evict-test", &last_src);
+        for src in &same_shard {
+            let _ = lowered_cached("evict-test", src);
+        }
+        let last_src = same_shard.last().unwrap();
+        let last = lowered_cached("evict-test", last_src);
+        let last_again = lowered_cached("evict-test", last_src);
         assert!(Arc::ptr_eq(&last, &last_again), "recent entry still cached");
         let first_again = lowered_cached("evict-test", &first_src);
         assert!(
             !Arc::ptr_eq(&first, &first_again),
-            "oldest entry should have been evicted"
+            "oldest same-shard entry should have been evicted"
         );
+        assert!(lowered_cache_stats().evictions > 0);
+    }
+
+    #[test]
+    fn sched_totals_render_valid_telemetry_json() {
+        let work: Vec<usize> = (0..16).collect();
+        let _ = run_batch(2, &work, |&n| n);
+        let totals = sched_totals();
+        assert!(totals.batches > 0);
+        assert!(totals.jobs >= 16);
+        let json = totals.to_json();
+        assert!(ent_runtime::json_is_valid(&json), "{json}");
+        for needle in [
+            "\"schema\": \"ent-batch-telemetry/1\"",
+            "\"steals\"",
+            "\"chunks_claimed\"",
+            "\"adapt\"",
+            "\"cache\"",
+            "\"shards\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn effective_chunk_pins_and_scales() {
+        assert_eq!(effective_chunk(17, 1000, 4), 17);
+        assert_eq!(effective_chunk(0, 8, 8), 1);
+        assert_eq!(effective_chunk(0, 64, 4), 2);
+        assert_eq!(effective_chunk(0, 1_000_000, 2), 64);
     }
 
     #[test]

@@ -34,8 +34,10 @@ pub use apps::{
     pagerank, showcase_apps, soundrecorder, sunflow, video, xalan,
 };
 pub use engine::{
-    default_engine, default_jobs, lowered_cached, resolve_jobs, run_batch, run_batch_outcomes,
-    set_default_engine, BatchPolicy, JobError, LOWERED_CACHE_CAP,
+    cache_shard_of, default_engine, default_jobs, lowered_cache_stats, lowered_cached,
+    resolve_jobs, run_batch, run_batch_outcomes, run_batch_outcomes_with_telemetry, sched_totals,
+    set_default_engine, BatchPolicy, BatchTelemetry, CacheStats, JobError, SchedTotals,
+    LOWERED_CACHE_CAP, LOWERED_CACHE_SHARDS,
 };
 pub use programs::{e1_program, e2_program, e3_program, unit_scale, workload_duty_factor};
 pub use runner::{

@@ -16,7 +16,8 @@
 use std::sync::Arc;
 
 use ent_energy::{FaultPlan, Platform, PlatformKind};
-use ent_runtime::{run_lowered, Engine, LoweredProgram, RunResult, RuntimeConfig};
+use ent_runtime::adapt;
+use ent_runtime::{run_lowered, AdaptMode, Engine, LoweredProgram, RunResult, RuntimeConfig};
 
 use crate::engine::{default_engine, lowered_cached};
 use crate::programs::{e1_program, e2_program, e3_program};
@@ -76,12 +77,25 @@ impl PreparedProgram {
     /// overhead pair runs the tagged leg on the base platform). The
     /// prepared engine overrides whatever the config carries, so every
     /// `run_e*_prepared` entry point honors the harness `--engine` flag.
+    ///
+    /// Under `--adapt on`, each run's wall time and step count feed the
+    /// tuner's per-engine timing model ([`adapt::observe_engine`]) —
+    /// value-neutral telemetry that can steer the engine choice of
+    /// *future* prepares, never the result of this run.
     pub fn run_on(&self, platform: Platform, config: RuntimeConfig) -> RunResult {
         let config = RuntimeConfig {
             engine: self.engine,
             ..config
         };
-        run_lowered(&self.lowered, platform, config)
+        if adapt::mode() == AdaptMode::On {
+            let started = std::time::Instant::now();
+            let result = run_lowered(&self.lowered, platform, config);
+            let wall = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            adapt::observe_engine(self.engine, result.stats.steps, wall);
+            result
+        } else {
+            run_lowered(&self.lowered, platform, config)
+        }
     }
 
     /// Returns the same prepared program pinned to an explicit engine
