@@ -138,7 +138,7 @@ fn measure(jobs: usize, engines: &[Engine]) -> Vec<Sample> {
             // the same thing as the plain run.
             let observed = rl(RuntimeConfig {
                 record_events: true,
-                profile: true,
+                profile: ent_runtime::ProfileMode::Exact,
                 ..config(engine)
             });
             assert_eq!(

@@ -9,7 +9,8 @@
 //!   platform, printing the program output, the result, and the energy
 //!   measurement. Options: `--platform a|b|c`, `--battery <0..1>`,
 //!   `--seed <n>`, `--silent`, `--trace`, `--events`, `--events-limit <n>`,
-//!   `--profile`, `--metrics-json <path>`, `--faults <spec>`,
+//!   `--profile [exact|sampled|off]`, `--sample-period <n>`,
+//!   `--sample-seed <n>`, `--metrics-json <path>`, `--faults <spec>`,
 //!   `--fault-seed <n>`, `--staleness-bound <s>`.
 //!
 //! Exit codes distinguish failure classes (see [`USAGE`]): 1 usage,
@@ -25,7 +26,9 @@ use std::fmt::Write as _;
 use ent_baselines::{check_energy_types, EnergyTypesResult};
 use ent_core::compile;
 use ent_energy::{FaultPlan, Platform};
-use ent_runtime::{lower_program, render_event, run, run_lowered, Engine, RuntimeConfig};
+use ent_runtime::{
+    lower_program, render_event, run, run_lowered, Engine, ProfileMode, RuntimeConfig,
+};
 use ent_syntax::{parse_program, print_program};
 
 /// Exit code: success.
@@ -67,8 +70,16 @@ pub struct Options {
     /// Ring-buffer capacity for event recording (`None` = the runtime
     /// default).
     pub events_limit: Option<usize>,
-    /// Collect and print the per-method energy attribution profile.
-    pub profile: bool,
+    /// Profiling mode from `--profile [exact|sampled|off]` (`None` =
+    /// the `ENT_PROFILE` env default, else off). A bare `--profile` is a
+    /// deprecated alias for `--profile exact`.
+    pub profile: Option<ProfileMode>,
+    /// Mean steps between stack samples, from `--sample-period`
+    /// (sampled mode only; `None` = the mode default, 256).
+    pub sample_period: Option<u64>,
+    /// Jitter seed for the sample schedule, from `--sample-seed`
+    /// (sampled mode only; `None` = 0).
+    pub sample_seed: Option<u64>,
     /// Write the machine-readable run telemetry JSON to this path.
     pub metrics_json: Option<String>,
     /// Apply the Energy Types (static-only) restriction in `check`.
@@ -126,7 +137,17 @@ options:
   --trace              print a temperature trace after the run
   --events             print the energy-event log (snapshots, modes, failures)
   --events-limit <n>   retain only the newest <n> events (ring buffer size)
-  --profile            print the per-method energy attribution profile
+  --profile [mode]     collect and print per-method energy attribution:
+                       exact (the shadow-call-tree ground truth), sampled
+                       (periodic stack sampling, ~zero overhead, estimates
+                       with 95% confidence intervals), or off; a bare
+                       --profile is a deprecated alias for --profile exact
+                       (ENT_PROFILE env default)
+  --sample-period <n>  sampled profile: mean steps between stack samples,
+                       at least 1 (default: 256; requires sampled mode)
+  --sample-seed <n>    sampled profile: seed for the jittered sample
+                       schedule; the same seed and period replay the
+                       identical samples (default: 0; requires sampled mode)
   --metrics-json <p>   write machine-readable run telemetry JSON to <p>
   --stack-size <n>     interpreter stack size in bytes, or with a k/m/g
                        suffix (default: 512m, or the ENT_STACK_SIZE env var)
@@ -167,7 +188,7 @@ exit codes:
 /// Returns a usage-style message for unknown commands or malformed
 /// options.
 pub fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     let command = match it.next().map(String::as_str) {
         Some("check") => Command::Check,
         Some("run") => Command::Run,
@@ -189,7 +210,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         trace: false,
         events: false,
         events_limit: None,
-        profile: false,
+        profile: None,
+        sample_period: None,
+        sample_seed: None,
         metrics_json: None,
         energy_types: false,
         stack_size: None,
@@ -229,7 +252,37 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| format!("malformed events limit `{v}`"))?,
                 );
             }
-            "--profile" => options.profile = true,
+            "--profile" => {
+                // Optional mode operand; a bare `--profile` (next token
+                // absent or another flag) is the deprecated exact alias.
+                options.profile = Some(match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let m = ProfileMode::parse(v).ok_or_else(|| {
+                            format!("unknown profile mode `{v}` (expected exact, sampled, or off)")
+                        })?;
+                        it.next();
+                        m
+                    }
+                    _ => ProfileMode::Exact,
+                });
+            }
+            "--sample-period" => {
+                let v = it.next().ok_or("--sample-period needs a value in steps")?;
+                let period: u64 = v
+                    .parse()
+                    .map_err(|_| format!("malformed sample period `{v}`"))?;
+                if period == 0 {
+                    return Err("sample period must be at least 1 step".to_string());
+                }
+                options.sample_period = Some(period);
+            }
+            "--sample-seed" => {
+                let v = it.next().ok_or("--sample-seed needs a value")?;
+                options.sample_seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("malformed sample seed `{v}`"))?,
+                );
+            }
             "--metrics-json" => {
                 let v = it.next().ok_or("--metrics-json needs a path")?;
                 options.metrics_json = Some(v.clone());
@@ -295,7 +348,32 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
     }
+    // The sampling knobs only mean something when a sampled profile is in
+    // force (the flag, or the ENT_PROFILE default).
+    if (options.sample_period.is_some() || options.sample_seed.is_some())
+        && !matches!(options.profile_mode(), ProfileMode::Sampled { .. })
+    {
+        return Err(
+            "--sample-period and --sample-seed require sampled profiling (--profile sampled)"
+                .to_string(),
+        );
+    }
     Ok(options)
+}
+
+impl Options {
+    /// The profiling mode in force: the `--profile` flag if given, else
+    /// the `ENT_PROFILE` environment default, with `--sample-period` /
+    /// `--sample-seed` folded into sampled mode.
+    pub fn profile_mode(&self) -> ProfileMode {
+        match self.profile.unwrap_or_else(ProfileMode::from_env) {
+            ProfileMode::Sampled { period, seed } => ProfileMode::Sampled {
+                period: self.sample_period.unwrap_or(period),
+                seed: self.sample_seed.unwrap_or(seed),
+            },
+            other => other,
+        }
+    }
 }
 
 /// Runs the CLI against already-loaded source text, returning
@@ -413,7 +491,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 seed: options.seed,
                 trace_interval_s: options.trace.then_some(1.0),
                 record_events: options.events || options.metrics_json.is_some(),
-                profile: options.profile,
+                profile: options.profile_mode(),
                 faults: options.faults.clone(),
                 fault_seed: options.fault_seed,
                 engine: options.engine.unwrap_or_default(),
@@ -491,12 +569,10 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                     let _ = writeln!(out, "  {}", render_event(&lowered, event));
                 }
             }
-            if options.profile {
-                if let Some(profile) = &result.profile {
-                    let _ = writeln!(out, "profile:");
-                    for line in profile.render_table().lines() {
-                        let _ = writeln!(out, "  {line}");
-                    }
+            if let Some(profile) = &result.profile {
+                let _ = writeln!(out, "profile:");
+                for line in profile.render_table().lines() {
+                    let _ = writeln!(out, "  {line}");
                 }
             }
             if let Some(path) = &options.metrics_json {
@@ -578,11 +654,67 @@ mod tests {
             "m.json",
         ]))
         .unwrap();
-        assert!(o.events && o.profile);
+        assert!(o.events);
+        // Bare `--profile` is the deprecated alias for exact profiling.
+        assert_eq!(o.profile, Some(ProfileMode::Exact));
+        assert_eq!(o.profile_mode(), ProfileMode::Exact);
         assert_eq!(o.events_limit, Some(64));
         assert_eq!(o.metrics_json.as_deref(), Some("m.json"));
         assert!(parse_args(&args(&["run", "x.ent", "--events-limit", "x"])).is_err());
         assert!(parse_args(&args(&["run", "x.ent", "--metrics-json"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_profile_modes() {
+        let o = parse_args(&args(&["run", "x.ent", "--profile", "exact"])).unwrap();
+        assert_eq!(o.profile, Some(ProfileMode::Exact));
+        let o = parse_args(&args(&["run", "x.ent", "--profile", "off"])).unwrap();
+        assert_eq!(o.profile, Some(ProfileMode::Off));
+        assert_eq!(o.profile_mode(), ProfileMode::Off);
+        let o = parse_args(&args(&["run", "x.ent", "--profile", "sampled"])).unwrap();
+        assert_eq!(o.profile, Some(ProfileMode::sampled_default()));
+        // Period and seed knobs fold into the resolved mode.
+        let o = parse_args(&args(&[
+            "run",
+            "x.ent",
+            "--profile",
+            "sampled",
+            "--sample-period",
+            "64",
+            "--sample-seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.profile_mode(),
+            ProfileMode::Sampled {
+                period: 64,
+                seed: 7
+            }
+        );
+        // A bare `--profile` followed by another flag still means exact.
+        let o = parse_args(&args(&["run", "x.ent", "--profile", "--events"])).unwrap();
+        assert_eq!(o.profile, Some(ProfileMode::Exact));
+        assert!(o.events);
+        // Invalid combinations are usage errors (exit code 1 in main).
+        assert!(parse_args(&args(&["run", "x.ent", "--profile", "fast"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--sample-period", "0"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--sample-period", "64"])).is_err());
+        assert!(parse_args(&args(&[
+            "run",
+            "x.ent",
+            "--profile",
+            "exact",
+            "--sample-seed",
+            "3"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn help_mentions_profile_deprecation() {
+        assert!(USAGE.contains("deprecated alias"));
+        assert!(USAGE.contains("--sample-period"));
     }
 
     #[test]

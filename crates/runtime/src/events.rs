@@ -5,9 +5,11 @@
 //!
 //! An [`EnergyEvent`] is a fixed-size `Copy` record: interned class,
 //! method, and mode ids plus the virtual timestamp — no strings, no
-//! per-event allocation. Events are recorded into a preallocated
-//! [`EventRing`], so the hot-path cost of recording is one branch plus a
-//! store; rendering the ids back to names is a separate pass
+//! per-event allocation. Events are recorded into a bounded [`EventRing`]
+//! whose storage grows on demand (amortized doubling up to the retention
+//! capacity — a run that records two events never pays for sixteen
+//! thousand slots), so the hot-path cost of recording is one branch plus
+//! a store; rendering the ids back to names is a separate pass
 //! ([`render_event`]) that resolves them through the lowered program's
 //! interners, losslessly reproducing the human-readable stream.
 
@@ -91,13 +93,18 @@ pub enum FaultServe {
     Conservative,
 }
 
-/// A preallocated ring buffer of [`EnergyEvent`]s.
+/// A bounded ring buffer of [`EnergyEvent`]s.
 ///
-/// The buffer is sized once (at [`crate::RuntimeConfig::events_capacity`])
-/// before the run starts; recording never allocates. When the buffer is
-/// full the oldest events are overwritten and counted in
-/// [`EventRing::dropped`], so a bounded window of the most recent events
-/// always survives arbitrarily long runs.
+/// The retention bound is fixed once (at
+/// [`crate::RuntimeConfig::events_capacity`]) but storage grows lazily:
+/// the buffer starts empty and doubles as events arrive, capping out at
+/// the bound. Sparse runs therefore pay only for the events they record —
+/// preallocating the whole window up front measurably perturbed profiled
+/// runs (the half-megabyte default allocation churned the allocator
+/// against the profiler's call-tree nodes). When the buffer is full the
+/// oldest events are overwritten and counted in [`EventRing::dropped`],
+/// so a bounded window of the most recent events always survives
+/// arbitrarily long runs.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct EventRing {
     buf: Vec<EnergyEvent>,
@@ -110,17 +117,19 @@ pub struct EventRing {
 }
 
 impl EventRing {
-    /// Creates a ring that retains at most `capacity` events.
+    /// Creates a ring that retains at most `capacity` events. Storage is
+    /// allocated on demand by [`EventRing::push`], not here.
     pub fn with_capacity(capacity: usize) -> Self {
         EventRing {
-            buf: Vec::with_capacity(capacity),
+            buf: Vec::new(),
             cap: capacity,
             head: 0,
             dropped: 0,
         }
     }
 
-    /// Records one event: a bounds check plus a store.
+    /// Records one event: a bounds check plus a store (amortized — the
+    /// backing storage doubles up to the retention bound as it fills).
     #[inline]
     pub(crate) fn push(&mut self, ev: EnergyEvent) {
         if self.buf.len() < self.cap {

@@ -50,7 +50,9 @@ use crate::lower::{
     lower_program, BOp, CastCheck, DefaultNew, EnvSrc, GMode, LExpr, LMethod, LMode, LOverride,
     LStmt, LoweredProgram, MDefault, MethodEntry, NewPlan,
 };
-use crate::profile::{Profile, Profiler};
+use crate::profile::{
+    AnyProfiler, Profile, ProfileMode, ProfileReport, SampledProfile, StackShadow,
+};
 use crate::value::{ObjRef, Value};
 
 /// Which evaluation engine executes method bodies.
@@ -127,9 +129,11 @@ pub struct RuntimeConfig {
     pub events_capacity: usize,
     /// Attribute steps, simulated energy/time, snapshots, copies, and
     /// check failures to the method call tree, reported as
-    /// [`RunResult::profile`]. Off by default; when off the interpreter
-    /// pays only a branch per step.
-    pub profile: bool,
+    /// [`RunResult::profile`]. Three-state: `Off` (default; the
+    /// interpreter pays only a branch per frame), `Exact` (the
+    /// shadow-call-tree ground truth), or `Sampled` (periodic stack
+    /// sampling with confidence intervals — see [`crate::SampledProfile`]).
+    pub profile: ProfileMode,
     /// Stack size, in bytes, of the worker thread the evaluator recurses
     /// on (deep-but-legitimate ENT recursion needs far more stack than a
     /// default thread provides). Defaults to
@@ -169,7 +173,7 @@ impl Default for RuntimeConfig {
             deep_copy: false,
             record_events: false,
             events_capacity: 16_384,
-            profile: false,
+            profile: ProfileMode::Off,
             stack_size: crate::stack::default_stack_size(),
             faults: None,
             fault_seed: 0,
@@ -242,9 +246,9 @@ pub struct RunResult {
     /// unless [`RuntimeConfig::record_events`] was set; render with
     /// [`crate::render_event`].
     pub events: EventRing,
-    /// The per-method attribution profile, when
-    /// [`RuntimeConfig::profile`] was set.
-    pub profile: Option<Profile>,
+    /// The per-method attribution report — exact or sampled, matching
+    /// [`RuntimeConfig::profile`] — when profiling was on.
+    pub profile: Option<ProfileReport>,
     /// The adaptation mode in force when the run executed (see
     /// [`crate::adapt`]); `frozen` pins [`RunResult::adapt_generation`].
     pub adapt_mode: crate::adapt::AdaptMode,
@@ -354,11 +358,7 @@ fn run_on_current_thread(
         } else {
             EventRing::default()
         },
-        profiler: if config.profile {
-            Some(Profiler::new())
-        } else {
-            None
-        },
+        profiler: AnyProfiler::new(config.profile),
         faults_on,
         last_good: [None; 2],
         degraded: false,
@@ -370,15 +370,26 @@ fn run_on_current_thread(
     };
     let value = interp.run_main();
     let value_pretty = value.as_ref().ok().map(|v| interp.render_deep(v, 0));
+    // Noise-free end-of-run totals for the profilers, read before
+    // `finish()` applies measurement noise to the whole-run figures.
+    let end_steps = interp.stats.steps;
+    let end_energy_j = interp.sim.energy_j();
+    let end_time_s = interp.sim.time_s();
     let measurement = interp.sim.finish();
     let samples = interp.sim.samples().to_vec();
     let trace = samples.iter().map(|p| (p.t_s, p.temp_c)).collect();
-    let total_steps = interp.stats.steps;
-    let profile = interp.profiler.as_mut().map(|p| {
-        // The tail of the run (after the last frame transition) belongs
-        // to whatever frame is still open — normally the root.
-        p.flush(total_steps);
-        Profile::build(p, prog)
+    let profile = interp.profiler.take().map(|mut p| {
+        p.on_finish(end_steps);
+        match p {
+            AnyProfiler::Exact(e) => ProfileReport::Exact(Profile::build(&e, prog)),
+            AnyProfiler::Sampled(s) => ProfileReport::Sampled(SampledProfile::build(
+                &s,
+                prog,
+                end_steps,
+                end_energy_j,
+                end_time_s,
+            )),
+        }
     });
     RunResult {
         value,
@@ -525,8 +536,9 @@ struct Interp<'p> {
     max_depth: usize,
     /// Structured event ring (only fed when `record_events` is on).
     events: EventRing,
-    /// The attribution profiler (only present when `profile` is on).
-    profiler: Option<Profiler>,
+    /// The attribution profiler — exact or sampled — when `profile` is
+    /// not `Off`.
+    profiler: Option<AnyProfiler>,
     /// Whether a (non-noop) fault injector is installed. When false,
     /// sensor reads take the historical direct path — one predictable
     /// branch, bit-identical behavior.
@@ -676,8 +688,10 @@ impl<'p> Interp<'p> {
     #[inline]
     fn advance_sim(&mut self, f: impl FnOnce(&mut EnergySim)) {
         match self.profiler.as_mut() {
-            None => f(&mut self.sim),
-            Some(p) => {
+            // The sampler reads the accumulators only at capture points,
+            // so only exact mode pays the delta bookkeeping.
+            None | Some(AnyProfiler::Sampled(_)) => f(&mut self.sim),
+            Some(AnyProfiler::Exact(p)) => {
                 let e0 = self.sim.energy_j();
                 let t0 = self.sim.time_s();
                 f(&mut self.sim);
@@ -737,8 +751,8 @@ impl<'p> Interp<'p> {
     }
 
     fn record_sensor_fault(&mut self, sensor: SensorKind, served: FaultServe) {
-        if let Some(p) = self.profiler.as_mut() {
-            p.own().sensor_faults += 1;
+        if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
+            c.sensor_faults += 1;
         }
         if self.config.record_events {
             self.events.push(EnergyEvent {
@@ -843,8 +857,8 @@ impl<'p> Interp<'p> {
             if self.config.tagging {
                 self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, TAG_OVERHEAD_OPS));
             }
-            if let Some(p) = self.profiler.as_mut() {
-                p.own().dynamic_allocs += 1;
+            if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
+                c.dynamic_allocs += 1;
             }
             if self.config.record_events {
                 self.events.push(EnergyEvent {
@@ -916,19 +930,25 @@ impl<'p> Interp<'p> {
             return Err(RtError::StackOverflow.into());
         }
         // The profiler frame opens before the attributor/dfall machinery in
-        // `invoke_inner`, so attribution charges those to the callee.
-        let now = self.stats.steps;
+        // `invoke_inner`, so attribution charges those to the callee. The
+        // step counter is read before the frame push/pop, so a pending
+        // sample interval lands on the frame that actually executed it —
+        // at identical `(stack, step)` points in both engines, since the
+        // bytecode tier's gas batching is exact at these boundaries.
         let entered = match self.profiler.as_mut() {
             Some(p) => {
-                p.enter(self.heap[recv].class, method, now);
+                p.on_enter(self.heap[recv].class, method, self.stats.steps);
                 true
             }
             None => false,
         };
         let result = self.invoke_inner(recv, method, args, mode_args, sender_mode, ic);
         if entered {
-            let now = self.stats.steps;
-            self.profiler.as_mut().expect("profiler stays on").exit(now);
+            let steps = self.stats.steps;
+            self.profiler
+                .as_mut()
+                .expect("profiler stays on")
+                .on_exit(steps);
         }
         self.depth -= 1;
         result
@@ -1065,8 +1085,8 @@ impl<'p> Interp<'p> {
                 if !prog.le(rm, sender_mode) {
                     self.stats.energy_exceptions += 1;
                     self.stats.dfall_failures += 1;
-                    if let Some(p) = self.profiler.as_mut() {
-                        p.own().dfall_failures += 1;
+                    if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
+                        c.dfall_failures += 1;
                     }
                     if self.config.record_events {
                         self.events.push(EnergyEvent {
@@ -1156,8 +1176,8 @@ impl<'p> Interp<'p> {
         if self.config.tagging {
             self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, SNAPSHOT_OVERHEAD_OPS));
         }
-        if let Some(p) = self.profiler.as_mut() {
-            p.own().snapshots += 1;
+        if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
+            c.snapshots += 1;
         }
         let class = self.heap[obj].class;
         let layout = &prog.classes[class as usize];
@@ -1250,8 +1270,8 @@ impl<'p> Interp<'p> {
         if failed {
             self.stats.energy_exceptions += 1;
             self.stats.snapshot_failures += 1;
-            if let Some(p) = self.profiler.as_mut() {
-                p.own().snapshot_failures += 1;
+            if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
+                c.snapshot_failures += 1;
             }
             if !self.config.silent {
                 return Err(RtError::EnergyException(format!(
@@ -1285,8 +1305,8 @@ impl<'p> Interp<'p> {
             if self.config.tagging {
                 self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS));
             }
-            if let Some(p) = self.profiler.as_mut() {
-                p.own().copies += 1;
+            if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
+                c.copies += 1;
             }
             self.heap[obj].snapshotted = true;
             let copy = if self.config.deep_copy {

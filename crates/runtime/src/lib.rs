@@ -58,7 +58,9 @@ pub use error::{Flow, RtError};
 pub use events::{render_event, EnergyEvent, EventPayload, EventRing, FaultServe};
 pub use interp::{run, run_lowered, Engine, RunResult, RunStats, RuntimeConfig};
 pub use lower::{lower_program, GMode, LoweredProgram};
-pub use profile::{Costs, MethodProfile, Profile};
+pub use profile::{
+    Costs, MethodProfile, Profile, ProfileMode, ProfileReport, SampledMethod, SampledProfile,
+};
 pub use stack::{default_stack_size, parse_stack_size, with_interp_stack, BUILTIN_STACK_SIZE};
 pub use telemetry::json_is_valid;
 pub use value::{ObjRef, RtMode, Value};

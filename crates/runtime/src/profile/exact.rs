@@ -1,8 +1,9 @@
-//! The per-method energy profiler: flamegraph-style attribution of
+//! The exact per-method energy profiler: flamegraph-style attribution of
 //! simulated energy, time, steps, snapshots, and dynamic-check outcomes
 //! on the virtual clock.
 //!
-//! When [`crate::RuntimeConfig::profile`] is set, the interpreter
+//! When [`crate::RuntimeConfig::profile`] is
+//! [`ProfileMode::Exact`](crate::ProfileMode::Exact), the interpreter
 //! maintains a shadow call-stack of `(class id, method id)` frames as a
 //! call *tree*: one node per distinct stack path, found or created on
 //! method entry. Every cost the interpreter observes — a simulator
@@ -27,46 +28,9 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use super::{key, Costs, StackShadow, ROOT_ID};
 use crate::lower::LoweredProgram;
 use crate::telemetry::{json_escape, json_f64};
-
-/// The metrics charged to one frame (tree node) or aggregated per method.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct Costs {
-    /// Abstract evaluation steps.
-    pub steps: u64,
-    /// Simulated energy, in joules (noise-free; noise is applied to the
-    /// whole-run measurement, not to attribution).
-    pub energy_j: f64,
-    /// Virtual time, in seconds.
-    pub time_s: f64,
-    /// Snapshot expressions evaluated.
-    pub snapshots: u64,
-    /// Physical snapshot copies.
-    pub copies: u64,
-    /// Snapshot checks that failed.
-    pub snapshot_failures: u64,
-    /// Dynamic waterfall checks that failed.
-    pub dfall_failures: u64,
-    /// Objects allocated with a dynamic mode.
-    pub dynamic_allocs: u64,
-    /// Sensor reads that came back faulted under fault injection.
-    pub sensor_faults: u64,
-}
-
-impl Costs {
-    fn add(&mut self, other: &Costs) {
-        self.steps += other.steps;
-        self.energy_j += other.energy_j;
-        self.time_s += other.time_s;
-        self.snapshots += other.snapshots;
-        self.copies += other.copies;
-        self.snapshot_failures += other.snapshot_failures;
-        self.dfall_failures += other.dfall_failures;
-        self.dynamic_allocs += other.dynamic_allocs;
-        self.sensor_faults += other.sensor_faults;
-    }
-}
 
 /// One node of the call tree: a distinct stack path.
 #[derive(Clone, Debug)]
@@ -84,10 +48,6 @@ struct PNode {
     cache_node: u32,
 }
 
-/// Sentinel class/method id for the root frame (program boot: `Main`
-/// allocation and anything outside a method body).
-const ROOT_ID: u32 = u32::MAX;
-
 /// Empty inline-cache sentinel: `key(ROOT_ID, ROOT_ID)`, which no real
 /// `(class, method)` pair produces (class ids are dense from 0).
 const EMPTY_CACHE: u64 = u64::MAX;
@@ -104,10 +64,6 @@ pub(crate) struct Profiler {
     cur: u32,
     /// Step counter at the last flush; steps accrue to `cur` lazily.
     steps_mark: u64,
-}
-
-fn key(class: u32, method: u32) -> u64 {
-    ((class as u64) << 32) | method as u64
 }
 
 impl Profiler {
@@ -209,6 +165,24 @@ impl Profiler {
     }
 }
 
+impl StackShadow for Profiler {
+    #[inline]
+    fn on_enter(&mut self, class: u32, method: u32, steps: u64) {
+        self.enter(class, method, steps);
+    }
+
+    #[inline]
+    fn on_exit(&mut self, steps: u64) {
+        self.exit(steps);
+    }
+
+    /// The tail of the run (after the last frame transition) belongs to
+    /// whatever frame is still open — normally the root.
+    fn on_finish(&mut self, steps: u64) {
+        self.flush(steps);
+    }
+}
+
 /// One row of the per-method attribution table, names resolved.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MethodProfile {
@@ -223,9 +197,9 @@ pub struct MethodProfile {
     pub inclusive: Costs,
 }
 
-/// The profiler's end-of-run report, exposed as
+/// The exact profiler's end-of-run report, exposed as
 /// [`crate::RunResult::profile`] when [`crate::RuntimeConfig::profile`]
-/// is set.
+/// is `Exact`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Profile {
     /// Per-method inclusive/exclusive attribution, sorted by descending
@@ -367,7 +341,7 @@ impl Profile {
     }
 
     /// Renders the attribution table as fixed-width text (the CLI's
-    /// `--profile` view).
+    /// `--profile exact` view).
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -402,7 +376,9 @@ impl Profile {
     }
 
     /// The profile as a JSON object (the `profile` key of
-    /// [`crate::RunResult::to_json`]).
+    /// [`crate::RunResult::to_json`]). This is the PR 2 schema,
+    /// unchanged: consumers of exact-mode telemetry see identical bytes
+    /// before and after the sampled mode existed.
     pub fn to_json(&self) -> String {
         let costs = |c: &Costs| -> String {
             format!(

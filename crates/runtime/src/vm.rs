@@ -48,6 +48,7 @@ use super::{Frame, Interp, RtTag};
 use crate::compile::{Code, Op, Opnd};
 use crate::error::{Flow, RtError};
 use crate::lower::{CastCheck, DefaultNew, GMode, MethodEntry, NewPlan};
+use crate::profile::AnyProfiler;
 use crate::value::Value;
 
 /// Unboxed arithmetic/comparison fast path: handles the `Int⊕Int` and
@@ -334,13 +335,21 @@ impl<'p> Interp<'p> {
                     // mode are provably unchanged), the receiver's tag
                     // makes the dfall check pass without side effects, no
                     // `try` handler is live in this frame (its slots would
-                    // be clobbered), and the profiler is off (it observes
-                    // every logical enter/exit). The stack guard still
-                    // counts the elided frame via `self.depth`.
+                    // be clobbered), and the *exact* profiler is not
+                    // installed — it charges costs to the innermost frame
+                    // as they happen, so it needs every logical
+                    // enter/exit. The sampler keeps elision on: the
+                    // consuming `Ret` is gasless, so no steps separate
+                    // the elided chain's end from its exit hook, and the
+                    // chain collapses to one run-length-encoded shadow
+                    // frame either way — per-path hit counts (the only
+                    // input to the sampled report) are identical with and
+                    // without elision. The stack guard still counts the
+                    // elided frame via `self.depth`.
                     'tail: {
                         if !site.this_recv
                             || !site.mode_args.is_empty()
-                            || self.profiler.is_some()
+                            || self.profiler.as_ref().is_some_and(AnyProfiler::is_exact)
                             || !tries.is_empty()
                         {
                             break 'tail;

@@ -83,7 +83,7 @@ fn configs() -> Vec<RuntimeConfig> {
         seed: 9,
         battery_level: 0.5,
         record_events: true,
-        profile: true,
+        profile: ent_runtime::ProfileMode::Exact,
         ..RuntimeConfig::default()
     });
     out.push(RuntimeConfig {
@@ -169,7 +169,7 @@ fn observability_results_are_complete_under_concurrency() {
         seed: 3,
         battery_level: 0.5,
         record_events: true,
-        profile: true,
+        profile: ent_runtime::ProfileMode::Exact,
         ..RuntimeConfig::default()
     };
     let reference = run_lowered(&prog, Platform::system_a(), config.clone());

@@ -15,8 +15,8 @@
 use ent_core::compile;
 use ent_energy::Platform;
 use ent_runtime::{
-    json_is_valid, lower_program, run_lowered, EventPayload, LoweredProgram, RunResult,
-    RuntimeConfig,
+    json_is_valid, lower_program, run_lowered, EventPayload, LoweredProgram, ProfileMode,
+    RunResult, RuntimeConfig,
 };
 
 /// A workload exercising every event kind and a recursive call tree:
@@ -75,7 +75,11 @@ fn config(events: bool, profile: bool) -> RuntimeConfig {
         battery_level: 0.9,
         seed: 42,
         record_events: events,
-        profile,
+        profile: if profile {
+            ProfileMode::Exact
+        } else {
+            ProfileMode::Off
+        },
         ..RuntimeConfig::default()
     }
 }
@@ -159,7 +163,8 @@ fn event_ring_retains_newest_and_counts_dropped() {
 fn profile_attribution_is_coherent() {
     let prog = lowered();
     let result = run_lowered(&prog, Platform::system_a(), config(false, true));
-    let profile = result.profile.expect("profile requested");
+    let report = result.profile.expect("profile requested");
+    let profile = report.as_exact().expect("exact-mode report");
 
     // Every method: inclusive ≥ exclusive on every metric.
     for m in &profile.methods {

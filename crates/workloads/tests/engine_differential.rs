@@ -128,7 +128,7 @@ fn profiler_parity_on_recursive_workload() {
                     engine,
                     battery_level: 0.6,
                     seed: 5,
-                    profile: true,
+                    profile: ent_runtime::ProfileMode::Exact,
                     ..RuntimeConfig::default()
                 },
             )
