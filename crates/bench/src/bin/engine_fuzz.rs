@@ -8,10 +8,12 @@
 //!
 //! Every seeded program from `ent_workloads::fuzzgen` is executed under
 //! both engines (tree walker and bytecode VM) across a grid of battery
-//! levels and fault regimes; any observable divergence — value, output,
-//! stats, energy/time bits, or the rendered event stream — aborts with
-//! the offending seed and program source. Exit status 0 means the corpus
-//! agreed everywhere.
+//! levels, fault regimes, and enforcement strategies; any observable
+//! divergence — value, output, stats, energy/time bits, or the rendered
+//! event stream — aborts with the offending seed and program source.
+//! Under transient the full-surface comparison subsumes the
+//! accept/reject verdict and the check counters. Exit status 0 means
+//! the corpus agreed everywhere.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -19,7 +21,8 @@ use std::time::Instant;
 use ent_core::compile;
 use ent_energy::{FaultPlan, Platform};
 use ent_runtime::{
-    lower_program, render_event, run_lowered, Engine, LoweredProgram, RunResult, RuntimeConfig,
+    lower_program, render_event, run_lowered, Enforcement, Engine, LoweredProgram, RunResult,
+    RuntimeConfig,
 };
 use ent_workloads::{fuzzgen, run_batch};
 
@@ -77,28 +80,32 @@ fn fuzz_seed(seed: u64) -> SeedReport {
     };
     for battery in BATTERIES {
         for faults in [None, Some(FaultPlan::chaos())] {
-            let config = |engine| RuntimeConfig {
-                engine,
-                battery_level: battery,
-                seed: 7,
-                record_events: true,
-                faults: faults.clone(),
-                fault_seed: 11,
-                ..RuntimeConfig::default()
-            };
-            let tree = run_lowered(&lowered, Platform::system_a(), config(Engine::Tree));
-            let vm = run_lowered(&lowered, Platform::system_a(), config(Engine::Bytecode));
-            report.runs += 1;
-            if tree.value.is_err() {
-                report.errors += 1;
-            }
-            let (a, b) = (observe(&lowered, &tree), observe(&lowered, &vm));
-            if a != b {
-                report.divergence = Some(format!(
-                    "seed {seed} battery {battery} faults {}:\n--- tree\n{a}\n--- bytecode\n{b}\n--- program\n{src}",
-                    faults.is_some()
-                ));
-                return report;
+            for enforcement in [Enforcement::Guarded, Enforcement::Transient] {
+                let config = |engine| RuntimeConfig {
+                    engine,
+                    enforcement,
+                    battery_level: battery,
+                    seed: 7,
+                    record_events: true,
+                    faults: faults.clone(),
+                    fault_seed: 11,
+                    ..RuntimeConfig::default()
+                };
+                let tree = run_lowered(&lowered, Platform::system_a(), config(Engine::Tree));
+                let vm = run_lowered(&lowered, Platform::system_a(), config(Engine::Bytecode));
+                report.runs += 1;
+                if tree.value.is_err() {
+                    report.errors += 1;
+                }
+                let (a, b) = (observe(&lowered, &tree), observe(&lowered, &vm));
+                if a != b {
+                    report.divergence = Some(format!(
+                        "seed {seed} battery {battery} faults {} enforce {}:\n--- tree\n{a}\n--- bytecode\n{b}\n--- program\n{src}",
+                        faults.is_some(),
+                        enforcement.name()
+                    ));
+                    return report;
+                }
             }
         }
     }

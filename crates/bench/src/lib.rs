@@ -57,9 +57,9 @@ pub fn average_runs(repeats: usize, mut f: impl FnMut(u64) -> f64) -> f64 {
 
 /// Command-line arguments shared by the figure binaries:
 /// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]
-/// [--engine tree|bytecode] [--adapt on|off|frozen] [--chunk N]`, where
-/// the positional value is the repeat count (the seed, for
-/// `fig11_e3_thermal`).
+/// [--engine tree|bytecode] [--enforce guarded|transient]
+/// [--adapt on|off|frozen] [--chunk N]`, where the positional value is
+/// the repeat count (the seed, for `fig11_e3_thermal`).
 #[derive(Clone, Debug)]
 pub struct GridArgs {
     /// The positional value (repeats or seed).
@@ -74,6 +74,10 @@ pub struct GridArgs {
     /// Engine from `--engine`; `None` when the flag is absent (the
     /// process default — `ENT_ENGINE`, else bytecode — stays in force).
     pub engine: Option<ent_runtime::Engine>,
+    /// Enforcement strategy from `--enforce`; `None` when the flag is
+    /// absent (the process default — `ENT_ENFORCE`, else guarded — stays
+    /// in force).
+    pub enforce: Option<ent_runtime::Enforcement>,
     /// Adaptation mode from `--adapt`; `None` when the flag is absent
     /// (the `ENT_ADAPT` environment variable, else off, stays in force).
     pub adapt: Option<ent_runtime::AdaptMode>,
@@ -84,15 +88,20 @@ pub struct GridArgs {
 
 /// Parses `std::env::args()` as
 /// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]
-/// [--engine tree|bytecode] [--adapt on|off|frozen] [--chunk N]`. The
+/// [--engine tree|bytecode] [--enforce guarded|transient]
+/// [--adapt on|off|frozen] [--chunk N]`. The
 /// jobs default comes from the `ENT_JOBS` environment variable (else 1);
 /// figure output is bit-identical at every jobs count, under both
 /// engines, at every chunk size, and in every adaptation mode, so those
-/// flags only change speed (and, for `--adapt`, telemetry stamps). A
-/// malformed `--faults`, `--engine`, or `--adapt` value exits with
-/// status 1. `--engine` is installed process-wide via
-/// [`ent_workloads::set_default_engine`]; `--adapt` and `--chunk` via
-/// [`ent_runtime::adapt::set_mode`] / [`ent_runtime::adapt::pin_chunk`].
+/// flags only change speed (and, for `--adapt`, telemetry stamps).
+/// `--enforce transient` changes which checks run, so it *does* change
+/// results — that's the point of the migration-lattice sweep. A
+/// malformed `--faults`, `--engine`, `--enforce`, or `--adapt` value
+/// exits with status 1. `--engine` and `--enforce` are installed
+/// process-wide via [`ent_workloads::set_default_engine`] /
+/// [`ent_workloads::set_default_enforcement`]; `--adapt` and `--chunk`
+/// via [`ent_runtime::adapt::set_mode`] /
+/// [`ent_runtime::adapt::pin_chunk`].
 pub fn parse_grid_args(default_value: u64) -> GridArgs {
     let mut parsed = GridArgs {
         value: default_value,
@@ -100,6 +109,7 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
         faults: None,
         fault_seed: 0,
         engine: None,
+        enforce: None,
         adapt: None,
         chunk: None,
     };
@@ -121,6 +131,17 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
             std::process::exit(1);
         }
     };
+    let set_enforce =
+        |name: &str, parsed: &mut GridArgs| match ent_runtime::Enforcement::parse(name) {
+            Some(enforcement) => {
+                ent_workloads::set_default_enforcement(enforcement);
+                parsed.enforce = Some(enforcement);
+            }
+            None => {
+                eprintln!("invalid --enforce value {name:?} (expected guarded or transient)");
+                std::process::exit(1);
+            }
+        };
     let set_adapt = |name: &str, parsed: &mut GridArgs| match ent_runtime::AdaptMode::parse(name) {
         Some(mode) => {
             ent_runtime::adapt::set_mode(mode);
@@ -160,6 +181,12 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
         } else if let Some(name) = a.strip_prefix("--engine=") {
             let name = name.to_string();
             set_engine(&name, &mut parsed);
+        } else if a == "--enforce" {
+            let name = args.next().unwrap_or_default();
+            set_enforce(&name, &mut parsed);
+        } else if let Some(name) = a.strip_prefix("--enforce=") {
+            let name = name.to_string();
+            set_enforce(&name, &mut parsed);
         } else if a == "--adapt" {
             let name = args.next().unwrap_or_default();
             set_adapt(&name, &mut parsed);
@@ -894,11 +921,21 @@ mod tests {
         // counters agree: every E1 violation enters as a snapshot-check
         // failure. Checked runs abort there (Corollary 1: no waterfall
         // failure can follow); silent runs keep going with the over-mode
-        // object, so they may additionally record dfall failures.
+        // object, so they may additionally record dfall failures. Under
+        // `ENT_ENFORCE=transient` the same violations raise, but blame
+        // lands in the transient counters, so the guarded split is empty.
+        let transient = matches!(
+            ent_workloads::default_enforcement(),
+            ent_runtime::Enforcement::Transient
+        );
         for r in &rows {
             assert_eq!(r.exception, r.workload > r.boot, "{r:?}");
-            assert_eq!(r.exception, r.snapshot_failures > 0, "{r:?}");
-            if !r.silent {
+            if transient {
+                assert_eq!(r.snapshot_failures, 0, "{r:?}");
+            } else {
+                assert_eq!(r.exception, r.snapshot_failures > 0, "{r:?}");
+            }
+            if !r.silent || transient {
                 assert_eq!(r.dfall_failures, 0, "{r:?}");
             }
         }
@@ -920,11 +957,18 @@ mod tests {
                     .1
             };
             // The collapsed flag and the split counters must agree in the
-            // rendered metrics exactly as they do in the figure rows.
+            // rendered metrics exactly as they do in the figure rows (the
+            // guarded split is empty when the process default is
+            // transient — blame lands in the transient counters instead).
             assert_eq!(get("exception"), if r.exception { 1.0 } else { 0.0 });
             assert_eq!(get("snapshot_failures"), r.snapshot_failures as f64);
             assert_eq!(get("dfall_failures"), r.dfall_failures as f64);
-            assert_eq!(get("exception") > 0.0, get("snapshot_failures") > 0.0);
+            if matches!(
+                ent_workloads::default_enforcement(),
+                ent_runtime::Enforcement::Guarded
+            ) {
+                assert_eq!(get("exception") > 0.0, get("snapshot_failures") > 0.0);
+            }
             if !r.silent {
                 assert_eq!(get("dfall_failures"), 0.0, "{}", m.name);
             }
@@ -949,8 +993,14 @@ mod tests {
             assert_eq!(get("snapshot_failures"), r.snapshot_failures as f64);
             assert_eq!(get("dfall_failures"), r.dfall_failures as f64);
             // Every fig9 cell is a violating combination, so the silent
-            // run it reports must have seen snapshot failures.
-            assert!(get("snapshot_failures") > 0.0, "{}", m.name);
+            // run it reports must have seen snapshot failures (guarded
+            // blame; under a transient default the counter stays zero).
+            if matches!(
+                ent_workloads::default_enforcement(),
+                ent_runtime::Enforcement::Guarded
+            ) {
+                assert!(get("snapshot_failures") > 0.0, "{}", m.name);
+            }
             assert_eq!(get("savings_pct"), r.savings_pct);
         }
     }

@@ -27,7 +27,7 @@ use ent_baselines::{check_energy_types, EnergyTypesResult};
 use ent_core::compile;
 use ent_energy::{FaultPlan, Platform};
 use ent_runtime::{
-    lower_program, render_event, run, run_lowered, Engine, ProfileMode, RuntimeConfig,
+    lower_program, render_event, run, run_lowered, Enforcement, Engine, ProfileMode, RuntimeConfig,
 };
 use ent_syntax::{parse_program, print_program};
 
@@ -98,6 +98,10 @@ pub struct Options {
     /// Engine from `--engine` (`None` = the runtime default: bytecode,
     /// overridable via the `ENT_ENGINE` environment variable).
     pub engine: Option<Engine>,
+    /// Enforcement strategy from `--enforce` (`None` = the runtime
+    /// default: guarded, overridable via the `ENT_ENFORCE` environment
+    /// variable).
+    pub enforce: Option<Enforcement>,
     /// Adaptation mode from `--adapt` (`None` = the runtime default: off,
     /// overridable via the `ENT_ADAPT` environment variable).
     pub adapt: Option<ent_runtime::AdaptMode>,
@@ -163,6 +167,11 @@ options:
   --engine <e>         method-body execution engine: bytecode (the register
                        VM, default) or tree (the recursive evaluator); both
                        produce bit-identical results (ENT_ENGINE env default)
+  --enforce <s>        mode-check enforcement strategy: guarded (deep snapshot
+                       boundaries + dynamic waterfall, the paper's semantics,
+                       default) or transient (shallow first-order checks at
+                       boundaries, call sites, and field reads; never copies;
+                       failures blame the check site) (ENT_ENFORCE env default)
   --adapt <m>          online adaptive tuning: off (default), on (tune the
                        scheduler/cache/engine from run telemetry; changes
                        timing only, never values), or frozen (pin the current
@@ -220,6 +229,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         fault_seed: 0,
         staleness_bound: None,
         engine: None,
+        enforce: None,
         adapt: None,
         chunk: None,
     };
@@ -329,6 +339,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some(Engine::parse(v).ok_or_else(|| {
                         format!("unknown engine `{v}` (expected tree or bytecode)")
                     })?);
+            }
+            "--enforce" => {
+                let v = it
+                    .next()
+                    .ok_or("--enforce needs a value (guarded or transient)")?;
+                options.enforce = Some(Enforcement::parse(v).ok_or_else(|| {
+                    format!("unknown enforcement `{v}` (expected guarded or transient)")
+                })?);
             }
             "--adapt" => {
                 let v = it
@@ -459,9 +477,10 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                     Ok(compiled) => {
                         let _ = writeln!(
                             out,
-                            "ok: {} classes, {} modes",
+                            "ok: {} classes, {} modes, {} runtime obligations",
                             compiled.program.classes.len(),
-                            compiled.program.mode_table.modes().len()
+                            compiled.program.mode_table.modes().len(),
+                            compiled.obligations.len()
                         );
                         (EXIT_OK, out)
                     }
@@ -495,6 +514,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 faults: options.faults.clone(),
                 fault_seed: options.fault_seed,
                 engine: options.engine.unwrap_or_default(),
+                enforcement: options.enforce.unwrap_or_else(Enforcement::from_env),
                 ..RuntimeConfig::default()
             };
             if let Some(limit) = options.events_limit {
@@ -875,11 +895,41 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_enforce_flag_and_guarded_matches_default() {
+        let o = parse_args(&args(&["run", "x.ent"])).unwrap();
+        assert_eq!(o.enforce, None);
+        let o = parse_args(&args(&["run", "x.ent", "--enforce", "guarded"])).unwrap();
+        assert_eq!(o.enforce, Some(Enforcement::Guarded));
+        let o = parse_args(&args(&["run", "x.ent", "--enforce", "transient"])).unwrap();
+        assert_eq!(o.enforce, Some(Enforcement::Transient));
+        assert!(parse_args(&args(&["run", "x.ent", "--enforce", "eager"])).is_err());
+        assert!(parse_args(&args(&["run", "x.ent", "--enforce"])).is_err());
+
+        // Explicit `--enforce guarded` is the default: byte-identical.
+        let default = parse_args(&args(&["run", "x.ent"])).unwrap();
+        let guarded = parse_args(&args(&["run", "x.ent", "--enforce", "guarded"])).unwrap();
+        assert_eq!(execute(&default, HELLO), execute(&guarded, HELLO));
+
+        // A program a transient run accepts agrees with guarded on output.
+        let transient = parse_args(&args(&["run", "x.ent", "--enforce", "transient"])).unwrap();
+        assert_eq!(execute(&transient, HELLO), execute(&guarded, HELLO));
+    }
+
+    #[test]
+    fn check_reports_runtime_obligations() {
+        let o = parse_args(&args(&["check", "x.ent"])).unwrap();
+        let (code, out) = execute(&o, HELLO);
+        assert_eq!(code, EXIT_OK);
+        assert!(out.contains("runtime obligations"), "output: {out}");
+    }
+
+    #[test]
     fn usage_documents_the_exit_codes_and_fault_flags() {
         assert!(USAGE.contains("exit codes:"));
         assert!(USAGE.contains("--faults"));
         assert!(USAGE.contains("--fault-seed"));
         assert!(USAGE.contains("--staleness-bound"));
+        assert!(USAGE.contains("--enforce"));
         assert!(USAGE.contains("--adapt"));
         assert!(USAGE.contains("--chunk"));
         for needle in [

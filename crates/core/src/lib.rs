@@ -54,4 +54,4 @@ mod typeck;
 pub use diag::{TypeError, TypeErrorKind};
 pub use pipeline::{compile, compile_unchecked, CompileError, CompiledProgram};
 pub use subtype::{ancestor_args, is_subtype, mode_eq_static};
-pub use typeck::typecheck;
+pub use typeck::{typecheck, typecheck_obligations, Obligation, ObligationKind};

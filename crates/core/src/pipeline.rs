@@ -7,7 +7,7 @@ use std::fmt;
 use ent_syntax::{parse_program, ClassTable, Program, SyntaxError, TableError};
 
 use crate::diag::TypeError;
-use crate::typeck::typecheck;
+use crate::typeck::{typecheck_obligations, Obligation};
 
 /// Everything that can go wrong while compiling an ENT program.
 #[derive(Clone, Debug)]
@@ -76,6 +76,10 @@ pub struct CompiledProgram {
     pub program: Program,
     /// Its validated class table.
     pub table: ClassTable,
+    /// The enforcement obligations the typechecker left for the runtime
+    /// (boundaries, call sites, field reads), in source order. Empty for
+    /// [`compile_unchecked`] programs, which skip classification entirely.
+    pub obligations: Vec<Obligation>,
 }
 
 /// Compiles ENT source text: parse, build the class table, typecheck.
@@ -108,8 +112,12 @@ pub struct CompiledProgram {
 pub fn compile(src: &str) -> Result<CompiledProgram, CompileError> {
     let program = parse_program(src)?;
     let table = ClassTable::new(&program)?;
-    typecheck(&program, &table).map_err(CompileError::Type)?;
-    Ok(CompiledProgram { program, table })
+    let obligations = typecheck_obligations(&program, &table).map_err(CompileError::Type)?;
+    Ok(CompiledProgram {
+        program,
+        table,
+        obligations,
+    })
 }
 
 /// Parses and builds the class table *without* typechecking — used by the
@@ -122,7 +130,11 @@ pub fn compile(src: &str) -> Result<CompiledProgram, CompileError> {
 pub fn compile_unchecked(src: &str) -> Result<CompiledProgram, CompileError> {
     let program = parse_program(src)?;
     let table = ClassTable::new(&program)?;
-    Ok(CompiledProgram { program, table })
+    Ok(CompiledProgram {
+        program,
+        table,
+        obligations: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -174,6 +186,40 @@ mod tests {
             }
             other => panic!("expected type errors, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn compile_collects_enforcement_obligations() {
+        use crate::typeck::ObligationKind;
+        let src = "modes { low <= high; }
+            class Probe@mode<? <= P> {
+              attributor { return low; }
+              int reading;
+              int poll() { return this.reading; }
+            }
+            class Main {
+              int main() {
+                let d = new Probe(7);
+                let p = snapshot d [low, high];
+                return p.poll();
+              }
+            }";
+        let compiled = compile(src).unwrap();
+        let kinds: Vec<ObligationKind> = compiled.obligations.iter().map(|o| o.kind).collect();
+        // `this.reading` is a field read, the snapshot is a boundary, and
+        // `p.poll()` is a call site — all owed to the runtime.
+        assert!(kinds.contains(&ObligationKind::FieldRead));
+        assert!(kinds.contains(&ObligationKind::Boundary));
+        assert!(kinds.contains(&ObligationKind::CallSite));
+        let snap = compiled
+            .obligations
+            .iter()
+            .find(|o| o.kind == ObligationKind::Boundary)
+            .unwrap();
+        assert_eq!(snap.class, "Probe");
+        assert_eq!(snap.member, "snapshot");
+        // `compile_unchecked` performs no classification at all.
+        assert!(compile_unchecked(src).unwrap().obligations.is_empty());
     }
 
     #[test]

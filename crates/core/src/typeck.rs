@@ -24,6 +24,58 @@ use ent_syntax::{
 use crate::diag::{TypeError, TypeErrorKind};
 use crate::subtype::{ancestor_args, is_subtype};
 
+/// What the runtime must enforce at one program point. The typechecker
+/// discharges what it can statically; each site it cannot fully decide —
+/// the internal/external boundary of the mixed system — is emitted as an
+/// explicit obligation instead of implying any particular enforcement
+/// strategy. The runtime's `Enforcement` seam decides *how* each kind is
+/// discharged: the guarded strategy checks boundaries deeply (snapshot
+/// attributor + bounds + lazy copy) and call sites via the dynamic
+/// waterfall; the transient strategy performs shallow first-order checks
+/// at all three kinds, including field reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObligationKind {
+    /// A `snapshot e [lo, hi]` boundary: the attributed mode must land
+    /// inside the declared bounds before the dynamic object crosses into
+    /// statically-moded code.
+    Boundary,
+    /// A message send: the receiver-side mode must be at or below the
+    /// sender's closure mode (the waterfall invariant, re-checked
+    /// dynamically because attributors and opened existentials are
+    /// runtime-bound).
+    CallSite,
+    /// A field read on an object: statically safe under the guarded
+    /// strategy (the typechecker forbids reads through dynamic views), a
+    /// shallow tag check under the transient strategy.
+    FieldRead,
+}
+
+impl ObligationKind {
+    /// The CLI/telemetry-facing name of this obligation kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObligationKind::Boundary => "boundary",
+            ObligationKind::CallSite => "call-site",
+            ObligationKind::FieldRead => "field-read",
+        }
+    }
+}
+
+/// One enforcement obligation: a program point the runtime must check,
+/// with enough provenance (class, member, span) to blame the site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Obligation {
+    /// Which check the runtime owes at this point.
+    pub kind: ObligationKind,
+    /// The class the checked object belongs to.
+    pub class: String,
+    /// The member involved: the invoked method, the read field, or
+    /// `"snapshot"` for a boundary.
+    pub member: String,
+    /// The source location of the check site (for blame).
+    pub span: Span,
+}
+
 /// Typechecks a whole program against its class table.
 ///
 /// # Errors
@@ -45,17 +97,31 @@ use crate::subtype::{ancestor_args, is_subtype};
 /// assert!(typecheck(&p, &table).is_ok());
 /// ```
 pub fn typecheck(program: &Program, table: &ClassTable) -> Result<(), Vec<TypeError>> {
+    typecheck_obligations(program, table).map(|_| ())
+}
+
+/// Typechecks a whole program and returns the enforcement obligations its
+/// internal/external boundaries owe the runtime, in source order.
+///
+/// # Errors
+///
+/// Returns every [`TypeError`] found, exactly as [`typecheck`].
+pub fn typecheck_obligations(
+    program: &Program,
+    table: &ClassTable,
+) -> Result<Vec<Obligation>, Vec<TypeError>> {
     let mut tc = Typechecker {
         table,
         modes: &program.mode_table,
         errors: Vec::new(),
+        obligations: Vec::new(),
         fresh: 0,
     };
     for class in &program.classes {
         tc.check_class(class);
     }
     if tc.errors.is_empty() {
-        Ok(())
+        Ok(tc.obligations)
     } else {
         Err(tc.errors)
     }
@@ -96,6 +162,7 @@ struct Typechecker<'a> {
     table: &'a ClassTable,
     modes: &'a ModeTable,
     errors: Vec<TypeError>,
+    obligations: Vec<Obligation>,
     fresh: usize,
 }
 
@@ -103,6 +170,15 @@ impl<'a> Typechecker<'a> {
     fn err(&mut self, kind: TypeErrorKind, message: impl Into<String>, span: Span) -> Type {
         self.errors.push(TypeError::new(kind, message, span));
         Type::Error
+    }
+
+    fn oblige(&mut self, kind: ObligationKind, class: &str, member: &str, span: Span) {
+        self.obligations.push(Obligation {
+            kind,
+            class: class.to_string(),
+            member: member.to_string(),
+            span,
+        });
     }
 
     fn fresh_var(&mut self) -> ModeVar {
@@ -803,7 +879,15 @@ impl<'a> Typechecker<'a> {
         }
         let fields = self.table.fields(class, args);
         match fields.into_iter().find(|f| &f.name == name) {
-            Some(f) => f.ty,
+            Some(f) => {
+                self.oblige(
+                    ObligationKind::FieldRead,
+                    class.as_str(),
+                    name.as_str(),
+                    span,
+                );
+                f.ty
+            }
             None => self.err(
                 TypeErrorKind::UnknownMember,
                 format!("class `{class}` has no field `{name}`"),
@@ -991,6 +1075,14 @@ impl<'a> Typechecker<'a> {
                 span,
             );
         };
+        // Every send owes the runtime a waterfall re-check: attributed
+        // modes and opened existentials are only known dynamically.
+        self.oblige(
+            ObligationKind::CallSite,
+            class.as_str(),
+            method.as_str(),
+            span,
+        );
 
         // Generic method-mode instantiation: explicit or inferred by
         // matching declared parameter types against argument types.
@@ -1137,6 +1229,9 @@ impl<'a> Typechecker<'a> {
         }
         self.wf_mode(&ctx.mode_vars.clone(), lo, span);
         self.wf_mode(&ctx.mode_vars.clone(), hi, span);
+        // The boundary itself is the archetypal obligation: the runtime
+        // must attribute a mode and prove it lands in [lo, hi].
+        self.oblige(ObligationKind::Boundary, class.as_str(), "snapshot", span);
         // T-Snapshot: ∃(lo ≤ mt ≤ hi). c⟨mt, ι⟩, opened eagerly with a
         // fresh variable.
         let fresh = self.fresh_var();

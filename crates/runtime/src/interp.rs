@@ -32,7 +32,15 @@
 #[path = "vm.rs"]
 mod vm;
 
-use std::collections::HashMap;
+// The enforcement strategies (guarded/transient) are likewise child
+// modules: every obligation check both engines perform funnels through
+// the seam in `enforce`, which dispatches on
+// `RuntimeConfig::enforcement`.
+#[path = "enforce/mod.rs"]
+mod enforce;
+
+pub use enforce::Enforcement;
+
 use std::sync::{Arc, OnceLock};
 
 use ent_core::CompiledProgram;
@@ -41,14 +49,14 @@ use ent_energy::{
     WorkKind,
 };
 use ent_modes::ModeName;
-use ent_syntax::{BinOp, Symbol, UnOp};
+use ent_syntax::{BinOp, Symbol};
 
 use crate::compile::Code;
 use crate::error::{Flow, RtError};
 use crate::events::{EnergyEvent, EventPayload, EventRing, FaultServe};
 use crate::lower::{
-    lower_program, BOp, CastCheck, DefaultNew, EnvSrc, GMode, LExpr, LMethod, LMode, LOverride,
-    LStmt, LoweredProgram, MDefault, MethodEntry, NewPlan,
+    lower_program, BOp, EnvSrc, GMode, LExpr, LMethod, LMode, LOverride, LStmt, LoweredProgram,
+    MDefault, MethodEntry,
 };
 use crate::profile::{
     AnyProfiler, Profile, ProfileMode, ProfileReport, SampledProfile, StackShadow,
@@ -158,6 +166,11 @@ pub struct RuntimeConfig {
     /// keeps the recursive evaluator for differential testing and
     /// benchmarking).
     pub engine: Engine,
+    /// Which enforcement strategy discharges mode obligations: `guarded`
+    /// (the paper's deep snapshot/dfall semantics; default) or
+    /// `transient` (shallow first-order checks with check-site blame —
+    /// see [`Enforcement`]).
+    pub enforcement: Enforcement,
 }
 
 impl Default for RuntimeConfig {
@@ -179,6 +192,7 @@ impl Default for RuntimeConfig {
             fault_seed: 0,
             staleness_bound_s: 5.0,
             engine: Engine::default(),
+            enforcement: Enforcement::default(),
         }
     }
 }
@@ -218,6 +232,13 @@ pub struct RunStats {
     /// substituted the conservative mode (the snapshot's `lo`, or the
     /// sender's mode for method attributors).
     pub degraded_decisions: u64,
+    /// Shallow checks performed by the transient enforcement strategy
+    /// (boundaries, call sites, and field reads). Always 0 under guarded.
+    pub transient_checks: u64,
+    /// Transient checks that failed (each also counts toward
+    /// `energy_exceptions`; disjoint from `snapshot_failures` and
+    /// `dfall_failures`, which belong to the guarded strategy).
+    pub transient_failures: u64,
 }
 
 /// The result of running an ENT program.
@@ -256,6 +277,9 @@ pub struct RunResult {
     /// runs under `--adapt frozen`/`off`; advances as the tuner publishes
     /// under `--adapt on`. Never affects values, stats, or measurements.
     pub adapt_generation: u64,
+    /// The enforcement strategy the run executed under (mirrors
+    /// [`RuntimeConfig::enforcement`]; surfaced in telemetry).
+    pub enforcement: Enforcement,
 }
 
 /// Runs a compiled program's `Main.main()` on a simulated platform.
@@ -403,6 +427,7 @@ fn run_on_current_thread(
         profile,
         adapt_mode: crate::adapt::mode(),
         adapt_generation: crate::adapt::snapshot().0,
+        enforcement: interp.config.enforcement,
     }
 }
 
@@ -912,9 +937,22 @@ impl<'p> Interp<'p> {
     // ---- invocation --------------------------------------------------------
 
     /// Invokes `recv.method(args)` from a sender executing at
-    /// `sender_mode`, enforcing the dynamic waterfall invariant. `ic` is
-    /// the send-site inline-cache slot when called from a bytecode call
+    /// `sender_mode`, enforcing the configured obligation strategy. `ic`
+    /// is the send-site inline-cache slot when called from a bytecode call
     /// site (the tree engine passes `None` and always walks the vtable).
+    ///
+    /// The profiler hook ordering encodes each strategy's blame model.
+    /// Guarded: the frame opens *before* the attributor/dfall machinery in
+    /// `invoke_prologue`, so attribution charges those to the callee (the
+    /// historical behavior, byte-identical). Transient: the prologue —
+    /// including the transient call check — runs *before* the frame opens,
+    /// so its costs land in the caller's open frame: the check is blamed
+    /// on the check site, under both the exact and sampled profilers. In
+    /// both orderings the step counter is read before the frame push/pop,
+    /// so a pending sample interval lands on the frame that actually
+    /// executed it — at identical `(stack, step)` points in both engines,
+    /// since the bytecode tier's gas batching is exact at these
+    /// boundaries.
     fn invoke(
         &mut self,
         recv: ObjRef,
@@ -929,32 +967,66 @@ impl<'p> Interp<'p> {
             self.depth -= 1;
             return Err(RtError::StackOverflow.into());
         }
-        // The profiler frame opens before the attributor/dfall machinery in
-        // `invoke_inner`, so attribution charges those to the callee. The
-        // step counter is read before the frame push/pop, so a pending
-        // sample interval lands on the frame that actually executed it —
-        // at identical `(stack, step)` points in both engines, since the
-        // bytecode tier's gas batching is exact at these boundaries.
-        let entered = match self.profiler.as_mut() {
-            Some(p) => {
-                p.on_enter(self.heap[recv].class, method, self.stats.steps);
-                true
+        let result = match self.config.enforcement {
+            Enforcement::Guarded => {
+                let entered = match self.profiler.as_mut() {
+                    Some(p) => {
+                        p.on_enter(self.heap[recv].class, method, self.stats.steps);
+                        true
+                    }
+                    None => false,
+                };
+                let result =
+                    match self.invoke_prologue(recv, method, args, mode_args, sender_mode, ic) {
+                        Ok((m, frame)) => self.invoke_body(m, frame),
+                        Err(e) => Err(e),
+                    };
+                if entered {
+                    let steps = self.stats.steps;
+                    self.profiler
+                        .as_mut()
+                        .expect("profiler stays on")
+                        .on_exit(steps);
+                }
+                result
             }
-            None => false,
+            Enforcement::Transient => {
+                // A failing prologue returns before the frame ever opens,
+                // keeping the shadow stack balanced.
+                match self.invoke_prologue(recv, method, args, mode_args, sender_mode, ic) {
+                    Ok((m, frame)) => {
+                        let entered = match self.profiler.as_mut() {
+                            Some(p) => {
+                                p.on_enter(self.heap[recv].class, method, self.stats.steps);
+                                true
+                            }
+                            None => false,
+                        };
+                        let result = self.invoke_body(m, frame);
+                        if entered {
+                            let steps = self.stats.steps;
+                            self.profiler
+                                .as_mut()
+                                .expect("profiler stays on")
+                                .on_exit(steps);
+                        }
+                        result
+                    }
+                    Err(e) => Err(e),
+                }
+            }
         };
-        let result = self.invoke_inner(recv, method, args, mode_args, sender_mode, ic);
-        if entered {
-            let steps = self.stats.steps;
-            self.profiler
-                .as_mut()
-                .expect("profiler stays on")
-                .on_exit(steps);
-        }
         self.depth -= 1;
         result
     }
 
-    fn invoke_inner(
+    /// The enforcement prologue of a send: resolves the method (through
+    /// the send IC when bytecode provides one), binds mode parameters,
+    /// runs a method-level attributor, and discharges the call-site
+    /// obligation via [`Interp::enforce_call`] — everything that happens
+    /// before the body runs. Returns the resolved method and its prepared
+    /// frame for [`Interp::invoke_body`].
+    fn invoke_prologue(
         &mut self,
         recv: ObjRef,
         method: u32,
@@ -962,7 +1034,7 @@ impl<'p> Interp<'p> {
         mode_args: &[GMode],
         sender_mode: GMode,
         ic: Option<u32>,
-    ) -> EvalResult {
+    ) -> Result<(&'p LMethod, Frame), Flow> {
         let prog = self.prog;
         let class = self.heap[recv].class;
         let layout = &prog.classes[class as usize];
@@ -1077,59 +1149,21 @@ impl<'p> Interp<'p> {
             self.heap[recv].mode.ground()
         };
 
-        // dfall(o, m): the receiver mode must be ≤ the sender (closure)
-        // mode. Untagged dynamic receivers are only reachable via `this`,
-        // which keeps the sender's mode.
-        let frame_mode = match receiver_mode {
-            Some(rm) => {
-                if !prog.le(rm, sender_mode) {
-                    self.stats.energy_exceptions += 1;
-                    self.stats.dfall_failures += 1;
-                    if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
-                        c.dfall_failures += 1;
-                    }
-                    if self.config.record_events {
-                        self.events.push(EnergyEvent {
-                            at_s: self.sim.time_s(),
-                            payload: EventPayload::DfallFailure {
-                                class,
-                                method,
-                                receiver_mode: rm,
-                                sender_mode,
-                            },
-                        });
-                    }
-                    if !self.config.silent {
-                        return Err(RtError::EnergyException(format!(
-                            "dynamic waterfall violation: `{}.{}` runs at mode `{}` but the caller is at `{}`",
-                            layout.name,
-                            prog.method_names.resolve(Symbol::from_raw(method)),
-                            prog.mode_disp(rm),
-                            prog.mode_disp(sender_mode)
-                        ))
-                        .into());
-                    }
-                }
-                rm
-            }
-            None => sender_mode,
-        };
+        // The call-site obligation: the configured strategy validates the
+        // receiver mode against the sender's and yields the frame's mode.
+        let frame_mode = self.enforce_call(class, method, receiver_mode, sender_mode)?;
 
-        let mut frame = Frame {
-            locals,
-            this_ref: Some(recv),
-            mode: frame_mode,
-            env,
-            unbound_lo,
-            n_params: m.n_params,
-        };
-        let out = match self.run_body(&mut frame, &m.body, &m.body_code, m.n_params) {
-            Ok(v) => Ok(v),
-            Err(Flow::Return(v)) => Ok(v),
-            Err(e) => Err(e),
-        };
-        self.recycle_locals(frame.locals);
-        out
+        Ok((
+            m,
+            Frame {
+                locals,
+                this_ref: Some(recv),
+                mode: frame_mode,
+                env,
+                unbound_lo,
+                n_params: m.n_params,
+            },
+        ))
     }
 
     /// Evaluates an attributor body to a mode constant.
@@ -1173,6 +1207,11 @@ impl<'p> Interp<'p> {
     ) -> EvalResult {
         let prog = self.prog;
         self.stats.snapshots += 1;
+        // Under transient, the boundary's bounds check is itself one of the
+        // strategy's first-order checks.
+        if matches!(self.config.enforcement, Enforcement::Transient) {
+            self.stats.transient_checks += 1;
+        }
         if self.config.tagging {
             self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, SNAPSHOT_OVERHEAD_OPS));
         }
@@ -1253,7 +1292,12 @@ impl<'p> Interp<'p> {
             }
             None => !(prog.le(lo, mode) && prog.le(mode, hi)),
         };
-        let will_copy = self.heap[obj].snapshotted || self.config.eager_copy;
+        // Whether the commit below will physically copy: only guarded's
+        // lazy-copy discipline ever does; transient re-tags in place.
+        let will_copy = match self.config.enforcement {
+            Enforcement::Guarded => self.heap[obj].snapshotted || self.config.eager_copy,
+            Enforcement::Transient => false,
+        };
         if self.config.record_events {
             self.events.push(EnergyEvent {
                 at_s: self.sim.time_s(),
@@ -1268,88 +1312,13 @@ impl<'p> Interp<'p> {
             });
         }
         if failed {
-            self.stats.energy_exceptions += 1;
-            self.stats.snapshot_failures += 1;
-            if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
-                c.snapshot_failures += 1;
-            }
-            if !self.config.silent {
-                return Err(RtError::EnergyException(format!(
-                    "snapshot of `{}` produced mode `{}` outside bounds [{}, {}]",
-                    layout.name,
-                    prog.mode_disp(mode),
-                    prog.mode_disp(lo),
-                    prog.mode_disp(hi)
-                ))
-                .into());
-            }
+            self.enforce_snapshot_failure(class, mode, lo, hi)?;
         }
 
         // Bind the class's internal mode parameter (slot 0) to the
-        // produced mode.
+        // produced mode; the configured strategy commits the view.
         let has_internal = attributor.has_internal;
-
-        if !self.heap[obj].snapshotted && !self.config.eager_copy {
-            // Lazy copy: tag in place on first snapshot.
-            let data = &mut self.heap[obj];
-            data.snapshotted = true;
-            data.mode = RtTag::Ground(mode);
-            if has_internal {
-                data.mode_env[0] = mode;
-            }
-            Ok(Value::Obj(obj))
-        } else {
-            // Subsequent snapshots copy (shallow by default; the deep-copy
-            // ablation clones the reachable object graph).
-            self.stats.copies += 1;
-            if self.config.tagging {
-                self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS));
-            }
-            if let Some(c) = self.profiler.as_mut().and_then(AnyProfiler::own) {
-                c.copies += 1;
-            }
-            self.heap[obj].snapshotted = true;
-            let copy = if self.config.deep_copy {
-                self.deep_copy_obj(obj, &mut HashMap::new())
-            } else {
-                let data = self.heap[obj].clone();
-                let copy = self.heap.len();
-                self.heap.push(data);
-                copy
-            };
-            let data = &mut self.heap[copy];
-            data.mode = RtTag::Ground(mode);
-            if has_internal {
-                data.mode_env[0] = mode;
-            }
-            data.snapshotted = true;
-            Ok(Value::Obj(copy))
-        }
-    }
-
-    /// The deep-copy ablation: clones the object graph reachable from
-    /// `obj`, preserving sharing and cycles via the `seen` map. Each
-    /// cloned object is charged the copy overhead.
-    fn deep_copy_obj(&mut self, obj: ObjRef, seen: &mut HashMap<ObjRef, ObjRef>) -> ObjRef {
-        if let Some(&copy) = seen.get(&obj) {
-            return copy;
-        }
-        let copy = self.heap.len();
-        seen.insert(obj, copy);
-        let data = self.heap[obj].clone();
-        self.heap.push(data);
-        let field_count = self.heap[copy].fields.len();
-        for i in 0..field_count {
-            let field = self.heap[copy].fields[i].clone();
-            if let Value::Obj(r) = field {
-                if self.config.tagging {
-                    self.advance_sim(|sim| sim.do_work(WorkKind::Cpu, COPY_OVERHEAD_OPS));
-                }
-                let cloned = self.deep_copy_obj(r, seen);
-                self.heap[copy].fields[i] = Value::Obj(cloned);
-            }
-        }
-        copy
+        self.enforce_snapshot_commit(obj, mode, has_internal)
     }
 
     // ---- mode cases -------------------------------------------------------------
@@ -1409,7 +1378,6 @@ impl<'p> Interp<'p> {
 
     fn eval(&mut self, frame: &mut Frame, e: &'p LExpr) -> EvalResult {
         self.gas()?;
-        let prog = self.prog;
         match e {
             LExpr::Lit(v) => Ok(v.clone()),
             LExpr::ModeConst(m) => Ok(Value::Mode(m.clone())),
@@ -1434,18 +1402,7 @@ impl<'p> Interp<'p> {
                 let Value::Obj(r) = rv else {
                     return Err(RtError::Native(format!("field access on a {}", rv.kind())).into());
                 };
-                let data = &self.heap[r];
-                let layout = &prog.classes[data.class as usize];
-                // Field ids interned after this layout was built are names
-                // no class declares: out-of-range reads report them absent.
-                match layout.field_slot.get(*field as usize) {
-                    Some(&s) if s != u32::MAX => Ok(data.fields[s as usize].clone()),
-                    _ => Err(RtError::Native(format!(
-                        "class `{}` has no field `{name}`",
-                        layout.name
-                    ))
-                    .into()),
-                }
+                self.read_field(frame, r, *field, name)
             }
             LExpr::New {
                 class,
@@ -1456,36 +1413,7 @@ impl<'p> Interp<'p> {
                 for a in ctor_args {
                     vals.push(self.eval(frame, a)?);
                 }
-                let layout = &prog.classes[*class as usize];
-                let n = layout.n_mode_params as usize;
-                let (mode, env) = match plan {
-                    NewPlan::Dynamic { rest } => {
-                        let mut env = vec![GMode::Missing; n];
-                        for (i, m) in rest.iter().enumerate() {
-                            env[1 + i] = self.resolve_mode(frame, m)?;
-                        }
-                        (RtTag::Dynamic, env)
-                    }
-                    NewPlan::Static { flat } => {
-                        let mut resolved = Vec::with_capacity(flat.len());
-                        for m in flat {
-                            resolved.push(self.resolve_mode(frame, m)?);
-                        }
-                        let mode = resolved.first().copied().unwrap_or(GMode::Bot);
-                        let mut env = vec![GMode::Missing; n];
-                        for (i, g) in resolved.into_iter().take(n).enumerate() {
-                            env[i] = g;
-                        }
-                        (RtTag::Ground(mode), env)
-                    }
-                    NewPlan::Default => match &layout.default_new {
-                        DefaultNew::Dynamic => (RtTag::Dynamic, vec![GMode::Missing; n]),
-                        DefaultNew::Fixed { env } => {
-                            let mode = env.first().copied().unwrap_or(GMode::Bot);
-                            (RtTag::Ground(mode), env.to_vec())
-                        }
-                    },
-                };
+                let (mode, env) = self.resolve_new(frame, *class, plan)?;
                 let r = self.allocate(*class, vals, mode, env)?;
                 Ok(Value::Obj(r))
             }
@@ -1526,27 +1454,7 @@ impl<'p> Interp<'p> {
             LExpr::Cast { check, expr } => {
                 let v = self.eval(frame, expr)?;
                 // Only object downcasts can fail at run time.
-                if let (Value::Obj(r), Some(check)) = (&v, check) {
-                    let actual = self.heap[*r].class;
-                    let actual_name = &prog.classes[actual as usize].name;
-                    match check {
-                        CastCheck::Class(cid) => {
-                            if !prog.is_subclass_id(actual, *cid) {
-                                return Err(RtError::BadCast(format!(
-                                    "object of class `{actual_name}` is not a `{}`",
-                                    prog.classes[*cid as usize].name
-                                ))
-                                .into());
-                            }
-                        }
-                        CastCheck::Unknown(class) => {
-                            return Err(RtError::BadCast(format!(
-                                "object of class `{actual_name}` is not a `{class}`"
-                            ))
-                            .into());
-                        }
-                    }
-                }
+                self.check_cast(&v, check)?;
                 Ok(v)
             }
             LExpr::Snapshot { expr, lo, hi } => {
@@ -1578,16 +1486,7 @@ impl<'p> Interp<'p> {
             LExpr::Unary { op, expr } => {
                 let v = self.eval(frame, expr)?;
                 let v = self.force(frame, v)?;
-                match (op, v) {
-                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
-                    (UnOp::Neg, Value::Double(x)) => Ok(Value::Double(-x)),
-                    (op, v) => Err(RtError::Native(format!(
-                        "cannot apply `{op}` to a {}",
-                        v.kind()
-                    ))
-                    .into()),
-                }
+                Self::apply_unop(*op, v)
             }
             LExpr::If { cond, then, els } => {
                 let c = self.eval(frame, cond)?;

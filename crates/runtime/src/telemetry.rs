@@ -86,13 +86,15 @@ impl RunResult {
         let s = &self.stats;
         let _ = write!(
             out,
-            ", \"stats\": {{\"steps\": {}, \"snapshots\": {}, \"copies\": {}, \"energy_exceptions\": {}, \"snapshot_failures\": {}, \"dfall_failures\": {}, \"dynamic_allocs\": {}, \"allocs\": {}, \"sensor_faults\": {}, \"stale_reads\": {}, \"degraded_decisions\": {}}}",
+            ", \"stats\": {{\"steps\": {}, \"snapshots\": {}, \"copies\": {}, \"energy_exceptions\": {}, \"snapshot_failures\": {}, \"dfall_failures\": {}, \"transient_checks\": {}, \"transient_failures\": {}, \"dynamic_allocs\": {}, \"allocs\": {}, \"sensor_faults\": {}, \"stale_reads\": {}, \"degraded_decisions\": {}}}",
             s.steps,
             s.snapshots,
             s.copies,
             s.energy_exceptions,
             s.snapshot_failures,
             s.dfall_failures,
+            s.transient_checks,
+            s.transient_failures,
             s.dynamic_allocs,
             s.allocs,
             s.sensor_faults,
@@ -159,6 +161,19 @@ impl RunResult {
             ", \"adapt\": {{\"mode\": \"{}\", \"generation\": {}}}",
             self.adapt_mode.as_str(),
             self.adapt_generation,
+        );
+
+        // Which strategy discharged the run's mode obligations, and how
+        // often it checked/failed (the transient counters are 0 under
+        // guarded, whose checks are the dfall/snapshot counters above).
+        let _ = write!(
+            out,
+            ", \"enforcement\": {{\"strategy\": \"{}\", \"transient_checks\": {}, \"transient_failures\": {}, \"dfall_failures\": {}, \"snapshot_failures\": {}}}",
+            self.enforcement.name(),
+            s.transient_checks,
+            s.transient_failures,
+            s.dfall_failures,
+            s.snapshot_failures,
         );
 
         match &self.profile {

@@ -44,10 +44,10 @@ use std::sync::Arc;
 
 use ent_syntax::{BinOp, UnOp};
 
-use super::{Frame, Interp, RtTag};
+use super::{Enforcement, Frame, Interp, RtTag};
 use crate::compile::{Code, Op, Opnd};
 use crate::error::{Flow, RtError};
-use crate::lower::{CastCheck, DefaultNew, GMode, MethodEntry, NewPlan};
+use crate::lower::{GMode, MethodEntry};
 use crate::profile::AnyProfiler;
 use crate::value::Value;
 
@@ -261,55 +261,13 @@ impl<'p> Interp<'p> {
                             }
                         }
                     };
-                    let data = &self.heap[r];
-                    let layout = &self.prog.classes[data.class as usize];
-                    match layout.field_slot.get(site.field as usize) {
-                        Some(&s) if s != u32::MAX => {
-                            let v = data.fields[s as usize].clone();
-                            frame.locals[i.a as usize] = v;
-                        }
-                        _ => {
-                            return Err(RtError::Native(format!(
-                                "class `{}` has no field `{}`",
-                                layout.name, site.name
-                            ))
-                            .into())
-                        }
-                    }
+                    let v = vtry!('run, self.read_field(frame, r, site.field, &site.name));
+                    frame.locals[i.a as usize] = v;
                 }
                 Op::NewObj => {
                     let site = &code.news[i.d as usize];
                     let vals = take_n!(i.b, site.n_args);
-                    let layout = &self.prog.classes[site.class as usize];
-                    let n = layout.n_mode_params as usize;
-                    let (mode, env) = match &site.plan {
-                        NewPlan::Dynamic { rest } => {
-                            let mut env = vec![GMode::Missing; n];
-                            for (k, m) in rest.iter().enumerate() {
-                                env[1 + k] = vtry!('run, self.resolve_mode(frame, m));
-                            }
-                            (RtTag::Dynamic, env)
-                        }
-                        NewPlan::Static { flat } => {
-                            let mut resolved = Vec::with_capacity(flat.len());
-                            for m in flat {
-                                resolved.push(vtry!('run, self.resolve_mode(frame, m)));
-                            }
-                            let mode = resolved.first().copied().unwrap_or(GMode::Bot);
-                            let mut env = vec![GMode::Missing; n];
-                            for (k, g) in resolved.into_iter().take(n).enumerate() {
-                                env[k] = g;
-                            }
-                            (RtTag::Ground(mode), env)
-                        }
-                        NewPlan::Default => match &layout.default_new {
-                            DefaultNew::Dynamic => (RtTag::Dynamic, vec![GMode::Missing; n]),
-                            DefaultNew::Fixed { env } => {
-                                let mode = env.first().copied().unwrap_or(GMode::Bot);
-                                (RtTag::Ground(mode), env.to_vec())
-                            }
-                        },
-                    };
+                    let (mode, env) = vtry!('run, self.resolve_new(frame, site.class, &site.plan));
                     let r = vtry!('run, self.allocate(site.class, vals, mode, env));
                     frame.locals[i.a as usize] = Value::Obj(r);
                 }
@@ -345,10 +303,13 @@ impl<'p> Interp<'p> {
                     // frame either way — per-path hit counts (the only
                     // input to the sampled report) are identical with and
                     // without elision. The stack guard still counts the
-                    // elided frame via `self.depth`.
+                    // elided frame via `self.depth`. Only the guarded
+                    // strategy may elide: transient counts a check per send,
+                    // and a skipped frame would skip its check.
                     'tail: {
                         if !site.this_recv
                             || !site.mode_args.is_empty()
+                            || !matches!(self.config.enforcement, Enforcement::Guarded)
                             || self.profiler.as_ref().is_some_and(AnyProfiler::is_exact)
                             || !tries.is_empty()
                         {
@@ -444,27 +405,7 @@ impl<'p> Interp<'p> {
                 }
                 Op::CastV => {
                     let v = take!(i.b);
-                    if let (Value::Obj(r), Some(check)) = (&v, &code.casts[i.d as usize]) {
-                        let actual = self.heap[*r].class;
-                        let actual_name = &self.prog.classes[actual as usize].name;
-                        match check {
-                            CastCheck::Class(cid) => {
-                                if !self.prog.is_subclass_id(actual, *cid) {
-                                    return Err(RtError::BadCast(format!(
-                                        "object of class `{actual_name}` is not a `{}`",
-                                        self.prog.classes[*cid as usize].name
-                                    ))
-                                    .into());
-                                }
-                            }
-                            CastCheck::Unknown(class) => {
-                                return Err(RtError::BadCast(format!(
-                                    "object of class `{actual_name}` is not a `{class}`"
-                                ))
-                                .into());
-                            }
-                        }
-                    }
+                    vtry!('run, self.check_cast(&v, &code.casts[i.d as usize]));
                     frame.locals[i.a as usize] = v;
                 }
                 Op::Snap => {
@@ -634,18 +575,7 @@ impl<'p> Interp<'p> {
                     let v = take!(i.b);
                     let v = vtry!('run, self.force(frame, v));
                     let op = if i.c == 0 { UnOp::Not } else { UnOp::Neg };
-                    let out = match (op, v) {
-                        (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
-                        (UnOp::Neg, Value::Int(n)) => Value::Int(n.wrapping_neg()),
-                        (UnOp::Neg, Value::Double(x)) => Value::Double(-x),
-                        (op, v) => {
-                            return Err(RtError::Native(format!(
-                                "cannot apply `{op}` to a {}",
-                                v.kind()
-                            ))
-                            .into())
-                        }
-                    };
+                    let out = vtry!('run, Interp::apply_unop(op, v));
                     frame.locals[i.a as usize] = out;
                 }
                 Op::Jmp => {

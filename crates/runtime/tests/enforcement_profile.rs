@@ -1,0 +1,206 @@
+//! Check-site blame under the transient enforcement strategy.
+//!
+//! Guarded opens the callee's profiler frame *before* the invocation
+//! prologue, so prologue work — attributor evaluation, the mode check —
+//! is historically charged to the callee. Transient blames the check
+//! site: the prologue runs in the caller's frame, and a failing check
+//! never opens the callee frame at all. These tests pin both the
+//! attribution shift (exact and sampled profilers) and the distinct
+//! error provenance of the two strategies.
+
+use ent_core::compile;
+use ent_energy::Platform;
+use ent_runtime::{
+    json_is_valid, lower_program, run_lowered, Enforcement, LoweredProgram, ProfileMode, RunResult,
+    RuntimeConfig,
+};
+
+/// A driver repeatedly sends to a worker whose method carries a
+/// deliberately chatty attributor: every send pays prologue steps that
+/// the two strategies attribute to different frames.
+const ATTRIBUTED: &str = "
+modes { energy_saver <= managed; managed <= full_throttle; }
+class Saver@mode<S> {
+  int n;
+  int save()
+    attributor {
+      if (this.n * 3 - 2 > 60) { return full_throttle; }
+      else if (this.n * 3 - 2 > 28) { return managed; }
+      else { return energy_saver; }
+    }
+  { Sim.work(\"cpu\", 50000.0); return this.n; }
+}
+class Driver@mode<D> {
+  int drive(int k, Saver@mode<D> s) {
+    if (k <= 0) { return 0; }
+    s.save();
+    return this.drive(k - 1, s);
+  }
+}
+class Main {
+  int main() {
+    let d = new Driver@mode<energy_saver>();
+    return d.drive(40, new Saver@mode<energy_saver>(5));
+  }
+}";
+
+fn lowered(src: &str) -> LoweredProgram {
+    lower_program(&compile(src).expect("program compiles"))
+}
+
+fn run(prog: &LoweredProgram, enforcement: Enforcement, profile: ProfileMode) -> RunResult {
+    run_lowered(
+        prog,
+        Platform::system_a(),
+        RuntimeConfig {
+            enforcement,
+            battery_level: 0.9,
+            seed: 42,
+            profile,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+fn excl_steps(r: &RunResult, method: &str) -> u64 {
+    r.profile
+        .as_ref()
+        .and_then(|p| p.as_exact())
+        .expect("exact profile")
+        .methods
+        .iter()
+        .find(|m| m.name == method)
+        .unwrap_or_else(|| panic!("method {method} missing from profile"))
+        .exclusive
+        .steps
+}
+
+#[test]
+fn transient_charges_prologue_steps_to_the_check_site() {
+    let prog = lowered(ATTRIBUTED);
+    let guarded = run(&prog, Enforcement::Guarded, ProfileMode::Exact);
+    let transient = run(&prog, Enforcement::Transient, ProfileMode::Exact);
+    assert_eq!(guarded.value, transient.value, "same accepted program");
+
+    // The attributor's steps move from the callee (guarded blames the
+    // boundary) to the caller (transient blames the check site)...
+    let g_callee = excl_steps(&guarded, "Saver.save");
+    let t_callee = excl_steps(&transient, "Saver.save");
+    let g_caller = excl_steps(&guarded, "Driver.drive");
+    let t_caller = excl_steps(&transient, "Driver.drive");
+    assert!(
+        g_callee > t_callee,
+        "guarded charges the callee for its own prologue ({g_callee} vs {t_callee})"
+    );
+    assert!(
+        t_caller > g_caller,
+        "transient charges the caller at the check site ({t_caller} vs {g_caller})"
+    );
+    // ...and only move: the shift is conserved, frame for frame.
+    assert_eq!(
+        g_callee - t_callee,
+        t_caller - g_caller,
+        "attribution shift must be conserved between the two frames"
+    );
+    let g_total = guarded
+        .profile
+        .as_ref()
+        .unwrap()
+        .as_exact()
+        .unwrap()
+        .total();
+    let t_total = transient
+        .profile
+        .as_ref()
+        .unwrap()
+        .as_exact()
+        .unwrap()
+        .total();
+    assert_eq!(g_total.steps, t_total.steps, "total work is unchanged");
+}
+
+#[test]
+fn sampled_profiler_stays_deterministic_under_transient() {
+    let prog = lowered(ATTRIBUTED);
+    let mode = ProfileMode::Sampled {
+        period: 16,
+        seed: 5,
+    };
+    let a = run(&prog, Enforcement::Transient, mode);
+    let b = run(&prog, Enforcement::Transient, mode);
+    assert!(a.value.is_ok());
+    let sampled = a
+        .profile
+        .as_ref()
+        .and_then(|p| p.as_sampled())
+        .expect("sampled report");
+    assert!(sampled.samples > 0, "workload long enough to sample");
+    assert_eq!(a.to_json(), b.to_json(), "repeat transient run diverged");
+    assert!(
+        json_is_valid(&a.to_json()),
+        "telemetry must stay valid JSON"
+    );
+}
+
+/// The dfall-violating variant: `n = 50` attributes the send at
+/// `full_throttle` against an `energy_saver` sender.
+const VIOLATING: &str = "
+modes { energy_saver <= managed; managed <= full_throttle; }
+class Saver@mode<S> {
+  int n;
+  int save()
+    attributor {
+      if (this.n > 20) { return full_throttle; }
+      else { return energy_saver; }
+    }
+  { return this.n; }
+}
+class Booter@mode<energy_saver> {
+  Saver@mode<energy_saver> s;
+  int go() { return this.s.save(); }
+}
+class Main {
+  int main() {
+    let b = new Booter(new Saver@mode<energy_saver>(50));
+    return b.go();
+  }
+}";
+
+#[test]
+fn failing_check_blames_its_site_and_keeps_the_shadow_stack_balanced() {
+    let prog = lowered(VIOLATING);
+    let guarded = run(&prog, Enforcement::Guarded, ProfileMode::Exact);
+    let transient = run(&prog, Enforcement::Transient, ProfileMode::Exact);
+
+    // Distinct provenance: guarded speaks of the waterfall invariant,
+    // transient of the check site.
+    let g_err = guarded.value.unwrap_err().to_string();
+    let t_err = transient.value.unwrap_err().to_string();
+    assert!(
+        g_err.contains("dynamic waterfall violation"),
+        "guarded blame: {g_err}"
+    );
+    assert!(
+        t_err.contains("transient check failed at call site"),
+        "transient blame: {t_err}"
+    );
+    assert_eq!(transient.stats.transient_failures, 1);
+    assert_eq!(transient.stats.dfall_failures, 0);
+
+    // The failing prologue never opened a callee frame, so the profile
+    // unwinds cleanly: the callee shows zero completed calls while the
+    // root still carries the run.
+    let profile = transient.profile.as_ref().and_then(|p| p.as_exact());
+    let profile = profile.expect("profile survives a failing run");
+    assert!(
+        profile.methods.iter().any(|m| m.name == "Main.main"),
+        "root frame must be attributed"
+    );
+    assert!(
+        !profile
+            .methods
+            .iter()
+            .any(|m| m.name == "Saver.save" && m.calls > 0),
+        "a send rejected at the check site must not count as a callee call"
+    );
+}

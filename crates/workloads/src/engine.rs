@@ -71,7 +71,7 @@ use std::time::{Duration, Instant};
 
 use ent_core::compile;
 use ent_runtime::adapt;
-use ent_runtime::{default_stack_size, with_interp_stack, Engine, LoweredProgram};
+use ent_runtime::{default_stack_size, with_interp_stack, Enforcement, Engine, LoweredProgram};
 
 /// Lock stripes in the lowered-program cache. Sized for the workloads the
 /// harness actually runs: enough stripes that an 8-worker batch preparing
@@ -248,6 +248,37 @@ pub fn default_engine() -> Engine {
             .and_then(|v| Engine::parse(v.trim()))
             .or_else(adapt::preferred_engine)
             .unwrap_or_default(),
+    }
+}
+
+/// Process-wide enforcement override: 0 = unset, 1 = guarded,
+/// 2 = transient.
+static ENFORCE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Selects the enforcement strategy every subsequently-prepared program
+/// runs under (harness binaries call this from their `--enforce` flag
+/// before any grid work starts). Programs already prepared keep the
+/// strategy they were prepared with.
+pub fn set_default_enforcement(enforcement: Enforcement) {
+    let tag = match enforcement {
+        Enforcement::Guarded => 1,
+        Enforcement::Transient => 2,
+    };
+    ENFORCE_OVERRIDE.store(tag, Ordering::Relaxed);
+}
+
+/// The enforcement strategy newly-prepared programs run under: the
+/// [`set_default_enforcement`] override when one was installed, else the
+/// `ENT_ENFORCE` environment variable (`guarded` or `transient`), else
+/// the runtime default (guarded). Like `ENT_ENGINE`, the env var is read
+/// only at this harness layer — it never leaks into
+/// [`RuntimeConfig::default`](ent_runtime::RuntimeConfig).
+#[must_use]
+pub fn default_enforcement() -> Enforcement {
+    match ENFORCE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Enforcement::Guarded,
+        2 => Enforcement::Transient,
+        _ => Enforcement::from_env(),
     }
 }
 

@@ -34,12 +34,15 @@ pub use apps::{
     pagerank, showcase_apps, soundrecorder, sunflow, video, xalan,
 };
 pub use engine::{
-    cache_shard_of, default_engine, default_jobs, lowered_cache_stats, lowered_cached,
-    resolve_jobs, run_batch, run_batch_outcomes, run_batch_outcomes_with_telemetry, sched_totals,
-    set_default_engine, BatchPolicy, BatchTelemetry, CacheStats, JobError, SchedTotals,
-    LOWERED_CACHE_CAP, LOWERED_CACHE_SHARDS,
+    cache_shard_of, default_enforcement, default_engine, default_jobs, lowered_cache_stats,
+    lowered_cached, resolve_jobs, run_batch, run_batch_outcomes, run_batch_outcomes_with_telemetry,
+    sched_totals, set_default_enforcement, set_default_engine, BatchPolicy, BatchTelemetry,
+    CacheStats, JobError, SchedTotals, LOWERED_CACHE_CAP, LOWERED_CACHE_SHARDS,
 };
-pub use programs::{e1_program, e2_program, e3_program, unit_scale, workload_duty_factor};
+pub use programs::{
+    e1_program, e2_program, e3_program, lattice_program, unit_scale, workload_duty_factor,
+    LATTICE_CHUNKS,
+};
 pub use runner::{
     platform_for, platform_of, prepare_e1, prepare_e2, prepare_e3, run_e1, run_e1_chaos_prepared,
     run_e1_prepared, run_e2, run_e2_prepared, run_e3, run_e3_prepared, run_overhead_pair,

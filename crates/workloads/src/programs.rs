@@ -309,6 +309,109 @@ class Main {{
     )
 }
 
+/// Chunks of work per migration-lattice stage: each untyped stage crosses
+/// its dynamic boundary this many times.
+pub const LATTICE_CHUNKS: u32 = 24;
+
+/// Generates one point of a batch benchmark's typed/untyped **migration
+/// lattice** (à la the gradual-typing performance lattices): the
+/// benchmark's work is split across `components` pipeline stages, and bit
+/// `i` of `mask` decides whether stage `i` is *typed* — statically moded
+/// `this`-sends, no runtime boundary at all — or *untyped* — a dynamic
+/// `Worker` re-snapshotted at every one of [`LATTICE_CHUNKS`] chunks, the
+/// per-use boundary crossing each enforcement strategy prices
+/// differently (guarded re-snapshots physically copy; transient re-tags
+/// in place).
+///
+/// Every lattice point performs the identical work sequence, so points
+/// differ only in enforcement cost: per-point overhead against the
+/// fully-typed corner (`mask == (1 << components) - 1`) isolates what a
+/// strategy charges for the remaining dynamism.
+///
+/// # Panics
+///
+/// Panics on a time-fixed benchmark or a component count outside `1..=8`.
+pub fn lattice_program(
+    spec: &BenchmarkSpec,
+    platform: &Platform,
+    mask: u32,
+    components: u32,
+) -> String {
+    assert!(
+        matches!(spec.shape, Shape::Batch { .. }),
+        "migration lattice needs a batch benchmark, got {}",
+        spec.name
+    );
+    assert!(
+        (1..=8).contains(&components),
+        "components must be in 1..=8, got {components}"
+    );
+    let kind = spec.work_kind;
+    let battery = battery_attributor();
+    let scale = unit_scale(spec, platform);
+    let items = spec.workload_items[1];
+    let units = items * scale / f64::from(components * LATTICE_CHUNKS);
+    let mut stages = String::new();
+    let mut run_body = String::new();
+    for i in 0..components {
+        if mask & (1 << i) != 0 {
+            // Typed stage: the work is a statically checked this-send
+            // chain; no object ever crosses a dynamic boundary.
+            stages.push_str(&format!(
+                "  unit typedStage{i}(int remaining) {{
+    if (remaining <= 0) {{ return {{}}; }}
+    Sim.work(\"{kind}\", {units:.4});
+    return this.typedStage{i}(remaining - 1);
+  }}
+"
+            ));
+            run_body.push_str(&format!("    this.typedStage{i}({LATTICE_CHUNKS});\n"));
+        } else {
+            // Untyped stage: one dynamic Worker crosses the boundary per
+            // chunk — re-snapshotted every iteration.
+            stages.push_str(&format!(
+                "  unit untypedStage{i}(int remaining, Worker@mode<?> dw) {{
+    if (remaining <= 0) {{ return {{}}; }}
+    let Worker w = snapshot dw [_, X];
+    w.chunk();
+    return this.untypedStage{i}(remaining - 1, dw);
+  }}
+"
+            ));
+            run_body.push_str(&format!(
+                "    let dw{i} = new Worker({units:.4});
+    this.untypedStage{i}({LATTICE_CHUNKS}, dw{i});
+"
+            ));
+        }
+    }
+    format!(
+        "{MODES_BLOCK}
+class Worker@mode<? <= W> {{
+  double units;
+  {battery}
+  double chunk() {{
+    Sim.work(\"{kind}\", this.units);
+    return this.units;
+  }}
+}}
+class App@mode<? <= X> {{
+  {battery}
+{stages}  unit run() {{
+{run_body}    return {{}};
+  }}
+}}
+class Main {{
+  unit main() {{
+    let dapp = new App();
+    let App a = snapshot dapp [_, _];
+    a.run();
+    return {{}};
+  }}
+}}"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +459,19 @@ mod tests {
             let src = e3_program(&spec, &platform, &settings, 10, 1.0, ent);
             compile(&src)
                 .unwrap_or_else(|e| panic!("sunflow E3 (ent={ent}) failed:\n{}", e.render(&src)));
+        }
+    }
+
+    #[test]
+    fn every_lattice_point_typechecks() {
+        let spec = crate::settings::benchmark("batik").unwrap();
+        let platform = platform_for(&spec);
+        let components = 3;
+        for mask in 0..(1u32 << components) {
+            let src = lattice_program(&spec, &platform, mask, components);
+            compile(&src).unwrap_or_else(|e| {
+                panic!("batik lattice mask={mask:#b} failed:\n{}", e.render(&src))
+            });
         }
     }
 

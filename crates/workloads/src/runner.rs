@@ -17,9 +17,11 @@ use std::sync::Arc;
 
 use ent_energy::{FaultPlan, Platform, PlatformKind};
 use ent_runtime::adapt;
-use ent_runtime::{run_lowered, AdaptMode, Engine, LoweredProgram, RunResult, RuntimeConfig};
+use ent_runtime::{
+    run_lowered, AdaptMode, Enforcement, Engine, LoweredProgram, RunResult, RuntimeConfig,
+};
 
-use crate::engine::{default_engine, lowered_cached};
+use crate::engine::{default_enforcement, default_engine, lowered_cached};
 use crate::programs::{e1_program, e2_program, e3_program};
 use crate::settings::{battery_for_boot, BenchmarkSpec, E3Settings};
 
@@ -65,6 +67,9 @@ pub struct PreparedProgram {
     /// the shared `LoweredProgram`, compiled at most once per method no
     /// matter how many runs, threads, or engines touch the program.
     pub engine: Engine,
+    /// The enforcement strategy every run of this program uses (captured
+    /// from [`crate::default_enforcement`] at prepare time).
+    pub enforcement: Enforcement,
 }
 
 impl PreparedProgram {
@@ -85,6 +90,7 @@ impl PreparedProgram {
     pub fn run_on(&self, platform: Platform, config: RuntimeConfig) -> RunResult {
         let config = RuntimeConfig {
             engine: self.engine,
+            enforcement: self.enforcement,
             ..config
         };
         if adapt::mode() == AdaptMode::On {
@@ -105,6 +111,15 @@ impl PreparedProgram {
         self.engine = engine;
         self
     }
+
+    /// Returns the same prepared program pinned to an explicit enforcement
+    /// strategy (the differential harnesses sweep one program across the
+    /// strategy × engine grid).
+    #[must_use]
+    pub fn with_enforcement(mut self, enforcement: Enforcement) -> Self {
+        self.enforcement = enforcement;
+        self
+    }
 }
 
 /// The outcome of one experiment run.
@@ -123,6 +138,10 @@ pub struct Outcome {
     /// Dynamic waterfall checks that failed at a message send (the other
     /// cause of `EnergyException`s).
     pub dfall_failures: u64,
+    /// Shallow checks that failed under the transient enforcement
+    /// strategy (the counterpart of the two guarded counters above;
+    /// always 0 under guarded).
+    pub transient_failures: u64,
 }
 
 fn to_outcome(name: &str, result: RunResult) -> Outcome {
@@ -135,6 +154,7 @@ fn to_outcome(name: &str, result: RunResult) -> Outcome {
         exception: result.stats.energy_exceptions > 0,
         snapshot_failures: result.stats.snapshot_failures,
         dfall_failures: result.stats.dfall_failures,
+        transient_failures: result.stats.transient_failures,
     }
 }
 
@@ -148,6 +168,7 @@ pub fn prepare_e1(spec: &BenchmarkSpec, system: PlatformKind, workload: usize) -
         lowered: lowered_cached(spec.name, &src),
         platform,
         engine: default_engine(),
+        enforcement: default_enforcement(),
     }
 }
 
@@ -194,6 +215,7 @@ fn to_chaos_outcome(result: RunResult) -> ChaosOutcome {
                 exception: result.stats.energy_exceptions > 0,
                 snapshot_failures: result.stats.snapshot_failures,
                 dfall_failures: result.stats.dfall_failures,
+                transient_failures: result.stats.transient_failures,
             }),
             Err(e) => Err(e.to_string()),
         },
@@ -256,6 +278,7 @@ pub fn prepare_e2(spec: &BenchmarkSpec, system: PlatformKind, workload: usize) -
         lowered: lowered_cached(spec.name, &src),
         platform,
         engine: default_engine(),
+        enforcement: default_enforcement(),
     }
 }
 
@@ -298,6 +321,7 @@ pub fn prepare_e3(
         lowered: lowered_cached(spec.name, &src),
         platform,
         engine: default_engine(),
+        enforcement: default_enforcement(),
     }
 }
 
@@ -381,10 +405,11 @@ mod tests {
                     workload > boot,
                     "boot {boot}, workload {workload}"
                 );
-                // The split counters must agree with the collapsed flag.
+                // The split counters must agree with the collapsed flag,
+                // whichever strategy's counters carry the blame.
                 assert_eq!(
                     out.exception,
-                    out.snapshot_failures + out.dfall_failures > 0,
+                    out.snapshot_failures + out.dfall_failures + out.transient_failures > 0,
                     "boot {boot}, workload {workload}: {out:?}"
                 );
             }
@@ -398,13 +423,29 @@ mod tests {
         // (Corollary 1). A silent run suppresses the check and carries
         // the over-mode object forward, so later sends may additionally
         // record dfall failures — but the snapshot counter still leads.
+        // This is guarded blame by definition, so the strategy is pinned
+        // rather than inherited from `ENT_ENFORCE`.
         let spec = benchmark("sunflow").unwrap();
-        let checked = run_e1(&spec, SystemA, 0, 2, false, 9);
+        let prog = prepare_e1(&spec, SystemA, 2).with_enforcement(Enforcement::Guarded);
+        let checked = run_e1_prepared(&prog, 0, false, 9);
         assert!(checked.snapshot_failures > 0, "{checked:?}");
         assert_eq!(checked.dfall_failures, 0, "{checked:?}");
 
-        let silent = run_e1(&spec, SystemA, 0, 2, true, 9);
+        let silent = run_e1_prepared(&prog, 0, true, 9);
         assert!(silent.snapshot_failures > 0, "{silent:?}");
+    }
+
+    #[test]
+    fn e1_violations_blame_the_check_site_under_transient() {
+        // The transient twin: the same violation raises, but blame lands
+        // in the transient counter and the guarded split stays empty.
+        let spec = benchmark("sunflow").unwrap();
+        let prog = prepare_e1(&spec, SystemA, 2).with_enforcement(Enforcement::Transient);
+        let checked = run_e1_prepared(&prog, 0, false, 9);
+        assert!(checked.exception, "{checked:?}");
+        assert!(checked.transient_failures > 0, "{checked:?}");
+        assert_eq!(checked.snapshot_failures, 0, "{checked:?}");
+        assert_eq!(checked.dfall_failures, 0, "{checked:?}");
     }
 
     #[test]

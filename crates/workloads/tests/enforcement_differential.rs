@@ -1,0 +1,251 @@
+//! Differential testing between the **guarded** and **transient**
+//! enforcement strategies.
+//!
+//! The contract (DESIGN.md §14): the strategies agree on values *and*
+//! energy exactly where guarded's deep machinery has nothing to do —
+//! zero physical copies, zero failed checks. The migration lattice's
+//! fully-typed corner satisfies that trivially (no boundaries at all);
+//! a fully-untyped program satisfies it too as long as every dynamic
+//! object crosses a boundary once (guarded's lazy copy tags in place on
+//! first snapshot). Interior lattice points *re*-snapshot live objects,
+//! so guarded pays copies that transient refuses on principle: values
+//! still agree, energy legitimately does not. And on an adversarial
+//! seeded corpus, any disagreement must be confined to the verdict —
+//! which strategy rejects, and with what blame — never to the value a
+//! program computes when both strategies accept it.
+
+use ent_core::compile;
+use ent_energy::{Platform, PlatformKind};
+use ent_runtime::{lower_program, Enforcement, LoweredProgram, RunResult, RuntimeConfig};
+use ent_workloads::{benchmark, fuzzgen, lattice_program, platform_for};
+
+fn run_with(
+    lowered: &LoweredProgram,
+    platform: &Platform,
+    enforcement: Enforcement,
+    battery: f64,
+) -> RunResult {
+    ent_runtime::run_lowered(
+        lowered,
+        platform.clone(),
+        RuntimeConfig {
+            enforcement,
+            battery_level: battery,
+            seed: 13,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// The semantic surface the two strategies must share when the
+/// equivalence precondition holds: value, pretty value, printed output,
+/// and the exact energy/time bit patterns.
+fn semantics(r: &RunResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "value={:?}", r.value);
+    let _ = writeln!(out, "pretty={:?}", r.value_pretty);
+    let _ = writeln!(
+        out,
+        "energy={:016x} time={:016x}",
+        r.measurement.energy_j.to_bits(),
+        r.measurement.time_s.to_bits()
+    );
+    for line in &r.output {
+        let _ = writeln!(out, "out|{line}");
+    }
+    out
+}
+
+/// Each strategy's counters stay in their own lane: guarded never
+/// performs transient checks, transient never reports guarded blame.
+fn assert_counter_lanes(guarded: &RunResult, transient: &RunResult, ctx: &str) {
+    assert_eq!(
+        guarded.stats.transient_checks, 0,
+        "{ctx}: guarded run performed transient checks"
+    );
+    assert_eq!(
+        guarded.stats.transient_failures, 0,
+        "{ctx}: guarded run reported transient failures"
+    );
+    assert_eq!(
+        transient.stats.dfall_failures, 0,
+        "{ctx}: transient run reported guarded dfall blame"
+    );
+    assert_eq!(
+        transient.stats.snapshot_failures, 0,
+        "{ctx}: transient run reported guarded boundary blame"
+    );
+    assert_eq!(
+        transient.stats.copies, 0,
+        "{ctx}: transient run physically copied an object"
+    );
+}
+
+/// The fully-typed lattice corner: no boundaries, so guarded has zero
+/// copies and the strategies are bit-identical in value and energy.
+#[test]
+fn fully_typed_corner_is_bit_identical() {
+    for name in ["crypto", "sunflow", "batik"] {
+        let spec = benchmark(name).expect("lattice benchmark exists");
+        let platform = platform_for(&spec, PlatformKind::SystemA);
+        let components = 3;
+        let src = lattice_program(&spec, &platform, (1 << components) - 1, components);
+        let compiled = compile(&src).expect("fully-typed corner compiles");
+        let lowered = lower_program(&compiled);
+        let guarded = run_with(&lowered, &platform, Enforcement::Guarded, 0.95);
+        let transient = run_with(&lowered, &platform, Enforcement::Transient, 0.95);
+        assert!(guarded.value.is_ok(), "{name}: guarded rejected the corner");
+        assert_eq!(
+            guarded.stats.copies, 0,
+            "{name}: typed corner must not copy (precondition of the equivalence)"
+        );
+        assert_eq!(
+            semantics(&guarded),
+            semantics(&transient),
+            "{name}: strategies diverge on the fully-typed corner"
+        );
+        assert_counter_lanes(&guarded, &transient, name);
+        // Transient still checks every send; "nothing to enforce" must
+        // not degrade into "nothing checked".
+        assert!(
+            transient.stats.transient_checks > 0,
+            "{name}: transient performed no checks on the typed corner"
+        );
+    }
+}
+
+/// A fully-untyped program whose dynamic objects each cross the boundary
+/// exactly once: guarded's lazy copy tags in place (zero copies), so the
+/// equivalence precondition holds at the opposite corner too.
+#[test]
+fn fully_untyped_fresh_boundary_corner_is_bit_identical() {
+    let src = r#"modes { energy_saver <= managed; managed <= full_throttle; }
+class Worker@mode<? <= W> {
+  double units;
+  attributor {
+    if (Ext.battery() >= 0.9) { return full_throttle; }
+    else if (Ext.battery() >= 0.7) { return managed; }
+    else { return energy_saver; }
+  }
+  double chunk() { Sim.work("cpu", this.units); return this.units; }
+}
+class App@mode<? <= X> {
+  attributor {
+    if (Ext.battery() >= 0.9) { return full_throttle; }
+    else if (Ext.battery() >= 0.7) { return managed; }
+    else { return energy_saver; }
+  }
+  unit step(int remaining) {
+    if (remaining <= 0) { return {}; }
+    let dw = new Worker(40.0);
+    let Worker w = snapshot dw [_, X];
+    w.chunk();
+    return this.step(remaining - 1);
+  }
+  unit run() { this.step(24); return {}; }
+}
+class Main {
+  unit main() {
+    let dapp = new App();
+    let App a = snapshot dapp [_, _];
+    a.run();
+    return {};
+  }
+}"#;
+    let compiled = compile(src).expect("fresh-boundary program compiles");
+    let lowered = lower_program(&compiled);
+    let platform = Platform::system_a();
+    for battery in [0.15, 0.55, 0.95] {
+        let guarded = run_with(&lowered, &platform, Enforcement::Guarded, battery);
+        let transient = run_with(&lowered, &platform, Enforcement::Transient, battery);
+        assert!(guarded.value.is_ok(), "guarded rejected at {battery}");
+        assert_eq!(
+            guarded.stats.copies, 0,
+            "fresh-per-crossing objects must tag in place, not copy"
+        );
+        assert!(guarded.stats.snapshots > 24, "boundary was not exercised");
+        assert_eq!(
+            semantics(&guarded),
+            semantics(&transient),
+            "strategies diverge on the fresh-boundary untyped corner at battery {battery}"
+        );
+        assert_counter_lanes(&guarded, &transient, "untyped corner");
+    }
+}
+
+/// Interior lattice points re-snapshot a live Worker every chunk:
+/// guarded pays physical copies (and their energy), transient re-tags in
+/// place. Values agree; the energy gap is exactly the strategies' point.
+#[test]
+fn interior_points_agree_on_values_guarded_pays_copies() {
+    let spec = benchmark("batik").expect("batik exists");
+    let platform = platform_for(&spec, PlatformKind::SystemA);
+    let components = 3;
+    for mask in 1..(1u32 << components) - 1 {
+        let src = lattice_program(&spec, &platform, mask, components);
+        let compiled = compile(&src).expect("interior point compiles");
+        let lowered = lower_program(&compiled);
+        let guarded = run_with(&lowered, &platform, Enforcement::Guarded, 0.95);
+        let transient = run_with(&lowered, &platform, Enforcement::Transient, 0.95);
+        assert!(guarded.value.is_ok() && transient.value.is_ok());
+        assert_eq!(
+            guarded.value_pretty, transient.value_pretty,
+            "mask {mask}: values diverge"
+        );
+        assert_eq!(
+            guarded.output, transient.output,
+            "mask {mask}: output diverges"
+        );
+        assert!(
+            guarded.stats.copies > 0,
+            "mask {mask}: interior point must force guarded copies"
+        );
+        assert!(
+            guarded.measurement.energy_j > transient.measurement.energy_j,
+            "mask {mask}: guarded copies must cost energy that transient does not pay"
+        );
+        assert_counter_lanes(&guarded, &transient, "interior");
+    }
+}
+
+/// Adversarial seeded corpus: across fuzz programs and battery levels,
+/// the strategies may disagree on the verdict (who rejects, with what
+/// blame) but never on the value when both accept.
+#[test]
+fn seeded_grid_disagreements_are_verdict_only() {
+    let mut both_ok = 0u64;
+    let mut verdict_splits = 0u64;
+    for seed in 0..40 {
+        let src = fuzzgen::program(seed);
+        let compiled = compile(&src)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated program rejected: {e}"));
+        let lowered = lower_program(&compiled);
+        let platform = Platform::system_a();
+        for battery in [0.15, 0.55, 0.95] {
+            let guarded = run_with(&lowered, &platform, Enforcement::Guarded, battery);
+            let transient = run_with(&lowered, &platform, Enforcement::Transient, battery);
+            assert_counter_lanes(&guarded, &transient, &format!("seed {seed}"));
+            match (&guarded.value, &transient.value) {
+                (Ok(_), Ok(_)) => {
+                    both_ok += 1;
+                    assert_eq!(
+                        guarded.value_pretty, transient.value_pretty,
+                        "seed {seed} battery {battery}: both strategies accepted \
+                         but computed different values\n{src}"
+                    );
+                    assert_eq!(
+                        guarded.output, transient.output,
+                        "seed {seed} battery {battery}: both strategies accepted \
+                         but printed different output\n{src}"
+                    );
+                }
+                (Ok(_), Err(_)) | (Err(_), Ok(_)) => verdict_splits += 1,
+                (Err(_), Err(_)) => {}
+            }
+        }
+    }
+    assert!(both_ok > 0, "corpus never exercised the agreement path");
+    // Divergent verdicts are allowed, not required; print for the curious.
+    eprintln!("agreement runs: {both_ok}, verdict splits: {verdict_splits}");
+}

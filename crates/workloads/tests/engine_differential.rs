@@ -2,10 +2,15 @@
 //! register-bytecode VM.
 //!
 //! Every seeded program from [`ent_workloads::fuzzgen`] is run under both
-//! engines across a small grid of battery levels and fault regimes, and
-//! the complete observable surface — result value (or error), pretty
-//! value, printed output, run statistics, energy/time bit patterns, and
-//! the rendered event stream — must match byte for byte.
+//! engines across a small grid of battery levels, fault regimes, and
+//! **enforcement strategies**, and the complete observable surface —
+//! result value (or error), pretty value, printed output, run
+//! statistics, energy/time bit patterns, and the rendered event stream —
+//! must match byte for byte. Guarded and transient check different
+//! things, but each strategy's checks are engine-independent: under
+//! guarded the engines agree bit-for-bit as always, and under transient
+//! they agree on the full surface too (which subsumes the accept/reject
+//! verdict, the transient check/failure counters, and the blame string).
 //!
 //! Iteration count defaults to 40 seeds and can be raised via the
 //! `ENT_FUZZ_ITERS` environment variable (the `engine_fuzz` bench binary
@@ -13,7 +18,9 @@
 
 use ent_core::compile;
 use ent_energy::{FaultPlan, Platform};
-use ent_runtime::{lower_program, render_event, Engine, LoweredProgram, RunResult, RuntimeConfig};
+use ent_runtime::{
+    lower_program, render_event, Enforcement, Engine, LoweredProgram, RunResult, RuntimeConfig,
+};
 use ent_workloads::fuzzgen;
 
 fn fuzz_iters() -> u64 {
@@ -52,9 +59,15 @@ fn observe(prog: &LoweredProgram, r: &RunResult) -> String {
     out
 }
 
-fn config(engine: Engine, battery: f64, faults: Option<FaultPlan>) -> RuntimeConfig {
+fn config(
+    engine: Engine,
+    enforcement: Enforcement,
+    battery: f64,
+    faults: Option<FaultPlan>,
+) -> RuntimeConfig {
     RuntimeConfig {
         engine,
+        enforcement,
         battery_level: battery,
         seed: 7,
         record_events: true,
@@ -75,27 +88,30 @@ fn engines_agree_on_generated_programs() {
         let lowered = lower_program(&compiled);
         for battery in [0.15, 0.55, 0.95] {
             for faults in [None, Some(FaultPlan::chaos())] {
-                let tree = ent_runtime::run_lowered(
-                    &lowered,
-                    Platform::system_a(),
-                    config(Engine::Tree, battery, faults.clone()),
-                );
-                let vm = ent_runtime::run_lowered(
-                    &lowered,
-                    Platform::system_a(),
-                    config(Engine::Bytecode, battery, faults.clone()),
-                );
-                if tree.value.is_err() {
-                    error_runs += 1;
+                for enforcement in [Enforcement::Guarded, Enforcement::Transient] {
+                    let tree = ent_runtime::run_lowered(
+                        &lowered,
+                        Platform::system_a(),
+                        config(Engine::Tree, enforcement, battery, faults.clone()),
+                    );
+                    let vm = ent_runtime::run_lowered(
+                        &lowered,
+                        Platform::system_a(),
+                        config(Engine::Bytecode, enforcement, battery, faults.clone()),
+                    );
+                    if tree.value.is_err() {
+                        error_runs += 1;
+                    }
+                    let (a, b) = (observe(&lowered, &tree), observe(&lowered, &vm));
+                    assert_eq!(
+                        a,
+                        b,
+                        "engine divergence at seed {seed} battery {battery} faults {} \
+                         enforce {}\nprogram:\n{src}",
+                        faults.is_some(),
+                        enforcement.name(),
+                    );
                 }
-                let (a, b) = (observe(&lowered, &tree), observe(&lowered, &vm));
-                assert_eq!(
-                    a,
-                    b,
-                    "engine divergence at seed {seed} battery {battery} faults {}\n\
-                     program:\n{src}",
-                    faults.is_some(),
-                );
             }
         }
     }
