@@ -97,7 +97,8 @@ pub struct GridArgs {
 /// `--enforce transient` changes which checks run, so it *does* change
 /// results — that's the point of the migration-lattice sweep. A
 /// malformed `--faults`, `--engine`, `--enforce`, or `--adapt` value
-/// exits with status 1. `--engine` and `--enforce` are installed
+/// exits with status 1, as does a zero or non-numeric `--jobs`,
+/// `--fault-seed`, or `--chunk` — never a silent default. `--engine` and `--enforce` are installed
 /// process-wide via [`ent_workloads::set_default_engine`] /
 /// [`ent_workloads::set_default_enforcement`]; `--adapt` and `--chunk`
 /// via [`ent_runtime::adapt::set_mode`] /
@@ -156,13 +157,28 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
         ent_runtime::adapt::pin_chunk(n);
         parsed.chunk = Some(n);
     };
+    let parse_jobs = |v: &str| -> usize {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => exit_invalid("--jobs", v, "a positive integer"),
+        }
+    };
+    let parse_seed = |v: &str| -> u64 {
+        v.parse()
+            .unwrap_or_else(|_| exit_invalid("--fault-seed", v, "a non-negative integer"))
+    };
+    let parse_chunk = |v: &str| -> u32 {
+        match v.parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => exit_invalid("--chunk", v, "a positive integer"),
+        }
+    };
     while let Some(a) = args.next() {
         if a == "--jobs" {
-            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
-                parsed.jobs = n;
-            }
-        } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
-            parsed.jobs = n;
+            let v = args.next().unwrap_or_default();
+            parsed.jobs = parse_jobs(&v);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            parsed.jobs = parse_jobs(v);
         } else if a == "--faults" {
             let spec = args.next().unwrap_or_default();
             set_faults(&spec, &mut parsed);
@@ -170,11 +186,10 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
             let spec = spec.to_string();
             set_faults(&spec, &mut parsed);
         } else if a == "--fault-seed" {
-            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
-                parsed.fault_seed = n;
-            }
-        } else if let Some(n) = a.strip_prefix("--fault-seed=").and_then(|v| v.parse().ok()) {
-            parsed.fault_seed = n;
+            let v = args.next().unwrap_or_default();
+            parsed.fault_seed = parse_seed(&v);
+        } else if let Some(v) = a.strip_prefix("--fault-seed=") {
+            parsed.fault_seed = parse_seed(v);
         } else if a == "--engine" {
             let name = args.next().unwrap_or_default();
             set_engine(&name, &mut parsed);
@@ -194,16 +209,22 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
             let name = name.to_string();
             set_adapt(&name, &mut parsed);
         } else if a == "--chunk" {
-            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
-                set_chunk(n, &mut parsed);
-            }
-        } else if let Some(n) = a.strip_prefix("--chunk=").and_then(|v| v.parse().ok()) {
-            set_chunk(n, &mut parsed);
+            let v = args.next().unwrap_or_default();
+            set_chunk(parse_chunk(&v), &mut parsed);
+        } else if let Some(v) = a.strip_prefix("--chunk=") {
+            set_chunk(parse_chunk(v), &mut parsed);
         } else if let Ok(v) = a.parse() {
             parsed.value = v;
         }
     }
     parsed
+}
+
+/// The grid bins' usage-error exit: print what was wrong and stop with
+/// status 1 — a malformed knob must never fall back to a default.
+fn exit_invalid(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("invalid {flag} value {value:?} (expected {expected})");
+    std::process::exit(1);
 }
 
 /// Figure 6: benchmark statistics and the percentage energy overhead of
@@ -1206,6 +1227,8 @@ mod tests {
             "\"chunks_claimed\":",
             "\"adapt\":",
             "\"cache\":",
+            "\"entries\":",
+            "\"shard_entries\": [",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }

@@ -163,7 +163,8 @@ options:
   --fault-seed <n>     seed for the fault schedule (default: 0); the same
                        seed replays the identical fault realization
   --staleness-bound <s> seconds a last-known-good sensor reading may be served
-                       after a fault before decisions degrade (default: 5)
+                       after a fault before decisions degrade; must be a
+                       positive number (default: 5)
   --engine <e>         method-body execution engine: bytecode (the register
                        VM, default) or tree (the recursive evaluator); both
                        produce bit-identical results (ENT_ENGINE env default)
@@ -178,7 +179,8 @@ options:
                        config generation for byte-stable telemetry stamps)
                        (ENT_ADAPT env default)
   --chunk <n>          pin the batch scheduler's owner-side chunk size (jobs
-                       claimed per grab); 0 or absent derives it per batch
+                       claimed per grab); at least 1, or omit the flag to
+                       derive it per batch
 
 exit codes:
   0  success
@@ -326,8 +328,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 let bound: f64 = v
                     .parse()
                     .map_err(|_| format!("malformed staleness bound `{v}`"))?;
-                if bound.is_nan() || bound < 0.0 {
-                    return Err(format!("staleness bound must be non-negative, got `{v}`"));
+                if !bound.is_finite() || bound <= 0.0 {
+                    return Err(format!(
+                        "staleness bound must be a positive number of seconds, got `{v}`"
+                    ));
                 }
                 options.staleness_bound = Some(bound);
             }
@@ -358,10 +362,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--chunk" => {
                 let v = it.next().ok_or("--chunk needs a value")?;
-                options.chunk = Some(
-                    v.parse()
-                        .map_err(|_| format!("malformed chunk size `{v}`"))?,
-                );
+                let chunk: u32 = v
+                    .parse()
+                    .map_err(|_| format!("malformed chunk size `{v}`"))?;
+                if chunk == 0 {
+                    return Err(
+                        "chunk size must be at least 1 (omit --chunk to derive it per batch)"
+                            .to_string(),
+                    );
+                }
+                options.chunk = Some(chunk);
             }
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
@@ -499,119 +509,157 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                     return (EXIT_COMPILE, out);
                 }
             };
-            let platform = match options.platform.as_str() {
-                "b" => Platform::system_b(),
-                "c" => Platform::system_c(),
-                _ => Platform::system_a(),
-            };
-            let mut config = RuntimeConfig {
-                silent: options.silent,
-                battery_level: options.battery,
-                seed: options.seed,
-                trace_interval_s: options.trace.then_some(1.0),
-                record_events: options.events || options.metrics_json.is_some(),
-                profile: options.profile_mode(),
-                faults: options.faults.clone(),
-                fault_seed: options.fault_seed,
-                engine: options.engine.unwrap_or_default(),
-                enforcement: options.enforce.unwrap_or_else(Enforcement::from_env),
-                ..RuntimeConfig::default()
-            };
-            if let Some(limit) = options.events_limit {
-                config.events_capacity = limit;
-            }
-            if let Some(stack) = options.stack_size {
-                config.stack_size = stack;
-            }
-            if let Some(bound) = options.staleness_bound {
-                config.staleness_bound_s = bound;
-            }
             // Lower explicitly: rendering events and profiles resolves
             // interned ids through the lowered program.
             let lowered = lower_program(&compiled);
-            let result = run_lowered(&lowered, platform, config);
-            for line in &result.output {
-                let _ = writeln!(out, "{line}");
-            }
-            let code = match &result.value {
-                Ok(v) => {
-                    let pretty = result.value_pretty.clone().unwrap_or_else(|| v.to_string());
-                    let _ = writeln!(out, "result: {pretty}");
-                    if result.stats.degraded_decisions > 0 {
-                        // Only reachable with --faults: the run finished, but
-                        // some decisions fell back to the conservative bound.
-                        EXIT_DEGRADED
-                    } else {
-                        EXIT_OK
-                    }
-                }
-                Err(e) => {
-                    let _ = writeln!(out, "runtime error: {e}");
-                    EXIT_RUNTIME
-                }
-            };
-            let m = &result.measurement;
-            let _ = writeln!(
-                out,
-                "energy: {:.2} J over {:.2} s (peak {:.1} °C, battery {:.0}%)",
-                m.energy_j,
-                m.time_s,
-                m.peak_temp_c,
-                m.battery_level * 100.0
-            );
-            let _ = writeln!(
-                out,
-                "runtime: {} snapshots, {} copies, {} EnergyExceptions, {} dynamic allocations",
-                result.stats.snapshots,
-                result.stats.copies,
-                result.stats.energy_exceptions,
-                result.stats.dynamic_allocs
-            );
-            if options.faults.is_some() {
-                let _ = writeln!(
-                    out,
-                    "faults: {} sensor faults, {} served stale, {} degraded decisions",
-                    result.stats.sensor_faults,
-                    result.stats.stale_reads,
-                    result.stats.degraded_decisions
-                );
-            }
-            if options.events {
-                let _ = writeln!(out, "events:");
-                if result.events.dropped() > 0 {
-                    let _ = writeln!(
-                        out,
-                        "  ({} older events dropped; raise --events-limit to keep more)",
-                        result.events.dropped()
-                    );
-                }
-                for event in &result.events {
-                    let _ = writeln!(out, "  {}", render_event(&lowered, event));
-                }
-            }
-            if let Some(profile) = &result.profile {
-                let _ = writeln!(out, "profile:");
-                for line in profile.render_table().lines() {
-                    let _ = writeln!(out, "  {line}");
-                }
-            }
-            if let Some(path) = &options.metrics_json {
-                match std::fs::write(path, result.to_json()) {
-                    Ok(()) => {
-                        let _ = writeln!(out, "metrics: wrote {path}");
-                    }
-                    Err(e) => {
-                        let _ = writeln!(out, "metrics: failed to write {path}: {e}");
-                        return (EXIT_USAGE, out);
-                    }
-                }
-            }
-            if options.trace && !result.trace.is_empty() {
-                let temps: Vec<f64> = result.trace.iter().map(|(_, c)| *c).collect();
-                let _ = writeln!(out, "trace (°C): {}", summarize_trace(&temps));
-            }
-            (code, out)
+            let outcome = run_prepared(options, &lowered);
+            (outcome.code, outcome.output)
         }
+    }
+}
+
+/// The rendered outcome of one program run: the exit code and the exact
+/// bytes `ent run` would print, plus the headline numbers a resident
+/// server feeds into its admission and mode controllers without reparsing
+/// the text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// Exit code under the CLI contract (`EXIT_OK` / `EXIT_RUNTIME` /
+    /// `EXIT_DEGRADED`, or `EXIT_USAGE` for a failed `--metrics-json`
+    /// write).
+    pub code: i32,
+    /// The full human-readable report, byte-identical to `ent run`.
+    pub output: String,
+    /// Simulated energy spent by the run, in joules.
+    pub energy_j: f64,
+    /// Simulated wall time of the run, in seconds.
+    pub time_s: f64,
+    /// Sensor faults the injector served during the run.
+    pub sensor_faults: u64,
+    /// Mode decisions that fell back to the conservative bound.
+    pub degraded_decisions: u64,
+}
+
+/// Runs an already-lowered program under `options` and renders the full
+/// `ent run` report. This is the single rendering path: the CLI `run`
+/// subcommand calls it after compiling, and the `ent-serve` workers call
+/// it against cache-shared programs — which is what makes a served reply
+/// byte-identical to its one-shot equivalent by construction.
+pub fn run_prepared(options: &Options, lowered: &ent_runtime::LoweredProgram) -> RunOutcome {
+    let mut out = String::new();
+    let platform = match options.platform.as_str() {
+        "b" => Platform::system_b(),
+        "c" => Platform::system_c(),
+        _ => Platform::system_a(),
+    };
+    let mut config = RuntimeConfig {
+        silent: options.silent,
+        battery_level: options.battery,
+        seed: options.seed,
+        trace_interval_s: options.trace.then_some(1.0),
+        record_events: options.events || options.metrics_json.is_some(),
+        profile: options.profile_mode(),
+        faults: options.faults.clone(),
+        fault_seed: options.fault_seed,
+        engine: options.engine.unwrap_or_default(),
+        enforcement: options.enforce.unwrap_or_else(Enforcement::from_env),
+        ..RuntimeConfig::default()
+    };
+    if let Some(limit) = options.events_limit {
+        config.events_capacity = limit;
+    }
+    if let Some(stack) = options.stack_size {
+        config.stack_size = stack;
+    }
+    if let Some(bound) = options.staleness_bound {
+        config.staleness_bound_s = bound;
+    }
+    let result = run_lowered(lowered, platform, config);
+    for line in &result.output {
+        let _ = writeln!(out, "{line}");
+    }
+    let mut code = match &result.value {
+        Ok(v) => {
+            let pretty = result.value_pretty.clone().unwrap_or_else(|| v.to_string());
+            let _ = writeln!(out, "result: {pretty}");
+            if result.stats.degraded_decisions > 0 {
+                // Only reachable with --faults: the run finished, but
+                // some decisions fell back to the conservative bound.
+                EXIT_DEGRADED
+            } else {
+                EXIT_OK
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "runtime error: {e}");
+            EXIT_RUNTIME
+        }
+    };
+    let m = &result.measurement;
+    let _ = writeln!(
+        out,
+        "energy: {:.2} J over {:.2} s (peak {:.1} °C, battery {:.0}%)",
+        m.energy_j,
+        m.time_s,
+        m.peak_temp_c,
+        m.battery_level * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "runtime: {} snapshots, {} copies, {} EnergyExceptions, {} dynamic allocations",
+        result.stats.snapshots,
+        result.stats.copies,
+        result.stats.energy_exceptions,
+        result.stats.dynamic_allocs
+    );
+    if options.faults.is_some() {
+        let _ = writeln!(
+            out,
+            "faults: {} sensor faults, {} served stale, {} degraded decisions",
+            result.stats.sensor_faults, result.stats.stale_reads, result.stats.degraded_decisions
+        );
+    }
+    if options.events {
+        let _ = writeln!(out, "events:");
+        if result.events.dropped() > 0 {
+            let _ = writeln!(
+                out,
+                "  ({} older events dropped; raise --events-limit to keep more)",
+                result.events.dropped()
+            );
+        }
+        for event in &result.events {
+            let _ = writeln!(out, "  {}", render_event(lowered, event));
+        }
+    }
+    if let Some(profile) = &result.profile {
+        let _ = writeln!(out, "profile:");
+        for line in profile.render_table().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    if let Some(path) = &options.metrics_json {
+        match std::fs::write(path, result.to_json()) {
+            Ok(()) => {
+                let _ = writeln!(out, "metrics: wrote {path}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "metrics: failed to write {path}: {e}");
+                code = EXIT_USAGE;
+            }
+        }
+    }
+    if code != EXIT_USAGE && options.trace && !result.trace.is_empty() {
+        let temps: Vec<f64> = result.trace.iter().map(|(_, c)| *c).collect();
+        let _ = writeln!(out, "trace (°C): {}", summarize_trace(&temps));
+    }
+    RunOutcome {
+        code,
+        output: out,
+        energy_j: m.energy_j,
+        time_s: m.time_s,
+        sensor_faults: result.stats.sensor_faults,
+        degraded_decisions: result.stats.degraded_decisions,
     }
 }
 
@@ -877,6 +925,30 @@ mod tests {
         assert!(parse_args(&args(&["run", "x.ent", "--faults", "dropout=nope"])).is_err());
         assert!(parse_args(&args(&["run", "x.ent", "--staleness-bound", "-1"])).is_err());
         assert!(parse_args(&args(&["run", "x.ent", "--fault-seed"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_rejects_zero_and_junk_numeric_flags() {
+        // Zero is meaningless for these knobs — every rejection is a
+        // usage error (exit 1 in main) with a message naming the flag.
+        for bad in [
+            ["--staleness-bound", "0"],
+            ["--staleness-bound", "0.0"],
+            ["--staleness-bound", "inf"],
+            ["--staleness-bound", "NaN"],
+            ["--staleness-bound", "soon"],
+            ["--chunk", "0"],
+            ["--chunk", "-4"],
+            ["--chunk", "many"],
+            ["--sample-period", "0"],
+        ] {
+            let err = parse_args(&args(&["run", "x.ent", bad[0], bad[1]]))
+                .expect_err(&format!("{} {} must be rejected", bad[0], bad[1]));
+            assert!(!err.is_empty());
+        }
+        // The open boundary values stay accepted.
+        assert!(parse_args(&args(&["run", "x.ent", "--staleness-bound", "0.001"])).is_ok());
+        assert!(parse_args(&args(&["run", "x.ent", "--chunk", "1"])).is_ok());
     }
 
     #[test]

@@ -4,6 +4,12 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `ent serve ...` is a thin shim over the `ent-serve` binary built
+    // beside this one — the daemon stays its own process so a crashing
+    // tenant can never take the CLI contract down with it.
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_shim(&args[1..]);
+    }
     let options = match ent_cli::parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -27,4 +33,26 @@ fn main() -> ExitCode {
     let (code, output) = ent_cli::execute(&options, &src);
     print!("{output}");
     ExitCode::from(code as u8)
+}
+
+/// Re-execs `ent-serve` (expected next to the current executable, as
+/// cargo lays workspace binaries out) with the remaining arguments.
+fn serve_shim(rest: &[String]) -> ExitCode {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("ent-serve")));
+    let program = match sibling {
+        Some(p) if p.exists() => p,
+        _ => std::path::PathBuf::from("ent-serve"),
+    };
+    match std::process::Command::new(&program).args(rest).status() {
+        Ok(status) => ExitCode::from(status.code().unwrap_or(1) as u8),
+        Err(e) => {
+            eprintln!(
+                "error: cannot launch `{}`: {e} (build it with `cargo build -p ent-serve`)",
+                program.display()
+            );
+            ExitCode::from(1)
+        }
+    }
 }

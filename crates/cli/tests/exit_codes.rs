@@ -4,6 +4,7 @@
 
 use ent_cli::{
     execute, parse_args, EXIT_COMPILE, EXIT_DEGRADED, EXIT_OK, EXIT_REQUIRES_ENT, EXIT_RUNTIME,
+    EXIT_USAGE,
 };
 
 fn cli(args: &[&str], src: &str) -> (i32, String) {
@@ -35,6 +36,37 @@ const ADAPTIVE: &str = "modes { low <= high; }
 fn success_is_zero() {
     let (code, out) = cli(&["run", "x.ent"], OK_PROGRAM);
     assert_eq!(code, EXIT_OK, "{out}");
+}
+
+#[test]
+fn malformed_numeric_flags_exit_one_with_a_clear_message() {
+    // The full process contract: a zero or non-numeric value for a
+    // numeric knob exits 1 (usage) with a message naming the problem —
+    // never a panic, never a silent default.
+    let ent = env!("CARGO_BIN_EXE_ent");
+    for (flag, value, named) in [
+        ("--staleness-bound", "0", "staleness bound"),
+        ("--staleness-bound", "soon", "staleness bound"),
+        ("--chunk", "0", "chunk size"),
+        ("--chunk", "many", "chunk size"),
+        ("--sample-period", "0", "sample period"),
+        ("--sample-period", "often", "sample period"),
+    ] {
+        let out = std::process::Command::new(ent)
+            .args(["run", "x.ent", flag, value])
+            .output()
+            .expect("spawn ent");
+        assert_eq!(
+            out.status.code(),
+            Some(EXIT_USAGE),
+            "`{flag} {value}` should exit {EXIT_USAGE}"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(named),
+            "`{flag} {value}` message should mention `{named}`, got: {stderr}"
+        );
+    }
 }
 
 #[test]

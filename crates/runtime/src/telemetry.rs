@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 use crate::interp::RunResult;
 
 /// Escapes a string for inclusion in a JSON string literal.
-pub(crate) fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -38,7 +38,7 @@ pub(crate) fn json_escape(s: &str) -> String {
 
 /// Renders an f64 as a JSON number (`Display` for f64 is exact-round-trip
 /// and never uses exponent notation); non-finite values become `null`.
-pub(crate) fn json_f64(x: f64) -> String {
+pub fn json_f64(x: f64) -> String {
     if x.is_finite() {
         let s = format!("{x}");
         // `Display` prints integral floats without a fraction ("5"), which

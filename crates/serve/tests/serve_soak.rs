@@ -1,0 +1,73 @@
+//! The chaos-soak acceptance contract: the daemon survives the scripted
+//! storm with zero crashes, every accepted job is byte-identical to its
+//! one-shot `ent run`, shed jobs get typed replies, and the whole
+//! deterministic record replays exactly.
+
+use ent_serve::modes::SystemMode;
+use ent_serve::soak::{run_soak, SoakConfig};
+
+#[test]
+fn soak_replays_byte_identically_with_the_same_seed() {
+    let cfg = SoakConfig {
+        flood_jobs: 40,
+        ..SoakConfig::default()
+    };
+    let a = run_soak(&cfg);
+    let b = run_soak(&cfg);
+
+    // Zero daemon crashes, zero lost replies — both runs.
+    assert_eq!((a.daemon_errors, b.daemon_errors), (0, 0));
+    // Byte identity of every accepted job against one-shot `ent run`.
+    assert!(a.byte_identical, "{:?}", a.mismatches);
+    assert!(b.byte_identical, "{:?}", b.mismatches);
+    // The replay-invariant record is identical: every wave fact and the
+    // full transition log.
+    assert_eq!(a.deterministic_signature(), b.deterministic_signature());
+    assert_eq!(a.transitions, b.transitions);
+    // Hysteresis holds and the controller walked all the way home.
+    assert!(a.hysteresis_ok);
+    assert_eq!(a.final_mode, SystemMode::Normal);
+}
+
+#[test]
+fn a_different_seed_reshuffles_the_chaos_but_not_the_invariants() {
+    let report = run_soak(&SoakConfig {
+        seed: 7,
+        flood_jobs: 40,
+        ..SoakConfig::default()
+    });
+    // The scripted storm de-poisons its fixed programs per seed, so the
+    // invariants are seed-independent even though the poisoned program
+    // set is not.
+    assert_eq!(report.daemon_errors, 0);
+    assert!(report.byte_identical, "{:?}", report.mismatches);
+    assert!(report.hysteresis_ok);
+    assert_eq!(report.final_mode, SystemMode::Normal);
+    assert_eq!(report.quarantine_paroled, 1);
+    assert!(report
+        .transitions
+        .iter()
+        .any(|(_, _, to)| *to == SystemMode::FallbackOnly));
+}
+
+#[test]
+fn soak_report_renders_a_valid_bench_document() {
+    let report = run_soak(&SoakConfig {
+        flood_jobs: 20,
+        ..SoakConfig::default()
+    });
+    let doc = report.to_json();
+    assert!(ent_runtime::json_is_valid(&doc), "{doc}");
+    for needle in [
+        "\"schema\": \"ent-serve-soak/1\"",
+        "\"byte_identical\": true",
+        "\"hysteresis_ok\": true",
+        "\"daemon_errors\": 0",
+        "\"transitions\": [",
+        "\"determinism_log\": [",
+        "\"req_per_s\":",
+        "\"p99_ms\":",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in {doc}");
+    }
+}

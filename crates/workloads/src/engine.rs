@@ -124,6 +124,14 @@ pub fn cache_shard_of(src: &str) -> usize {
     (source_hash(src) % LOWERED_CACHE_SHARDS as u64) as usize
 }
 
+/// A stable 64-bit fingerprint of a program source — the cache key hash,
+/// also used by the server's quarantine table to identify repeat
+/// offenders without retaining tenant source text.
+#[must_use]
+pub fn source_fingerprint(src: &str) -> u64 {
+    source_hash(src)
+}
+
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
@@ -135,6 +143,8 @@ pub struct CacheStats {
     pub shards: u64,
     /// Total capacity currently in force (default or adaptively raised).
     pub capacity: u64,
+    /// Programs resident across all shards right now.
+    pub entries: u64,
     /// Lookups served from a shard.
     pub hits: u64,
     /// Lookups that compiled fresh.
@@ -143,16 +153,30 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// Reads the cache counters (monotone since process start).
+/// Reads the cache counters (monotone since process start, except
+/// `entries`, which is the live resident count).
 #[must_use]
 pub fn lowered_cache_stats() -> CacheStats {
     CacheStats {
         shards: LOWERED_CACHE_SHARDS as u64,
         capacity: cache_capacity() as u64,
+        entries: lowered_cache_shard_entries().iter().sum(),
         hits: CACHE_HITS.load(Ordering::Relaxed),
         misses: CACHE_MISSES.load(Ordering::Relaxed),
         evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
     }
+}
+
+/// Resident program count per shard, in shard order — the occupancy view
+/// behind [`CacheStats::entries`]. Until this existed, per-shard state was
+/// internal-only; the batch-telemetry sidecar and the server stats
+/// endpoint both render it so operators can spot skewed stripes.
+#[must_use]
+pub fn lowered_cache_shard_entries() -> Vec<u64> {
+    shards()
+        .iter()
+        .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len() as u64)
+        .collect()
 }
 
 /// The total cache capacity in force: the adaptive config's when it set
@@ -182,25 +206,40 @@ fn cache_capacity() -> usize {
 /// # Panics
 ///
 /// Panics if `src` does not compile — benchmark programs are generated,
-/// so a compile error is a harness bug, not a measurement.
+/// so a compile error is a harness bug, not a measurement. Servers
+/// compiling tenant-submitted source use [`try_lowered_cached`], where a
+/// compile error is a recorded reply instead.
 pub fn lowered_cached(name: &str, src: &str) -> Arc<LoweredProgram> {
+    try_lowered_cached(src).unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile:\n{e}"))
+}
+
+/// The fallible twin of [`lowered_cached`]: compiles and lowers `src` once
+/// (shared cache, same striping and eviction), returning the rendered
+/// compile error instead of panicking. Failed compiles are never cached —
+/// the sources a server sees repeatedly are the ones worth keeping, and a
+/// repeat offender is the quarantine table's job, not the cache's.
+///
+/// # Errors
+///
+/// Returns the diagnostic rendered against `src` (the same text the CLI's
+/// `error:` line carries) when the program fails to parse or typecheck.
+pub fn try_lowered_cached(src: &str) -> Result<Arc<LoweredProgram>, String> {
     let shard = &shards()[cache_shard_of(src)];
     {
         let s = shard.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(found) = s.map.get(src) {
             CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(found);
+            return Ok(Arc::clone(found));
         }
     }
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
-    let compiled = compile(src)
-        .unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile:\n{}", e.render(src)));
+    let compiled = compile(src).map_err(|e| e.render(src))?;
     let lowered = Arc::new(ent_runtime::lower_program(&compiled));
     let per_shard = (cache_capacity() / LOWERED_CACHE_SHARDS).max(1);
     let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(raced) = s.map.get(src) {
         // Another worker compiled and inserted while we were compiling.
-        return Arc::clone(raced);
+        return Ok(Arc::clone(raced));
     }
     while s.map.len() >= per_shard {
         let Some(oldest) = s.order.pop_front() else {
@@ -211,7 +250,7 @@ pub fn lowered_cached(name: &str, src: &str) -> Arc<LoweredProgram> {
     }
     s.map.insert(src.to_string(), Arc::clone(&lowered));
     s.order.push_back(src.to_string());
-    lowered
+    Ok(lowered)
 }
 
 /// Process-wide engine override: 0 = unset, 1 = tree, 2 = bytecode.
@@ -318,6 +357,48 @@ pub struct BatchPolicy {
     /// after it returns). `None` (the default) disables the check, which
     /// published-artifact runs rely on for host-independence.
     pub deadline: Option<Duration>,
+    /// Base delay of the jittered exponential backoff between retry
+    /// attempts. `None` (the default) retries immediately — the historical
+    /// behavior, and the right one for deterministic harness runs where a
+    /// retry exists only to absorb a panic. A server retrying against
+    /// transient contention sets a base; attempt `k` (1-based) then sleeps
+    /// `base * 2^(k-1)`, scaled by a seeded jitter factor in `[0.5, 1.0]`
+    /// — see [`retry_backoff`], which pins the schedule as a pure
+    /// function.
+    pub backoff_base: Option<Duration>,
+    /// Seed for the backoff jitter. The same `(seed, attempt)` pair always
+    /// produces the same delay, so retry schedules replay exactly.
+    pub backoff_seed: u64,
+}
+
+/// splitmix64 — the same stateless mixer the fault injector uses for
+/// window hashing; here it decorrelates backoff jitter across attempts.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The delay a policy imposes before retry attempt `attempt` (1-based; the
+/// first attempt is 0 and never waits). Pure in `(policy, attempt)`:
+/// exponential doubling from `backoff_base`, capped at 16 doublings, times
+/// a jitter factor in `[0.5, 1.0]` drawn from `splitmix64(backoff_seed ^
+/// attempt)`. `None` when the policy has no base or `attempt` is 0.
+#[must_use]
+pub fn retry_backoff(policy: &BatchPolicy, attempt: u32) -> Option<Duration> {
+    let base = policy.backoff_base?;
+    if attempt == 0 {
+        return None;
+    }
+    let doublings = (attempt - 1).min(16);
+    let h = splitmix64(policy.backoff_seed ^ u64::from(attempt));
+    // Top 53 bits → a uniform fraction in [0, 1); jitter in [0.5, 1.0].
+    let fraction = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let jitter = 0.5 + fraction / 2.0;
+    let nanos = base.as_nanos().saturating_mul(1u128 << doublings);
+    let nanos = u64::try_from(nanos).unwrap_or(u64::MAX);
+    Some(Duration::from_nanos((nanos as f64 * jitter) as u64))
 }
 
 /// Why a job in a batch produced no result.
@@ -354,6 +435,9 @@ fn run_job<J, R>(
 ) -> Result<R, JobError> {
     let mut last = None;
     for attempt in 0..=policy.retries {
+        if let Some(delay) = retry_backoff(policy, attempt) {
+            std::thread::sleep(delay);
+        }
         let started = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| f(job, attempt))) {
             Ok(r) => match policy.deadline {
@@ -373,6 +457,18 @@ fn run_job<J, R>(
         message: last.unwrap_or_else(|| "job failed".to_string()),
         attempts: policy.retries + 1,
     })
+}
+
+/// Runs one closure under a [`BatchPolicy`] — the same catch_unwind /
+/// retry / backoff / post-hoc-deadline machinery the batch scheduler
+/// applies per job, exposed for callers (like the resident server) that
+/// manage their own queues but want identical isolation semantics. The
+/// closure receives the 0-based attempt number.
+pub fn run_job_isolated<R>(
+    policy: &BatchPolicy,
+    f: impl Fn(u32) -> R + Sync,
+) -> Result<R, JobError> {
+    run_job(&(), policy, &|_: &(), attempt| f(attempt))
 }
 
 /// A contiguous block of pending job indices, packed `(lo << 32) | hi`
@@ -556,7 +652,8 @@ impl SchedTotals {
              \"chunks_claimed\": {}}}, \
              \"adapt\": {{\"mode\": \"{}\", \"generation\": {}}}, \
              \"cache\": {{\"shards\": {}, \"capacity\": {}, \"hits\": {}, \
-             \"misses\": {}, \"evictions\": {}}}}}",
+             \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
+             \"shard_entries\": [{}]}}}}",
             self.batches,
             self.jobs,
             self.max_workers,
@@ -577,6 +674,12 @@ impl SchedTotals {
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
+            self.cache.entries,
+            lowered_cache_shard_entries()
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
         )
     }
 }
@@ -1010,9 +1113,100 @@ mod tests {
             "\"adapt\"",
             "\"cache\"",
             "\"shards\"",
+            "\"entries\"",
+            "\"shard_entries\": [",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn try_lowered_cached_shares_and_reports_errors() {
+        let src = "class Main { int main() { return 7; } }";
+        let a = try_lowered_cached(src).expect("valid program compiles");
+        let b = try_lowered_cached(src).expect("second lookup hits");
+        assert!(Arc::ptr_eq(&a, &b), "cache shares the lowered program");
+
+        let before = lowered_cache_stats();
+        let err = try_lowered_cached("class Main { int main() { return x; } }")
+            .expect_err("unbound variable should fail to compile");
+        assert!(!err.is_empty(), "error is a rendered diagnostic");
+        let after = lowered_cache_stats();
+        assert_eq!(
+            before.entries, after.entries,
+            "failed compiles are never cached"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_pinned() {
+        // No base → immediate retries, the historical behavior.
+        let immediate = BatchPolicy {
+            retries: 3,
+            ..BatchPolicy::default()
+        };
+        assert_eq!(retry_backoff(&immediate, 1), None);
+
+        let policy = BatchPolicy {
+            retries: 4,
+            backoff_base: Some(Duration::from_millis(10)),
+            backoff_seed: 42,
+            ..BatchPolicy::default()
+        };
+        // Attempt 0 is the first try — never waits.
+        assert_eq!(retry_backoff(&policy, 0), None);
+        // The schedule is a pure function of (policy, attempt): pin it.
+        let schedule: Vec<u64> = (1..=4)
+            .map(|a| retry_backoff(&policy, a).unwrap().as_nanos() as u64)
+            .collect();
+        assert_eq!(
+            schedule,
+            vec![8_640_893, 12_133_587, 21_371_617, 69_207_970],
+            "jittered exponential schedule changed"
+        );
+        // Exponential envelope with jitter in [0.5, 1.0]: each delay sits
+        // inside [base * 2^(k-1) / 2, base * 2^(k-1)].
+        for (i, &nanos) in schedule.iter().enumerate() {
+            let ceiling = 10_000_000u64 << i;
+            assert!(nanos >= ceiling / 2 && nanos <= ceiling, "attempt {i}");
+        }
+        // Same seed → same schedule; different seed → different jitter.
+        let replay: Vec<u64> = (1..=4)
+            .map(|a| retry_backoff(&policy, a).unwrap().as_nanos() as u64)
+            .collect();
+        assert_eq!(schedule, replay);
+        let other = BatchPolicy {
+            backoff_seed: 43,
+            ..policy.clone()
+        };
+        assert_ne!(
+            retry_backoff(&other, 1),
+            retry_backoff(&policy, 1),
+            "seed participates in the jitter"
+        );
+    }
+
+    #[test]
+    fn run_job_isolated_traps_panics_and_retries() {
+        let calls = AtomicU64::new(0);
+        let policy = BatchPolicy {
+            retries: 2,
+            ..BatchPolicy::default()
+        };
+        let out = run_job_isolated(&policy, |attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if attempt < 2 {
+                panic!("transient failure on attempt {attempt}");
+            }
+            attempt
+        });
+        assert_eq!(out.unwrap(), 2, "third attempt succeeds");
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+
+        let err = run_job_isolated(&policy, |_| -> u32 { panic!("always") })
+            .expect_err("exhausted retries surface the panic");
+        assert_eq!(err.attempts, 3);
+        assert!(err.message.contains("always"));
     }
 
     #[test]
