@@ -7,10 +7,12 @@
 //!   cargo run -p ent-bench --release --bin engine_fuzz -- [--fuzz-iters N] [--jobs N]
 //!
 //! Every seeded program from `ent_workloads::fuzzgen` is executed under
-//! both engines (tree walker and bytecode VM) across a grid of battery
-//! levels, fault regimes, and enforcement strategies; any observable
-//! divergence — value, output, stats, energy/time bits, or the rendered
-//! event stream — aborts with the offending seed and program source.
+//! all three engines (tree walker, bytecode VM, and the closure-threaded
+//! tier at `--tier-up 0`, so every body actually tiers) across a grid of
+//! battery levels, fault regimes, and enforcement strategies; any
+//! observable divergence between any pair — value, output, stats,
+//! energy/time bits, or the rendered event stream — aborts with the
+//! offending seed and program source.
 //! Under transient the full-surface comparison subsumes the
 //! accept/reject verdict and the check counters. Exit status 0 means
 //! the corpus agreed everywhere.
@@ -22,7 +24,7 @@ use ent_core::compile;
 use ent_energy::{FaultPlan, Platform};
 use ent_runtime::{
     lower_program, render_event, run_lowered, Enforcement, Engine, LoweredProgram, RunResult,
-    RuntimeConfig,
+    RuntimeConfig, TierUp,
 };
 use ent_workloads::{fuzzgen, run_batch};
 
@@ -89,22 +91,29 @@ fn fuzz_seed(seed: u64) -> SeedReport {
                     record_events: true,
                     faults: faults.clone(),
                     fault_seed: 11,
+                    // Tier every body immediately so the threaded leg
+                    // exercises compiled code, not its bytecode warm-up.
+                    tier_up: TierUp::Always,
                     ..RuntimeConfig::default()
                 };
                 let tree = run_lowered(&lowered, Platform::system_a(), config(Engine::Tree));
                 let vm = run_lowered(&lowered, Platform::system_a(), config(Engine::Bytecode));
+                let th = run_lowered(&lowered, Platform::system_a(), config(Engine::Threaded));
                 report.runs += 1;
                 if tree.value.is_err() {
                     report.errors += 1;
                 }
-                let (a, b) = (observe(&lowered, &tree), observe(&lowered, &vm));
-                if a != b {
-                    report.divergence = Some(format!(
-                        "seed {seed} battery {battery} faults {} enforce {}:\n--- tree\n{a}\n--- bytecode\n{b}\n--- program\n{src}",
-                        faults.is_some(),
-                        enforcement.name()
-                    ));
-                    return report;
+                let a = observe(&lowered, &tree);
+                for (name, r) in [("bytecode", &vm), ("threaded", &th)] {
+                    let b = observe(&lowered, r);
+                    if a != b {
+                        report.divergence = Some(format!(
+                            "seed {seed} battery {battery} faults {} enforce {}:\n--- tree\n{a}\n--- {name}\n{b}\n--- program\n{src}",
+                            faults.is_some(),
+                            enforcement.name()
+                        ));
+                        return report;
+                    }
                 }
             }
         }
@@ -127,7 +136,7 @@ fn main() {
     }
     let jobs = ent_bench::parse_grid_args(0).jobs;
 
-    eprintln!("fuzzing {iters} seeds under both engines ({jobs} jobs)...");
+    eprintln!("fuzzing {iters} seeds under all three engines ({jobs} jobs)...");
     let start = Instant::now();
     let seeds: Vec<u64> = (0..iters).collect();
     let reports = run_batch(jobs, &seeds, |&seed| fuzz_seed(seed));
@@ -143,7 +152,7 @@ fn main() {
         }
     }
     eprintln!(
-        "ok: {iters} seeds, {runs} run pairs agreed ({errors} error runs exercised) in {:.1}s",
+        "ok: {iters} seeds, {runs} run triples agreed ({errors} error runs exercised) in {:.1}s",
         start.elapsed().as_secs_f64()
     );
     if iters >= 100 && errors == 0 {

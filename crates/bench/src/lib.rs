@@ -57,9 +57,10 @@ pub fn average_runs(repeats: usize, mut f: impl FnMut(u64) -> f64) -> f64 {
 
 /// Command-line arguments shared by the figure binaries:
 /// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]
-/// [--engine tree|bytecode] [--enforce guarded|transient]
-/// [--adapt on|off|frozen] [--chunk N]`, where the positional value is
-/// the repeat count (the seed, for `fig11_e3_thermal`).
+/// [--engine tree|bytecode|threaded] [--tier-up N|0|off]
+/// [--enforce guarded|transient] [--adapt on|off|frozen] [--chunk N]`,
+/// where the positional value is the repeat count (the seed, for
+/// `fig11_e3_thermal`).
 #[derive(Clone, Debug)]
 pub struct GridArgs {
     /// The positional value (repeats or seed).
@@ -74,6 +75,10 @@ pub struct GridArgs {
     /// Engine from `--engine`; `None` when the flag is absent (the
     /// process default — `ENT_ENGINE`, else bytecode — stays in force).
     pub engine: Option<ent_runtime::Engine>,
+    /// Tier-up threshold from `--tier-up`; `None` when the flag is
+    /// absent (the process default — `ENT_TIER_UP`, else 8 — stays in
+    /// force). Only the threaded engine reads it.
+    pub tier_up: Option<ent_runtime::TierUp>,
     /// Enforcement strategy from `--enforce`; `None` when the flag is
     /// absent (the process default — `ENT_ENFORCE`, else guarded — stays
     /// in force).
@@ -88,18 +93,20 @@ pub struct GridArgs {
 
 /// Parses `std::env::args()` as
 /// `[<value>] [--jobs N] [--faults <spec>] [--fault-seed N]
-/// [--engine tree|bytecode] [--enforce guarded|transient]
-/// [--adapt on|off|frozen] [--chunk N]`. The
+/// [--engine tree|bytecode|threaded] [--tier-up N|0|off]
+/// [--enforce guarded|transient] [--adapt on|off|frozen] [--chunk N]`. The
 /// jobs default comes from the `ENT_JOBS` environment variable (else 1);
 /// figure output is bit-identical at every jobs count, under both
 /// engines, at every chunk size, and in every adaptation mode, so those
 /// flags only change speed (and, for `--adapt`, telemetry stamps).
 /// `--enforce transient` changes which checks run, so it *does* change
 /// results — that's the point of the migration-lattice sweep. A
-/// malformed `--faults`, `--engine`, `--enforce`, or `--adapt` value
-/// exits with status 1, as does a zero or non-numeric `--jobs`,
-/// `--fault-seed`, or `--chunk` — never a silent default. `--engine` and `--enforce` are installed
-/// process-wide via [`ent_workloads::set_default_engine`] /
+/// malformed `--faults`, `--engine`, `--tier-up`, `--enforce`, or
+/// `--adapt` value exits with status 1, as does a zero or non-numeric
+/// `--jobs`, `--fault-seed`, or `--chunk` — never a silent default.
+/// `--engine`, `--tier-up`, and `--enforce` are installed process-wide
+/// via [`ent_workloads::set_default_engine`] /
+/// [`ent_workloads::set_default_tier_up`] /
 /// [`ent_workloads::set_default_enforcement`]; `--adapt` and `--chunk`
 /// via [`ent_runtime::adapt::set_mode`] /
 /// [`ent_runtime::adapt::pin_chunk`].
@@ -110,6 +117,7 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
         faults: None,
         fault_seed: 0,
         engine: None,
+        tier_up: None,
         enforce: None,
         adapt: None,
         chunk: None,
@@ -128,7 +136,17 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
             parsed.engine = Some(engine);
         }
         None => {
-            eprintln!("invalid --engine value {name:?} (expected tree or bytecode)");
+            eprintln!("invalid --engine value {name:?} (expected tree, bytecode, or threaded)");
+            std::process::exit(1);
+        }
+    };
+    let set_tier_up = |name: &str, parsed: &mut GridArgs| match ent_runtime::TierUp::parse(name) {
+        Some(tier_up) => {
+            ent_workloads::set_default_tier_up(tier_up);
+            parsed.tier_up = Some(tier_up);
+        }
+        None => {
+            eprintln!("invalid --tier-up value {name:?} (expected 0, off, or a count)");
             std::process::exit(1);
         }
     };
@@ -196,6 +214,12 @@ pub fn parse_grid_args(default_value: u64) -> GridArgs {
         } else if let Some(name) = a.strip_prefix("--engine=") {
             let name = name.to_string();
             set_engine(&name, &mut parsed);
+        } else if a == "--tier-up" {
+            let name = args.next().unwrap_or_default();
+            set_tier_up(&name, &mut parsed);
+        } else if let Some(name) = a.strip_prefix("--tier-up=") {
+            let name = name.to_string();
+            set_tier_up(&name, &mut parsed);
         } else if a == "--enforce" {
             let name = args.next().unwrap_or_default();
             set_enforce(&name, &mut parsed);

@@ -28,6 +28,7 @@ use ent_core::compile;
 use ent_energy::{FaultPlan, Platform};
 use ent_runtime::{
     lower_program, render_event, run, run_lowered, Enforcement, Engine, ProfileMode, RuntimeConfig,
+    TierUp,
 };
 use ent_syntax::{parse_program, print_program};
 
@@ -98,6 +99,10 @@ pub struct Options {
     /// Engine from `--engine` (`None` = the runtime default: bytecode,
     /// overridable via the `ENT_ENGINE` environment variable).
     pub engine: Option<Engine>,
+    /// Tier-up threshold from `--tier-up` (`None` = the runtime default:
+    /// 8 hot hits, overridable via the `ENT_TIER_UP` environment
+    /// variable). Only the threaded engine reads it.
+    pub tier_up: Option<TierUp>,
     /// Enforcement strategy from `--enforce` (`None` = the runtime
     /// default: guarded, overridable via the `ENT_ENFORCE` environment
     /// variable).
@@ -166,8 +171,15 @@ options:
                        after a fault before decisions degrade; must be a
                        positive number (default: 5)
   --engine <e>         method-body execution engine: bytecode (the register
-                       VM, default) or tree (the recursive evaluator); both
-                       produce bit-identical results (ENT_ENGINE env default)
+                       VM, default), tree (the recursive evaluator), or
+                       threaded (closure-threaded tier over the VM, with
+                       profile-guided tier-up and deopt back to bytecode);
+                       all produce bit-identical results (ENT_ENGINE env
+                       default)
+  --tier-up <n>        hot-body threshold before the threaded engine compiles
+                       a method body: 0 = compile immediately, off = never
+                       tier up, else the call count (default: 8; ENT_TIER_UP
+                       env default); ignored by the other engines
   --enforce <s>        mode-check enforcement strategy: guarded (deep snapshot
                        boundaries + dynamic waterfall, the paper's semantics,
                        default) or transient (shallow first-order checks at
@@ -231,6 +243,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         fault_seed: 0,
         staleness_bound: None,
         engine: None,
+        tier_up: None,
         enforce: None,
         adapt: None,
         chunk: None,
@@ -338,11 +351,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--engine" => {
                 let v = it
                     .next()
-                    .ok_or("--engine needs a value (tree or bytecode)")?;
-                options.engine =
-                    Some(Engine::parse(v).ok_or_else(|| {
-                        format!("unknown engine `{v}` (expected tree or bytecode)")
-                    })?);
+                    .ok_or("--engine needs a value (tree, bytecode, or threaded)")?;
+                options.engine = Some(Engine::parse(v).ok_or_else(|| {
+                    format!("unknown engine `{v}` (expected tree, bytecode, or threaded)")
+                })?);
+            }
+            "--tier-up" => {
+                let v = it
+                    .next()
+                    .ok_or("--tier-up needs a value (0, off, or a count)")?;
+                options.tier_up = Some(TierUp::parse(v).ok_or_else(|| {
+                    format!("malformed tier-up threshold `{v}` (expected 0, off, or a count)")
+                })?);
             }
             "--enforce" => {
                 let v = it
@@ -434,6 +454,7 @@ pub fn execute(options: &Options, src: &str) -> (i32, String) {
                 battery_level: options.battery,
                 seed: options.seed,
                 engine: options.engine.unwrap_or_default(),
+                tier_up: options.tier_up.unwrap_or_else(TierUp::from_env),
                 ..RuntimeConfig::default()
             };
             let result = run(&compiled, Platform::system_a(), config);
@@ -562,6 +583,7 @@ pub fn run_prepared(options: &Options, lowered: &ent_runtime::LoweredProgram) ->
         faults: options.faults.clone(),
         fault_seed: options.fault_seed,
         engine: options.engine.unwrap_or_default(),
+        tier_up: options.tier_up.unwrap_or_else(TierUp::from_env),
         enforcement: options.enforce.unwrap_or_else(Enforcement::from_env),
         ..RuntimeConfig::default()
     };
@@ -957,13 +979,26 @@ mod tests {
         assert_eq!(o.engine, Some(Engine::Tree));
         let o = parse_args(&args(&["run", "x.ent", "--engine", "bytecode"])).unwrap();
         assert_eq!(o.engine, Some(Engine::Bytecode));
+        let o = parse_args(&args(&["run", "x.ent", "--engine", "threaded"])).unwrap();
+        assert_eq!(o.engine, Some(Engine::Threaded));
         assert!(parse_args(&args(&["run", "x.ent", "--engine", "jit"])).is_err());
         assert!(parse_args(&args(&["run", "x.ent", "--engine"])).is_err());
 
-        // The flag must not change a single output byte.
+        // The flag must not change a single output byte — including the
+        // threaded tier forced to compile every body (`--tier-up 0`).
         let tree = parse_args(&args(&["run", "x.ent", "--engine", "tree"])).unwrap();
         let vm = parse_args(&args(&["run", "x.ent", "--engine", "bytecode"])).unwrap();
+        let th = parse_args(&args(&[
+            "run",
+            "x.ent",
+            "--engine",
+            "threaded",
+            "--tier-up",
+            "0",
+        ]))
+        .unwrap();
         assert_eq!(execute(&tree, HELLO), execute(&vm, HELLO));
+        assert_eq!(execute(&vm, HELLO), execute(&th, HELLO));
     }
 
     #[test]

@@ -44,8 +44,9 @@
 //! tuner stops publishing and every subsequent run reports the same
 //! generation stamp.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use crate::interp::Engine;
 
@@ -118,6 +119,7 @@ fn pack_cache(cache_capacity: u32, engine_hint: Option<Engine>) -> u64 {
         None => 0,
         Some(Engine::Tree) => 1,
         Some(Engine::Bytecode) => 2,
+        Some(Engine::Threaded) => 3,
     };
     ((cache_capacity as u64) << 32) | tag
 }
@@ -130,6 +132,7 @@ fn unpack(sched: u64, cache: u64) -> AdaptConfig {
         engine_hint: match cache & 0xffff_ffff {
             1 => Some(Engine::Tree),
             2 => Some(Engine::Bytecode),
+            3 => Some(Engine::Threaded),
             _ => None,
         },
     }
@@ -353,53 +356,90 @@ pub fn observe_cache(obs: &CacheObservation) -> u64 {
     cfg.generation()
 }
 
-/// Per-engine exponentially-weighted run-time telemetry, in nanoseconds
-/// per interpreter step (scaled ×1024 into the atomic). Index 0 = tree,
-/// 1 = bytecode.
-static ENGINE_EWMA: [AtomicU64; 2] = [AtomicU64::new(0), AtomicU64::new(0)];
-static ENGINE_SAMPLES: [AtomicU64; 2] = [AtomicU64::new(0), AtomicU64::new(0)];
+/// The engines the tuner ranks. Indexing for the EWMA tables below.
+const ENGINE_COUNT: usize = 3;
 
-/// Feeds one finished run's engine timing to the tuner. No-op unless
-/// [`mode`] is [`AdaptMode::On`]. Once both engines have ≥ 3 samples the
-/// tuner publishes the faster one as [`AdaptConfig::engine_hint`] (engine
-/// choice is value-neutral: the differential harness proves the two
-/// engines bit-identical, so the hint can only change timing).
-pub fn observe_engine(engine: Engine, steps: u64, wall_nanos: u64) {
-    if mode() != AdaptMode::On || steps == 0 {
-        return;
-    }
-    let i = match engine {
+fn engine_index(engine: Engine) -> usize {
+    match engine {
         Engine::Tree => 0,
         Engine::Bytecode => 1,
-    };
-    let sample = (wall_nanos * 1024) / steps.max(1);
-    let prev = ENGINE_EWMA[i].load(Ordering::Relaxed);
+        Engine::Threaded => 2,
+    }
+}
+
+fn engine_at(i: usize) -> Engine {
+    match i {
+        0 => Engine::Tree,
+        1 => Engine::Bytecode,
+        _ => Engine::Threaded,
+    }
+}
+
+/// Per-engine exponentially-weighted run-time telemetry, in nanoseconds
+/// per interpreter step (scaled ×1024 into the atomic). Indexed by
+/// [`engine_index`]: tree, bytecode, threaded.
+static ENGINE_EWMA: [AtomicU64; ENGINE_COUNT] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+static ENGINE_SAMPLES: [AtomicU64; ENGINE_COUNT] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+/// Samples an engine needs before its EWMA counts as evidence, and the
+/// number of evidenced engines needed before the tuner publishes a hint.
+const MIN_ENGINE_SAMPLES: u64 = 3;
+const MIN_RANKED_ENGINES: usize = 2;
+
+/// Folds one sample into an EWMA cell value (1/8 weight, never zero so
+/// "no data" stays distinguishable).
+fn ewma_fold(prev: u64, sample: u64) -> u64 {
     let next = if prev == 0 {
         sample
     } else {
         (prev * 7 + sample) / 8
     };
-    ENGINE_EWMA[i].store(next.max(1), Ordering::Relaxed);
-    let n = ENGINE_SAMPLES[i].fetch_add(1, Ordering::Relaxed) + 1;
-    if n < 3 {
-        return;
-    }
-    let other = 1 - i;
-    if ENGINE_SAMPLES[other].load(Ordering::Relaxed) < 3 {
-        return;
-    }
-    let mine = ENGINE_EWMA[i].load(Ordering::Relaxed);
-    let theirs = ENGINE_EWMA[other].load(Ordering::Relaxed);
-    let faster = if mine <= theirs {
-        if i == 0 {
-            Engine::Tree
-        } else {
-            Engine::Bytecode
+    next.max(1)
+}
+
+/// The fastest engine among those with enough samples, if at least
+/// [`MIN_RANKED_ENGINES`] have evidence (comparing one engine against
+/// nothing is not a ranking). Ties break toward the lower index.
+fn rank(cells: &[(u64, u64); ENGINE_COUNT]) -> Option<Engine> {
+    let mut best: Option<(u64, usize)> = None;
+    let mut ranked = 0;
+    for (j, &(ewma, samples)) in cells.iter().enumerate() {
+        if samples >= MIN_ENGINE_SAMPLES {
+            ranked += 1;
+            if best.is_none_or(|(b, _)| ewma < b) {
+                best = Some((ewma, j));
+            }
         }
-    } else if other == 0 {
-        Engine::Tree
-    } else {
-        Engine::Bytecode
+    }
+    (ranked >= MIN_RANKED_ENGINES).then(|| engine_at(best.expect("ranked ≥ 2 implies a best").1))
+}
+
+/// Feeds one finished run's engine timing to the tuner's *global* table.
+/// No-op unless [`mode`] is [`AdaptMode::On`]. Once at least two of the
+/// three engines have ≥ 3 samples each, the tuner publishes the fastest
+/// as [`AdaptConfig::engine_hint`] (engine choice is value-neutral: the
+/// differential harness proves all three engines bit-identical, so the
+/// hint can only change timing).
+pub fn observe_engine(engine: Engine, steps: u64, wall_nanos: u64) {
+    if mode() != AdaptMode::On || steps == 0 {
+        return;
+    }
+    let i = engine_index(engine);
+    let sample = (wall_nanos * 1024) / steps.max(1);
+    let prev = ENGINE_EWMA[i].load(Ordering::Relaxed);
+    ENGINE_EWMA[i].store(ewma_fold(prev, sample), Ordering::Relaxed);
+    ENGINE_SAMPLES[i].fetch_add(1, Ordering::Relaxed);
+    let mut cells = [(0u64, 0u64); ENGINE_COUNT];
+    for (j, cell) in cells.iter_mut().enumerate() {
+        *cell = (
+            ENGINE_EWMA[j].load(Ordering::Relaxed),
+            ENGINE_SAMPLES[j].load(Ordering::Relaxed),
+        );
+    }
+    let Some(faster) = rank(&cells) else {
+        return;
     };
     let cfg = global();
     let (_, mut current) = cfg.load();
@@ -409,9 +449,72 @@ pub fn observe_engine(engine: Engine, steps: u64, wall_nanos: u64) {
     }
 }
 
-/// The tuner's current engine preference, when adaptation is on and it
-/// has one. Consumers apply it only below explicit overrides (`--engine`,
-/// `ENT_ENGINE`).
+/// Shard count for the per-program engine table — mirrors the lowered-
+/// program cache's sharding so one program's hint never contends with
+/// the whole table.
+const PROGRAM_SHARDS: usize = 8;
+/// Programs tracked per shard; a shard past the bound drops its
+/// accumulated timings (stats, not semantics) and starts over.
+const PROGRAM_SHARD_CAP: usize = 128;
+
+type ProgramShard = Mutex<HashMap<u64, [(u64, u64); ENGINE_COUNT]>>;
+
+fn program_shards() -> &'static [ProgramShard; PROGRAM_SHARDS] {
+    static SHARDS: OnceLock<[ProgramShard; PROGRAM_SHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashMap::new())))
+}
+
+fn program_shard(fingerprint: u64) -> &'static ProgramShard {
+    &program_shards()[(fingerprint as usize) & (PROGRAM_SHARDS - 1)]
+}
+
+/// Feeds one finished run's engine timing to the tuner, keyed by the
+/// program's source fingerprint (the sharded program-cache key), *and*
+/// to the global table. Per-program hints dominate: two programs with
+/// opposite engine affinities each get their own answer instead of
+/// fighting over one global EWMA. No-op unless [`mode`] is
+/// [`AdaptMode::On`].
+pub fn observe_engine_for(fingerprint: u64, engine: Engine, steps: u64, wall_nanos: u64) {
+    if mode() != AdaptMode::On || steps == 0 {
+        return;
+    }
+    observe_engine(engine, steps, wall_nanos);
+    let i = engine_index(engine);
+    let sample = (wall_nanos * 1024) / steps.max(1);
+    let mut shard = program_shard(fingerprint)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if shard.len() >= PROGRAM_SHARD_CAP && !shard.contains_key(&fingerprint) {
+        shard.clear();
+    }
+    let cells = shard.entry(fingerprint).or_default();
+    cells[i].0 = ewma_fold(cells[i].0, sample);
+    cells[i].1 += 1;
+}
+
+/// The tuner's engine preference for one program (by source
+/// fingerprint), falling back to the global hint when this program lacks
+/// evidence of its own. `None` unless adaptation is on — `--adapt
+/// frozen` keeps every prepared program on its explicit or default
+/// engine, generation pinned.
+pub fn preferred_engine_for(fingerprint: u64) -> Option<Engine> {
+    if mode() != AdaptMode::On {
+        return None;
+    }
+    let shard = program_shard(fingerprint)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some(hint) = shard.get(&fingerprint).and_then(rank) {
+        return Some(hint);
+    }
+    drop(shard);
+    snapshot().1.engine_hint
+}
+
+/// The tuner's current global engine preference, when adaptation is on
+/// and it has one. Consumers apply it only below explicit overrides
+/// (`--engine`, `ENT_ENGINE`) — and below [`preferred_engine_for`]'s
+/// per-program answer when a fingerprint is at hand.
 pub fn preferred_engine() -> Option<Engine> {
     if mode() != AdaptMode::On {
         return None;

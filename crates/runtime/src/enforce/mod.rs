@@ -260,6 +260,7 @@ impl<'p> Interp<'p> {
             Err(e) => Err(e),
         };
         self.recycle_locals(frame.locals);
+        self.recycle_env(frame.env);
         out
     }
 }

@@ -32,6 +32,12 @@
 #[path = "vm.rs"]
 mod vm;
 
+// The tier-2 closure-threaded engine is likewise a child module: its ops
+// call straight into the same private `Interp` machinery the bytecode VM
+// uses, and deopt hands a live frame back to `vm::exec_from`.
+#[path = "threaded/mod.rs"]
+pub(crate) mod threaded;
+
 // The enforcement strategies (guarded/transient) are likewise child
 // modules: every obligation check both engines perform funnels through
 // the seam in `enforce`, which dispatches on
@@ -41,7 +47,7 @@ mod enforce;
 
 pub use enforce::Enforcement;
 
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use ent_core::CompiledProgram;
 use ent_energy::{
@@ -51,12 +57,11 @@ use ent_energy::{
 use ent_modes::ModeName;
 use ent_syntax::{BinOp, Symbol};
 
-use crate::compile::Code;
 use crate::error::{Flow, RtError};
 use crate::events::{EnergyEvent, EventPayload, EventRing, FaultServe};
 use crate::lower::{
-    lower_program, BOp, EnvSrc, GMode, LExpr, LMethod, LMode, LOverride, LStmt, LoweredProgram,
-    MDefault, MethodEntry,
+    lower_program, BOp, BodyCell, EnvSrc, GMode, LExpr, LMethod, LMode, LOverride, LStmt,
+    LoweredProgram, MDefault, MethodEntry,
 };
 use crate::profile::{
     AnyProfiler, Profile, ProfileMode, ProfileReport, SampledProfile, StackShadow,
@@ -80,14 +85,21 @@ pub enum Engine {
     /// caches. The default.
     #[default]
     Bytecode,
+    /// The tier-2 closure-threaded engine: hot bodies (per
+    /// [`RuntimeConfig::tier_up`]) are further compiled from bytecode into
+    /// a flat array of monomorphized fn-pointer ops with pre-resolved
+    /// operands; guarded ops deopt back to the bytecode VM at the faulting
+    /// site (see [`TierStats`]). Cold bodies run on the bytecode VM.
+    Threaded,
 }
 
 impl Engine {
-    /// Parses a CLI-facing engine name (`tree` | `bytecode`).
+    /// Parses a CLI-facing engine name (`tree` | `bytecode` | `threaded`).
     pub fn parse(s: &str) -> Option<Engine> {
         match s {
             "tree" => Some(Engine::Tree),
             "bytecode" => Some(Engine::Bytecode),
+            "threaded" => Some(Engine::Threaded),
             _ => None,
         }
     }
@@ -97,7 +109,69 @@ impl Engine {
         match self {
             Engine::Tree => "tree",
             Engine::Bytecode => "bytecode",
+            Engine::Threaded => "threaded",
         }
+    }
+}
+
+/// When the threaded engine promotes a body from bytecode to tier-2
+/// threaded code. Promotion is profile-guided: each body carries a hit
+/// counter and compiles (lazily, once per program — batch runs share the
+/// compiled tier like they share bytecode) when the counter crosses the
+/// threshold. Tier choice is perf-only and never observable: `--tier-up 0`
+/// and `--tier-up off` runs are byte-identical, which CI gates pin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierUp {
+    /// Promote on the first invocation (`--tier-up 0`).
+    Always,
+    /// Never promote; the threaded engine degenerates to pure bytecode
+    /// (`--tier-up off`).
+    Never,
+    /// Promote once a body has been invoked this many times.
+    After(u32),
+}
+
+impl Default for TierUp {
+    fn default() -> Self {
+        TierUp::After(DEFAULT_TIER_UP_THRESHOLD)
+    }
+}
+
+/// Default hot-body threshold: low enough that every benchmark-relevant
+/// body tiers up within warmup, high enough that one-shot init bodies
+/// skip the compile.
+pub const DEFAULT_TIER_UP_THRESHOLD: u32 = 8;
+
+impl TierUp {
+    /// Parses a CLI-facing threshold: `off` never promotes, `0` always
+    /// promotes, `N` promotes after `N` invocations.
+    pub fn parse(s: &str) -> Option<TierUp> {
+        match s {
+            "off" => Some(TierUp::Never),
+            _ => match s.parse::<u32>() {
+                Ok(0) => Some(TierUp::Always),
+                Ok(n) => Some(TierUp::After(n)),
+                Err(_) => None,
+            },
+        }
+    }
+
+    /// The CLI-facing spelling of this threshold.
+    pub fn display(self) -> String {
+        match self {
+            TierUp::Always => "0".to_string(),
+            TierUp::Never => "off".to_string(),
+            TierUp::After(n) => n.to_string(),
+        }
+    }
+
+    /// The process-default threshold: `ENT_TIER_UP` (`off` | `0` | `N`),
+    /// or the default threshold when unset or unparseable.
+    pub fn from_env() -> TierUp {
+        std::env::var("ENT_TIER_UP")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
     }
 }
 
@@ -171,6 +245,9 @@ pub struct RuntimeConfig {
     /// `transient` (shallow first-order checks with check-site blame —
     /// see [`Enforcement`]).
     pub enforcement: Enforcement,
+    /// Hot-body promotion threshold for the threaded engine (ignored by
+    /// the other engines). See [`TierUp`].
+    pub tier_up: TierUp,
 }
 
 impl Default for RuntimeConfig {
@@ -193,6 +270,7 @@ impl Default for RuntimeConfig {
             staleness_bound_s: 5.0,
             engine: Engine::default(),
             enforcement: Enforcement::default(),
+            tier_up: TierUp::default(),
         }
     }
 }
@@ -241,6 +319,75 @@ pub struct RunStats {
     pub transient_failures: u64,
 }
 
+/// Why a threaded body abandoned tier-2 execution and resumed on the
+/// bytecode VM. Each compiled body carries guards for exactly these
+/// conditions; a deopt re-enters the bytecode interpreter *at the
+/// faulting instruction* (the threaded ops stay pc-aligned with the
+/// bytecode stream, so the handoff needs no side tables) and the rest of
+/// the body runs to completion there — byte-identical to a pure-bytecode
+/// run, which the deopt-path tests pin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeoptReason {
+    /// The run's enforcement strategy is not the one the threaded tier
+    /// compiles against (`--enforce transient`): the body defers to
+    /// bytecode at entry.
+    Enforcement,
+    /// The energy-decision window rolled mid-body (fault injection with a
+    /// decision window): a pending mode decision (snapshot or `<|`) bails
+    /// out before deciding.
+    ModeWindow,
+    /// A send site's inline cache went megamorphic — too many receiver
+    ///-class transitions this run for the monomorphic fast path to be
+    /// worth guarding.
+    IcMegamorphic,
+    /// A sensor read came back faulted, bumping the injector epoch: the
+    /// remainder of the body defers to bytecode, which owns the
+    /// degradation ladder's slow paths.
+    FaultEpoch,
+}
+
+/// Tiering counters for one run of the threaded engine (all zero on the
+/// other engines). Deliberately *not* part of [`RunStats`]: stats are part
+/// of the cross-engine bit-identical contract (the differential harness
+/// compares them verbatim), while tier choice is a perf-only detail that
+/// legitimately varies with `--tier-up`. Surfaced as the `tier` object in
+/// `ent-run-telemetry/1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Bodies entered in tier-2 threaded code.
+    pub threaded_entries: u64,
+    /// Bodies compiled to threaded code during this run (program-wide
+    /// caching makes this 0 for all but the first run over a program).
+    pub threaded_compiles: u64,
+    /// Guard-triggered handoffs back to the bytecode VM, by reason.
+    pub deopt_enforcement: u64,
+    /// See [`DeoptReason::ModeWindow`].
+    pub deopt_mode_window: u64,
+    /// See [`DeoptReason::IcMegamorphic`].
+    pub deopt_ic_megamorphic: u64,
+    /// See [`DeoptReason::FaultEpoch`].
+    pub deopt_fault_epoch: u64,
+}
+
+impl TierStats {
+    /// Total deopts across all reasons.
+    pub fn deopts(&self) -> u64 {
+        self.deopt_enforcement
+            + self.deopt_mode_window
+            + self.deopt_ic_megamorphic
+            + self.deopt_fault_epoch
+    }
+
+    pub(crate) fn deopt(&mut self, reason: DeoptReason) {
+        match reason {
+            DeoptReason::Enforcement => self.deopt_enforcement += 1,
+            DeoptReason::ModeWindow => self.deopt_mode_window += 1,
+            DeoptReason::IcMegamorphic => self.deopt_ic_megamorphic += 1,
+            DeoptReason::FaultEpoch => self.deopt_fault_epoch += 1,
+        }
+    }
+}
+
 /// The result of running an ENT program.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -280,6 +427,10 @@ pub struct RunResult {
     /// The enforcement strategy the run executed under (mirrors
     /// [`RuntimeConfig::enforcement`]; surfaced in telemetry).
     pub enforcement: Enforcement,
+    /// Tier-up/deopt counters for the threaded engine (all zero on the
+    /// other engines; see [`TierStats`] for why they live outside
+    /// [`RunStats`]).
+    pub tier: TierStats,
 }
 
 /// Runs a compiled program's `Main.main()` on a simulated platform.
@@ -387,9 +538,12 @@ fn run_on_current_thread(
         last_good: [None; 2],
         degraded: false,
         locals_pool: Vec::new(),
+        env_pool: Vec::new(),
         ic_send: Vec::new(),
         ic_arm: Vec::new(),
         ic_snap: Vec::new(),
+        ic_poly: Vec::new(),
+        tier: TierStats::default(),
         config,
     };
     let value = interp.run_main();
@@ -428,6 +582,7 @@ fn run_on_current_thread(
         adapt_mode: crate::adapt::mode(),
         adapt_generation: crate::adapt::snapshot().0,
         enforcement: interp.config.enforcement,
+        tier: interp.tier,
     }
 }
 
@@ -534,18 +689,17 @@ fn make_locals(mut args: Vec<Value>, n_params: u32) -> (Vec<Value>, u32) {
 }
 
 /// Projects an object's mode environment through a pre-compiled
-/// (class → owner) environment map.
-fn apply_env(obj_env: &[GMode], map: &[EnvSrc]) -> Vec<GMode> {
-    map.iter()
-        .map(|src| match *src {
-            EnvSrc::Copy(i) => obj_env[i as usize],
-            EnvSrc::SlotOrVar { slot, var } => match obj_env[slot as usize] {
-                GMode::Missing => GMode::Var(var),
-                g => g,
-            },
-            EnvSrc::Ground(g) => g,
-        })
-        .collect()
+/// (class → owner) environment map, appending into `out` (a recycled
+/// vector from [`Interp::grab_env`] at the hot call sites).
+fn apply_env_into(obj_env: &[GMode], map: &[EnvSrc], out: &mut Vec<GMode>) {
+    out.extend(map.iter().map(|src| match *src {
+        EnvSrc::Copy(i) => obj_env[i as usize],
+        EnvSrc::SlotOrVar { slot, var } => match obj_env[slot as usize] {
+            GMode::Missing => GMode::Var(var),
+            g => g,
+        },
+        EnvSrc::Ground(g) => g,
+    }));
 }
 
 struct Interp<'p> {
@@ -580,6 +734,10 @@ struct Interp<'p> {
     /// capacity already grew to the largest `frame_size` seen instead of
     /// paying a malloc (and a realloc in `run_body`) plus a free per call.
     locals_pool: Vec<Vec<Value>>,
+    /// Recycled mode-environment vectors, pooled like `locals_pool`: every
+    /// send projects the receiver's environment through the entry's map
+    /// into one of these instead of a fresh allocation.
+    env_pool: Vec<Vec<GMode>>,
     /// Per-run send-site inline caches (bytecode engine), indexed by the
     /// program-wide site ids allocated during lazy compilation. Grown on
     /// demand; never shared across runs, so no cross-run or cross-thread
@@ -589,6 +747,14 @@ struct Interp<'p> {
     ic_arm: Vec<Option<vm::ArmIc>>,
     /// Per-run snapshot bounds-verdict caches (bytecode engine).
     ic_snap: Vec<Option<vm::SnapIc>>,
+    /// Per-run send-site polymorphism counters (threaded engine), indexed
+    /// like `ic_send`: each IC miss in threaded code bumps the site's
+    /// count, and a site that transitions too often deopts as
+    /// megamorphic. Saturating, never reset within a run — deterministic
+    /// for a deterministic run.
+    ic_poly: Vec<u8>,
+    /// Tiering counters for this run (threaded engine only).
+    tier: TierStats,
 }
 
 type EvalResult = Result<Value, Flow>;
@@ -669,6 +835,22 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// Hands out an empty mode-environment vector, preferring a recycled
+    /// one from [`Self::recycle_env`] over a fresh allocation.
+    #[inline]
+    fn grab_env(&mut self) -> Vec<GMode> {
+        self.env_pool.pop().unwrap_or_default()
+    }
+
+    /// Parks a finished frame's mode environment for reuse.
+    #[inline]
+    fn recycle_env(&mut self, mut env: Vec<GMode>) {
+        if self.env_pool.len() < 64 {
+            env.clear();
+            self.env_pool.push(env);
+        }
+    }
+
     /// The current energy-decision window: mode-decision inline caches are
     /// keyed by it so they invalidate on window roll. 0 with faults off
     /// (the cached decisions are pure lattice functions of their keys, so
@@ -685,21 +867,48 @@ impl<'p> Interp<'p> {
     /// Executes one lowered body on the configured engine. The bytecode
     /// engine lazily compiles into `cell` (shared program-wide, so batch
     /// runs compile once) and resizes the frame's register file; `n_base`
-    /// is the body's parameter count (its fixed leading locals).
+    /// is the body's parameter count (its fixed leading locals). The
+    /// threaded engine additionally consults the cell's hit counter and,
+    /// once hot (per [`RuntimeConfig::tier_up`]), compiles the bytecode to
+    /// tier-2 threaded code — also cached program-wide — and enters it.
     fn run_body(
         &mut self,
         frame: &mut Frame,
         body: &'p LExpr,
-        cell: &'p OnceLock<Code>,
+        cell: &'p BodyCell,
         n_base: u32,
     ) -> EvalResult {
         match self.config.engine {
             Engine::Tree => self.eval(frame, body),
             Engine::Bytecode => {
-                let code =
-                    cell.get_or_init(|| crate::compile::compile_body(body, n_base, &self.prog.ic));
+                let code = cell.code_or_compile(body, n_base, &self.prog.ic);
                 frame.locals.resize(code.frame_size as usize, Value::Unit);
                 self.exec(frame, code)
+            }
+            Engine::Threaded => {
+                let code = cell.code_or_compile(body, n_base, &self.prog.ic);
+                frame.locals.resize(code.frame_size as usize, Value::Unit);
+                let hot = match self.config.tier_up {
+                    TierUp::Never => false,
+                    TierUp::Always => true,
+                    // The counter is program-wide (shared by concurrent
+                    // runs) and drives a perf-only choice, so the benign
+                    // count race needs no stronger ordering.
+                    TierUp::After(n) => cell.hot_hit() >= n,
+                };
+                if hot {
+                    let mut fresh = false;
+                    let tcode = cell.threaded.get_or_init(|| {
+                        fresh = true;
+                        threaded::compile_threaded(code)
+                    });
+                    if fresh {
+                        self.tier.threaded_compiles += 1;
+                    }
+                    threaded::enter(self, frame, code, tcode)
+                } else {
+                    self.exec(frame, code)
+                }
             }
         }
     }
@@ -915,13 +1124,14 @@ impl<'p> Interp<'p> {
             self.heap[obj_ref].fields[*slot as usize] = v;
         }
         for job in &layout.ctor.inits {
-            let env = apply_env(&self.heap[obj_ref].mode_env, &job.env_map);
+            let mut env = self.grab_env();
+            apply_env_into(&self.heap[obj_ref].mode_env, &job.env_map, &mut env);
             let mode = match self.heap[obj_ref].mode {
                 RtTag::Ground(m) => m,
                 RtTag::Dynamic => GMode::Top,
             };
             let mut frame = Frame {
-                locals: Vec::new(),
+                locals: self.grab_locals(0),
                 this_ref: Some(obj_ref),
                 mode,
                 env,
@@ -929,6 +1139,8 @@ impl<'p> Interp<'p> {
                 n_params: 0,
             };
             let v = self.run_body(&mut frame, &job.body, &job.code, 0)?;
+            self.recycle_locals(frame.locals);
+            self.recycle_env(frame.env);
             self.heap[obj_ref].fields[job.slot as usize] = v;
         }
         Ok(obj_ref)
@@ -1072,7 +1284,8 @@ impl<'p> Interp<'p> {
             None => lookup()?,
         };
         let m: &'p LMethod = &entry.method;
-        let mut env = apply_env(&self.heap[recv].mode_env, &entry.env_map);
+        let mut env = self.grab_env();
+        apply_env_into(&self.heap[recv].mode_env, &entry.env_map, &mut env);
         let n0 = env.len();
 
         // Bind generic method-mode parameters: explicit arguments first,
@@ -1171,7 +1384,7 @@ impl<'p> Interp<'p> {
         &mut self,
         frame: &mut Frame,
         body: &'p LExpr,
-        cell: &'p OnceLock<Code>,
+        cell: &'p BodyCell,
         n_base: u32,
     ) -> Result<GMode, Flow> {
         let v = match self.run_body(frame, body, cell, n_base) {
@@ -1227,11 +1440,13 @@ impl<'p> Interp<'p> {
             ))
             .into());
         };
+        let mut env = self.grab_env();
+        env.extend_from_slice(&self.heap[obj].mode_env);
         let mut aframe = Frame {
-            locals: Vec::new(),
+            locals: self.grab_locals(0),
             this_ref: Some(obj),
             mode: frame.mode,
-            env: self.heap[obj].mode_env.clone(),
+            env,
             unbound_lo: u32::MAX,
             n_params: 0,
         };
@@ -1243,6 +1458,8 @@ impl<'p> Interp<'p> {
             self.eval_attributor_body(&mut aframe, &attributor.body, &attributor.code, 0)?;
         let attr_degraded = self.degraded;
         self.degraded = outer_degraded;
+        self.recycle_locals(aframe.locals);
+        self.recycle_env(aframe.env);
 
         // check(m, m1, m2, o): bad check throws the catchable
         // EnergyException unless running silent.
@@ -1632,30 +1849,44 @@ impl<'p> Interp<'p> {
         op: BOp,
         ns: &ent_syntax::Ident,
         name: &ent_syntax::Ident,
-        args: Vec<Value>,
+        mut args: Vec<Value>,
+    ) -> EvalResult {
+        self.builtin_slice(op, ns, name, &mut args)
+    }
+
+    /// The slice-based builtin core: callers keep ownership of the
+    /// argument storage (the threaded tier recycles a pooled register
+    /// file through it; the VM path funnels in via [`Self::builtin`]).
+    /// Arms that need owned values take them out of the slice, leaving
+    /// `Unit` — indistinguishable from the by-value form since the
+    /// caller drops or clears the storage without reading it back.
+    fn builtin_slice(
+        &mut self,
+        op: BOp,
+        ns: &ent_syntax::Ident,
+        name: &ent_syntax::Ident,
+        args: &mut [Value],
     ) -> EvalResult {
         let native = |msg: String| -> Flow { RtError::Native(msg).into() };
         // Growth builtins take their array argument by value: when the `Arc`
         // is the last reference (the common `a = Arr.push(a, x);` loop shape
         // once the caller's register has been drained) the buffer is reused
         // in place instead of re-copying the spine every iteration.
-        match (op, args.as_slice()) {
+        match (op, &*args) {
             (BOp::ArrPush, [Value::Array(_), _]) => {
-                let mut it = args.into_iter();
-                let Some(Value::Array(a)) = it.next() else {
+                let Value::Array(a) = std::mem::replace(&mut args[0], Value::Unit) else {
                     unreachable!("shape checked above")
                 };
-                let v = it.next().expect("shape checked above");
+                let v = std::mem::replace(&mut args[1], Value::Unit);
                 let mut out = Arc::try_unwrap(a).unwrap_or_else(|a| a.to_vec());
                 out.push(v);
                 return Ok(Value::Array(Arc::new(out)));
             }
             (BOp::ArrConcat, [Value::Array(_), Value::Array(_)]) => {
-                let mut it = args.into_iter();
-                let Some(Value::Array(a)) = it.next() else {
+                let Value::Array(a) = std::mem::replace(&mut args[0], Value::Unit) else {
                     unreachable!("shape checked above")
                 };
-                let Some(Value::Array(b)) = it.next() else {
+                let Value::Array(b) = std::mem::replace(&mut args[1], Value::Unit) else {
                     unreachable!("shape checked above")
                 };
                 let mut out = Arc::try_unwrap(a).unwrap_or_else(|a| a.to_vec());
@@ -1664,7 +1895,7 @@ impl<'p> Interp<'p> {
             }
             _ => {}
         }
-        match (op, args.as_slice()) {
+        match (op, &*args) {
             (BOp::ExtBattery, []) => Ok(Value::Double(self.read_sensor(SensorKind::Battery))),
             (BOp::ExtTemperature, []) => {
                 Ok(Value::Double(self.read_sensor(SensorKind::Temperature)))
@@ -1772,9 +2003,12 @@ mod clone_audit {
             last_good: [None; 2],
             degraded: false,
             locals_pool: Vec::new(),
+            env_pool: Vec::new(),
             ic_send: Vec::new(),
             ic_arm: Vec::new(),
             ic_snap: Vec::new(),
+            ic_poly: Vec::new(),
+            tier: TierStats::default(),
             config,
         };
         f(&mut interp)

@@ -56,7 +56,10 @@ mod value;
 pub use adapt::{AdaptConfig, AdaptMode, AtomicConfig};
 pub use error::{Flow, RtError};
 pub use events::{render_event, EnergyEvent, EventPayload, EventRing, FaultServe};
-pub use interp::{run, run_lowered, Enforcement, Engine, RunResult, RunStats, RuntimeConfig};
+pub use interp::{
+    run, run_lowered, DeoptReason, Enforcement, Engine, RunResult, RunStats, RuntimeConfig,
+    TierStats, TierUp, DEFAULT_TIER_UP_THRESHOLD,
+};
 pub use lower::{lower_program, GMode, LoweredProgram};
 pub use profile::{
     Costs, MethodProfile, Profile, ProfileMode, ProfileReport, SampledMethod, SampledProfile,

@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use ent_core::CompiledProgram;
@@ -120,6 +121,52 @@ pub(crate) struct MParam {
     pub(crate) default: MDefault,
 }
 
+/// Per-body compilation state, shared program-wide (every concurrent run
+/// over a lowered program sees the same cells, so each tier compiles at
+/// most once per program). One cell per compilable body: method bodies,
+/// attributors, and field initializers.
+#[derive(Debug, Default)]
+pub(crate) struct BodyCell {
+    /// Lazily compiled bytecode (see [`crate::compile`]).
+    code: OnceLock<crate::compile::Code>,
+    /// Invocation hit counter driving the threaded engine's
+    /// profile-guided tier-up. Program-wide and racy by design: tier
+    /// choice is perf-only and never observable in results.
+    hot: AtomicU32,
+    /// Lazily compiled tier-2 threaded code (threaded engine only).
+    pub(crate) threaded: OnceLock<crate::interp::threaded::TCode>,
+}
+
+impl BodyCell {
+    /// The compiled bytecode, if any engine has compiled this body yet.
+    #[inline]
+    pub(crate) fn code(&self) -> Option<&crate::compile::Code> {
+        self.code.get()
+    }
+
+    /// The compiled bytecode, compiling it first if needed.
+    #[inline]
+    pub(crate) fn code_or_compile(
+        &self,
+        body: &LExpr,
+        n_base: u32,
+        ic: &crate::compile::IcCounters,
+    ) -> &crate::compile::Code {
+        self.code
+            .get_or_init(|| crate::compile::compile_body(body, n_base, ic))
+    }
+
+    /// Records one invocation and returns the new hit count (saturating).
+    #[inline]
+    pub(crate) fn hot_hit(&self) -> u32 {
+        let c = self.hot.load(Ordering::Relaxed);
+        if c == u32::MAX {
+            return c;
+        }
+        self.hot.fetch_add(1, Ordering::Relaxed).saturating_add(1)
+    }
+}
+
 /// A lowered method body, shared by every class that inherits it.
 #[derive(Debug)]
 pub(crate) struct LMethod {
@@ -132,10 +179,10 @@ pub(crate) struct LMethod {
     /// Method-level `@mode<η>` override, if any.
     pub(crate) mode_override: Option<LOverride>,
     pub(crate) body: LExpr,
-    /// Lazily compiled bytecode for `body` (see [`crate::compile`]).
-    pub(crate) body_code: OnceLock<crate::compile::Code>,
-    /// Lazily compiled bytecode for `attributor`.
-    pub(crate) attr_code: OnceLock<crate::compile::Code>,
+    /// Compilation state for `body` (bytecode + threaded tiers).
+    pub(crate) body_code: BodyCell,
+    /// Compilation state for `attributor`.
+    pub(crate) attr_code: BodyCell,
 }
 
 /// A vtable entry: the lowered method plus the environment projection from
@@ -153,8 +200,8 @@ pub(crate) struct InitJob {
     /// Projection onto the declaring class's mode parameters.
     pub(crate) env_map: Arc<[EnvSrc]>,
     pub(crate) body: LExpr,
-    /// Lazily compiled bytecode for `body`.
-    pub(crate) code: OnceLock<crate::compile::Code>,
+    /// Compilation state for `body`.
+    pub(crate) code: BodyCell,
 }
 
 /// The constructor protocol for a class: positional fields in chain order,
@@ -174,8 +221,8 @@ pub(crate) struct ClassAttributor {
     /// Whether the class has an internal mode parameter (slot 0) to bind
     /// to the snapshot-produced mode.
     pub(crate) has_internal: bool,
-    /// Lazily compiled bytecode for `body`.
-    pub(crate) code: OnceLock<crate::compile::Code>,
+    /// Compilation state for `body`.
+    pub(crate) code: BodyCell,
 }
 
 /// Instantiation when `new C(...)` is written without mode arguments.
@@ -713,7 +760,7 @@ impl Lowerer<'_> {
                         slot,
                         env_map,
                         body,
-                        code: OnceLock::new(),
+                        code: BodyCell::default(),
                     });
                 } else {
                     positional.push((slot, f.name.clone()));
@@ -747,7 +794,7 @@ impl Lowerer<'_> {
         let attributor = decl.attributor.as_ref().map(|a| ClassAttributor {
             body: self.lower_expr_in(&class_params, &[], &a.body),
             has_internal: !decl.mode_params.bounds.is_empty(),
-            code: OnceLock::new(),
+            code: BodyCell::default(),
         });
 
         let default_new = if decl.mode_params.dynamic {
@@ -823,8 +870,8 @@ impl Lowerer<'_> {
             attributor,
             mode_override,
             body,
-            body_code: OnceLock::new(),
-            attr_code: OnceLock::new(),
+            body_code: BodyCell::default(),
+            attr_code: BodyCell::default(),
         });
         self.method_cache.insert((owner, mid), Arc::clone(&method));
         method

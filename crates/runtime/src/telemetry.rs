@@ -176,6 +176,23 @@ impl RunResult {
             s.snapshot_failures,
         );
 
+        // Tiering counters. All-zero for the tree and bytecode engines
+        // (they never tier), so the object is byte-identical across
+        // engines unless the threaded tier actually ran — the sampled
+        // determinism gates diff full telemetry lines across engines.
+        let t = &self.tier;
+        let _ = write!(
+            out,
+            ", \"tier\": {{\"threaded_entries\": {}, \"threaded_compiles\": {}, \"deopts\": {}, \"deopt_enforcement\": {}, \"deopt_mode_window\": {}, \"deopt_ic_megamorphic\": {}, \"deopt_fault_epoch\": {}}}",
+            t.threaded_entries,
+            t.threaded_compiles,
+            t.deopts(),
+            t.deopt_enforcement,
+            t.deopt_mode_window,
+            t.deopt_ic_megamorphic,
+            t.deopt_fault_epoch,
+        );
+
         match &self.profile {
             Some(p) => {
                 let _ = write!(out, ", \"profile\": {}", p.to_json());

@@ -59,7 +59,7 @@ use crate::value::Value;
 /// for those semantics (this function must agree with it exactly on the
 /// cases it does handle).
 #[inline(always)]
-fn binop_fast(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
+pub(super) fn binop_fast(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
     use BinOp::*;
     Some(match (l, r) {
         (Value::Int(a), Value::Int(b)) => match op {
@@ -125,7 +125,12 @@ impl<'p> Interp<'p> {
     /// preceding instructions and are consumed (scratch is single-use);
     /// slot operands replicate the unbound-parameter check of `Var`.
     #[inline(always)]
-    fn read_opnd(&self, frame: &mut Frame, code: &Code, o: &Opnd) -> Result<Value, Flow> {
+    pub(super) fn read_opnd(
+        &self,
+        frame: &mut Frame,
+        code: &Code,
+        o: &Opnd,
+    ) -> Result<Value, Flow> {
         match *o {
             Opnd::Reg(r) => Ok(std::mem::replace(
                 &mut frame.locals[r as usize],
@@ -157,14 +162,36 @@ impl<'p> Interp<'p> {
         // logical frames pop together when this activation exits, on any
         // path — value, `return`, or error.
         let depth_on_entry = self.depth;
-        let result = self.exec_loop(frame, code);
+        let result = self.exec_loop(frame, code, 0, Vec::new());
         self.depth = depth_on_entry;
         result
     }
 
-    fn exec_loop(&mut self, frame: &mut Frame, code: &'p Code) -> super::EvalResult {
-        let mut pc = 0usize;
-        let mut tries: Vec<u32> = Vec::new();
+    /// Resumes bytecode execution of a live frame at an arbitrary `pc`
+    /// with an already-active `try`-handler stack — the threaded engine's
+    /// deopt entry point. Sound because threaded code executes the same
+    /// compiled `Code` against the same register layout, so the frame and
+    /// handler stack carry over unchanged; the caller owns the
+    /// `self.depth` save/restore (tail elision may have bumped it).
+    pub(super) fn exec_from(
+        &mut self,
+        frame: &mut Frame,
+        code: &'p Code,
+        pc: usize,
+        tries: Vec<u32>,
+    ) -> super::EvalResult {
+        self.exec_loop(frame, code, pc, tries)
+    }
+
+    fn exec_loop(
+        &mut self,
+        frame: &mut Frame,
+        code: &'p Code,
+        entry_pc: usize,
+        entry_tries: Vec<u32>,
+    ) -> super::EvalResult {
+        let mut pc = entry_pc;
+        let mut tries: Vec<u32> = entry_tries;
 
         // Routes an energy exception to the innermost active handler (the
         // only error `try` catches); everything else exits `exec`.
@@ -333,7 +360,7 @@ impl<'p> Interp<'p> {
                             || m.mode_override.is_some()
                             || !m.mode_params.is_empty()
                             || u32::from(site.n_args) != m.n_params
-                            || !m.body_code.get().is_some_and(|c| std::ptr::eq(c, code))
+                            || !m.body_code.code().is_some_and(|c| std::ptr::eq(c, code))
                         {
                             break 'tail;
                         }

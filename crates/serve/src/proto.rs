@@ -229,6 +229,7 @@ fn base_options() -> Options {
         fault_seed: 0,
         staleness_bound: None,
         engine: None,
+        tier_up: None,
         enforce: None,
         adapt: None,
         chunk: None,

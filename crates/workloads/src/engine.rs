@@ -71,7 +71,9 @@ use std::time::{Duration, Instant};
 
 use ent_core::compile;
 use ent_runtime::adapt;
-use ent_runtime::{default_stack_size, with_interp_stack, Enforcement, Engine, LoweredProgram};
+use ent_runtime::{
+    default_stack_size, with_interp_stack, Enforcement, Engine, LoweredProgram, TierUp,
+};
 
 /// Lock stripes in the lowered-program cache. Sized for the workloads the
 /// harness actually runs: enough stripes that an 8-worker batch preparing
@@ -253,7 +255,8 @@ pub fn try_lowered_cached(src: &str) -> Result<Arc<LoweredProgram>, String> {
     Ok(lowered)
 }
 
-/// Process-wide engine override: 0 = unset, 1 = tree, 2 = bytecode.
+/// Process-wide engine override: 0 = unset, 1 = tree, 2 = bytecode,
+/// 3 = threaded.
 static ENGINE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Selects the evaluation engine every subsequently-prepared program runs
@@ -264,29 +267,92 @@ pub fn set_default_engine(engine: Engine) {
     let tag = match engine {
         Engine::Tree => 1,
         Engine::Bytecode => 2,
+        Engine::Threaded => 3,
     };
     ENGINE_OVERRIDE.store(tag, Ordering::Relaxed);
 }
 
 /// The engine newly-prepared programs run on: the [`set_default_engine`]
 /// override when one was installed, else the `ENT_ENGINE` environment
-/// variable (`tree` or `bytecode`), else — under `--adapt on` — the
-/// adaptive tuner's preference when it has one, else the runtime default
-/// (bytecode). Engine choice is value-neutral (the differential harness
-/// proves both engines bit-identical), so the adaptive rung can only
-/// change timing. Bytecode compiled for a cached program is part of the
-/// shared `LoweredProgram`, so switching engines never recompiles
-/// anything.
+/// variable (`tree`, `bytecode`, or `threaded`), else — under `--adapt
+/// on` — the adaptive tuner's preference when it has one, else the
+/// runtime default (bytecode). Engine choice is value-neutral (the
+/// differential harness proves all engines bit-identical), so the
+/// adaptive rung can only change timing. Bytecode compiled for a cached
+/// program is part of the shared `LoweredProgram`, so switching engines
+/// never recompiles anything.
 #[must_use]
 pub fn default_engine() -> Engine {
     match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
         1 => Engine::Tree,
         2 => Engine::Bytecode,
+        3 => Engine::Threaded,
         _ => std::env::var("ENT_ENGINE")
             .ok()
             .and_then(|v| Engine::parse(v.trim()))
             .or_else(adapt::preferred_engine)
             .unwrap_or_default(),
+    }
+}
+
+/// The engine a specific program should run on: the same
+/// override → env → tuner → default waterfall as [`default_engine`],
+/// except the tuner rung consults the per-program table first
+/// ([`adapt::preferred_engine_for`], keyed by the program's source
+/// fingerprint) before falling back to the global hint. Prepared
+/// programs pass the fingerprint they cache under.
+#[must_use]
+pub fn default_engine_for(fingerprint: u64) -> Engine {
+    match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Engine::Tree,
+        2 => Engine::Bytecode,
+        3 => Engine::Threaded,
+        _ => std::env::var("ENT_ENGINE")
+            .ok()
+            .and_then(|v| Engine::parse(v.trim()))
+            .or_else(|| adapt::preferred_engine_for(fingerprint))
+            .unwrap_or_default(),
+    }
+}
+
+/// Process-wide tier-up override: `u32::MAX as usize + 1` = unset, else
+/// the packed [`TierUp`] (0 = always, `u32::MAX` = never, else the
+/// threshold).
+static TIER_UP_OVERRIDE: AtomicUsize = AtomicUsize::new(TIER_UP_UNSET);
+const TIER_UP_UNSET: usize = u32::MAX as usize + 1;
+
+fn pack_tier_up(t: TierUp) -> usize {
+    match t {
+        TierUp::Always => 0,
+        TierUp::Never => u32::MAX as usize,
+        TierUp::After(n) => n as usize,
+    }
+}
+
+fn unpack_tier_up(v: usize) -> TierUp {
+    match v {
+        0 => TierUp::Always,
+        v if v == u32::MAX as usize => TierUp::Never,
+        v => TierUp::After(v as u32),
+    }
+}
+
+/// Selects the tier-up threshold every subsequently-prepared program runs
+/// with (harness binaries call this from their `--tier-up` flag before
+/// any grid work starts). Only the threaded engine reads it.
+pub fn set_default_tier_up(tier_up: TierUp) {
+    TIER_UP_OVERRIDE.store(pack_tier_up(tier_up), Ordering::Relaxed);
+}
+
+/// The tier-up threshold newly-prepared programs run with: the
+/// [`set_default_tier_up`] override when one was installed, else the
+/// `ENT_TIER_UP` environment variable (`0` = always, `off` = never, else
+/// a hit count), else the runtime default.
+#[must_use]
+pub fn default_tier_up() -> TierUp {
+    match TIER_UP_OVERRIDE.load(Ordering::Relaxed) {
+        TIER_UP_UNSET => TierUp::from_env(),
+        v => unpack_tier_up(v),
     }
 }
 
